@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Workloads are generated once per session (they are deterministic) and the
+rendered reproduction tables are written to ``benchmarks/results/`` so that a
+benchmark run leaves behind the same rows the paper reports, independent of
+pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import workload_ruleset, workload_trace
+from repro.rules.classbench import FilterFlavor
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def acl1k_ruleset():
+    """The acl1-1K workload shared by most benchmarks."""
+    return workload_ruleset(FilterFlavor.ACL, 1000)
+
+
+@pytest.fixture(scope="session")
+def acl1k_trace():
+    """A 500-packet trace over the acl1-1K workload."""
+    return workload_trace(FilterFlavor.ACL, 1000, count=500)
+
+
+@pytest.fixture(scope="session")
+def acl5k_ruleset():
+    """The acl1-5K workload used by the Table VI benchmark."""
+    return workload_ruleset(FilterFlavor.ACL, 5000)
+
+
+@pytest.fixture(scope="session")
+def acl5k_trace():
+    """A 300-packet trace over the acl1-5K workload."""
+    return workload_trace(FilterFlavor.ACL, 5000, count=300)

@@ -1,0 +1,87 @@
+"""Ablation — multi-bit trie stride choice (DESIGN.md design-choice study).
+
+The paper fixes the MBT level partition of a 16-bit segment at 5/5/6 bits.
+This ablation sweeps alternative stride vectors and measures the trade-off
+they control: fewer, wider levels reduce lookup latency but inflate the node
+memory (more child pointers per node and heavier prefix expansion); more,
+narrower levels do the opposite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis import format_table
+from repro.core.dimensions import rule_dimension_specs
+from repro.fields import MultibitTrie
+
+STRIDE_CHOICES = {
+    "4x4": (4, 4, 4, 4),
+    "5-5-6 (paper)": (5, 5, 6),
+    "8-8": (8, 8),
+    "16 (flat)": (16,),
+}
+
+
+def _segment_prefixes(ruleset):
+    """Unique (value, length) source-IP high-segment prefixes of a rule set."""
+    prefixes = set()
+    for rule in ruleset:
+        prefixes.add(rule_dimension_specs(rule)["src_ip_hi"])
+    return sorted(prefixes)
+
+
+@pytest.mark.parametrize("name", sorted(STRIDE_CHOICES))
+def test_ablation_stride_build_kernel(benchmark, name, acl1k_ruleset):
+    """Trie construction kernel for one stride vector."""
+    prefixes = _segment_prefixes(acl1k_ruleset)
+    strides = STRIDE_CHOICES[name]
+
+    def build():
+        trie = MultibitTrie(width=16, strides=strides)
+        for label, prefix in enumerate(prefixes):
+            trie.insert(prefix, label, label)
+        return trie
+
+    trie = benchmark(build)
+    assert trie.node_count() >= 1
+
+
+def test_ablation_stride_tradeoff(benchmark, acl1k_ruleset, acl1k_trace):
+    """Sweep stride vectors and check the latency/memory trade-off direction."""
+    prefixes = _segment_prefixes(acl1k_ruleset)
+    values = [packet.src_ip >> 16 for packet in acl1k_trace[:200]]
+
+    def sweep():
+        rows = []
+        for name, strides in STRIDE_CHOICES.items():
+            trie = MultibitTrie(width=16, strides=strides)
+            for label, prefix in enumerate(prefixes):
+                trie.insert(prefix, label, label)
+            accesses = sum(trie.lookup(value).memory_accesses for value in values) / len(values)
+            rows.append(
+                {
+                    "Strides": name,
+                    "Levels": len(strides),
+                    "Lookup cycles": trie.lookup_cycles,
+                    "Avg memory accesses": accesses,
+                    "Nodes": trie.node_count(),
+                    "Memory Kbits": trie.memory_bits() / 1e3,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_name = {row["Strides"]: row for row in rows}
+
+    # Latency scales with the level count...
+    assert by_name["16 (flat)"]["Lookup cycles"] < by_name["5-5-6 (paper)"]["Lookup cycles"]
+    assert by_name["5-5-6 (paper)"]["Lookup cycles"] < by_name["4x4"]["Lookup cycles"]
+    # ...while the flat table pays for it with far more node memory.
+    assert by_name["16 (flat)"]["Memory Kbits"] > by_name["5-5-6 (paper)"]["Memory Kbits"]
+
+    write_result(
+        "ablation_strides",
+        format_table(rows, title="Ablation — MBT stride choice (src-IP high segment, acl1-1K)"),
+    )

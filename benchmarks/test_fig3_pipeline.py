@@ -1,0 +1,41 @@
+"""Benchmark reproducing Fig. 3 — the four-phase lookup pipeline.
+
+Benchmarks the pipeline simulation and checks the pipelining claims: with the
+MBT phase latencies the architecture accepts one packet per cycle in steady
+state while an individual packet sees the full multi-cycle latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import fig3_pipeline
+from repro.hardware.pipeline import PipelineModel, PipelinePhase
+
+
+def test_fig3_pipeline_simulation(benchmark):
+    """Stream packets through the paper's pipeline and check its timing."""
+    result = benchmark.pedantic(fig3_pipeline.run, kwargs={"packets": 16}, rounds=1, iterations=1)
+    assert result.fully_pipelined
+    assert result.initiation_interval == 1
+    # dispatch 1 + field lookup 6 + label combination 1 + rule fetch 2.
+    assert result.single_packet_latency == 10
+    assert result.steady_state_cycles_per_packet == pytest.approx(1.0, abs=0.05)
+    write_result("fig3_pipeline", fig3_pipeline.render(result))
+
+
+def test_fig3_bst_phase_blocks_pipeline(benchmark):
+    """With the iterative BST in phase 2 the initiation interval collapses to ~16."""
+    phases = (
+        PipelinePhase("dispatch", 1, pipelined=True),
+        PipelinePhase("field_lookup", 16, pipelined=False),
+        PipelinePhase("label_combination", 1, pipelined=True),
+        PipelinePhase("rule_fetch", 2, pipelined=True),
+    )
+
+    def run_model():
+        return PipelineModel(phases).throughput_cycles_per_packet(64)
+
+    cycles_per_packet = benchmark(run_model)
+    assert cycles_per_packet == pytest.approx(16.0, rel=0.05)

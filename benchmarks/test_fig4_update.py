@@ -1,0 +1,51 @@
+"""Benchmark reproducing Fig. 4 — incremental rule insertion behaviour.
+
+Benchmarks incremental installation of the acl1-1K workload and checks that
+the label-table behaviour of Fig. 4 holds: for fields with heavy value reuse
+(source port, protocol, the high IP segments) the overwhelming majority of
+insertions take the cheap counter-only path, and the number of structural
+insertions per dimension equals the number of unique field values.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.core import ClassifierConfig, ConfigurableClassifier
+from repro.experiments import fig4_update
+
+
+def test_fig4_incremental_install_kernel(benchmark, acl1k_ruleset):
+    """Kernel: incremental installation of the full acl1-1K rule set."""
+    rules = acl1k_ruleset.rules()
+
+    def install_all():
+        classifier = ConfigurableClassifier(ClassifierConfig())
+        for rule in rules:
+            classifier.install_rule(rule)
+        return classifier
+
+    classifier = benchmark(install_all)
+    assert classifier.installed_rules == len(rules)
+
+
+def test_fig4_update_statistics(benchmark, acl1k_ruleset):
+    """Regenerate the Fig. 4 statistics and check the counter-vs-structural split."""
+    result = benchmark.pedantic(fig4_update.run, rounds=1, iterations=1)
+
+    # Structural inserts per dimension == unique values of that dimension.
+    stats = result.insert_statistics
+    assert stats["src_port"]["structural_inserts"] == acl1k_ruleset.unique_field_values("src_port")
+    assert stats["protocol"]["structural_inserts"] == acl1k_ruleset.unique_field_values("protocol")
+    assert stats["dst_port"]["structural_inserts"] == acl1k_ruleset.unique_field_values("dst_port")
+
+    # Fields with heavy reuse take the cheap path almost always.
+    assert result.counter_only_fraction("src_port") > 0.99
+    assert result.counter_only_fraction("protocol") > 0.99
+    assert result.counter_only_fraction("src_ip_hi") > 0.9
+
+    # Deleting a quarter of the rules must not free labels still referenced:
+    # counter-only deletes dominate structural ones on every dimension.
+    for dimension, values in stats.items():
+        assert values["counter_only_deletes"] >= values["structural_deletes"], dimension
+
+    write_result("fig4_update", fig4_update.render(result))

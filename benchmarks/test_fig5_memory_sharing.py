@@ -1,0 +1,59 @@
+"""Benchmark reproducing Fig. 5 — MBT level-2 / BST memory sharing.
+
+Regenerates the shared-memory map for both ``IPalg_s`` positions and checks
+the claims behind it: the shared physical block has the same geometry under
+either selection, only the selected view may access it, and the BST selection
+reclaims the remaining MBT memory for roughly 4K extra rules (8K -> 12K).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import fig5_memory_sharing
+from repro.exceptions import MemoryModelError
+from repro.hardware.memory_sharing import SharedMemoryBank, SharedView
+
+
+def test_fig5_memory_sharing_report(benchmark):
+    """Regenerate the Fig. 5 memory map and check the capacity reclaim."""
+    result = benchmark.pedantic(fig5_memory_sharing.run, rounds=1, iterations=1)
+    mbt_report = result.reports["mbt"]
+    bst_report = result.reports["bst"]
+
+    # Same physical geometry, different occupants.
+    assert (mbt_report.depth, mbt_report.width) == (bst_report.depth, bst_report.width)
+    assert mbt_report.active_view == "mbt_level2"
+    assert bst_report.active_view == "bst_nodes"
+
+    # Reclaim: no extra rule bits under MBT, ~400 Kbit under BST -> ~4K rules.
+    assert mbt_report.reclaimed_bits == 0
+    assert bst_report.reclaimed_bits == result.reclaimable_bits
+    assert result.extra_rules_with_bst == pytest.approx(4000, rel=0.15)
+    assert result.rule_capacities["bst"] > result.rule_capacities["mbt"]
+
+    write_result("fig5_memory_sharing", fig5_memory_sharing.render(result))
+
+
+def test_fig5_shared_bank_access_kernel(benchmark):
+    """Kernel: write/read through the selected view of a shared bank."""
+    bank = SharedMemoryBank(
+        name="shared",
+        depth=512,
+        width=68,
+        view_a=SharedView("mbt_level2", "MBT level 2"),
+        view_b=SharedView("bst_nodes", "BST nodes"),
+        reclaimable_bits=393216,
+    )
+
+    def exercise():
+        for address in range(256):
+            bank.write("mbt_level2", address, address)
+        return sum(bank.read("mbt_level2", address) for address in range(256))
+
+    total = benchmark(exercise)
+    assert total == sum(range(256))
+    # The unselected view must not be accessible.
+    with pytest.raises(MemoryModelError):
+        bank.read("bst_nodes", 0)

@@ -1,0 +1,37 @@
+"""Benchmark reproducing Table II — unique rule fields per rule set.
+
+Measures the unique-field analysis over the three acl1 workload sizes and
+checks the reproduction against the paper's counts (exact for the fields the
+generator anchors on, within a tolerance for the others).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.experiments import table2
+from repro.experiments.table2 import PAPER_TABLE_II
+
+
+def test_table2_unique_fields(benchmark):
+    """Regenerate Table II and compare against the paper's counts."""
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+
+    # Source port and protocol counts are structural and must match exactly.
+    for size in result.sizes:
+        assert result.unique_count(size, "src_port") == PAPER_TABLE_II["src_port"][size]
+        assert result.unique_count(size, "protocol") == PAPER_TABLE_II["protocol"][size]
+
+    # The IP-address uniqueness is calibrated: within 5% of the paper's values.
+    for field in ("src_ip", "dst_ip"):
+        for size in result.sizes:
+            paper = PAPER_TABLE_II[field][size]
+            measured = result.unique_count(size, field)
+            assert abs(measured - paper) <= max(5, 0.05 * paper), (field, size, measured, paper)
+
+    # The label method's storage argument: >35% reduction on every size
+    # (the paper claims "more than 50%" counting only field storage; our
+    # estimate also charges the per-rule label tuple, so the bar is lower).
+    for size, reduction in result.storage_reductions.items():
+        assert reduction > 0.35, (size, reduction)
+
+    write_result("table2", table2.render(result))

@@ -1,0 +1,21 @@
+"""Benchmark reproducing Table III — rule counts of the ACL/FW/IPC filters.
+
+Measures the synthetic generation of all nine workloads and checks that the
+realised rule counts equal the paper's (the generator targets them exactly at
+the nominal 1K/5K/10K sizes).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.experiments import table3
+from repro.rules.classbench import FilterFlavor, PAPER_RULE_COUNTS
+
+
+def test_table3_rule_filter_sizes(benchmark):
+    """Regenerate all nine filter sets and compare counts with the paper."""
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    for flavor in FilterFlavor:
+        for size in result.sizes:
+            assert result.count(flavor, size) == PAPER_RULE_COUNTS[(flavor, size)]
+    write_result("table3", table3.render(result))

@@ -1,0 +1,33 @@
+"""Benchmark reproducing Table IV — port field labelling example.
+
+Measures the port-register lookup kernel for the paper's worked example and
+checks the produced label priority order (B, C, A for destination port 7812)
+and the 2-cycle lookup cost.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.experiments import table4
+from repro.experiments.table4 import EXAMPLE_PORT, PAPER_LABEL_ORDER, PAPER_PORT_RULES
+from repro.fields.port_registers import PortRegisterFile
+
+
+def test_table4_port_lookup_kernel(benchmark):
+    """Port register lookup kernel on the Table IV register contents."""
+    registers = PortRegisterFile(name="dst_port_example", capacity=8)
+    for index, (_, low, high) in enumerate(PAPER_PORT_RULES):
+        registers.insert((low, high), label=index, priority=index)
+
+    result = benchmark(registers.lookup, EXAMPLE_PORT)
+    assert result.cycles == 2
+    assert len(result.labels) == 3
+
+
+def test_table4_label_order(benchmark):
+    """Regenerate the Table IV example and check the B, C, A priority order."""
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    assert result.label_order == PAPER_LABEL_ORDER
+    assert result.matches_paper_order
+    assert result.lookup_cycles == 2
+    write_result("table4", table4.render(result))

@@ -1,0 +1,34 @@
+"""Benchmark reproducing Table V — FPGA synthesis estimate.
+
+Measures the resource-model estimation and checks the calibrated estimate
+against the paper's synthesis report: same Fmax, pins and memory utilisation
+regime (a few percent of the device), ALM/register counts within 10%.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.analysis.literature import TABLE_V_PAPER_VALUES
+from repro.experiments import table5
+
+
+def test_table5_synthesis_estimate(benchmark):
+    """Regenerate the Table V estimate and compare it with the paper."""
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    estimate = result.estimate
+    paper_alms, _ = TABLE_V_PAPER_VALUES["Logical Utilization"]
+    paper_memory, device_memory = TABLE_V_PAPER_VALUES["Total block memory bits"]
+    paper_registers = TABLE_V_PAPER_VALUES["Total registers"]
+    paper_fmax = TABLE_V_PAPER_VALUES["Maximum Frequency MHz"]
+
+    assert abs(estimate.logic_alms - paper_alms) / paper_alms < 0.10
+    assert abs(estimate.block_memory_bits - paper_memory) / paper_memory < 0.10
+    assert abs(estimate.registers - paper_registers) / paper_registers < 0.10
+    assert abs(estimate.fmax_mhz - paper_fmax) < 1.0
+    assert estimate.pins_used == TABLE_V_PAPER_VALUES["Total Number Pins"][0]
+    assert estimate.block_memory_bits_available == device_memory
+
+    # Section V.C: "the memory usage ... consumes 4% of total memory".
+    assert 0.02 < estimate.memory_utilisation < 0.06
+
+    write_result("table5", table5.render(result))

@@ -1,0 +1,59 @@
+"""Benchmark reproducing Table VI — MBT vs BST IP lookup configuration.
+
+Benchmarks the lookup kernel of both ``IPalg_s`` positions on the acl1-5K
+workload and regenerates the Table VI rows (cycles per packet, IP memory,
+rule capacity, throughput), asserting the paper's qualitative claims: the MBT
+is pipelined to one packet per cycle and roughly 16x faster, while the BST
+needs roughly an order of magnitude less IP memory and stores ~50% more rules
+in the same memory blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.core import ClassifierConfig, ConfigurableClassifier, IpAlgorithm
+from repro.experiments import table6
+
+
+@pytest.mark.parametrize("algorithm", [IpAlgorithm.MBT, IpAlgorithm.BST])
+def test_table6_lookup_kernel(benchmark, algorithm, acl1k_ruleset, acl1k_trace):
+    """Classification kernel of one IP-algorithm configuration."""
+    config = ClassifierConfig(ip_algorithm=algorithm)
+    classifier = ConfigurableClassifier.from_ruleset(acl1k_ruleset, config)
+    packets = acl1k_trace[:100]
+
+    def classify():
+        return [classifier.lookup(packet) for packet in packets]
+
+    results = benchmark(classify)
+    assert len(results) == len(packets)
+
+
+def test_table6_configuration_comparison(benchmark):
+    """Regenerate Table VI and check the MBT/BST trade-off shape."""
+    result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    mbt = result.row(IpAlgorithm.MBT)
+    bst = result.row(IpAlgorithm.BST)
+
+    # Pipeline occupancy: 1 cycle/packet for MBT, 16 for BST (Table VI).
+    assert mbt.occupancy_cycles_per_packet == 1
+    assert bst.occupancy_cycles_per_packet == 16
+
+    # Throughput ratio follows directly: MBT ~16x faster.
+    assert mbt.throughput_gbps / bst.throughput_gbps == pytest.approx(16.0, rel=0.01)
+    assert mbt.throughput_gbps == pytest.approx(42.73, rel=0.01)
+    assert bst.throughput_gbps == pytest.approx(2.67, rel=0.01)
+
+    # Memory: the BST needs roughly an order of magnitude less IP memory.
+    assert mbt.ip_memory_kbits > 5 * bst.ip_memory_kbits
+    assert mbt.ip_memory_kbits == pytest.approx(543, rel=0.02)
+    assert bst.ip_memory_kbits == pytest.approx(49, rel=0.02)
+
+    # Capacity: the BST configuration stores strictly more rules (8K -> ~12K).
+    assert bst.stored_rule_capacity > mbt.stored_rule_capacity
+    assert mbt.stored_rule_capacity >= 8000
+    assert bst.stored_rule_capacity >= 12000
+
+    write_result("table6", table6.render(result))

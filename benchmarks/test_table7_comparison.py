@@ -1,0 +1,42 @@
+"""Benchmark reproducing Table VII — comparison against published designs.
+
+Regenerates the four comparison rows (our MBT/BST rows from the model, the
+Optimizing HyperCuts and DCFLE rows quoted from the literature) and checks the
+relations the paper draws from the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import table7
+
+
+def test_table7_comparison(benchmark):
+    """Regenerate Table VII and verify the cross-system relations."""
+    result = benchmark.pedantic(table7.run, rounds=1, iterations=1)
+    ours_mbt = result.row("Our system with MBT")
+    ours_bst = result.row("Our system with BST")
+    hypercuts = result.row("Optimizing HyperCuts")
+    dcfle = result.row("DCFLE")
+
+    # Our measured rows land on the paper's values.
+    assert ours_mbt.throughput_gbps == pytest.approx(42.73, rel=0.01)
+    assert ours_bst.throughput_gbps == pytest.approx(2.67, rel=0.01)
+    assert ours_mbt.memory_mbit == pytest.approx(2.1, rel=0.05)
+    assert ours_bst.memory_mbit == pytest.approx(2.1, rel=0.05)
+    assert ours_mbt.stored_rules >= 8000
+    assert ours_bst.stored_rules >= 12000
+
+    # Relations the paper highlights:
+    # - our MBT system overcomes the OC-768 (39.8 Gbps) line rate;
+    assert ours_mbt.throughput_gbps > 39.8
+    # - Optimizing HyperCuts is faster but needs >2x our memory;
+    assert hypercuts.throughput_gbps > ours_mbt.throughput_gbps
+    assert hypercuts.memory_mbit > 2 * ours_mbt.memory_mbit
+    # - DCFLE stores orders of magnitude fewer rules and misses line rate.
+    assert dcfle.stored_rules < ours_mbt.stored_rules / 10
+    assert dcfle.throughput_gbps < ours_mbt.throughput_gbps
+
+    write_result("table7", table7.render(result))

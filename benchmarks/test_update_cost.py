@@ -1,0 +1,44 @@
+"""Benchmark reproducing section V.A — memory accesses / cycles for update.
+
+Benchmarks the insert and delete kernels of the update engine and regenerates
+the update-cost summary, checking the paper's fixed cost (two upload cycles +
+one hash cycle per rule) and that the counter-only path stays cheap.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.core import ClassifierConfig, ConfigurableClassifier
+from repro.experiments import update_cost
+from repro.experiments.update_cost import PAPER_UPLOAD_CYCLES
+
+
+def test_update_insert_delete_kernel(benchmark, acl1k_ruleset):
+    """Kernel: install 200 rules then delete them again."""
+    rules = acl1k_ruleset.rules()[:200]
+
+    def churn():
+        classifier = ConfigurableClassifier(ClassifierConfig())
+        for rule in rules:
+            classifier.install_rule(rule)
+        for rule in rules:
+            classifier.remove_rule(rule.rule_id)
+        return classifier
+
+    classifier = benchmark(churn)
+    assert classifier.installed_rules == 0
+
+
+def test_update_cost_summary(benchmark):
+    """Regenerate the V.A summary and check the paper's fixed per-rule cost."""
+    result = benchmark.pedantic(update_cost.run, rounds=1, iterations=1)
+    assert result.matches_paper_fixed_cost
+    assert result.fixed_upload_cycles == PAPER_UPLOAD_CYCLES
+
+    # Counter-only insertions: fixed cost + one counter bump per dimension (7),
+    # i.e. an order of magnitude below any tree-rebuild approach.
+    assert result.counter_only_insert_cycles <= PAPER_UPLOAD_CYCLES + 7
+    # Inserts and deletes are symmetric in cost on this workload.
+    assert result.delete_metrics.average_cycles < 2 * result.insert_metrics.average_cycles
+
+    write_result("update_cost", update_cost.render(result))

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Algorithm trade-off study: MBT vs BST vs the software baselines.
+
+A small research-style study built on the public API: for a sweep of rule-set
+sizes it compares
+
+* the two configurations of the proposed architecture (speed-optimised MBT vs
+  capacity-optimised BST) on throughput, rule capacity and provisioned memory;
+* a selection of software baselines (HyperCuts, DCFL) on average memory
+  accesses per lookup and structure size,
+
+and prints where the crossover points fall — i.e. when the controller should
+flip the ``IPalg_s`` signal (the decision policy of
+:meth:`repro.controller.SdnController.select_ip_algorithm`).
+
+Run with::
+
+    python examples/algorithm_tradeoff_study.py
+"""
+
+from __future__ import annotations
+
+from repro import ClassifierConfig, ConfigurableClassifier, IpAlgorithm
+from repro.analysis import format_table, measure_lookups
+from repro.baselines import DcflClassifier, HyperCutsClassifier, evaluate_baseline
+from repro.controller import ApplicationRequirements, SdnController
+from repro.rules import FilterFlavor, generate_ruleset, generate_trace
+
+SIZES = (500, 1000, 2000, 5000)
+
+
+def architecture_rows() -> list:
+    rows = []
+    for size in SIZES:
+        rules = generate_ruleset(FilterFlavor.ACL, nominal_size=size, seed=2014)
+        trace = generate_trace(rules, count=100, seed=5)
+        for algorithm in (IpAlgorithm.MBT, IpAlgorithm.BST):
+            config = ClassifierConfig(ip_algorithm=algorithm)
+            classifier = ConfigurableClassifier.from_ruleset(rules, config)
+            metrics = measure_lookups(classifier, trace)
+            rows.append(
+                {
+                    "Rules": len(rules),
+                    "Configuration": algorithm.value.upper(),
+                    "Throughput Gbps": round(classifier.throughput_gbps(), 2),
+                    "Rule capacity": config.rule_capacity(),
+                    "Avg memory accesses": round(metrics.average_memory_accesses, 1),
+                    "Hit ratio": round(metrics.hit_ratio, 3),
+                }
+            )
+    return rows
+
+
+def baseline_rows() -> list:
+    rows = []
+    for size in SIZES:
+        rules = generate_ruleset(FilterFlavor.ACL, nominal_size=size, seed=2014)
+        trace = generate_trace(rules, count=100, seed=5)
+        for baseline_type in (HyperCutsClassifier, DcflClassifier):
+            baseline = baseline_type(rules)
+            evaluation = evaluate_baseline(baseline, trace)
+            rows.append(
+                {
+                    "Rules": len(rules),
+                    "Algorithm": baseline.name,
+                    "Avg memory accesses": round(evaluation.average_memory_accesses, 1),
+                    "Memory Mbit": round(evaluation.memory_megabits, 2),
+                }
+            )
+    return rows
+
+
+def controller_decisions() -> list:
+    controller = SdnController()
+    rows = []
+    for expected_rules in (1000, 6000, 9000, 11000):
+        for latency_critical in (True, False):
+            try:
+                choice = controller.select_ip_algorithm(
+                    ApplicationRequirements(
+                        name="study",
+                        expected_rules=expected_rules,
+                        latency_critical=latency_critical,
+                        min_throughput_gbps=1.0,
+                    )
+                ).value.upper()
+            except Exception as exc:  # capacity exceeded for both configurations
+                choice = f"rejected ({exc})"
+            rows.append(
+                {
+                    "Expected rules": expected_rules,
+                    "Latency critical": latency_critical,
+                    "Controller selects": choice,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print(format_table(architecture_rows(), title="Proposed architecture: MBT vs BST across rule-set sizes"))
+    print()
+    print(format_table(baseline_rows(), title="Software baselines on the same workloads"))
+    print()
+    print(format_table(controller_decisions(), title="Controller IPalg_s decisions (select_ip_algorithm policy)"))
+
+
+if __name__ == "__main__":
+    main()

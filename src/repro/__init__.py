@@ -1,0 +1,72 @@
+"""repro — a behavioural reproduction of "A Configurable Packet Classification
+Architecture for Software-Defined Networking" (Guerra Pérez et al., SOCC 2014).
+
+The package provides:
+
+* :mod:`repro.core` — the configurable, label-based, parallel single-field
+  classification architecture (the paper's contribution);
+* :mod:`repro.fields` — the single-field lookup engines (multi-bit trie,
+  binary search tree, segment trie, port registers, protocol LUT);
+* :mod:`repro.labels` — the DCFL-style label method with reference-counted
+  label tables;
+* :mod:`repro.hardware` — the behavioural hardware model (memory blocks,
+  cycle accounting, pipeline, rule filter, FPGA resource estimator);
+* :mod:`repro.rules` — rules, rule sets, the synthetic ClassBench-style
+  generator and packet traces;
+* :mod:`repro.baselines` — HyperCuts, RFC, DCFL, bit-vector and linear-search
+  comparison classifiers;
+* :mod:`repro.controller` — the OpenFlow-lite SDN control plane driving the
+  device;
+* :mod:`repro.analysis` and :mod:`repro.experiments` — metrics, reporting and
+  one driver per table/figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ConfigurableClassifier, generate_ruleset, generate_trace
+
+    rules = generate_ruleset(nominal_size=1000)
+    classifier = ConfigurableClassifier.from_ruleset(rules)
+    packet = generate_trace(rules, count=1)[0]
+    print(classifier.lookup(packet).match)
+"""
+
+from repro.core import (
+    ClassifierConfig,
+    ClassifierReport,
+    CombinerMode,
+    ConfigurableClassifier,
+    IpAlgorithm,
+    LookupResult,
+    UpdateResult,
+)
+from repro.rules import (
+    FilterFlavor,
+    PacketHeader,
+    Rule,
+    RuleAction,
+    RuleSet,
+    generate_ruleset,
+    generate_trace,
+    load_classbench_file,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ConfigurableClassifier",
+    "ClassifierConfig",
+    "IpAlgorithm",
+    "CombinerMode",
+    "LookupResult",
+    "UpdateResult",
+    "ClassifierReport",
+    "PacketHeader",
+    "Rule",
+    "RuleAction",
+    "RuleSet",
+    "FilterFlavor",
+    "generate_ruleset",
+    "generate_trace",
+    "load_classbench_file",
+]

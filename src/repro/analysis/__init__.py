@@ -1,0 +1,46 @@
+"""Analysis helpers: metrics aggregation, uniqueness statistics, literature
+constants and plain-text report rendering."""
+
+from repro.analysis.literature import (
+    LiteratureEntry,
+    TABLE_I_PAPER_VALUES,
+    TABLE_V_PAPER_VALUES,
+    TABLE_VI_PAPER_VALUES,
+    TABLE_VII_PAPER_VALUES,
+)
+from repro.analysis.metrics import (
+    LookupMetrics,
+    UpdateMetrics,
+    measure_lookups,
+    measure_updates,
+    summarize_lookups,
+    summarize_updates,
+)
+from repro.analysis.reports import format_kv, format_number, format_table
+from repro.analysis.uniqueness import (
+    UniqueFieldReport,
+    storage_reduction,
+    table_ii_rows,
+    unique_field_report,
+)
+
+__all__ = [
+    "LookupMetrics",
+    "UpdateMetrics",
+    "measure_lookups",
+    "measure_updates",
+    "summarize_lookups",
+    "summarize_updates",
+    "UniqueFieldReport",
+    "unique_field_report",
+    "storage_reduction",
+    "table_ii_rows",
+    "format_table",
+    "format_kv",
+    "format_number",
+    "LiteratureEntry",
+    "TABLE_I_PAPER_VALUES",
+    "TABLE_V_PAPER_VALUES",
+    "TABLE_VI_PAPER_VALUES",
+    "TABLE_VII_PAPER_VALUES",
+]

@@ -1,0 +1,103 @@
+"""Aggregate lookup/update metrics for the configurable classifier.
+
+The evaluation tables report *averages over a packet trace* (memory accesses,
+probes, latency) and *totals over a rule-set load* (update cycles, structural
+update fraction).  This module aggregates the per-operation results the core
+returns into those summary numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.result import LookupResult, UpdateResult
+from repro.rules.packet import PacketHeader
+
+__all__ = ["LookupMetrics", "UpdateMetrics", "measure_lookups", "measure_updates"]
+
+
+@dataclass(frozen=True)
+class LookupMetrics:
+    """Averages over a classified trace."""
+
+    packets: int
+    matched: int
+    average_memory_accesses: float
+    worst_memory_accesses: int
+    average_latency_cycles: float
+    worst_latency_cycles: int
+    average_combiner_probes: float
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of packets that matched a rule."""
+        return self.matched / self.packets if self.packets else 0.0
+
+
+@dataclass(frozen=True)
+class UpdateMetrics:
+    """Totals over a batch of incremental updates."""
+
+    operations: int
+    structural_operations: int
+    total_cycles: int
+    total_memory_accesses: int
+    average_cycles: float
+    average_memory_accesses: float
+
+    @property
+    def counter_only_fraction(self) -> float:
+        """Fraction of updates that touched only label counters (the cheap path)."""
+        if not self.operations:
+            return 0.0
+        return 1.0 - self.structural_operations / self.operations
+
+
+def summarize_lookups(results: Sequence[LookupResult]) -> LookupMetrics:
+    """Aggregate a list of lookup results into trace-level metrics."""
+    if not results:
+        return LookupMetrics(0, 0, 0.0, 0, 0.0, 0, 0.0)
+    accesses = [result.total_memory_accesses for result in results]
+    latencies = [result.latency_cycles for result in results]
+    probes = [result.combiner_probes for result in results]
+    return LookupMetrics(
+        packets=len(results),
+        matched=sum(1 for result in results if result.matched),
+        average_memory_accesses=sum(accesses) / len(results),
+        worst_memory_accesses=max(accesses),
+        average_latency_cycles=sum(latencies) / len(results),
+        worst_latency_cycles=max(latencies),
+        average_combiner_probes=sum(probes) / len(results),
+    )
+
+
+def summarize_updates(results: Sequence[UpdateResult]) -> UpdateMetrics:
+    """Aggregate a list of update results into batch-level metrics."""
+    if not results:
+        return UpdateMetrics(0, 0, 0, 0, 0.0, 0.0)
+    cycles = [result.cycles.latency_cycles for result in results]
+    accesses = [result.total_memory_accesses for result in results]
+    return UpdateMetrics(
+        operations=len(results),
+        structural_operations=sum(1 for result in results if result.structural),
+        total_cycles=sum(cycles),
+        total_memory_accesses=sum(accesses),
+        average_cycles=sum(cycles) / len(results),
+        average_memory_accesses=sum(accesses) / len(results),
+    )
+
+
+def measure_lookups(
+    classifier: ConfigurableClassifier, trace: Iterable[PacketHeader]
+) -> LookupMetrics:
+    """Classify ``trace`` and return its aggregate lookup metrics."""
+    return summarize_lookups([classifier.lookup(packet) for packet in trace])
+
+
+def measure_updates(
+    classifier: ConfigurableClassifier, rules
+) -> UpdateMetrics:
+    """Install ``rules`` and return the aggregate update metrics."""
+    return summarize_updates([classifier.install_rule(rule) for rule in rules])

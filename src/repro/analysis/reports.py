@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the experiment drivers.
+
+Every experiment produces structured rows; the benchmarks and examples print
+them with :func:`format_table`, which renders an aligned ASCII table (no
+external dependencies, stable column order), and :func:`format_kv` for simple
+key/value blocks such as Table V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_kv", "format_number"]
+
+
+def format_number(value, digits: int = 2) -> str:
+    """Human-friendly rendering of ints/floats used across the reports."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 1000:
+            return f"{value:,.{digits}f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    rendered_rows: List[List[str]] = [
+        [format_number(row.get(header, "")) for header in headers] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), max(len(row[index]) for row in rendered_rows))
+        for index, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(header).ljust(width) for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(items: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a key/value mapping as an aligned two-column block."""
+    if not items:
+        return f"{title}\n(empty)" if title else "(empty)"
+    width = max(len(str(key)) for key in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in items.items():
+        lines.append(f"{str(key).ljust(width)} : {format_number(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Baseline classifiers used for the comparative evaluation (Table I / VII).
+
+* :class:`~repro.baselines.linear_search.LinearSearchClassifier` — ground truth;
+* :class:`~repro.baselines.hypercuts.HyperCutsClassifier` — decision tree with
+  multi-dimensional cuts;
+* :class:`~repro.baselines.efficuts.EffiCutsClassifier` — separable-tree
+  HyperCuts variant;
+* :class:`~repro.baselines.rfc.RfcClassifier` — Recursive Flow Classification;
+* :class:`~repro.baselines.dcfl.DcflClassifier` — Distributed Crossproducting
+  of Field Labels;
+* :class:`~repro.baselines.bitvector.BitVectorClassifier` — parallel bit-vector
+  decomposition;
+* :class:`~repro.baselines.options.Option1Classifier` /
+  :class:`~repro.baselines.options.Option2Classifier` — the single-field
+  combinations of Table I.
+"""
+
+from repro.baselines.base import (
+    BaselineClassifier,
+    BaselineEvaluation,
+    ClassificationOutcome,
+    evaluate_baseline,
+)
+from repro.baselines.bitvector import BitVectorClassifier
+from repro.baselines.dcfl import DcflClassifier
+from repro.baselines.efficuts import EffiCutsClassifier
+from repro.baselines.hypercuts import HyperCutsClassifier
+from repro.baselines.linear_search import LinearSearchClassifier
+from repro.baselines.options import (
+    Option1Classifier,
+    Option2Classifier,
+    SingleFieldCombinationClassifier,
+)
+from repro.baselines.rfc import RfcClassifier
+
+__all__ = [
+    "BaselineClassifier",
+    "ClassificationOutcome",
+    "BaselineEvaluation",
+    "evaluate_baseline",
+    "LinearSearchClassifier",
+    "HyperCutsClassifier",
+    "EffiCutsClassifier",
+    "RfcClassifier",
+    "DcflClassifier",
+    "BitVectorClassifier",
+    "SingleFieldCombinationClassifier",
+    "Option1Classifier",
+    "Option2Classifier",
+]

@@ -1,0 +1,112 @@
+"""Common interface of the baseline classifiers.
+
+Table I of the paper compares the proposed approach against the most popular
+multi-field and decomposition algorithms on two metrics: the average number of
+memory accesses per lookup and the total memory space.  Every baseline in this
+package therefore implements the same small interface —
+:meth:`BaselineClassifier.classify` returning the matched rule together with
+the number of memory accesses, plus :meth:`BaselineClassifier.memory_bits` —
+so the Table I harness can sweep them uniformly, and every one of them is
+validated against the linear-search ground truth in the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["ClassificationOutcome", "BaselineClassifier", "evaluate_baseline", "BaselineEvaluation"]
+
+
+@dataclass(frozen=True)
+class ClassificationOutcome:
+    """Result of classifying one packet with a baseline."""
+
+    rule: Optional[Rule]
+    memory_accesses: int
+
+    @property
+    def matched(self) -> bool:
+        """True when some rule matched."""
+        return self.rule is not None
+
+    @property
+    def rule_id(self) -> Optional[int]:
+        """Id of the matched rule, or None."""
+        return self.rule.rule_id if self.rule else None
+
+
+class BaselineClassifier(abc.ABC):
+    """A packet classifier built once from a rule set."""
+
+    #: Human-readable algorithm name (used in the Table I rows).
+    name: str = "baseline"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self.build()
+
+    @abc.abstractmethod
+    def build(self) -> None:
+        """Construct the search structure from ``self.ruleset``."""
+
+    @abc.abstractmethod
+    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+        """Return the HPMR for ``packet`` and the memory accesses spent."""
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Total size of the search structure in bits."""
+
+    def memory_megabits(self) -> float:
+        """Memory space in Mbit — the unit of Table I."""
+        return self.memory_bits() / 1e6
+
+    def describe(self) -> dict:
+        """Structured summary used by reports."""
+        return {
+            "algorithm": self.name,
+            "rules": len(self.ruleset),
+            "memory_bits": self.memory_bits(),
+        }
+
+
+@dataclass(frozen=True)
+class BaselineEvaluation:
+    """Aggregate lookup statistics of one baseline over a trace (a Table I row)."""
+
+    algorithm: str
+    rules: int
+    packets: int
+    average_memory_accesses: float
+    worst_memory_accesses: int
+    memory_megabits: float
+    hit_ratio: float
+
+
+def evaluate_baseline(
+    classifier: BaselineClassifier, trace: Sequence[PacketHeader]
+) -> BaselineEvaluation:
+    """Run ``classifier`` over ``trace`` and aggregate the Table I metrics."""
+    accesses: List[int] = []
+    hits = 0
+    for packet in trace:
+        outcome = classifier.classify(packet)
+        accesses.append(outcome.memory_accesses)
+        if outcome.matched:
+            hits += 1
+    packets = len(trace)
+    return BaselineEvaluation(
+        algorithm=classifier.name,
+        rules=len(classifier.ruleset),
+        packets=packets,
+        average_memory_accesses=sum(accesses) / packets if packets else 0.0,
+        worst_memory_accesses=max(accesses) if accesses else 0,
+        memory_megabits=classifier.memory_megabits(),
+        hit_ratio=hits / packets if packets else 0.0,
+    )

@@ -1,0 +1,116 @@
+"""Parallel Bit-Vector decomposition baseline (Lakshman/Stiliadis style, as
+used for OpenFlow-scale classification on multi-core processors in [10]).
+
+Each field keeps an independent structure (here: binary search over the
+field's elementary intervals) whose result is a *bit vector* with one bit per
+rule — bit ``i`` set when rule ``i``'s projection on that field matches the
+packet.  The per-field vectors are ANDed and the first set bit (rules are
+indexed in priority order) is the HPMR.
+
+Memory accesses: the per-field interval search plus reading the bit vector
+words (``ceil(N / word_size)`` words per field) plus the final AND scan —
+which is why the method, while simple and parallelisable, "is not suitable for
+high-speed lookup in current network systems" for large N (the paper's
+criticism of [10]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import BaselineClassifier, ClassificationOutcome
+from repro.baselines.dcfl import _field_interval, _field_space, _packet_value
+from repro.rules.packet import PacketHeader
+
+__all__ = ["BitVectorClassifier"]
+
+_FIELDS: Tuple[str, ...] = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
+
+
+@dataclass
+class _FieldIndex:
+    """Per-field elementary-interval index with one bit vector per interval."""
+
+    boundaries: List[int]
+    vectors: List[int]
+
+    def lookup(self, value: int) -> Tuple[int, int]:
+        """Return (bit vector, search accesses) for ``value``."""
+        accesses = 0
+        low, high = 0, len(self.boundaries) - 1
+        position = 0
+        while low <= high:
+            mid = (low + high) // 2
+            accesses += 1
+            if self.boundaries[mid] <= value:
+                position = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        return self.vectors[position], accesses
+
+
+class BitVectorClassifier(BaselineClassifier):
+    """Decomposition classifier combining per-field rule bit vectors."""
+
+    name = "BitVector"
+
+    #: Machine word used for the bit-vector access accounting.
+    WORD_BITS = 64
+
+    def build(self) -> None:
+        rules = self.ruleset.rules()
+        self._rules = rules
+        self._indexes: Dict[str, _FieldIndex] = {}
+        for field in _FIELDS:
+            self._indexes[field] = self._build_index(field)
+
+    def _build_index(self, field: str) -> _FieldIndex:
+        space = _field_space(field)
+        start_events: Dict[int, List[int]] = {}
+        end_events: Dict[int, List[int]] = {}
+        boundaries = {0}
+        for position, rule in enumerate(self._rules):
+            low, high = _field_interval(rule, field)
+            boundaries.add(low)
+            start_events.setdefault(low, []).append(position)
+            if high + 1 < space:
+                boundaries.add(high + 1)
+                end_events.setdefault(high + 1, []).append(position)
+        ordered = sorted(boundaries)
+        vectors: List[int] = []
+        current = 0
+        for boundary in ordered:
+            for position in end_events.get(boundary, ()):
+                current &= ~(1 << position)
+            for position in start_events.get(boundary, ()):
+                current |= 1 << position
+            vectors.append(current)
+        return _FieldIndex(boundaries=ordered, vectors=vectors)
+
+    # -- lookup ---------------------------------------------------------------------
+    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+        """AND the per-field vectors and take the lowest set bit (best priority)."""
+        accesses = 0
+        words_per_vector = (len(self._rules) + self.WORD_BITS - 1) // self.WORD_BITS
+        combined = (1 << len(self._rules)) - 1 if self._rules else 0
+        for field in _FIELDS:
+            vector, search_accesses = self._indexes[field].lookup(_packet_value(packet, field))
+            accesses += search_accesses + words_per_vector
+            combined &= vector
+            if not combined:
+                return ClassificationOutcome(rule=None, memory_accesses=accesses)
+        position = (combined & -combined).bit_length() - 1
+        accesses += 1  # rule table read
+        return ClassificationOutcome(rule=self._rules[position], memory_accesses=accesses)
+
+    # -- accounting -----------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Interval boundaries plus one N-bit vector per elementary interval."""
+        total = 0
+        for index in self._indexes.values():
+            total += len(index.boundaries) * 32
+            total += len(index.vectors) * len(self._rules)
+        total += len(self._rules) * 160
+        return total

@@ -1,0 +1,279 @@
+"""HyperCuts baseline (Singh et al., SIGCOMM 2003).
+
+HyperCuts is the reference decision-tree multi-field classifier: every
+internal node cuts the remaining rule hyper-rectangle along one or several
+dimensions into equal-sized children; rules are pushed into every child they
+overlap, and leaves below a bucket threshold are searched linearly.
+
+The implementation here follows the standard heuristics:
+
+* the cut dimensions at a node are those with the largest number of distinct
+  rule projections (up to ``max_cut_dimensions`` of them);
+* the number of cuts per chosen dimension follows the ``sqrt(N)`` rule of the
+  original paper, capped so a node's child count never exceeds
+  ``max_children``;
+* recursion stops when a node holds at most ``binth`` rules or no cut makes
+  progress.
+
+Lookup cost is one memory access per tree node traversed plus one per rule
+scanned in the leaf bucket, which is the access-count methodology behind the
+HyperCuts row of Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineClassifier, ClassificationOutcome
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+
+__all__ = ["HyperCutsClassifier", "HyperCutsNode"]
+
+#: The five classification dimensions with their bit widths.
+_DIMENSION_WIDTHS: Tuple[Tuple[str, int], ...] = (
+    ("src_ip", 32),
+    ("dst_ip", 32),
+    ("src_port", 16),
+    ("dst_port", 16),
+    ("protocol", 8),
+)
+
+
+def _rule_interval(rule: Rule, dimension: str) -> Tuple[int, int]:
+    """Projection of a rule onto one dimension as an inclusive interval."""
+    if dimension == "src_ip":
+        return rule.src_prefix.low, rule.src_prefix.high
+    if dimension == "dst_ip":
+        return rule.dst_prefix.low, rule.dst_prefix.high
+    if dimension == "src_port":
+        return rule.src_port.low, rule.src_port.high
+    if dimension == "dst_port":
+        return rule.dst_port.low, rule.dst_port.high
+    if rule.protocol.wildcard:
+        return 0, 255
+    return rule.protocol.value, rule.protocol.value
+
+
+def _packet_value(packet: PacketHeader, dimension: str) -> int:
+    """Value of a packet header along one dimension."""
+    return packet.field(dimension)
+
+
+@dataclass
+class HyperCutsNode:
+    """One node of the HyperCuts decision tree."""
+
+    #: The region of header space this node covers: dimension -> (low, high).
+    region: Dict[str, Tuple[int, int]]
+    #: Rules intersecting the region (only stored at leaves).
+    rules: List[Rule] = field(default_factory=list)
+    #: Cut description: list of (dimension, number of cuts).
+    cuts: List[Tuple[str, int]] = field(default_factory=list)
+    children: List[Optional["HyperCutsNode"]] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node holds its rules directly."""
+        return not self.cuts
+
+
+class HyperCutsClassifier(BaselineClassifier):
+    """Decision-tree classifier with multi-dimensional cuts."""
+
+    name = "HyperCuts"
+
+    def __init__(
+        self,
+        ruleset,
+        binth: int = 16,
+        max_cut_dimensions: int = 2,
+        max_children: int = 64,
+        space_factor: float = 2.0,
+        max_depth: int = 32,
+    ) -> None:
+        self.binth = binth
+        self.max_cut_dimensions = max_cut_dimensions
+        self.max_children = max_children
+        self.space_factor = space_factor
+        self.max_depth = max_depth
+        self.node_count = 0
+        self.rule_pointer_count = 0
+        super().__init__(ruleset)
+
+    # -- construction ------------------------------------------------------------
+    def build(self) -> None:
+        """Recursively build the decision tree."""
+        full_region = {name: (0, (1 << width) - 1) for name, width in _DIMENSION_WIDTHS}
+        self.node_count = 0
+        self.rule_pointer_count = 0
+        self.root = self._build_node(full_region, self.ruleset.rules(), depth=0)
+
+    def _build_node(
+        self, region: Dict[str, Tuple[int, int]], rules: List[Rule], depth: int
+    ) -> HyperCutsNode:
+        node = HyperCutsNode(region=region)
+        self.node_count += 1
+        if len(rules) <= self.binth or depth >= self.max_depth:
+            node.rules = sorted(rules, key=lambda rule: rule.priority)
+            self.rule_pointer_count += len(node.rules)
+            return node
+        cuts = self._choose_cuts(region, rules)
+        if not cuts:
+            node.rules = sorted(rules, key=lambda rule: rule.priority)
+            self.rule_pointer_count += len(node.rules)
+            return node
+        node.cuts = cuts
+        child_regions = self._child_regions(region, cuts)
+        made_progress = False
+        children: List[Optional[HyperCutsNode]] = []
+        child_rule_sets: List[List[Rule]] = []
+        for child_region in child_regions:
+            child_rules = [rule for rule in rules if self._rule_intersects(rule, child_region)]
+            child_rule_sets.append(child_rules)
+            if len(child_rules) < len(rules):
+                made_progress = True
+        if not made_progress:
+            node.cuts = []
+            node.rules = sorted(rules, key=lambda rule: rule.priority)
+            self.rule_pointer_count += len(node.rules)
+            return node
+        for child_region, child_rules in zip(child_regions, child_rule_sets):
+            if not child_rules:
+                children.append(None)
+            else:
+                children.append(self._build_node(child_region, child_rules, depth + 1))
+        node.children = children
+        return node
+
+    def _choose_cuts(
+        self, region: Dict[str, Tuple[int, int]], rules: List[Rule]
+    ) -> List[Tuple[str, int]]:
+        """Pick cut dimensions (most distinct projections) and cut counts (sqrt rule)."""
+        distinct: List[Tuple[int, str]] = []
+        for dimension, _ in _DIMENSION_WIDTHS:
+            low, high = region[dimension]
+            if high <= low:
+                continue
+            projections = {
+                self._clip(_rule_interval(rule, dimension), low, high) for rule in rules
+            }
+            if len(projections) > 1:
+                distinct.append((len(projections), dimension))
+        if not distinct:
+            return []
+        distinct.sort(reverse=True)
+        chosen = [dimension for _, dimension in distinct[: self.max_cut_dimensions]]
+        total_budget = max(4, int(self.space_factor * math.sqrt(len(rules))))
+        per_dimension = max(2, int(round(total_budget ** (1.0 / len(chosen)))))
+        cuts: List[Tuple[str, int]] = []
+        child_product = 1
+        for dimension in chosen:
+            low, high = region[dimension]
+            span = high - low + 1
+            count = min(per_dimension, span, max(2, self.max_children // child_product))
+            count = 1 << (count.bit_length() - 1)  # power of two cuts
+            if count < 2:
+                continue
+            cuts.append((dimension, count))
+            child_product *= count
+            if child_product >= self.max_children:
+                break
+        return cuts
+
+    @staticmethod
+    def _clip(interval: Tuple[int, int], low: int, high: int) -> Tuple[int, int]:
+        return max(interval[0], low), min(interval[1], high)
+
+    @staticmethod
+    def _child_regions(
+        region: Dict[str, Tuple[int, int]], cuts: Sequence[Tuple[str, int]]
+    ) -> List[Dict[str, Tuple[int, int]]]:
+        regions = [dict(region)]
+        for dimension, count in cuts:
+            low, high = region[dimension]
+            span = high - low + 1
+            step = max(1, span // count)
+            expanded: List[Dict[str, Tuple[int, int]]] = []
+            for base in regions:
+                for index in range(count):
+                    slice_low = low + index * step
+                    slice_high = high if index == count - 1 else min(high, slice_low + step - 1)
+                    if slice_low > high:
+                        continue
+                    child = dict(base)
+                    child[dimension] = (slice_low, slice_high)
+                    expanded.append(child)
+            regions = expanded
+        return regions
+
+    @staticmethod
+    def _rule_intersects(rule: Rule, region: Dict[str, Tuple[int, int]]) -> bool:
+        for dimension, (low, high) in region.items():
+            rule_low, rule_high = _rule_interval(rule, dimension)
+            if rule_high < low or rule_low > high:
+                return False
+        return True
+
+    # -- lookup ---------------------------------------------------------------------
+    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+        """Walk the tree, then scan the leaf bucket in priority order."""
+        accesses = 0
+        node = self.root
+        while node is not None and not node.is_leaf:
+            accesses += 1
+            index = self._child_index(node, packet)
+            node = node.children[index] if 0 <= index < len(node.children) else None
+        if node is None:
+            return ClassificationOutcome(rule=None, memory_accesses=accesses)
+        accesses += 1  # read the leaf header
+        for rule in node.rules:
+            accesses += 1
+            if rule.matches(packet):
+                return ClassificationOutcome(rule=rule, memory_accesses=accesses)
+        return ClassificationOutcome(rule=None, memory_accesses=accesses)
+
+    def _child_index(self, node: HyperCutsNode, packet: PacketHeader) -> int:
+        index = 0
+        for dimension, count in node.cuts:
+            low, high = node.region[dimension]
+            span = high - low + 1
+            step = max(1, span // count)
+            value = _packet_value(packet, dimension)
+            offset = min(count - 1, max(0, (value - low) // step))
+            index = index * count + offset
+        return index
+
+    # -- accounting -----------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Node headers + child pointer arrays + leaf rule pointers + rule table."""
+        node_header_bits = 64
+        pointer_bits = 20
+        child_pointer_bits = sum(
+            len(node.children) * pointer_bits for node in self._iter_nodes() if not node.is_leaf
+        )
+        rule_pointer_bits = self.rule_pointer_count * pointer_bits
+        rule_table_bits = len(self.ruleset) * 160
+        return self.node_count * node_header_bits + child_pointer_bits + rule_pointer_bits + rule_table_bits
+
+    def _iter_nodes(self):
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            yield node
+            if not node.is_leaf:
+                stack.extend(child for child in node.children if child is not None)
+
+    def tree_depth(self) -> int:
+        """Maximum depth of the decision tree (diagnostics / tests)."""
+
+        def depth(node: Optional[HyperCutsNode]) -> int:
+            if node is None or node.is_leaf:
+                return 1
+            return 1 + max(depth(child) for child in node.children)
+
+        return depth(self.root)

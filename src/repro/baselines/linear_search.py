@@ -1,0 +1,41 @@
+"""Linear search baseline.
+
+The simplest possible classifier: scan the rules in priority order and return
+the first match.  It is the ground truth every other classifier (the
+configurable architecture and all baselines) is validated against, and the
+natural worst case for the memory-access metric of Table I.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineClassifier, ClassificationOutcome
+from repro.rules.packet import PacketHeader
+
+__all__ = ["LinearSearchClassifier"]
+
+#: Storage of one rule entry in a flat rule table: two 32-bit prefixes with
+#: 6-bit lengths, two 32-bit port ranges, 9-bit protocol spec, action pointer.
+RULE_ENTRY_BITS = 2 * (32 + 6) + 2 * 32 + 9 + 16
+
+
+class LinearSearchClassifier(BaselineClassifier):
+    """Priority-ordered linear scan over the rule set."""
+
+    name = "LinearSearch"
+
+    def build(self) -> None:
+        """Materialise the priority-ordered rule list once."""
+        self._ordered = self.ruleset.rules()
+
+    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+        """Scan rules until the first match; one memory access per rule visited."""
+        accesses = 0
+        for rule in self._ordered:
+            accesses += 1
+            if rule.matches(packet):
+                return ClassificationOutcome(rule=rule, memory_accesses=accesses)
+        return ClassificationOutcome(rule=None, memory_accesses=accesses)
+
+    def memory_bits(self) -> int:
+        """One flat table entry per rule."""
+        return len(self._ordered) * RULE_ENTRY_BITS

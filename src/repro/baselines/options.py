@@ -1,0 +1,191 @@
+"""The "Option 1" and "Option 2" single-field combinations of Table I.
+
+The authors' earlier comparison paper [17] identified two promising
+combinations of one-dimensional lookup algorithms:
+
+* **Option 1** — a 5-level multi-bit trie for the 32-bit IP address fields, a
+  4-level segment trie for the port fields and a register-based lookup table
+  for the protocol field;
+* **Option 2** — a 4-level multi-bit trie for the IP fields, a 5-level segment
+  trie for the ports and the same protocol table.
+
+Both decompose the classification exactly like the proposed architecture
+(labels per unique field value, cross-product resolution against the rule
+tuples); they differ from it only in the choice of per-field engines — which
+is precisely the point of the configurable design.  The classifier below is
+therefore a generic "combination classifier" parameterised by an engine
+factory per field; the two Options are thin presets over it.
+
+Memory-access accounting: sum of the per-field engine accesses plus one hash
+probe per label combination examined — the methodology behind the Option rows
+of Table I (49.3 and 31.33 average accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineClassifier, ClassificationOutcome
+from repro.fields.base import SingleFieldEngine
+from repro.fields.multibit_trie import MultibitTrie
+from repro.fields.protocol_table import ProtocolTable
+from repro.fields.segment_trie import SegmentTrie
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["SingleFieldCombinationClassifier", "Option1Classifier", "Option2Classifier"]
+
+#: Field order used for label tuples.
+_FIELDS: Tuple[str, ...] = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
+
+
+def _rule_spec(rule: Rule, field: str):
+    if field == "src_ip":
+        return (rule.src_prefix.value, rule.src_prefix.length)
+    if field == "dst_ip":
+        return (rule.dst_prefix.value, rule.dst_prefix.length)
+    if field == "src_port":
+        return (rule.src_port.low, rule.src_port.high)
+    if field == "dst_port":
+        return (rule.dst_port.low, rule.dst_port.high)
+    return rule.protocol.key()
+
+
+def _packet_value(packet: PacketHeader, field: str) -> int:
+    return packet.field(field)
+
+
+class SingleFieldCombinationClassifier(BaselineClassifier):
+    """Generic combination of five single-field engines with label resolution."""
+
+    name = "SingleFieldCombination"
+
+    def __init__(self, ruleset: RuleSet, engine_factories: Dict[str, Callable[[], SingleFieldEngine]]) -> None:
+        missing = [field for field in _FIELDS if field not in engine_factories]
+        if missing:
+            raise ValueError(f"engine factories missing for fields: {missing}")
+        self._factories = engine_factories
+        super().__init__(ruleset)
+
+    def build(self) -> None:
+        """Label every unique field value and insert it into its field engine."""
+        self.engines: Dict[str, SingleFieldEngine] = {
+            field: self._factories[field]() for field in _FIELDS
+        }
+        self._labels: Dict[str, Dict[object, int]] = {field: {} for field in _FIELDS}
+        self._rules_by_tuple: Dict[Tuple[int, ...], Rule] = {}
+        for rule in self.ruleset.rules():
+            tuple_labels: List[int] = []
+            for field in _FIELDS:
+                spec = _rule_spec(rule, field)
+                table = self._labels[field]
+                label = table.get(spec)
+                if label is None:
+                    label = len(table)
+                    table[spec] = label
+                    self.engines[field].insert(spec, label, rule.priority)
+                tuple_labels.append(label)
+            key = tuple(tuple_labels)
+            existing = self._rules_by_tuple.get(key)
+            if existing is None or rule.priority < existing.priority:
+                self._rules_by_tuple[key] = rule
+
+    # -- lookup ---------------------------------------------------------------------
+    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+        """Per-field lookups followed by cross-product resolution."""
+        accesses = 0
+        field_matches: List[Tuple[Tuple[int, int], ...]] = []
+        for field in _FIELDS:
+            result = self.engines[field].lookup(_packet_value(packet, field))
+            accesses += result.memory_accesses
+            if not result.matched:
+                return ClassificationOutcome(rule=None, memory_accesses=accesses)
+            field_matches.append(result.matches)
+        best: Optional[Rule] = None
+        best_key = None
+        # Walk the combinations (label lists are short for real rule sets);
+        # each combination costs one hash probe into the rule-tuple table.
+        stack: List[Tuple[int, Tuple[int, ...]]] = [(0, ())]
+        while stack:
+            depth, partial = stack.pop()
+            if depth == len(_FIELDS):
+                accesses += 1
+                rule = self._rules_by_tuple.get(partial)
+                if rule is not None and (best is None or rule.priority < best.priority):
+                    best = rule
+                    best_key = partial
+                continue
+            for label, _priority in field_matches[depth]:
+                stack.append((depth + 1, partial + (label,)))
+        return ClassificationOutcome(rule=best, memory_accesses=accesses)
+
+    # -- accounting -----------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Field engines + label tables + the rule tuple table."""
+        total = sum(engine.memory_bits() for engine in self.engines.values())
+        total += sum(len(table) * 64 for table in self._labels.values())
+        total += len(self._rules_by_tuple) * 160
+        return total
+
+
+def _ip_trie_factory(levels: int) -> Callable[[], SingleFieldEngine]:
+    """A 32-bit multi-bit trie with ``levels`` near-equal strides."""
+    base = 32 // levels
+    remainder = 32 - base * levels
+    strides = tuple(base + (1 if index < remainder else 0) for index in range(levels))
+
+    def factory() -> SingleFieldEngine:
+        return MultibitTrie(name=f"ip_mbt_{levels}l", width=32, strides=strides)
+
+    return factory
+
+
+def _port_trie_factory(levels: int) -> Callable[[], SingleFieldEngine]:
+    def factory() -> SingleFieldEngine:
+        return SegmentTrie(name=f"port_segment_{levels}l", levels=levels)
+
+    return factory
+
+
+class Option1Classifier(SingleFieldCombinationClassifier):
+    """Option 1 of Table I: 5-level MBT (IP), 4-level segment trie (ports), protocol LUT."""
+
+    name = "Option1"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        super().__init__(
+            ruleset,
+            {
+                "src_ip": _ip_trie_factory(5),
+                "dst_ip": _ip_trie_factory(5),
+                "src_port": _port_trie_factory(4),
+                "dst_port": _port_trie_factory(4),
+                "protocol": lambda: ProtocolTable(name="protocol_lut"),
+            },
+        )
+
+
+class Option2Classifier(SingleFieldCombinationClassifier):
+    """Option 2 of Table I: 4-level MBT (IP), segment trie (ports), protocol LUT.
+
+    The paper's Option 2 uses a 5-level segment trie; a 16-bit port space does
+    not divide into five equal strides, so the closest realisable structure —
+    a 2-level segment trie with wider segments (8/8) — is used and noted in
+    EXPERIMENTS.md.  The distinguishing property (fewer IP levels, different
+    port trie depth than Option 1) is preserved.
+    """
+
+    name = "Option2"
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        super().__init__(
+            ruleset,
+            {
+                "src_ip": _ip_trie_factory(4),
+                "dst_ip": _ip_trie_factory(4),
+                "src_port": _port_trie_factory(2),
+                "dst_port": _port_trie_factory(2),
+                "protocol": lambda: ProtocolTable(name="protocol_lut"),
+            },
+        )

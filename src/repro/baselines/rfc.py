@@ -1,0 +1,281 @@
+"""Recursive Flow Classification (RFC) baseline (Gupta & McKeown, SIGCOMM 1999).
+
+RFC trades memory for speed: the packet header is split into chunks, each
+chunk value is mapped through a phase-0 table to an equivalence-class id
+(eqID), and successive phases combine pairs of eqIDs through precomputed
+cross-product tables until a single table yields the matching rule.  Lookup is
+a fixed, small number of table reads; memory grows with the product of the
+equivalence-class counts, which is why the RFC row of Table I carries by far
+the largest memory footprint.
+
+Chunking follows the original paper: the two IP addresses contribute two
+16-bit chunks each, the ports one 16-bit chunk each and the protocol one 8-bit
+chunk (7 chunks), reduced through a three-level combination tree::
+
+    phase 0:  c0 c1 c2 c3 c4 c5 c6          (per-chunk eqIDs)
+    phase 1:  (c0,c1) (c2,c3) (c4,c5)       (source IP, destination IP, ports)
+    phase 2:  (p1a,p1b) (p1c,c6)
+    phase 3:  (p2a,p2b) -> matching rule
+
+Equivalence classes are computed with rule-set bitmaps (Python integers used
+as bit sets), and phase tables are dictionaries keyed by eqID pairs — the
+behavioural equivalent of the dense arrays a hardware/C implementation would
+use; the reported memory is that of the dense arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineClassifier, ClassificationOutcome
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+
+__all__ = ["RfcClassifier"]
+
+#: Chunk definitions: (name, extractor width in bits).
+_CHUNKS: Tuple[Tuple[str, int], ...] = (
+    ("src_ip_hi", 16),
+    ("src_ip_lo", 16),
+    ("dst_ip_hi", 16),
+    ("dst_ip_lo", 16),
+    ("src_port", 16),
+    ("dst_port", 16),
+    ("protocol", 8),
+)
+
+
+def _chunk_value(packet: PacketHeader, name: str) -> int:
+    if name == "src_ip_hi":
+        return packet.src_ip >> 16
+    if name == "src_ip_lo":
+        return packet.src_ip & 0xFFFF
+    if name == "dst_ip_hi":
+        return packet.dst_ip >> 16
+    if name == "dst_ip_lo":
+        return packet.dst_ip & 0xFFFF
+    if name == "src_port":
+        return packet.src_port
+    if name == "dst_port":
+        return packet.dst_port
+    return packet.protocol
+
+
+def _rule_chunk_interval(rule: Rule, name: str) -> Tuple[int, int]:
+    """Projection of one rule onto one chunk as an inclusive interval.
+
+    IP prefixes project exactly onto 16-bit chunk intervals only when their
+    length is 0, 16 or 32 relative to the chunk boundary; other lengths
+    project onto an interval on the hi chunk with a full wildcard or full
+    range on the lo chunk, which is exactly how the hi/lo decomposition of a
+    prefix behaves (the hi chunk constrains, the lo chunk is either fully
+    constrained-by-prefix or free).
+    """
+    if name in ("src_ip_hi", "src_ip_lo"):
+        prefix = rule.src_prefix
+    elif name in ("dst_ip_hi", "dst_ip_lo"):
+        prefix = rule.dst_prefix
+    elif name == "src_port":
+        return rule.src_port.low, rule.src_port.high
+    elif name == "dst_port":
+        return rule.dst_port.low, rule.dst_port.high
+    else:
+        if rule.protocol.wildcard:
+            return 0, 255
+        return rule.protocol.value, rule.protocol.value
+    low, high = prefix.low, prefix.high
+    if name.endswith("_hi"):
+        return low >> 16, high >> 16
+    # Low chunk: constrained only when the prefix pins the full high chunk.
+    if (low >> 16) == (high >> 16):
+        return low & 0xFFFF, high & 0xFFFF
+    return 0, 0xFFFF
+
+
+@dataclass
+class _Phase0Table:
+    """One phase-0 chunk table: chunk value -> eqID, plus eqID -> rule bitmap."""
+
+    name: str
+    width: int
+    boundaries: List[int]
+    eq_ids: List[int]
+    class_bitmaps: List[int]
+
+    def lookup(self, value: int) -> int:
+        """eqID of a chunk value (binary search over the boundary array).
+
+        The hardware table is a dense array indexed by the chunk value (one
+        access); the boundary search here is only a memory-compact way to
+        reproduce that dense array's content.
+        """
+        low, high = 0, len(self.boundaries) - 1
+        position = 0
+        while low <= high:
+            mid = (low + high) // 2
+            if self.boundaries[mid] <= value:
+                position = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        return self.eq_ids[position]
+
+    def dense_entries(self) -> int:
+        """Number of entries of the dense hardware table (2**width)."""
+        return 1 << self.width
+
+
+@dataclass
+class _CombinationTable:
+    """One recombination phase table: (eqID a, eqID b) -> new eqID."""
+
+    name: str
+    entries: Dict[Tuple[int, int], int]
+    class_bitmaps: List[int]
+    input_sizes: Tuple[int, int]
+
+    def lookup(self, a: int, b: int) -> int:
+        return self.entries.get((a, b), self._miss_class())
+
+    def _miss_class(self) -> int:
+        # Combinations never seen during preprocessing map to the all-zero
+        # class, which always exists at index of the empty bitmap if present,
+        # otherwise to class 0 (the most common case is that the empty class
+        # exists because most chunk combinations match no rule).
+        try:
+            return self.class_bitmaps.index(0)
+        except ValueError:
+            return 0
+
+    def dense_entries(self) -> int:
+        """Entries of the dense table: |eq classes of a| x |eq classes of b|."""
+        return self.input_sizes[0] * self.input_sizes[1]
+
+
+class RfcClassifier(BaselineClassifier):
+    """Recursive Flow Classification over 7 chunks and 3 recombination phases."""
+
+    name = "RFC"
+
+    #: Bits per eqID entry in the dense tables.
+    EQ_ENTRY_BITS = 16
+
+    def build(self) -> None:
+        rules = self.ruleset.rules()
+        self._rules = rules
+        self._phase0: Dict[str, _Phase0Table] = {
+            name: self._build_phase0(name, width, rules) for name, width in _CHUNKS
+        }
+        # Phase 1: source IP, destination IP, port pair.
+        p1_src = self._combine("p1_src", self._phase0["src_ip_hi"], self._phase0["src_ip_lo"])
+        p1_dst = self._combine("p1_dst", self._phase0["dst_ip_hi"], self._phase0["dst_ip_lo"])
+        p1_ports = self._combine("p1_ports", self._phase0["src_port"], self._phase0["dst_port"])
+        # Phase 2: addresses together, ports with protocol.
+        p2_addr = self._combine("p2_addr", p1_src, p1_dst)
+        p2_transport = self._combine("p2_transport", p1_ports, self._phase0["protocol"])
+        # Phase 3: final table.
+        p3_final = self._combine("p3_final", p2_addr, p2_transport)
+        self._phases: List[_CombinationTable] = [p1_src, p1_dst, p1_ports, p2_addr, p2_transport, p3_final]
+        self._tables = {"p1_src": p1_src, "p1_dst": p1_dst, "p1_ports": p1_ports,
+                        "p2_addr": p2_addr, "p2_transport": p2_transport, "p3_final": p3_final}
+        # Final class -> best rule.
+        self._final_rules: List[Optional[Rule]] = []
+        for bitmap in p3_final.class_bitmaps:
+            self._final_rules.append(self._best_rule(bitmap))
+
+    # -- construction helpers ------------------------------------------------------
+    def _build_phase0(self, name: str, width: int, rules: Sequence[Rule]) -> _Phase0Table:
+        """Sweep the chunk space, forming equivalence classes of rule bitmaps."""
+        space = 1 << width
+        start_events: Dict[int, List[int]] = {}
+        end_events: Dict[int, List[int]] = {}
+        boundaries = {0}
+        for position, rule in enumerate(rules):
+            low, high = _rule_chunk_interval(rule, name)
+            boundaries.add(low)
+            start_events.setdefault(low, []).append(position)
+            if high + 1 < space:
+                boundaries.add(high + 1)
+                end_events.setdefault(high + 1, []).append(position)
+        ordered = sorted(boundaries)
+        bitmap = 0
+        class_index: Dict[int, int] = {}
+        class_bitmaps: List[int] = []
+        eq_ids: List[int] = []
+        for boundary in ordered:
+            for position in end_events.get(boundary, ()):
+                bitmap &= ~(1 << position)
+            for position in start_events.get(boundary, ()):
+                bitmap |= 1 << position
+            index = class_index.get(bitmap)
+            if index is None:
+                index = len(class_bitmaps)
+                class_index[bitmap] = index
+                class_bitmaps.append(bitmap)
+            eq_ids.append(index)
+        return _Phase0Table(
+            name=name, width=width, boundaries=ordered, eq_ids=eq_ids, class_bitmaps=class_bitmaps
+        )
+
+    def _combine(self, name: str, left, right) -> _CombinationTable:
+        """Cross-product two tables' equivalence classes into a new table."""
+        entries: Dict[Tuple[int, int], int] = {}
+        class_index: Dict[int, int] = {}
+        class_bitmaps: List[int] = []
+        for a, bitmap_a in enumerate(left.class_bitmaps):
+            for b, bitmap_b in enumerate(right.class_bitmaps):
+                combined = bitmap_a & bitmap_b
+                index = class_index.get(combined)
+                if index is None:
+                    index = len(class_bitmaps)
+                    class_index[combined] = index
+                    class_bitmaps.append(combined)
+                entries[(a, b)] = index
+        return _CombinationTable(
+            name=name,
+            entries=entries,
+            class_bitmaps=class_bitmaps,
+            input_sizes=(len(left.class_bitmaps), len(right.class_bitmaps)),
+        )
+
+    def _best_rule(self, bitmap: int) -> Optional[Rule]:
+        if bitmap == 0:
+            return None
+        position = (bitmap & -bitmap).bit_length() - 1
+        return self._rules[position]
+
+    # -- lookup ---------------------------------------------------------------------
+    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+        """Chunk the header, walk the phase tables, read the final rule."""
+        accesses = 0
+        eq: Dict[str, int] = {}
+        for name, _ in _CHUNKS:
+            eq[name] = self._phase0[name].lookup(_chunk_value(packet, name))
+            accesses += 1
+        a = self._tables["p1_src"].lookup(eq["src_ip_hi"], eq["src_ip_lo"])
+        b = self._tables["p1_dst"].lookup(eq["dst_ip_hi"], eq["dst_ip_lo"])
+        c = self._tables["p1_ports"].lookup(eq["src_port"], eq["dst_port"])
+        accesses += 3
+        d = self._tables["p2_addr"].lookup(a, b)
+        e = self._tables["p2_transport"].lookup(c, eq["protocol"])
+        accesses += 2
+        final = self._tables["p3_final"].lookup(d, e)
+        accesses += 1
+        rule = self._final_rules[final] if final < len(self._final_rules) else None
+        accesses += 1  # final class -> rule pointer read
+        return ClassificationOutcome(rule=rule, memory_accesses=accesses)
+
+    # -- accounting -----------------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Dense-table memory: phase-0 arrays plus every recombination table."""
+        total = sum(table.dense_entries() * self.EQ_ENTRY_BITS for table in self._phase0.values())
+        total += sum(table.dense_entries() * self.EQ_ENTRY_BITS for table in self._phases)
+        total += len(self._final_rules) * 32
+        return total
+
+    def equivalence_class_counts(self) -> Dict[str, int]:
+        """Number of equivalence classes per table (diagnostics / tests)."""
+        counts = {name: len(table.class_bitmaps) for name, table in self._phase0.items()}
+        counts.update({name: len(table.class_bitmaps) for name, table in self._tables.items()})
+        return counts

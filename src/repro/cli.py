@@ -1,0 +1,182 @@
+"""Command-line interface for the reproduction.
+
+Provides one subcommand per experiment (``table1`` ... ``table7``, ``fig3`` ...
+``fig5``, ``update-cost``, ``latency``), plus:
+
+* ``all`` — run every experiment and optionally write the rendered tables to a
+  directory (the programmatic equivalent of the benchmark harness's
+  ``benchmarks/results/`` output);
+* ``generate`` — emit a synthetic ClassBench-style filter set to a file;
+* ``classify`` — build a classifier from a filter file (or a synthetic
+  workload) and classify a generated trace, printing the aggregate metrics.
+
+Usage::
+
+    python -m repro.cli table6
+    python -m repro.cli all --output-dir results/
+    python -m repro.cli generate --flavor fw --size 5000 --output fw5k.rules
+    python -m repro.cli classify --size 1000 --packets 200 --ip-algorithm bst
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import format_kv, measure_lookups
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.experiments import (
+    fig3_pipeline,
+    fig4_update,
+    fig5_memory_sharing,
+    lookup_latency,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    update_cost,
+)
+from repro.rules.classbench import FilterFlavor, generate_ruleset
+from repro.rules.parser import dump_classbench_file, load_classbench_file
+from repro.rules.trace import generate_trace
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment registry: CLI name -> (driver module, description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (table1, "Table I - lookup algorithm survey"),
+    "table2": (table2, "Table II - unique rule fields"),
+    "table3": (table3, "Table III - rule filter sizes"),
+    "table4": (table4, "Table IV - port labelling example"),
+    "table5": (table5, "Table V - FPGA synthesis estimate"),
+    "table6": (table6, "Table VI - MBT vs BST configuration"),
+    "table7": (table7, "Table VII - system comparison"),
+    "fig3": (fig3_pipeline, "Fig. 3 - lookup pipelining"),
+    "fig4": (fig4_update, "Fig. 4 - incremental update behaviour"),
+    "fig5": (fig5_memory_sharing, "Fig. 5 - memory sharing"),
+    "update-cost": (update_cost, "Section V.A - update cost"),
+    "latency": (lookup_latency, "Section V.B - per-field latencies"),
+}
+
+
+def _run_experiment(name: str) -> str:
+    module, _ = EXPERIMENTS[name]
+    return module.render(module.run())
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    print(_run_experiment(args.experiment))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    output_dir: Optional[Path] = Path(args.output_dir) if args.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"==> {description}")
+        rendered = _run_experiment(name)
+        print(rendered)
+        print()
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+    if output_dir is not None:
+        print(f"Rendered tables written to {output_dir}/")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    flavor = FilterFlavor(args.flavor)
+    ruleset = generate_ruleset(flavor, args.size, seed=args.seed)
+    dump_classbench_file(ruleset, args.output)
+    print(f"Wrote {len(ruleset)} {flavor.value.upper()} rules to {args.output}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    if args.rules:
+        ruleset = load_classbench_file(args.rules)
+    else:
+        ruleset = generate_ruleset(FilterFlavor(args.flavor), args.size, seed=args.seed)
+    config = ClassifierConfig(
+        ip_algorithm=IpAlgorithm(args.ip_algorithm),
+        combiner_mode=CombinerMode(args.combiner),
+    )
+    classifier = ConfigurableClassifier.from_ruleset(ruleset, config)
+    trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
+    metrics = measure_lookups(classifier, trace)
+    report = classifier.report()
+    print(
+        format_kv(
+            {
+                "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
+                "IP algorithm": report.ip_algorithm.upper(),
+                "Combiner mode": report.combiner_mode,
+                "Packets classified": metrics.packets,
+                "Hit ratio": f"{metrics.hit_ratio:.3f}",
+                "Avg memory accesses / packet": f"{metrics.average_memory_accesses:.1f}",
+                "Avg latency (cycles)": f"{metrics.average_latency_cycles:.1f}",
+                "Model throughput (40B packets)": f"{report.throughput_gbps:.2f} Gbps",
+                "Rule capacity": report.rule_capacity,
+                "Provisioned memory": f"{report.memory_space_mbit:.2f} Mbit",
+            },
+            title="Classification run",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the SOCC 2014 configurable packet classification architecture",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, (_, description) in EXPERIMENTS.items():
+        sub = subparsers.add_parser(name, help=description)
+        sub.set_defaults(func=_cmd_experiment, experiment=name)
+
+    sub_all = subparsers.add_parser("all", help="run every experiment")
+    sub_all.add_argument("--output-dir", default=None, help="directory for rendered tables")
+    sub_all.set_defaults(func=_cmd_all)
+
+    sub_generate = subparsers.add_parser("generate", help="generate a synthetic filter set")
+    sub_generate.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
+    sub_generate.add_argument("--size", type=int, default=1000)
+    sub_generate.add_argument("--seed", type=int, default=2014)
+    sub_generate.add_argument("--output", required=True)
+    sub_generate.set_defaults(func=_cmd_generate)
+
+    sub_classify = subparsers.add_parser("classify", help="classify a trace with the architecture")
+    sub_classify.add_argument("--rules", default=None, help="ClassBench filter file (optional)")
+    sub_classify.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
+    sub_classify.add_argument("--size", type=int, default=1000)
+    sub_classify.add_argument("--seed", type=int, default=2014)
+    sub_classify.add_argument("--packets", type=int, default=200)
+    sub_classify.add_argument(
+        "--ip-algorithm", choices=[a.value for a in IpAlgorithm], default="mbt"
+    )
+    sub_classify.add_argument(
+        "--combiner", choices=[m.value for m in CombinerMode], default="cross_product"
+    )
+    sub_classify.set_defaults(func=_cmd_classify)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

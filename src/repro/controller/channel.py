@@ -1,0 +1,105 @@
+"""In-process control channel between the controller and switches.
+
+A real deployment would carry OpenFlow over TCP/TLS; the behavioural model
+only needs ordered, reliable, countable message delivery, so the channel is a
+pair of in-process queues that *serialise and deserialise every message* (so
+byte counts are honest and the codec is exercised on every exchange) and keep
+per-direction statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.controller.openflow import decode_message, encode_message
+from repro.exceptions import ControlPlaneError
+
+__all__ = ["ChannelStats", "ControlChannel"]
+
+
+@dataclass
+class ChannelStats:
+    """Per-direction message and byte counters."""
+
+    messages_to_switch: int = 0
+    messages_to_controller: int = 0
+    bytes_to_switch: int = 0
+    bytes_to_controller: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        """Messages exchanged in both directions."""
+        return self.messages_to_switch + self.messages_to_controller
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes exchanged in both directions."""
+        return self.bytes_to_switch + self.bytes_to_controller
+
+
+class ControlChannel:
+    """Ordered, lossless, in-process controller <-> switch channel."""
+
+    def __init__(self, name: str = "channel") -> None:
+        self.name = name
+        self._to_switch: Deque[bytes] = deque()
+        self._to_controller: Deque[bytes] = deque()
+        self.stats = ChannelStats()
+
+    # -- controller side ---------------------------------------------------------
+    def send_to_switch(self, message) -> int:
+        """Enqueue a controller → switch message; returns its encoded size."""
+        blob = encode_message(message)
+        self._to_switch.append(blob)
+        self.stats.messages_to_switch += 1
+        self.stats.bytes_to_switch += len(blob)
+        return len(blob)
+
+    def receive_from_switch(self):
+        """Dequeue the next switch → controller message (None when idle)."""
+        if not self._to_controller:
+            return None
+        return decode_message(self._to_controller.popleft())
+
+    def drain_from_switch(self) -> List[object]:
+        """Dequeue every pending switch → controller message."""
+        messages = []
+        while self._to_controller:
+            messages.append(decode_message(self._to_controller.popleft()))
+        return messages
+
+    # -- switch side -----------------------------------------------------------------
+    def send_to_controller(self, message) -> int:
+        """Enqueue a switch → controller message; returns its encoded size."""
+        blob = encode_message(message)
+        self._to_controller.append(blob)
+        self.stats.messages_to_controller += 1
+        self.stats.bytes_to_controller += len(blob)
+        return len(blob)
+
+    def receive_from_controller(self):
+        """Dequeue the next controller → switch message (None when idle)."""
+        if not self._to_switch:
+            return None
+        return decode_message(self._to_switch.popleft())
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def pending_to_switch(self) -> int:
+        """Messages queued towards the switch."""
+        return len(self._to_switch)
+
+    @property
+    def pending_to_controller(self) -> int:
+        """Messages queued towards the controller."""
+        return len(self._to_controller)
+
+    def require_empty(self) -> None:
+        """Assert that both directions are fully drained (used by tests)."""
+        if self._to_switch or self._to_controller:
+            raise ControlPlaneError(
+                f"channel {self.name!r} still has pending messages "
+                f"({len(self._to_switch)} to switch, {len(self._to_controller)} to controller)"
+            )

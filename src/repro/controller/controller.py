@@ -1,0 +1,263 @@
+"""SDN controller.
+
+The control-plane half of the paper's architecture (section III.A): the
+controller owns the rule sets, chooses the optimal per-field algorithm
+combination for each application's requirements, pushes rules to the devices
+through the OpenFlow-lite channel and performs incremental updates.
+
+The algorithm-selection policy reproduces the paper's motivating example: a
+latency/throughput-critical application (e.g. multi-end video conferencing)
+gets the fast MBT configuration, while an application with a very large rule
+filter gets the memory-efficient BST configuration — decided by
+:meth:`SdnController.select_ip_algorithm` from the application requirements
+and the device's rule capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.controller.channel import ControlChannel
+from repro.controller.openflow import (
+    BarrierReply,
+    BarrierRequest,
+    ConfigMod,
+    FlowMod,
+    FlowModCommand,
+    FlowModReply,
+    StatsReply,
+    StatsRequest,
+)
+from repro.controller.switch import Switch
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.exceptions import ControlPlaneError
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["ApplicationRequirements", "PushReport", "SdnController"]
+
+
+def _estimate_bst_throughput(config: ClassifierConfig) -> float:
+    """Worst-case throughput of the BST configuration (Gbit/s, 40-byte packets).
+
+    The BST engine needs up to 16 iterative comparisons per packet, so its
+    sustained rate is Fmax / 16 lookups per second (Table VI).
+    """
+    from repro.hardware.clock import ClockModel
+
+    clock = ClockModel(frequency_hz=config.clock_mhz * 1e6)
+    return clock.throughput_gbps(cycles_per_packet=16, packet_bytes=config.min_packet_bytes)
+
+
+@dataclass(frozen=True)
+class ApplicationRequirements:
+    """What a network application asks of the classification datapath."""
+
+    name: str
+    #: Minimum sustained throughput the application needs (Gbit/s).
+    min_throughput_gbps: float = 1.0
+    #: Number of flow rules the application expects to install.
+    expected_rules: int = 1000
+    #: True when lookup latency matters more than rule capacity.
+    latency_critical: bool = False
+
+
+@dataclass
+class PushReport:
+    """Outcome of pushing a batch of rules to one switch."""
+
+    datapath_id: int
+    requested: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    structural_updates: int = 0
+    total_update_cycles: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True when every requested rule was accepted."""
+        return self.rejected == 0
+
+
+class SdnController:
+    """The control-plane application managing the classification devices."""
+
+    def __init__(self, name: str = "controller") -> None:
+        self.name = name
+        self._switches: Dict[int, Switch] = {}
+        self._channels: Dict[int, ControlChannel] = {}
+        self._next_xid = 1
+
+    # -- topology management ------------------------------------------------------
+    def add_switch(
+        self, datapath_id: int, config: Optional[ClassifierConfig] = None
+    ) -> Switch:
+        """Create and register a switch reachable through a fresh channel."""
+        if datapath_id in self._switches:
+            raise ControlPlaneError(f"datapath id {datapath_id} already registered")
+        channel = ControlChannel(name=f"{self.name}<->dp{datapath_id}")
+        switch = Switch(datapath_id=datapath_id, channel=channel, config=config)
+        self._switches[datapath_id] = switch
+        self._channels[datapath_id] = channel
+        return switch
+
+    def switch(self, datapath_id: int) -> Switch:
+        """Return a registered switch."""
+        try:
+            return self._switches[datapath_id]
+        except KeyError as exc:
+            raise ControlPlaneError(f"unknown datapath id {datapath_id}") from exc
+
+    def switches(self) -> List[Switch]:
+        """Every registered switch."""
+        return list(self._switches.values())
+
+    def channel(self, datapath_id: int) -> ControlChannel:
+        """Control channel of one switch (mainly for statistics)."""
+        self.switch(datapath_id)
+        return self._channels[datapath_id]
+
+    def _xid(self) -> int:
+        xid = self._next_xid
+        self._next_xid += 1
+        return xid
+
+    # -- algorithm selection (the paper's configurability) ---------------------------
+    def select_ip_algorithm(
+        self, requirements: ApplicationRequirements, config: Optional[ClassifierConfig] = None
+    ) -> IpAlgorithm:
+        """Choose MBT or BST for an application's requirements.
+
+        Policy: latency-critical applications, or any application whose
+        throughput target exceeds what the BST configuration can sustain, get
+        the MBT; applications whose expected rule count does not fit the MBT
+        configuration's rule capacity get the BST (which reclaims the MBT
+        memory for extra rules); otherwise the MBT is the default because it
+        is strictly faster.
+        """
+        config = config or ClassifierConfig()
+        mbt_capacity = config.with_ip_algorithm(IpAlgorithm.MBT).rule_capacity()
+        bst_config = config.with_ip_algorithm(IpAlgorithm.BST)
+        bst_capacity = bst_config.rule_capacity()
+        bst_throughput = _estimate_bst_throughput(bst_config)
+        if requirements.expected_rules > bst_capacity:
+            raise ControlPlaneError(
+                f"application {requirements.name!r} needs {requirements.expected_rules} rules, "
+                f"above the device capacity of {bst_capacity}"
+            )
+        if requirements.expected_rules > mbt_capacity:
+            if requirements.latency_critical or requirements.min_throughput_gbps > bst_throughput:
+                raise ControlPlaneError(
+                    f"application {requirements.name!r} needs {requirements.expected_rules} rules "
+                    f"and {requirements.min_throughput_gbps} Gbps; no configuration satisfies both"
+                )
+            return IpAlgorithm.BST
+        if requirements.latency_critical or requirements.min_throughput_gbps > bst_throughput:
+            return IpAlgorithm.MBT
+        # Both configurations satisfy the application; keep rule-capacity
+        # headroom when the expected rule count already crowds the MBT filter,
+        # otherwise default to the faster MBT.
+        if requirements.expected_rules > 0.75 * mbt_capacity:
+            return IpAlgorithm.BST
+        return IpAlgorithm.MBT
+
+    def configure_switch(
+        self,
+        datapath_id: int,
+        ip_algorithm: Optional[IpAlgorithm] = None,
+        combiner_mode: Optional[CombinerMode] = None,
+    ) -> None:
+        """Send a ConfigMod and wait for the switch to acknowledge it."""
+        switch = self.switch(datapath_id)
+        channel = self._channels[datapath_id]
+        xid = self._xid()
+        channel.send_to_switch(ConfigMod(ip_algorithm=ip_algorithm, combiner_mode=combiner_mode, xid=xid))
+        switch.process_control_messages()
+        reply = channel.receive_from_switch()
+        if not isinstance(reply, BarrierReply) or reply.xid != xid:
+            raise ControlPlaneError(f"unexpected reply to ConfigMod on dp{datapath_id}: {reply!r}")
+
+    def deploy_application(
+        self, datapath_id: int, requirements: ApplicationRequirements, ruleset: RuleSet
+    ) -> PushReport:
+        """Pick the algorithm for an application and push its rule set."""
+        algorithm = self.select_ip_algorithm(requirements, self.switch(datapath_id).classifier.config)
+        self.configure_switch(datapath_id, ip_algorithm=algorithm)
+        return self.push_ruleset(datapath_id, ruleset)
+
+    # -- rule management ----------------------------------------------------------------
+    def push_rule(self, datapath_id: int, rule: Rule) -> FlowModReply:
+        """Install a single rule and return the switch's acknowledgement."""
+        report = self.push_rules(datapath_id, [rule])
+        if report.rejected:
+            raise ControlPlaneError(
+                f"rule {rule.rule_id} rejected by dp{datapath_id}: {report.errors[0]}"
+            )
+        return FlowModReply(xid=0, rule_id=rule.rule_id, success=True)
+
+    def push_ruleset(self, datapath_id: int, ruleset: RuleSet) -> PushReport:
+        """Install every rule of a rule set (priority order preserved)."""
+        return self.push_rules(datapath_id, ruleset.rules())
+
+    def push_rules(self, datapath_id: int, rules: Iterable[Rule]) -> PushReport:
+        """Install a batch of rules, collecting per-rule acknowledgements."""
+        switch = self.switch(datapath_id)
+        channel = self._channels[datapath_id]
+        report = PushReport(datapath_id=datapath_id)
+        for rule in rules:
+            channel.send_to_switch(FlowMod(command=FlowModCommand.ADD, rule=rule, xid=self._xid()))
+            report.requested += 1
+        switch.process_control_messages()
+        for reply in channel.drain_from_switch():
+            if not isinstance(reply, FlowModReply):
+                raise ControlPlaneError(f"unexpected reply during rule push: {reply!r}")
+            if reply.success:
+                report.accepted += 1
+                report.total_update_cycles += reply.cycles
+                if reply.structural:
+                    report.structural_updates += 1
+            else:
+                report.rejected += 1
+                if reply.error:
+                    report.errors.append(reply.error)
+        return report
+
+    def remove_rule(self, datapath_id: int, rule_id: int) -> FlowModReply:
+        """Delete one rule from a switch."""
+        switch = self.switch(datapath_id)
+        channel = self._channels[datapath_id]
+        xid = self._xid()
+        channel.send_to_switch(FlowMod(command=FlowModCommand.DELETE, rule_id=rule_id, xid=xid))
+        switch.process_control_messages()
+        reply = channel.receive_from_switch()
+        if not isinstance(reply, FlowModReply):
+            raise ControlPlaneError(f"unexpected reply to rule deletion: {reply!r}")
+        if not reply.success:
+            raise ControlPlaneError(f"rule {rule_id} deletion failed: {reply.error}")
+        return reply
+
+    def barrier(self, datapath_id: int) -> None:
+        """Fence: return only after the switch has applied every earlier message."""
+        switch = self.switch(datapath_id)
+        channel = self._channels[datapath_id]
+        xid = self._xid()
+        channel.send_to_switch(BarrierRequest(xid=xid))
+        switch.process_control_messages()
+        for reply in channel.drain_from_switch():
+            if isinstance(reply, BarrierReply) and reply.xid == xid:
+                return
+        raise ControlPlaneError(f"barrier {xid} was not acknowledged by dp{datapath_id}")
+
+    def request_stats(self, datapath_id: int) -> Dict[str, object]:
+        """Ask one switch for its classifier statistics."""
+        switch = self.switch(datapath_id)
+        channel = self._channels[datapath_id]
+        xid = self._xid()
+        channel.send_to_switch(StatsRequest(xid=xid))
+        switch.process_control_messages()
+        for reply in channel.drain_from_switch():
+            if isinstance(reply, StatsReply) and reply.xid == xid:
+                return reply.stats
+        raise ControlPlaneError(f"stats request {xid} was not answered by dp{datapath_id}")

@@ -1,0 +1,264 @@
+"""OpenFlow-lite control messages.
+
+The paper positions the classifier inside an SDN device whose rules are
+"pushed to the network devices by means of an open protocol such as OpenFlow".
+This module models the handful of message types that interaction needs — a
+deliberately small, version-agnostic subset of OpenFlow 1.x semantics:
+
+* :class:`FlowMod` — add or delete one classification rule;
+* :class:`ConfigMod` — reconfigure the lookup datapath (the ``IPalg_s``
+  selection and the combiner mode);
+* :class:`BarrierRequest` / :class:`BarrierReply` — ordering fence;
+* :class:`FlowModReply`, :class:`StatsRequest`, :class:`StatsReply` —
+  acknowledgements and device statistics.
+
+Messages are plain frozen dataclasses with a compact ``encode``/``decode``
+round trip so channel byte counts can be reported, but no wire compatibility
+with real OpenFlow is attempted (none is needed for the evaluation).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import CombinerMode, IpAlgorithm
+from repro.exceptions import ControlPlaneError
+from repro.rules.rule import ProtocolMatch, Rule, RuleAction
+from repro.fields.prefix import Prefix
+from repro.fields.range_utils import PortRange
+
+__all__ = [
+    "MessageType",
+    "FlowModCommand",
+    "FlowMod",
+    "FlowModReply",
+    "ConfigMod",
+    "BarrierRequest",
+    "BarrierReply",
+    "StatsRequest",
+    "StatsReply",
+    "encode_message",
+    "decode_message",
+]
+
+
+class MessageType(enum.Enum):
+    """Discriminator carried by every control message."""
+
+    FLOW_MOD = "flow_mod"
+    FLOW_MOD_REPLY = "flow_mod_reply"
+    CONFIG_MOD = "config_mod"
+    BARRIER_REQUEST = "barrier_request"
+    BARRIER_REPLY = "barrier_reply"
+    STATS_REQUEST = "stats_request"
+    STATS_REPLY = "stats_reply"
+
+
+class FlowModCommand(enum.Enum):
+    """FlowMod sub-commands (the subset the classifier update path needs)."""
+
+    ADD = "add"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Add or delete one rule on a switch."""
+
+    command: FlowModCommand
+    rule: Optional[Rule] = None
+    rule_id: Optional[int] = None
+    xid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.command is FlowModCommand.ADD and self.rule is None:
+            raise ControlPlaneError("FlowMod ADD requires a rule")
+        if self.command is FlowModCommand.DELETE and self.rule_id is None and self.rule is None:
+            raise ControlPlaneError("FlowMod DELETE requires a rule or a rule id")
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.FLOW_MOD
+
+    @property
+    def target_rule_id(self) -> int:
+        """Rule id this message refers to."""
+        if self.rule is not None:
+            return self.rule.rule_id
+        assert self.rule_id is not None
+        return self.rule_id
+
+
+@dataclass(frozen=True)
+class FlowModReply:
+    """Per-FlowMod acknowledgement with the device-side update cost."""
+
+    xid: int
+    rule_id: int
+    success: bool
+    structural: bool = False
+    cycles: int = 0
+    error: Optional[str] = None
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.FLOW_MOD_REPLY
+
+
+@dataclass(frozen=True)
+class ConfigMod:
+    """Reconfigure the datapath: IP algorithm selection and combiner mode."""
+
+    ip_algorithm: Optional[IpAlgorithm] = None
+    combiner_mode: Optional[CombinerMode] = None
+    xid: int = 0
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.CONFIG_MOD
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """Fence: the switch replies only after every earlier message is applied."""
+
+    xid: int = 0
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.BARRIER_REQUEST
+
+
+@dataclass(frozen=True)
+class BarrierReply:
+    """Reply to a :class:`BarrierRequest`."""
+
+    xid: int = 0
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.BARRIER_REPLY
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask the switch for its classifier report."""
+
+    xid: int = 0
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.STATS_REQUEST
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Device statistics (a flattened ClassifierReport)."""
+
+    xid: int
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.STATS_REPLY
+
+
+# -- serialisation ---------------------------------------------------------------
+def _rule_to_dict(rule: Rule) -> Dict[str, object]:
+    return {
+        "rule_id": rule.rule_id,
+        "priority": rule.priority,
+        "src": [rule.src_prefix.value, rule.src_prefix.length],
+        "dst": [rule.dst_prefix.value, rule.dst_prefix.length],
+        "src_port": [rule.src_port.low, rule.src_port.high],
+        "dst_port": [rule.dst_port.low, rule.dst_port.high],
+        "protocol": [rule.protocol.wildcard, rule.protocol.value],
+        "action": rule.action.value,
+    }
+
+
+def _rule_from_dict(payload: Dict[str, object]) -> Rule:
+    return Rule(
+        rule_id=int(payload["rule_id"]),
+        priority=int(payload["priority"]),
+        src_prefix=Prefix(*payload["src"]),
+        dst_prefix=Prefix(*payload["dst"]),
+        src_port=PortRange(*payload["src_port"]),
+        dst_port=PortRange(*payload["dst_port"]),
+        protocol=ProtocolMatch(wildcard=payload["protocol"][0], value=payload["protocol"][1]),
+        action=RuleAction(payload["action"]),
+    )
+
+
+def encode_message(message) -> bytes:
+    """Serialise any control message to a compact JSON byte string."""
+    body: Dict[str, object] = {"type": message.type.value, "xid": getattr(message, "xid", 0)}
+    if isinstance(message, FlowMod):
+        body["command"] = message.command.value
+        body["rule"] = _rule_to_dict(message.rule) if message.rule is not None else None
+        body["rule_id"] = message.rule_id
+    elif isinstance(message, FlowModReply):
+        body.update(
+            rule_id=message.rule_id,
+            success=message.success,
+            structural=message.structural,
+            cycles=message.cycles,
+            error=message.error,
+        )
+    elif isinstance(message, ConfigMod):
+        body["ip_algorithm"] = message.ip_algorithm.value if message.ip_algorithm else None
+        body["combiner_mode"] = message.combiner_mode.value if message.combiner_mode else None
+    elif isinstance(message, StatsReply):
+        body["stats"] = message.stats
+    elif isinstance(message, (BarrierRequest, BarrierReply, StatsRequest)):
+        pass
+    else:
+        raise ControlPlaneError(f"cannot encode message of type {type(message).__name__}")
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(blob: bytes):
+    """Inverse of :func:`encode_message`."""
+    try:
+        body = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ControlPlaneError("malformed control message") from exc
+    message_type = MessageType(body["type"])
+    xid = int(body.get("xid", 0))
+    if message_type is MessageType.FLOW_MOD:
+        rule = _rule_from_dict(body["rule"]) if body.get("rule") else None
+        return FlowMod(
+            command=FlowModCommand(body["command"]),
+            rule=rule,
+            rule_id=body.get("rule_id"),
+            xid=xid,
+        )
+    if message_type is MessageType.FLOW_MOD_REPLY:
+        return FlowModReply(
+            xid=xid,
+            rule_id=int(body["rule_id"]),
+            success=bool(body["success"]),
+            structural=bool(body.get("structural", False)),
+            cycles=int(body.get("cycles", 0)),
+            error=body.get("error"),
+        )
+    if message_type is MessageType.CONFIG_MOD:
+        algorithm = body.get("ip_algorithm")
+        combiner = body.get("combiner_mode")
+        return ConfigMod(
+            ip_algorithm=IpAlgorithm(algorithm) if algorithm else None,
+            combiner_mode=CombinerMode(combiner) if combiner else None,
+            xid=xid,
+        )
+    if message_type is MessageType.BARRIER_REQUEST:
+        return BarrierRequest(xid=xid)
+    if message_type is MessageType.BARRIER_REPLY:
+        return BarrierReply(xid=xid)
+    if message_type is MessageType.STATS_REQUEST:
+        return StatsRequest(xid=xid)
+    if message_type is MessageType.STATS_REPLY:
+        return StatsReply(xid=xid, stats=body.get("stats", {}))
+    raise ControlPlaneError(f"unknown message type {message_type}")

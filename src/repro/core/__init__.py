@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the configurable classification core.
+
+* :class:`~repro.core.config.ClassifierConfig` — every knob of the architecture
+  (IP algorithm selection, combiner mode, label widths, memory provisioning);
+* :class:`~repro.core.classifier.ConfigurableClassifier` — the behavioural
+  model of the full Fig. 2 datapath;
+* :class:`~repro.core.update_engine.UpdateEngine` — incremental rule
+  insertion/deletion via label tables (Fig. 4);
+* :class:`~repro.core.label_combiner.LabelCombiner` — phase-3 label
+  combination and Rule Filter resolution;
+* result dataclasses in :mod:`~repro.core.result`.
+"""
+
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm, MemoryProvisioning
+from repro.core.dimensions import (
+    DIMENSIONS,
+    IP_DIMENSIONS,
+    PORT_DIMENSIONS,
+    packet_dimension_values,
+    rule_dimension_specs,
+)
+from repro.core.label_combiner import CombinerOutcome, LabelCombiner
+from repro.core.result import ClassifierReport, LookupResult, MatchedRule, UpdateResult
+from repro.core.update_engine import UpdateEngine
+
+__all__ = [
+    "ConfigurableClassifier",
+    "ClassifierConfig",
+    "IpAlgorithm",
+    "CombinerMode",
+    "MemoryProvisioning",
+    "LabelCombiner",
+    "CombinerOutcome",
+    "UpdateEngine",
+    "LookupResult",
+    "UpdateResult",
+    "MatchedRule",
+    "ClassifierReport",
+    "DIMENSIONS",
+    "IP_DIMENSIONS",
+    "PORT_DIMENSIONS",
+    "rule_dimension_specs",
+    "packet_dimension_values",
+]

@@ -1,0 +1,356 @@
+"""The configurable packet classifier — the paper's primary contribution.
+
+:class:`ConfigurableClassifier` instantiates the full architecture of Fig. 2:
+
+* seven parallel single-field engines — the four 16-bit IP segment engines
+  (Multi-bit Trie or Binary Search Tree, selected by ``IPalg_s``), two port
+  register files and the protocol LUT;
+* per-dimension Label Tables with reference counters (the update path);
+* the Label Combiner and the hash-addressed Rule Filter (the lookup path);
+* the shared-memory model, the provisioned memory inventory and the clock
+  model feeding the Table V/VI/VII evaluations.
+
+The classifier is deliberately a *behavioural* model: results are bit-exact
+with respect to the classification semantics (validated against the linear
+scan ground truth), while clock cycles and memory accesses are accounted
+according to the cost model of section V rather than simulated at RTL level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.core.dimensions import (
+    DIMENSIONS,
+    IP_DIMENSIONS,
+    PORT_DIMENSIONS,
+    packet_dimension_values,
+)
+from repro.core.label_combiner import LabelCombiner
+from repro.core.result import ClassifierReport, LookupResult, MatchedRule, UpdateResult
+from repro.core.update_engine import UpdateEngine
+from repro.exceptions import ConfigurationError
+from repro.fields.base import SingleFieldEngine
+from repro.fields.binary_search_tree import BinarySearchTree
+from repro.fields.multibit_trie import MultibitTrie
+from repro.fields.port_registers import PortRegisterFile
+from repro.fields.protocol_table import ProtocolTable
+from repro.hardware.clock import ClockModel, CycleReport
+from repro.hardware.memory import MemoryBank
+from repro.hardware.memory_sharing import SharedMemoryBank, SharedView
+from repro.hardware.rule_filter import RuleFilterMemory
+from repro.labels.label_table import LabelTable
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["ConfigurableClassifier"]
+
+#: Cycles of the dispatch phase (header segmentation, Lookup_s strobe).
+DISPATCH_CYCLES = 1
+#: Extra cycle to dereference the label-list pointer returned by an engine.
+LABEL_FETCH_CYCLES = 1
+#: Cycles of the final result phase (rule filter read + action output).
+FINAL_CYCLES = 2
+
+
+class ConfigurableClassifier:
+    """Behavioural model of the configurable SDN packet classifier."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        self.config = config or ClassifierConfig()
+        self._build()
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        layout = self.config.label_layout
+        self.engines: Dict[str, SingleFieldEngine] = {}
+        for dimension in IP_DIMENSIONS:
+            self.engines[dimension] = self._make_ip_engine(dimension)
+        for dimension in PORT_DIMENSIONS:
+            self.engines[dimension] = PortRegisterFile(
+                name=dimension, capacity=self.config.provisioning.port_registers
+            )
+        self.engines["protocol"] = ProtocolTable(name="protocol")
+
+        self.label_tables: Dict[str, LabelTable] = {}
+        for dimension in IP_DIMENSIONS:
+            self.label_tables[dimension] = LabelTable(dimension, layout.ip_label_bits)
+        for dimension in PORT_DIMENSIONS:
+            self.label_tables[dimension] = LabelTable(dimension, layout.port_label_bits)
+        self.label_tables["protocol"] = LabelTable("protocol", layout.protocol_label_bits)
+
+        self.rule_filter = RuleFilterMemory(capacity=self.config.rule_capacity())
+        self.combiner = LabelCombiner(
+            rule_filter=self.rule_filter,
+            layout=layout,
+            mode=self.config.combiner_mode,
+        )
+        self.update_engine = UpdateEngine(
+            config=self.config,
+            engines=self.engines,
+            label_tables=self.label_tables,
+            rule_filter=self.rule_filter,
+        )
+        self.clock = ClockModel(frequency_hz=self.config.clock_mhz * 1e6)
+        self.shared_memory = self._make_shared_memory()
+
+    def _make_ip_engine(self, dimension: str) -> SingleFieldEngine:
+        if self.config.ip_algorithm is IpAlgorithm.MBT:
+            return MultibitTrie(
+                name=f"{dimension}_mbt",
+                width=16,
+                strides=self.config.mbt_strides,
+                pipelined=True,
+                cycles_per_level=self.config.mbt_cycles_per_level,
+            )
+        return BinarySearchTree(name=f"{dimension}_bst", width=16)
+
+    def _make_shared_memory(self) -> SharedMemoryBank:
+        depth, width = self.config.provisioning.mbt_level_geometry[1]
+        bank = SharedMemoryBank(
+            name="shared_ip_memory",
+            depth=depth,
+            width=width,
+            view_a=SharedView("mbt_level2", "Multi-bit Trie level-2 node memory (Data 1)"),
+            view_b=SharedView("bst_nodes", "Binary Search Tree node memory (Data 2)"),
+            reclaimable_bits=self.config.provisioning.reclaimable_bits(),
+        )
+        if self.config.ip_algorithm is IpAlgorithm.BST:
+            bank.select("bst_nodes")
+        return bank
+
+    # ------------------------------------------------------------------ update API
+    def install_rule(self, rule: Rule) -> UpdateResult:
+        """Install one rule through the incremental update path."""
+        return self.update_engine.insert_rule(rule)
+
+    def remove_rule(self, rule_id: int) -> UpdateResult:
+        """Remove one installed rule through the incremental update path."""
+        return self.update_engine.delete_rule(rule_id)
+
+    def install_ruleset(self, ruleset: Iterable[Rule]) -> List[UpdateResult]:
+        """Install every rule of a rule set (priority order preserved)."""
+        return [self.install_rule(rule) for rule in ruleset]
+
+    @property
+    def installed_rules(self) -> int:
+        """Number of rules currently installed."""
+        return self.update_engine.installed_rules
+
+    # ------------------------------------------------------------------ lookup API
+    def lookup(self, packet: PacketHeader) -> LookupResult:
+        """Classify one packet header and return the HPMR with its cost."""
+        values = packet_dimension_values(packet)
+        cycles = CycleReport(operation="lookup", pipelined=self._fully_pipelined())
+        cycles.add_phase("dispatch", DISPATCH_CYCLES)
+
+        field_results = {name: self.engines[name].lookup(values[name]) for name in DIMENSIONS}
+        # Phase 2 runs every engine in parallel: its latency is the slowest
+        # engine, and one extra cycle dereferences the label-list pointer.
+        slowest = max(result.cycles for result in field_results.values())
+        cycles.add_phase("field_lookup", slowest)
+        cycles.add_phase("label_fetch", LABEL_FETCH_CYCLES)
+
+        outcome = self.combiner.combine(
+            {name: result.matches for name, result in field_results.items()}
+        )
+        cycles.add_phase("label_combination", outcome.cycles)
+        cycles.add_phase("rule_fetch", FINAL_CYCLES)
+
+        match = None
+        if outcome.entry is not None:
+            match = MatchedRule(
+                rule_id=outcome.entry.rule_id,
+                priority=outcome.entry.priority,
+                action=outcome.entry.action,
+            )
+        accesses = {name: result.memory_accesses for name, result in field_results.items()}
+        accesses["rule_filter"] = outcome.memory_accesses
+        return LookupResult(
+            match=match,
+            field_labels={name: result.matches for name, result in field_results.items()},
+            cycles=cycles,
+            memory_accesses=accesses,
+            combiner_probes=outcome.probes,
+        )
+
+    def classify_trace(self, trace: Iterable[PacketHeader]) -> List[LookupResult]:
+        """Classify every header of a trace."""
+        return [self.lookup(packet) for packet in trace]
+
+    def _fully_pipelined(self) -> bool:
+        return all(engine.pipelined for engine in self.engines.values())
+
+    # ------------------------------------------------------------------ reconfiguration
+    def reconfigure(self, ip_algorithm: IpAlgorithm) -> int:
+        """Switch the ``IPalg_s`` signal and rebuild the IP engines.
+
+        The SDN controller recomputes the algorithm memory contents in
+        software and re-uploads them (section IV.A); behaviourally this means
+        re-installing every rule into freshly built engines.  Returns the
+        number of rules re-installed.
+        """
+        if ip_algorithm is self.config.ip_algorithm:
+            return 0
+        rules = [self.update_engine.rules[rule_id] for rule_id in self.update_engine.installed_rule_ids()]
+        self.config = self.config.with_ip_algorithm(ip_algorithm)
+        self._build()
+        for rule in rules:
+            self.install_rule(rule)
+        return len(rules)
+
+    def set_combiner_mode(self, mode: CombinerMode) -> None:
+        """Switch between the paper's first-label fast path and cross-product."""
+        self.config = self.config.with_combiner(mode)
+        self.combiner.mode = mode
+
+    # ------------------------------------------------------------------ reporting
+    def occupancy_cycles(self) -> float:
+        """Steady-state cycles per packet of the current configuration.
+
+        MBT configurations are fully pipelined (1 packet per cycle); a BST
+        configuration is limited by the iterative BST search, i.e. its
+        worst-case comparison count.
+        """
+        if self._fully_pipelined():
+            return 1.0
+        return float(
+            max(
+                engine.lookup_cycles
+                for engine in self.engines.values()
+                if not engine.pipelined
+            )
+        )
+
+    def lookup_latency_cycles(self) -> int:
+        """End-to-end latency of one lookup through an empty pipeline."""
+        slowest = max(engine.lookup_cycles for engine in self.engines.values())
+        return DISPATCH_CYCLES + slowest + LABEL_FETCH_CYCLES + 1 + FINAL_CYCLES
+
+    def throughput_gbps(self, packet_bytes: Optional[int] = None) -> float:
+        """Line-rate throughput of the current configuration (Table VI/VII)."""
+        return self.clock.throughput_gbps(
+            self.occupancy_cycles(), packet_bytes or self.config.min_packet_bytes
+        )
+
+    def memory_bits_used(self) -> Dict[str, int]:
+        """Occupied memory per component for the currently installed rules."""
+        used = {name: engine.memory_bits() for name, engine in self.engines.items()}
+        layout = self.config.label_layout
+        label_bits = 0
+        for name, table in self.label_tables.items():
+            if name in IP_DIMENSIONS:
+                value_bits = 16 + 5
+                width = layout.ip_label_bits
+            elif name in PORT_DIMENSIONS:
+                value_bits = 32
+                width = layout.port_label_bits
+            else:
+                value_bits = 9
+                width = layout.protocol_label_bits
+            label_bits += table.unique_values * (value_bits + width + 16)
+        used["label_tables"] = label_bits
+        used["rule_filter"] = self.update_engine.installed_rules * self.config.provisioning.rule_entry_bits
+        return used
+
+    def provisioned_memory_bank(self) -> MemoryBank:
+        """The synthesised memory inventory of this configuration (Table V input)."""
+        prov = self.config.provisioning
+        bank = MemoryBank(name=f"classifier_{self.config.ip_algorithm.value}")
+        for dimension in IP_DIMENSIONS:
+            if self.config.ip_algorithm is IpAlgorithm.MBT:
+                for level, (depth, width) in enumerate(prov.mbt_level_geometry, start=1):
+                    bank.new_block(f"{dimension}_mbt_l{level}", depth, width)
+            else:
+                depth, width = prov.bst_geometry
+                bank.new_block(f"{dimension}_bst", depth, width)
+            depth, width = prov.ip_label_geometry
+            bank.new_block(f"{dimension}_labels", depth, width)
+        for dimension in PORT_DIMENSIONS:
+            depth, width = prov.port_label_geometry
+            bank.new_block(f"{dimension}_label_buffer", depth, width)
+        depth, width = prov.protocol_geometry
+        bank.new_block("protocol_lut", depth, width)
+        bank.new_block("rule_filter", prov.rule_filter_entries, prov.rule_entry_bits)
+        return bank
+
+    def export_memory_image(self, name: Optional[str] = None) -> "MemoryImage":
+        """Export the installed state as a control-plane memory image.
+
+        Section IV.A: the software control plane produces binary files holding
+        the data each hardware memory must be loaded with.  The exported image
+        contains one write per Rule Filter entry and one per label-table entry
+        of every dimension, and can be uploaded into the provisioned memory
+        bank of another device with :meth:`repro.hardware.MemoryImage.apply`
+        (e.g. to warm-start a standby switch with the active switch's state).
+        """
+        from repro.hardware.memory_image import MemoryImage
+
+        image = MemoryImage(name or f"classifier_{self.config.ip_algorithm.value}_image")
+        layout = self.config.label_layout
+        for dimension in DIMENSIONS:
+            table = self.label_tables[dimension]
+            block = f"{dimension}_labels" if dimension in IP_DIMENSIONS else (
+                f"{dimension}_label_buffer" if dimension in PORT_DIMENSIONS else "protocol_lut"
+            )
+            for value, entry in table.entries():
+                image.add(
+                    block,
+                    entry.label,
+                    (entry.label << 16) | (entry.counter & 0xFFFF),
+                    payload={"value": value, "counter": entry.counter, "priority": entry.best_priority},
+                )
+        for rule_id in self.update_engine.installed_rule_ids():
+            key = self.update_engine.rule_key(rule_id)
+            slot = self.rule_filter.hash_unit.hash(key)
+            rule = self.update_engine.rules[rule_id]
+            image.add(
+                "rule_filter",
+                slot,
+                key & ((1 << 64) - 1),
+                payload={"rule_id": rule_id, "priority": rule.priority, "action": rule.action.value},
+            )
+        return image
+
+    def report(self) -> ClassifierReport:
+        """Whole-classifier snapshot feeding the evaluation tables."""
+        # The synthesised design always contains the MBT memories (the BST
+        # shares the level-2 block and reclaims the rest for rules), so the
+        # provisioned memory space is the same for both IPalg_s positions —
+        # exactly why Table VII quotes 2.1 Mbit for both configurations.
+        prov = self.config.provisioning
+        provisioned: Dict[str, int] = {"ip_engines": prov.total_mbt_bits()}
+        provisioned["ip_labels"] = 4 * prov.ip_label_geometry[0] * prov.ip_label_geometry[1]
+        provisioned["port_label_buffers"] = 2 * prov.port_label_geometry[0] * prov.port_label_geometry[1]
+        provisioned["protocol_lut"] = prov.protocol_geometry[0] * prov.protocol_geometry[1]
+        provisioned["rule_filter"] = prov.rule_filter_bits()
+        return ClassifierReport(
+            ip_algorithm=self.config.ip_algorithm.value,
+            combiner_mode=self.config.combiner_mode.value,
+            rules_installed=self.installed_rules,
+            rule_capacity=self.config.rule_capacity(),
+            unique_labels={name: table.unique_values for name, table in self.label_tables.items()},
+            memory_bits_used=self.memory_bits_used(),
+            memory_bits_provisioned=provisioned,
+            lookup_latency_cycles=self.lookup_latency_cycles(),
+            lookup_occupancy_cycles=self.occupancy_cycles(),
+            throughput_gbps=self.throughput_gbps(),
+        )
+
+    # ------------------------------------------------------------------ convenience
+    @classmethod
+    def from_ruleset(
+        cls, ruleset: RuleSet, config: Optional[ClassifierConfig] = None
+    ) -> "ConfigurableClassifier":
+        """Build a classifier and install every rule of ``ruleset``."""
+        classifier = cls(config)
+        classifier.install_ruleset(ruleset)
+        return classifier
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigurableClassifier(ip={self.config.ip_algorithm.value}, "
+            f"combiner={self.config.combiner_mode.value}, rules={self.installed_rules})"
+        )

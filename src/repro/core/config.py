@@ -1,0 +1,184 @@
+"""Classifier configuration.
+
+The defining feature of the paper's architecture is that it is *configurable*:
+the SDN controller selects, per deployment, which IP lookup algorithm runs in
+the shared hardware (the ``IPalg_s`` signal), how the label combination is
+resolved, and how much memory is provisioned for each block.  All of those
+knobs live in :class:`ClassifierConfig`; the classifier itself never hard-codes
+them.
+
+The default values reproduce the paper's prototype: MBT with 5/5/6-bit
+strides, 13/7/2-bit labels, an 8K-rule Rule Filter, 133.51 MHz clock, and a
+provisioned memory inventory totalling roughly the 2.1 Mbit of Table V.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.fields.multibit_trie import PAPER_SEGMENT_STRIDES
+from repro.hardware.hash_unit import LabelKeyLayout
+
+__all__ = ["IpAlgorithm", "CombinerMode", "MemoryProvisioning", "ClassifierConfig"]
+
+
+class IpAlgorithm(enum.Enum):
+    """The two IP lookup algorithms the ``IPalg_s`` signal selects between."""
+
+    MBT = "mbt"
+    BST = "bst"
+
+
+class CombinerMode(enum.Enum):
+    """How the per-field label lists are combined into the HPMR address.
+
+    ``FIRST_LABEL`` is the paper's fast path: only the highest-priority label
+    of each field is hashed into the Rule Filter (one probe).  ``CROSS_PRODUCT``
+    probes every combination of matching labels and keeps the best-priority
+    hit — still a pure label-method resolution, but guaranteed to return the
+    true HPMR for arbitrarily overlapping rule sets.
+    """
+
+    FIRST_LABEL = "first_label"
+    CROSS_PRODUCT = "cross_product"
+
+
+@dataclass(frozen=True)
+class MemoryProvisioning:
+    """Provisioned (synthesised) memory geometry of the prototype.
+
+    These are the *allocated* block sizes — what the FPGA synthesis reserves —
+    not the bits actually occupied by a given rule set.  The defaults are
+    calibrated so the total lands near the 2,097,184 block-memory bits of
+    Table V, split into the 543 Kbit MBT / 49 Kbit BST budgets of Table VI,
+    a 786 Kbit rule filter (8K x 96-bit entries) and the label memories.
+    """
+
+    #: (depth, width) of the three MBT level memories of ONE 16-bit segment engine.
+    mbt_level_geometry: Tuple[Tuple[int, int], ...] = ((32, 68), (512, 68), (1452, 68))
+    #: (depth, width) of ONE segment's BST node memory.
+    bst_geometry: Tuple[int, int] = (384, 32)
+    #: (depth, width) of ONE segment's IP label-list memory (label + priority
+    #: + next-entry pointer per word).
+    ip_label_geometry: Tuple[int, int] = (8192, 23)
+    #: Number of port registers per port field (source and destination).
+    port_registers: int = 128
+    #: (depth, width) of ONE port field's label buffer (the "storage-capacity
+    #: buffers" holding port/protocol labels while the IP lookups complete).
+    port_label_geometry: Tuple[int, int] = (128, 48)
+    #: (depth, width) of the protocol LUT.
+    protocol_geometry: Tuple[int, int] = (256, 6)
+    #: Rule Filter entries provisioned in embedded memory with the MBT selected.
+    rule_filter_entries: int = 8192
+    #: Bits of one Rule Filter entry.
+    rule_entry_bits: int = 96
+
+    def mbt_bits_per_segment(self) -> int:
+        """Provisioned MBT node memory of one segment engine."""
+        return sum(depth * width for depth, width in self.mbt_level_geometry)
+
+    def bst_bits_per_segment(self) -> int:
+        """Provisioned BST node memory of one segment engine."""
+        depth, width = self.bst_geometry
+        return depth * width
+
+    def total_mbt_bits(self) -> int:
+        """MBT node memory over the four IP segment engines (Table VI row 1)."""
+        return 4 * self.mbt_bits_per_segment()
+
+    def total_bst_bits(self) -> int:
+        """BST node memory over the four IP segment engines (Table VI row 2)."""
+        return 4 * self.bst_bits_per_segment()
+
+    def rule_filter_bits(self) -> int:
+        """Provisioned Rule Filter memory."""
+        return self.rule_filter_entries * self.rule_entry_bits
+
+    def reclaimable_bits(self) -> int:
+        """MBT memory that becomes spare rule storage when the BST is selected.
+
+        The BST occupies the level-2-sized block; the rest of the MBT memory
+        (levels 1 and 3 of every segment engine) is reclaimed for rules —
+        this is the Fig. 5 "Data 3" path and the reason the BST configuration
+        stores ~12K rules against MBT's 8K in Table VI.
+        """
+        level2_bits = self.mbt_level_geometry[1][0] * self.mbt_level_geometry[1][1]
+        return 4 * (self.mbt_bits_per_segment() - level2_bits)
+
+    def extra_rules_when_bst(self) -> int:
+        """Extra Rule Filter entries available in the BST configuration."""
+        return self.reclaimable_bits() // self.rule_entry_bits
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Full configuration of one classifier instance."""
+
+    ip_algorithm: IpAlgorithm = IpAlgorithm.MBT
+    combiner_mode: CombinerMode = CombinerMode.CROSS_PRODUCT
+    label_layout: LabelKeyLayout = field(default_factory=LabelKeyLayout)
+    mbt_strides: Tuple[int, ...] = PAPER_SEGMENT_STRIDES
+    #: Registered block-RAM reads cost two cycles per MBT level, giving the
+    #: 6-cycle MBT latency of section V.B for the 3-level segment trie.
+    mbt_cycles_per_level: int = 2
+    provisioning: MemoryProvisioning = field(default_factory=MemoryProvisioning)
+    clock_mhz: float = 133.51
+    #: Minimum packet size used for line-rate throughput numbers (bytes).
+    min_packet_bytes: int = 40
+
+    def __post_init__(self) -> None:
+        if sum(self.mbt_strides) != 16:
+            raise ConfigurationError(
+                f"MBT segment strides must cover 16 bits, got {self.mbt_strides}"
+            )
+        if self.clock_mhz <= 0:
+            raise ConfigurationError(f"clock frequency must be positive, got {self.clock_mhz}")
+        if self.min_packet_bytes <= 0:
+            raise ConfigurationError("minimum packet size must be positive")
+        if self.mbt_cycles_per_level <= 0:
+            raise ConfigurationError("mbt_cycles_per_level must be positive")
+
+    # -- derived quantities -----------------------------------------------------
+    def rule_capacity(self) -> int:
+        """Rule Filter capacity under the current IP algorithm selection.
+
+        The BST selection reclaims the unused MBT memory for rule storage
+        (Fig. 5), so its capacity exceeds the provisioned 8K entries.
+        """
+        base = self.provisioning.rule_filter_entries
+        if self.ip_algorithm is IpAlgorithm.BST:
+            return base + self.provisioning.extra_rules_when_bst()
+        return base
+
+    def ip_memory_bits(self) -> int:
+        """Provisioned IP-algorithm node memory under the current selection."""
+        if self.ip_algorithm is IpAlgorithm.BST:
+            return self.provisioning.total_bst_bits()
+        return self.provisioning.total_mbt_bits()
+
+    def with_ip_algorithm(self, algorithm: IpAlgorithm) -> "ClassifierConfig":
+        """Return a copy of the configuration with a different ``IPalg_s`` value."""
+        from dataclasses import replace
+
+        return replace(self, ip_algorithm=algorithm)
+
+    def with_combiner(self, mode: CombinerMode) -> "ClassifierConfig":
+        """Return a copy of the configuration with a different combiner mode."""
+        from dataclasses import replace
+
+        return replace(self, combiner_mode=mode)
+
+    def describe(self) -> Dict[str, object]:
+        """Structured summary used by reports and the examples."""
+        return {
+            "ip_algorithm": self.ip_algorithm.value,
+            "combiner_mode": self.combiner_mode.value,
+            "label_key_bits": self.label_layout.total_bits,
+            "mbt_strides": self.mbt_strides,
+            "clock_mhz": self.clock_mhz,
+            "rule_capacity": self.rule_capacity(),
+            "ip_memory_bits": self.ip_memory_bits(),
+        }

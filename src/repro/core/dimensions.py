@@ -1,0 +1,71 @@
+"""Dimension mapping between rules/packets and the seven lookup engines.
+
+The architecture searches seven dimensions in parallel: the high and low
+16-bit segments of both IP addresses, the two port fields and the protocol
+field.  This module is the single place where a :class:`~repro.rules.rule.Rule`
+or a :class:`~repro.rules.packet.PacketHeader` is translated into per-dimension
+specifications / lookup keys, so every component (update engine, lookup path,
+analysis) agrees on the encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.core.label_combiner import DIMENSIONS
+from repro.fields.prefix import split_prefix_segments
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+
+__all__ = ["DIMENSIONS", "IP_DIMENSIONS", "PORT_DIMENSIONS", "rule_dimension_specs", "packet_dimension_values", "dimension_label_width"]
+
+#: The four IP-segment dimensions (13-bit labels).
+IP_DIMENSIONS: Tuple[str, ...] = ("src_ip_hi", "src_ip_lo", "dst_ip_hi", "dst_ip_lo")
+#: The two port dimensions (7-bit labels).
+PORT_DIMENSIONS: Tuple[str, ...] = ("src_port", "dst_port")
+
+
+def rule_dimension_specs(rule: Rule) -> Dict[str, Hashable]:
+    """Return the per-dimension match specification of a rule.
+
+    * IP segments: ``(value, length)`` 16-bit prefixes obtained by splitting
+      the 32-bit rule prefix (section IV.C);
+    * ports: ``(low, high)`` inclusive ranges;
+    * protocol: ``(wildcard, value)``.
+    """
+    src_hi, src_lo = split_prefix_segments(rule.src_prefix.value, rule.src_prefix.length)
+    dst_hi, dst_lo = split_prefix_segments(rule.dst_prefix.value, rule.dst_prefix.length)
+    return {
+        "src_ip_hi": src_hi,
+        "src_ip_lo": src_lo,
+        "dst_ip_hi": dst_hi,
+        "dst_ip_lo": dst_lo,
+        "src_port": (rule.src_port.low, rule.src_port.high),
+        "dst_port": (rule.dst_port.low, rule.dst_port.high),
+        "protocol": rule.protocol.key(),
+    }
+
+
+def packet_dimension_values(packet: PacketHeader) -> Dict[str, int]:
+    """Return the per-dimension lookup key of a packet header."""
+    segments = packet.ip_segments()
+    return {
+        "src_ip_hi": segments["src_ip_hi"],
+        "src_ip_lo": segments["src_ip_lo"],
+        "dst_ip_hi": segments["dst_ip_hi"],
+        "dst_ip_lo": segments["dst_ip_lo"],
+        "src_port": packet.src_port,
+        "dst_port": packet.dst_port,
+        "protocol": packet.protocol,
+    }
+
+
+def dimension_label_width(dimension: str, ip_bits: int, port_bits: int, protocol_bits: int) -> int:
+    """Label width of one dimension under a given label layout."""
+    if dimension in IP_DIMENSIONS:
+        return ip_bits
+    if dimension in PORT_DIMENSIONS:
+        return port_bits
+    if dimension == "protocol":
+        return protocol_bits
+    raise KeyError(f"unknown dimension {dimension!r}")

@@ -1,0 +1,141 @@
+"""Label combination — phase 3 of the lookup pipeline.
+
+Each single-field engine returns a priority-ordered list of matching labels;
+the combiner turns those lists into the address of the Highest Priority
+Matching Rule in the Rule Filter.  Two resolution modes are provided (see
+:class:`~repro.core.config.CombinerMode`):
+
+* **FIRST_LABEL** — the paper's hardware fast path: take the first (highest
+  priority) label of each list, pack them into the 68-bit key, hash once and
+  read the Rule Filter.  One probe, constant time, but only correct when the
+  highest-priority labels of every field actually belong to the same rule.
+* **CROSS_PRODUCT** — probe every combination of matching labels (the classic
+  DCFL-style resolution) and keep the hit with the best rule priority.  This
+  is guaranteed correct: if a rule matches the packet, each of its field
+  labels is present in the corresponding list, so its combination is probed.
+
+The probe ordering in cross-product mode walks combinations in order of the
+best per-field priorities so the expected number of probes before the HPMR is
+found stays small for realistic rule sets; an optional ``probe_budget`` guards
+pathological cross products.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import CombinerMode
+from repro.exceptions import ConfigurationError
+from repro.hardware.hash_unit import LabelKeyLayout
+from repro.hardware.rule_filter import RuleFilterEntry, RuleFilterMemory
+
+__all__ = ["CombinerOutcome", "LabelCombiner", "DIMENSIONS"]
+
+#: The seven lookup dimensions in packing order.
+DIMENSIONS: Tuple[str, ...] = (
+    "src_ip_hi",
+    "src_ip_lo",
+    "dst_ip_hi",
+    "dst_ip_lo",
+    "src_port",
+    "dst_port",
+    "protocol",
+)
+
+
+@dataclass(frozen=True)
+class CombinerOutcome:
+    """Result of combining one packet's per-field label lists."""
+
+    entry: Optional[RuleFilterEntry]
+    probes: int
+    memory_accesses: int
+    cycles: int
+
+
+class LabelCombiner:
+    """Combines per-field label lists into the HPMR via the Rule Filter."""
+
+    def __init__(
+        self,
+        rule_filter: RuleFilterMemory,
+        layout: LabelKeyLayout,
+        mode: CombinerMode = CombinerMode.CROSS_PRODUCT,
+        probe_budget: int = 4096,
+    ) -> None:
+        if probe_budget <= 0:
+            raise ConfigurationError(f"probe budget must be positive, got {probe_budget}")
+        self.rule_filter = rule_filter
+        self.layout = layout
+        self.mode = mode
+        self.probe_budget = probe_budget
+
+    # -- public API ------------------------------------------------------------
+    def combine(
+        self, field_matches: Dict[str, Sequence[Tuple[int, int]]]
+    ) -> CombinerOutcome:
+        """Resolve the HPMR from the per-dimension ``(label, priority)`` lists."""
+        missing = [name for name in DIMENSIONS if name not in field_matches]
+        if missing:
+            raise ConfigurationError(f"combiner is missing dimensions: {missing}")
+        lists = [tuple(field_matches[name]) for name in DIMENSIONS]
+        if any(not entries for entries in lists):
+            # Some field produced no matching label: no rule can match.
+            return CombinerOutcome(entry=None, probes=0, memory_accesses=0, cycles=1)
+        if self.mode is CombinerMode.FIRST_LABEL:
+            return self._combine_first_label(lists)
+        return self._combine_cross_product(lists)
+
+    # -- modes --------------------------------------------------------------------
+    def _combine_first_label(
+        self, lists: Sequence[Tuple[Tuple[int, int], ...]]
+    ) -> CombinerOutcome:
+        labels = [entries[0][0] for entries in lists]
+        key = self.layout.pack(labels)
+        lookup = self.rule_filter.lookup(key)
+        # 1 cycle to merge/hash the 68-bit key + the probe accesses.
+        return CombinerOutcome(
+            entry=lookup.entry,
+            probes=1,
+            memory_accesses=lookup.memory_accesses,
+            cycles=1 + lookup.probes,
+        )
+
+    def _combine_cross_product(
+        self, lists: Sequence[Tuple[Tuple[int, int], ...]]
+    ) -> CombinerOutcome:
+        # Order the combinations so that those involving the best per-field
+        # priorities are probed first; the first hit is *not* necessarily the
+        # HPMR (per-field priority products are not a total order on rules),
+        # so all combinations are still probed, but the early-exit bound below
+        # usually stops the walk long before the budget.
+        best: Optional[RuleFilterEntry] = None
+        probes = 0
+        accesses = 0
+        ordered_lists = [
+            tuple(sorted(entries, key=lambda pair: pair[1])) for entries in lists
+        ]
+        for combination in itertools.product(*ordered_lists):
+            lower_bound = max(priority for _, priority in combination)
+            if best is not None and lower_bound >= best.priority:
+                # No rule reachable through this combination can beat the
+                # current best: each field's priority is the *best* priority
+                # of any rule using that label, so the rule this combination
+                # addresses has priority >= the maximum of them.
+                continue
+            key = self.layout.pack([label for label, _ in combination])
+            lookup = self.rule_filter.lookup(key)
+            probes += 1
+            accesses += lookup.memory_accesses
+            if lookup.entry is not None and (best is None or lookup.entry.priority < best.priority):
+                best = lookup.entry
+            if probes >= self.probe_budget:
+                break
+        return CombinerOutcome(
+            entry=best,
+            probes=probes,
+            memory_accesses=accesses,
+            cycles=1 + probes,
+        )

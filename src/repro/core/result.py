@@ -1,0 +1,114 @@
+"""Result dataclasses returned by the classifier core.
+
+These are the structured records every experiment, benchmark and example
+consumes: the outcome of one lookup (:class:`LookupResult`), one rule
+insert/delete (:class:`UpdateResult`) and whole-device summaries
+(:class:`ClassifierReport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.clock import CycleReport
+
+__all__ = ["MatchedRule", "LookupResult", "UpdateResult", "ClassifierReport"]
+
+
+@dataclass(frozen=True)
+class MatchedRule:
+    """The Highest Priority Matching Rule returned by a lookup."""
+
+    rule_id: int
+    priority: int
+    action: str
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of classifying one packet header."""
+
+    #: The HPMR, or None when no rule matched.
+    match: Optional[MatchedRule]
+    #: Per-field label lists, keyed by dimension name, as (label, priority) pairs.
+    field_labels: Dict[str, Tuple[Tuple[int, int], ...]]
+    #: Per-phase cycle breakdown of this lookup.
+    cycles: CycleReport
+    #: Memory accesses per dimension plus the combiner/rule-filter accesses.
+    memory_accesses: Dict[str, int]
+    #: Number of Rule Filter probes the label combiner issued.
+    combiner_probes: int
+
+    @property
+    def matched(self) -> bool:
+        """True when the packet hit at least one rule."""
+        return self.match is not None
+
+    @property
+    def total_memory_accesses(self) -> int:
+        """Total memory words read to classify this packet."""
+        return sum(self.memory_accesses.values())
+
+    @property
+    def latency_cycles(self) -> int:
+        """End-to-end lookup latency in clock cycles."""
+        return self.cycles.latency_cycles
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one incremental rule insert or delete."""
+
+    rule_id: int
+    operation: str
+    #: Per-dimension label outcomes: (label, structural) where structural means
+    #: a new label was created (insert) or an existing one destroyed (delete).
+    labels: Dict[str, Tuple[int, bool]]
+    #: Dimensions whose algorithm structure actually changed.
+    structural_dimensions: Tuple[str, ...]
+    #: Clock cycles consumed on the hardware update interface.
+    cycles: CycleReport
+    #: Memory accesses (control-plane uploads) per dimension.
+    memory_accesses: Dict[str, int]
+
+    @property
+    def structural(self) -> bool:
+        """True when at least one dimension needed a structural update."""
+        return bool(self.structural_dimensions)
+
+    @property
+    def total_memory_accesses(self) -> int:
+        """Total memory words written/read for this update."""
+        return sum(self.memory_accesses.values())
+
+
+@dataclass(frozen=True)
+class ClassifierReport:
+    """Whole-classifier snapshot used by the memory/throughput experiments."""
+
+    ip_algorithm: str
+    combiner_mode: str
+    rules_installed: int
+    rule_capacity: int
+    unique_labels: Dict[str, int]
+    memory_bits_used: Dict[str, int]
+    memory_bits_provisioned: Dict[str, int]
+    lookup_latency_cycles: int
+    lookup_occupancy_cycles: float
+    throughput_gbps: float
+
+    @property
+    def total_memory_bits_provisioned(self) -> int:
+        """Total provisioned memory of the instantiated configuration."""
+        return sum(self.memory_bits_provisioned.values())
+
+    @property
+    def total_memory_bits_used(self) -> int:
+        """Total occupied memory of the instantiated configuration."""
+        return sum(self.memory_bits_used.values())
+
+    @property
+    def memory_space_mbit(self) -> float:
+        """Provisioned memory in Mbit (the unit of Tables I and VII)."""
+        return self.total_memory_bits_provisioned / 1e6

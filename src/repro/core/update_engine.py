@@ -1,0 +1,198 @@
+"""Incremental update engine (section IV.A, Fig. 4).
+
+The update engine is the software (controller-side) half of the architecture:
+it maintains the per-dimension Label Tables, decides for every rule insert or
+delete whether a dimension needs only a counter bump or a structural change of
+the algorithm memory, drives the engines accordingly and finally programs the
+Rule Filter entry addressed by the rule's packed label key.
+
+The hardware cost model follows section V.A: uploading one rule takes two
+clock cycles (source information, then destination information, limited by
+I/O pins) plus one clock cycle for the hardware hash producing the rule
+address; structural algorithm updates additionally upload the new node words
+computed in software.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.config import ClassifierConfig
+from repro.core.dimensions import DIMENSIONS, rule_dimension_specs
+from repro.core.result import UpdateResult
+from repro.exceptions import UpdateError
+from repro.fields.base import SingleFieldEngine
+from repro.hardware.clock import CycleReport
+from repro.hardware.rule_filter import RuleFilterMemory
+from repro.labels.label_table import LabelTable
+from repro.rules.rule import Rule
+
+__all__ = ["UpdateEngine"]
+
+#: Clock cycles of one rule upload over the device's update interface:
+#: one cycle for the source half, one for the destination half (pin-limited),
+#: plus one cycle for the hardware hash of the rule address (section V.A).
+RULE_UPLOAD_CYCLES = 2
+HASH_CYCLES = 1
+
+
+class UpdateEngine:
+    """Drives incremental rule insertion and deletion."""
+
+    def __init__(
+        self,
+        config: ClassifierConfig,
+        engines: Dict[str, SingleFieldEngine],
+        label_tables: Dict[str, LabelTable],
+        rule_filter: RuleFilterMemory,
+    ) -> None:
+        self.config = config
+        self.engines = engines
+        self.label_tables = label_tables
+        self.rule_filter = rule_filter
+        #: Installed rules by id.
+        self.rules: Dict[int, Rule] = {}
+        #: Packed label key of every installed rule (needed for deletion).
+        self._rule_keys: Dict[int, int] = {}
+        #: Per dimension: which rules reference each unique field value.
+        self._value_users: Dict[str, Dict[Hashable, Set[int]]] = {name: {} for name in DIMENSIONS}
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def installed_rules(self) -> int:
+        """Number of rules currently installed."""
+        return len(self.rules)
+
+    def rule_key(self, rule_id: int) -> int:
+        """Packed 68-bit label key of an installed rule."""
+        try:
+            return self._rule_keys[rule_id]
+        except KeyError as exc:
+            raise UpdateError(f"rule {rule_id} is not installed") from exc
+
+    def installed_rule_ids(self) -> List[int]:
+        """Ids of the installed rules, sorted."""
+        return sorted(self.rules)
+
+    # -- insertion -----------------------------------------------------------------
+    def insert_rule(self, rule: Rule) -> UpdateResult:
+        """Install one rule, following the Fig. 4 pseudo-code per dimension."""
+        if rule.rule_id in self.rules:
+            raise UpdateError(f"rule {rule.rule_id} is already installed")
+        if self.installed_rules >= self.config.rule_capacity():
+            raise UpdateError(
+                f"rule capacity exhausted ({self.config.rule_capacity()} rules) "
+                f"in the {self.config.ip_algorithm.value} configuration"
+            )
+        specs = rule_dimension_specs(rule)
+        labels: Dict[str, Tuple[int, bool]] = {}
+        structural: List[str] = []
+        accesses: Dict[str, int] = {}
+        cycles = CycleReport(operation=f"insert_rule_{rule.rule_id}")
+        for dimension in DIMENSIONS:
+            spec = specs[dimension]
+            table = self.label_tables[dimension]
+            engine = self.engines[dimension]
+            previous_best: Optional[int] = (
+                table.best_priority_of(table.label_of(spec)) if spec in table else None
+            )
+            outcome = table.insert(spec, rule.priority)
+            labels[dimension] = (outcome.label, outcome.created)
+            if outcome.created:
+                cost = engine.insert(spec, outcome.label, rule.priority)
+                structural.append(dimension)
+                accesses[dimension] = cost.memory_accesses + 1  # + label table write
+                cycles.add_phase(f"{dimension}_structural", max(1, cost.memory_accesses))
+            else:
+                accesses[dimension] = 1  # label table counter bump
+                cycles.add_phase(f"{dimension}_counter", 1)
+                if previous_best is not None and rule.priority < previous_best:
+                    # The new rule becomes the HPML owner for this value; the
+                    # engine's label list ordering must reflect it.
+                    self._reprioritize(engine, spec, outcome.label, rule.priority)
+            self._value_users[dimension].setdefault(spec, set()).add(rule.rule_id)
+
+        key = self._pack_key(labels)
+        _, filter_accesses = self.rule_filter.insert(key, rule)
+        accesses["rule_filter"] = filter_accesses
+        cycles.add_phase("rule_upload", RULE_UPLOAD_CYCLES)
+        cycles.add_phase("hash", HASH_CYCLES)
+
+        self.rules[rule.rule_id] = rule
+        self._rule_keys[rule.rule_id] = key
+        return UpdateResult(
+            rule_id=rule.rule_id,
+            operation="insert",
+            labels=labels,
+            structural_dimensions=tuple(structural),
+            cycles=cycles,
+            memory_accesses=accesses,
+        )
+
+    # -- deletion ---------------------------------------------------------------------
+    def delete_rule(self, rule_id: int) -> UpdateResult:
+        """Remove one installed rule, releasing labels whose counter reaches zero."""
+        rule = self.rules.get(rule_id)
+        if rule is None:
+            raise UpdateError(f"rule {rule_id} is not installed")
+        specs = rule_dimension_specs(rule)
+        labels: Dict[str, Tuple[int, bool]] = {}
+        structural: List[str] = []
+        accesses: Dict[str, int] = {}
+        cycles = CycleReport(operation=f"delete_rule_{rule_id}")
+        key = self._rule_keys[rule_id]
+        deleted, filter_accesses = self.rule_filter.delete(key, rule_id)
+        if not deleted:
+            raise UpdateError(f"rule {rule_id} missing from the rule filter (corrupted state)")
+        accesses["rule_filter"] = filter_accesses
+        cycles.add_phase("rule_upload", RULE_UPLOAD_CYCLES)
+        cycles.add_phase("hash", HASH_CYCLES)
+
+        for dimension in DIMENSIONS:
+            spec = specs[dimension]
+            table = self.label_tables[dimension]
+            engine = self.engines[dimension]
+            users = self._value_users[dimension].get(spec, set())
+            users.discard(rule_id)
+            outcome = table.remove(spec)
+            labels[dimension] = (outcome.label, outcome.deleted)
+            if outcome.deleted:
+                cost = engine.remove(spec, outcome.label)
+                structural.append(dimension)
+                accesses[dimension] = cost.memory_accesses + 1
+                cycles.add_phase(f"{dimension}_structural", max(1, cost.memory_accesses))
+                self._value_users[dimension].pop(spec, None)
+            else:
+                accesses[dimension] = 1
+                cycles.add_phase(f"{dimension}_counter", 1)
+                surviving = [self.rules[rid].priority for rid in users if rid in self.rules and rid != rule_id]
+                if surviving:
+                    best = min(surviving)
+                    table.refresh_best_priority(spec, surviving)
+                    self._reprioritize(engine, spec, outcome.label, best)
+
+        del self.rules[rule_id]
+        del self._rule_keys[rule_id]
+        return UpdateResult(
+            rule_id=rule_id,
+            operation="delete",
+            labels=labels,
+            structural_dimensions=tuple(structural),
+            cycles=cycles,
+            memory_accesses=accesses,
+        )
+
+    # -- helpers --------------------------------------------------------------------------
+    def _pack_key(self, labels: Dict[str, Tuple[int, bool]]) -> int:
+        ordered = [labels[name][0] for name in DIMENSIONS]
+        return self.config.label_layout.pack(ordered)
+
+    @staticmethod
+    def _reprioritize(engine: SingleFieldEngine, spec: Hashable, label: int, priority: int) -> None:
+        reprioritize = getattr(engine, "reprioritize", None)
+        if reprioritize is not None:
+            reprioritize(spec, label, priority)
+
+    def update_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-dimension cheap-vs-structural update counts (Fig. 4 behaviour)."""
+        return {name: table.update_statistics() for name, table in self.label_tables.items()}

@@ -1,0 +1,52 @@
+"""Experiment drivers — one module per table/figure of the paper's evaluation.
+
+Each driver exposes ``run(...)`` returning a structured result object and
+``render(result)`` producing the plain-text table printed by the benchmarks:
+
+* :mod:`~repro.experiments.table1` — algorithm survey (Table I);
+* :mod:`~repro.experiments.table2` — unique rule fields (Table II);
+* :mod:`~repro.experiments.table3` — rule filter sizes (Table III);
+* :mod:`~repro.experiments.table4` — port labelling example (Table IV);
+* :mod:`~repro.experiments.table5` — FPGA synthesis estimate (Table V);
+* :mod:`~repro.experiments.table6` — MBT vs BST configuration (Table VI);
+* :mod:`~repro.experiments.table7` — system comparison (Table VII);
+* :mod:`~repro.experiments.fig3_pipeline` — lookup pipelining (Fig. 3);
+* :mod:`~repro.experiments.fig4_update` — incremental update behaviour (Fig. 4);
+* :mod:`~repro.experiments.fig5_memory_sharing` — memory sharing (Fig. 5);
+* :mod:`~repro.experiments.update_cost` — update cycle cost (section V.A);
+* :mod:`~repro.experiments.lookup_latency` — per-field latencies (section V.B).
+"""
+
+from repro.experiments import (
+    fig3_pipeline,
+    fig4_update,
+    fig5_memory_sharing,
+    lookup_latency,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    update_cost,
+)
+from repro.experiments.common import DEFAULT_SEED, workload_ruleset, workload_trace
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig3_pipeline",
+    "fig4_update",
+    "fig5_memory_sharing",
+    "update_cost",
+    "lookup_latency",
+    "workload_ruleset",
+    "workload_trace",
+    "DEFAULT_SEED",
+]

@@ -1,0 +1,53 @@
+"""Shared workload construction for the experiment drivers.
+
+Every experiment works from the same synthetic ClassBench-style workloads;
+this module centralises their construction (and caches them, because several
+benchmarks share the acl1-10K set and regenerating it repeatedly would
+dominate benchmark time rather than the measured system).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.rules.classbench import ClassBenchGenerator, FilterFlavor
+from repro.rules.ruleset import RuleSet
+from repro.rules.trace import generate_trace
+from repro.rules.packet import PacketHeader
+
+__all__ = ["workload_ruleset", "workload_trace", "DEFAULT_SEED", "DEFAULT_TRACE_SEED"]
+
+#: Seed used by every experiment unless overridden, for reproducibility.
+DEFAULT_SEED = 2014
+DEFAULT_TRACE_SEED = 353  # the paper's page number, for no deeper reason
+
+
+@lru_cache(maxsize=32)
+def workload_ruleset(
+    flavor: FilterFlavor = FilterFlavor.ACL,
+    nominal_size: int = 10000,
+    seed: int = DEFAULT_SEED,
+) -> RuleSet:
+    """Return (and cache) the synthetic rule set for one experiment workload."""
+    return ClassBenchGenerator(flavor=flavor, seed=seed).generate(nominal_size)
+
+
+@lru_cache(maxsize=32)
+def _cached_trace(
+    flavor: FilterFlavor, nominal_size: int, seed: int, count: int, trace_seed: int, hit_ratio: float
+) -> Tuple[PacketHeader, ...]:
+    ruleset = workload_ruleset(flavor, nominal_size, seed)
+    return tuple(generate_trace(ruleset, count=count, seed=trace_seed, hit_ratio=hit_ratio))
+
+
+def workload_trace(
+    flavor: FilterFlavor = FilterFlavor.ACL,
+    nominal_size: int = 10000,
+    count: int = 500,
+    seed: int = DEFAULT_SEED,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    hit_ratio: float = 0.9,
+) -> List[PacketHeader]:
+    """Return (and cache) a packet trace derived from a workload rule set."""
+    return list(_cached_trace(flavor, nominal_size, seed, count, trace_seed, hit_ratio))

@@ -1,0 +1,72 @@
+"""Fig. 5 — memory sharing between the MBT level-2 memory and the BST memory.
+
+The shared physical block holds MBT level-2 nodes ("Data 1") when ``IPalg_s``
+selects the multi-bit trie, or BST nodes ("Data 2") when it selects the binary
+search tree; in the latter case the remaining MBT memory is reclaimed for
+extra rule storage ("Data 3").  This driver switches one classifier between
+the two selections and reports the memory map and the resulting rule capacity
+for both, which is exactly the information Fig. 5 conveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.reports import format_table
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm
+from repro.hardware.memory_sharing import MemorySharingReport
+
+__all__ = ["Fig5Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Sharing reports and capacities for both ``IPalg_s`` positions."""
+
+    reports: Dict[str, MemorySharingReport]
+    rule_capacities: Dict[str, int]
+    reclaimable_bits: int
+
+    @property
+    def extra_rules_with_bst(self) -> int:
+        """Additional rules the BST selection can store thanks to the reclaim."""
+        return self.rule_capacities["bst"] - self.rule_capacities["mbt"]
+
+
+def run(config: ClassifierConfig = None) -> Fig5Result:
+    """Instantiate both selections and collect their sharing reports."""
+    base = config or ClassifierConfig()
+    reports: Dict[str, MemorySharingReport] = {}
+    capacities: Dict[str, int] = {}
+    for algorithm in (IpAlgorithm.MBT, IpAlgorithm.BST):
+        classifier = ConfigurableClassifier(base.with_ip_algorithm(algorithm))
+        reports[algorithm.value] = classifier.shared_memory.report()
+        capacities[algorithm.value] = classifier.config.rule_capacity()
+    return Fig5Result(
+        reports=reports,
+        rule_capacities=capacities,
+        reclaimable_bits=base.provisioning.reclaimable_bits(),
+    )
+
+
+def render(result: Fig5Result) -> str:
+    """Render the memory map for both selections."""
+    rows: List[Dict[str, object]] = []
+    for name, report in result.reports.items():
+        rows.append(
+            {
+                "IPalg_s selection": name.upper(),
+                "Active view": report.active_view,
+                "Shared block geometry": f"{report.depth} x {report.width} bits",
+                "Reclaimed rule bits": report.reclaimed_bits,
+                "Rule capacity": result.rule_capacities[name],
+            }
+        )
+    table = format_table(rows, title="Fig. 5 — memory sharing between MBT level-2 and BST memories")
+    return (
+        f"{table}\n"
+        f"Reclaimable MBT memory: {result.reclaimable_bits:,} bits -> "
+        f"{result.extra_rules_with_bst:,} extra rules with the BST selection"
+    )

@@ -1,0 +1,156 @@
+"""Section V.B — per-field lookup latencies.
+
+The paper quotes the per-engine lookup costs: protocol 1 cycle, port 2 cycles,
+MBT 6-cycle latency (pipelined to one packet per cycle), BST on the order of
+16 cycles per packet, one extra cycle to fetch the label-list pointer and two
+final cycles for the result phase.  This driver instantiates each engine,
+loads it from an ACL workload, performs lookups and reports measured latency
+and accesses next to the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.reports import format_table
+from repro.core.classifier import DISPATCH_CYCLES, FINAL_CYCLES, LABEL_FETCH_CYCLES, ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm
+from repro.core.dimensions import packet_dimension_values
+from repro.experiments.common import workload_ruleset, workload_trace
+from repro.rules.classbench import FilterFlavor
+
+__all__ = ["LatencyRow", "LookupLatencyResult", "run", "render", "PAPER_LATENCIES"]
+
+#: The per-engine latencies stated in section V.B.
+PAPER_LATENCIES: Dict[str, int] = {
+    "protocol": 1,
+    "port": 2,
+    "mbt": 6,
+    "bst": 16,
+    "label_fetch": 1,
+    "final": 2,
+}
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """Measured latency/access numbers of one engine class."""
+
+    engine: str
+    configured_cycles: int
+    average_measured_accesses: float
+    paper_cycles: Optional[int]
+    pipelined: bool
+
+
+@dataclass(frozen=True)
+class LookupLatencyResult:
+    """Per-engine latencies plus the end-to-end pipeline latency."""
+
+    workload: str
+    rows: List[LatencyRow]
+    end_to_end_mbt_cycles: int
+    end_to_end_bst_cycles: int
+
+    def row(self, engine: str) -> LatencyRow:
+        """Row of one engine class."""
+        for row in self.rows:
+            if row.engine == engine:
+                return row
+        raise KeyError(engine)
+
+
+def run(
+    nominal_size: int = 1000,
+    trace_length: int = 200,
+    flavor: FilterFlavor = FilterFlavor.ACL,
+) -> LookupLatencyResult:
+    """Measure per-engine lookup costs for both classifier configurations."""
+    ruleset = workload_ruleset(flavor, nominal_size)
+    trace = workload_trace(flavor, nominal_size, count=trace_length)
+    mbt_classifier = ConfigurableClassifier.from_ruleset(
+        ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.MBT)
+    )
+    bst_classifier = ConfigurableClassifier.from_ruleset(
+        ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+    )
+
+    def average_accesses(classifier: ConfigurableClassifier, dimension: str) -> float:
+        total = 0
+        for packet in trace:
+            values = packet_dimension_values(packet)
+            total += classifier.engines[dimension].lookup(values[dimension]).memory_accesses
+        return total / len(trace)
+
+    rows = [
+        LatencyRow(
+            engine="protocol",
+            configured_cycles=mbt_classifier.engines["protocol"].lookup_cycles,
+            average_measured_accesses=average_accesses(mbt_classifier, "protocol"),
+            paper_cycles=PAPER_LATENCIES["protocol"],
+            pipelined=True,
+        ),
+        LatencyRow(
+            engine="port",
+            configured_cycles=mbt_classifier.engines["dst_port"].lookup_cycles,
+            average_measured_accesses=average_accesses(mbt_classifier, "dst_port"),
+            paper_cycles=PAPER_LATENCIES["port"],
+            pipelined=True,
+        ),
+        LatencyRow(
+            engine="mbt",
+            configured_cycles=mbt_classifier.engines["src_ip_hi"].lookup_cycles,
+            average_measured_accesses=average_accesses(mbt_classifier, "src_ip_hi"),
+            paper_cycles=PAPER_LATENCIES["mbt"],
+            pipelined=True,
+        ),
+        LatencyRow(
+            engine="bst",
+            configured_cycles=bst_classifier.engines["src_ip_hi"].lookup_cycles,
+            average_measured_accesses=average_accesses(bst_classifier, "src_ip_hi"),
+            paper_cycles=PAPER_LATENCIES["bst"],
+            pipelined=False,
+        ),
+        LatencyRow(
+            engine="label_fetch",
+            configured_cycles=LABEL_FETCH_CYCLES,
+            average_measured_accesses=1.0,
+            paper_cycles=PAPER_LATENCIES["label_fetch"],
+            pipelined=True,
+        ),
+        LatencyRow(
+            engine="final",
+            configured_cycles=FINAL_CYCLES,
+            average_measured_accesses=1.0,
+            paper_cycles=PAPER_LATENCIES["final"],
+            pipelined=True,
+        ),
+    ]
+    return LookupLatencyResult(
+        workload=ruleset.name,
+        rows=rows,
+        end_to_end_mbt_cycles=mbt_classifier.lookup_latency_cycles(),
+        end_to_end_bst_cycles=bst_classifier.lookup_latency_cycles(),
+    )
+
+
+def render(result: LookupLatencyResult) -> str:
+    """Render per-engine latency rows plus end-to-end latencies."""
+    rows = [
+        {
+            "Engine": row.engine,
+            "Configured cycles": row.configured_cycles,
+            "Paper cycles": row.paper_cycles if row.paper_cycles is not None else "-",
+            "Avg measured accesses": row.average_measured_accesses,
+            "Pipelined": row.pipelined,
+        }
+        for row in result.rows
+    ]
+    table = format_table(rows, title=f"Section V.B — per-field lookup latency on {result.workload}")
+    return (
+        f"{table}\n"
+        f"End-to-end latency: MBT {result.end_to_end_mbt_cycles} cycles, "
+        f"BST {result.end_to_end_bst_cycles} cycles (dispatch {DISPATCH_CYCLES} + field + "
+        f"label fetch {LABEL_FETCH_CYCLES} + combination + final {FINAL_CYCLES})"
+    )

@@ -1,0 +1,72 @@
+"""Table II — number of unique rule fields per rule set.
+
+Counts the distinct values of every 5-tuple field for the acl1-flavoured
+rule sets at 1K/5K/10K nominal sizes, and additionally reports the storage
+reduction the label method achieves ("more than 50%", section III.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reports import format_table
+from repro.analysis.uniqueness import UniqueFieldReport, storage_reduction, unique_field_report
+from repro.experiments.common import workload_ruleset
+from repro.rules.classbench import FilterFlavor
+from repro.rules.packet import FIVE_TUPLE_FIELDS
+
+__all__ = ["Table2Result", "run", "render", "PAPER_TABLE_II"]
+
+#: Table II exactly as printed in the paper (acl1 1K / 5K / 10K columns).
+PAPER_TABLE_II: Dict[str, Dict[int, int]] = {
+    "src_ip": {1000: 103, 5000: 805, 10000: 4784},
+    "dst_ip": {1000: 297, 5000: 640, 10000: 733},
+    "src_port": {1000: 1, 5000: 1, 10000: 1},
+    "dst_port": {1000: 99, 5000: 108, 10000: 108},
+    "protocol": {1000: 3, 5000: 3, 10000: 3},
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Unique-field reports for every generated acl1 size plus reductions."""
+
+    sizes: Tuple[int, ...]
+    reports: List[UniqueFieldReport]
+    storage_reductions: Dict[int, float]
+
+    def unique_count(self, size: int, field: str) -> int:
+        """Measured unique count of one field at one nominal size."""
+        for nominal, report in zip(self.sizes, self.reports):
+            if nominal == size:
+                return report.unique_counts[field]
+        raise KeyError(f"size {size} not part of this result")
+
+
+def run(sizes: Tuple[int, ...] = (1000, 5000, 10000)) -> Table2Result:
+    """Generate the acl1 workloads and count unique field values."""
+    reports: List[UniqueFieldReport] = []
+    reductions: Dict[int, float] = {}
+    for size in sizes:
+        ruleset = workload_ruleset(FilterFlavor.ACL, size)
+        reports.append(unique_field_report(ruleset))
+        reductions[size] = storage_reduction(ruleset)
+    return Table2Result(sizes=tuple(sizes), reports=reports, storage_reductions=reductions)
+
+
+def render(result: Table2Result) -> str:
+    """Render measured-vs-paper unique field counts."""
+    rows = []
+    for field in FIVE_TUPLE_FIELDS:
+        row: Dict[str, object] = {"Packet Header Field": field}
+        for size, report in zip(result.sizes, result.reports):
+            row[f"acl1 {size // 1000}K (measured)"] = report.unique_counts[field]
+            paper = PAPER_TABLE_II.get(field, {}).get(size)
+            row[f"acl1 {size // 1000}K (paper)"] = paper if paper is not None else "-"
+        rows.append(row)
+    table = format_table(rows, title="Table II — number of unique rule fields per rule set")
+    reductions = ", ".join(
+        f"{size // 1000}K: {value * 100:.1f}%" for size, value in result.storage_reductions.items()
+    )
+    return f"{table}\nLabel-method storage reduction: {reductions}"

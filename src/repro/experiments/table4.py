@@ -1,0 +1,75 @@
+"""Table IV — example of port field rules and labelling.
+
+Reproduces the worked example of section IV.C: three destination-port rules
+(the full wildcard, the exact value 7812 and the range 7810-7820) stored in
+the port register file, each tagged with a unique label, and the label
+priority order produced for an incoming packet with destination port 7812 —
+which must come out as B (exact), C (tightest range), A (widest range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reports import format_table
+from repro.fields.port_registers import PortRegisterFile
+
+__all__ = ["Table4Result", "run", "render", "PAPER_PORT_RULES"]
+
+#: The three port specifications of Table IV with their paper labels.
+PAPER_PORT_RULES: Tuple[Tuple[str, int, int], ...] = (
+    ("A", 0, 65355),      # [65355 - 0] range matching (the value printed in the paper)
+    ("B", 7812, 7812),    # [7812 - 7812] exact matching
+    ("C", 7810, 7820),    # [7820 - 7810] range matching
+)
+
+#: The lookup value and expected label order the paper walks through.
+EXAMPLE_PORT = 7812
+PAPER_LABEL_ORDER: Tuple[str, ...] = ("B", "C", "A")
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Register contents plus the label order observed for port 7812."""
+
+    rows: List[Dict[str, str]]
+    lookup_port: int
+    label_order: Tuple[str, ...]
+    lookup_cycles: int
+    memory_accesses: int
+
+    @property
+    def matches_paper_order(self) -> bool:
+        """True when the produced order equals the paper's B, C, A."""
+        return self.label_order == PAPER_LABEL_ORDER
+
+
+def run() -> Table4Result:
+    """Load the three example registers and look up port 7812."""
+    registers = PortRegisterFile(name="dst_port_example", capacity=8)
+    label_names: Dict[int, str] = {}
+    for index, (name, low, high) in enumerate(PAPER_PORT_RULES):
+        registers.insert((low, high), label=index, priority=index)
+        label_names[index] = name
+    result = registers.lookup(EXAMPLE_PORT)
+    order = tuple(label_names[label] for label in result.labels)
+    return Table4Result(
+        rows=registers.table_iv_rows(label_names),
+        lookup_port=EXAMPLE_PORT,
+        label_order=order,
+        lookup_cycles=result.cycles,
+        memory_accesses=result.memory_accesses,
+    )
+
+
+def render(result: Table4Result) -> str:
+    """Render the register contents and the resulting label order."""
+    table = format_table(result.rows, title="Table IV — example of port field and labelling")
+    order = ", ".join(result.label_order)
+    verdict = "matches" if result.matches_paper_order else "DOES NOT match"
+    return (
+        f"{table}\n"
+        f"Lookup of destination port {result.lookup_port}: label order {order} "
+        f"({verdict} the paper's B, C, A) in {result.lookup_cycles} cycles"
+    )

@@ -1,0 +1,86 @@
+"""Table V — synthesis result on the Altera Stratix V device.
+
+Real synthesis obviously cannot run here; the driver instantiates the full
+architecture (both IP algorithms' memories, label memories, rule filter),
+feeds its provisioned memory inventory and logic inventory to the calibrated
+FPGA resource model and reports the estimated utilisation next to the numbers
+printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.literature import TABLE_V_PAPER_VALUES
+from repro.analysis.reports import format_table
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm
+from repro.hardware.fpga_model import FpgaResourceModel, LogicInventory, SynthesisEstimate
+
+__all__ = ["Table5Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Estimated synthesis results plus the paper's figures."""
+
+    estimate: SynthesisEstimate
+    paper: Dict[str, object]
+
+    @property
+    def memory_utilisation_percent(self) -> float:
+        """Estimated block-memory utilisation (the paper quotes ~4%)."""
+        return self.estimate.memory_utilisation * 100.0
+
+
+def run(config: ClassifierConfig = None) -> Table5Result:
+    """Instantiate the architecture and estimate its synthesis footprint.
+
+    The synthesised design contains *both* IP algorithms (the point of the
+    memory sharing of Fig. 5), so the provisioned memory is the MBT
+    configuration's inventory — the BST occupies the shared level-2-sized
+    block and adds no memory of its own.
+    """
+    config = config or ClassifierConfig(ip_algorithm=IpAlgorithm.MBT)
+    classifier = ConfigurableClassifier(config)
+    bank = classifier.provisioned_memory_bank()
+    model = FpgaResourceModel()
+    estimate = model.estimate(bank, LogicInventory(), target_fmax_mhz=config.clock_mhz)
+    return Table5Result(estimate=estimate, paper=dict(TABLE_V_PAPER_VALUES))
+
+
+def render(result: Table5Result) -> str:
+    """Render estimated-vs-paper synthesis rows."""
+    paper = result.paper
+    est = result.estimate
+    rows = [
+        {
+            "Metric": "Logical Utilization (ALMs)",
+            "Estimated": f"{est.logic_alms:,} / {est.logic_alms_available:,}",
+            "Paper": f"{paper['Logical Utilization'][0]:,} / {paper['Logical Utilization'][1]:,}",
+        },
+        {
+            "Metric": "Total block memory bits",
+            "Estimated": f"{est.block_memory_bits:,} / {est.block_memory_bits_available:,}",
+            "Paper": f"{paper['Total block memory bits'][0]:,} / {paper['Total block memory bits'][1]:,}",
+        },
+        {
+            "Metric": "Total registers",
+            "Estimated": f"{est.registers:,}",
+            "Paper": f"{paper['Total registers']:,}",
+        },
+        {
+            "Metric": "Maximum Frequency",
+            "Estimated": f"{est.fmax_mhz:.2f} MHz",
+            "Paper": f"{paper['Maximum Frequency MHz']:.2f} MHz",
+        },
+        {
+            "Metric": "Total Number Pins",
+            "Estimated": f"{est.pins_used} / {est.pins_available}",
+            "Paper": f"{paper['Total Number Pins'][0]} / {paper['Total Number Pins'][1]}",
+        },
+    ]
+    return format_table(
+        rows, title="Table V — synthesis result on Altera Stratix V (5SGXMB6R3F43C4)"
+    )

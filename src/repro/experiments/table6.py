@@ -1,0 +1,119 @@
+"""Table VI — performance evaluation for the configurable IP algorithm.
+
+For both positions of the ``IPalg_s`` selector (MBT and BST) the paper
+reports: lookup memory accesses per packet (1 for the pipelined MBT, 16 for
+the iterative BST), the memory space required by the IP algorithm and the
+number of rules that can be stored with the same memory blocks (8K vs 12K,
+thanks to the Fig. 5 memory sharing).
+
+The driver instantiates both configurations over the same ACL workload,
+measures the per-packet occupancy and the per-lookup memory accesses on a
+packet trace, and reads the capacity and provisioned memory from the
+configuration model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.literature import TABLE_VI_PAPER_VALUES
+from repro.analysis.metrics import LookupMetrics, summarize_lookups
+from repro.analysis.reports import format_table
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.experiments.common import workload_ruleset, workload_trace
+from repro.rules.classbench import FilterFlavor
+
+__all__ = ["Table6Row", "Table6Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One IP-algorithm configuration's Table VI numbers."""
+
+    ip_algorithm: str
+    occupancy_cycles_per_packet: float
+    measured_ip_memory_accesses: float
+    ip_memory_kbits: float
+    stored_rule_capacity: int
+    throughput_gbps: float
+    lookup_metrics: LookupMetrics
+    paper: Optional[Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    """Both configurations side by side."""
+
+    workload: str
+    rules_installed: int
+    rows: List[Table6Row]
+
+    def row(self, ip_algorithm) -> Table6Row:
+        """Row of one configuration (accepts an IpAlgorithm or its value string)."""
+        wanted = getattr(ip_algorithm, "value", ip_algorithm)
+        for row in self.rows:
+            if row.ip_algorithm == wanted:
+                return row
+        raise KeyError(ip_algorithm)
+
+
+IP_DIMENSION_NAMES = ("src_ip_hi", "src_ip_lo", "dst_ip_hi", "dst_ip_lo")
+
+
+def run(
+    nominal_size: int = 5000,
+    trace_length: int = 300,
+    flavor: FilterFlavor = FilterFlavor.ACL,
+) -> Table6Result:
+    """Evaluate the MBT and BST configurations on the same workload."""
+    ruleset = workload_ruleset(flavor, nominal_size)
+    trace = workload_trace(flavor, nominal_size, count=trace_length)
+    rows: List[Table6Row] = []
+    for algorithm in (IpAlgorithm.MBT, IpAlgorithm.BST):
+        config = ClassifierConfig(ip_algorithm=algorithm, combiner_mode=CombinerMode.CROSS_PRODUCT)
+        classifier = ConfigurableClassifier.from_ruleset(ruleset, config)
+        results = classifier.classify_trace(trace)
+        metrics = summarize_lookups(results)
+        ip_accesses = [
+            sum(result.memory_accesses[name] for name in IP_DIMENSION_NAMES) for result in results
+        ]
+        paper_key = "MBT" if algorithm is IpAlgorithm.MBT else "BST"
+        rows.append(
+            Table6Row(
+                ip_algorithm=algorithm.value,
+                occupancy_cycles_per_packet=classifier.occupancy_cycles(),
+                measured_ip_memory_accesses=sum(ip_accesses) / len(ip_accesses),
+                ip_memory_kbits=config.ip_memory_bits() / 1e3,
+                stored_rule_capacity=config.rule_capacity(),
+                throughput_gbps=classifier.throughput_gbps(),
+                lookup_metrics=metrics,
+                paper=TABLE_VI_PAPER_VALUES.get(paper_key),
+            )
+        )
+    return Table6Result(workload=ruleset.name, rules_installed=len(ruleset), rows=rows)
+
+
+def render(result: Table6Result) -> str:
+    """Render measured-vs-paper rows for both IP algorithm configurations."""
+    rows = []
+    for row in result.rows:
+        paper = row.paper or {}
+        rows.append(
+            {
+                "IP lookup algorithm": row.ip_algorithm.upper(),
+                "Cycles/packet (pipeline)": row.occupancy_cycles_per_packet,
+                "Cycles/packet (paper)": paper.get("lookup_accesses_per_packet", "-"),
+                "IP memory Kbits (provisioned)": row.ip_memory_kbits,
+                "IP memory Kbits (paper)": paper.get("memory_kbits", "-"),
+                "Rule capacity": row.stored_rule_capacity,
+                "Rule capacity (paper)": paper.get("stored_rules", "-"),
+                "Throughput Gbps": row.throughput_gbps,
+            }
+        )
+    title = (
+        f"Table VI — IP algorithm comparison on {result.workload} "
+        f"({result.rules_installed} rules installed)"
+    )
+    return format_table(rows, title=title)

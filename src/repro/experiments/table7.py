@@ -1,0 +1,113 @@
+"""Table VII — performance comparison against published hardware designs.
+
+The paper compares its two configurations against Optimizing HyperCuts on
+FPGA [9] and DCFLE [4]/[6] on memory space, stored rules and throughput for
+40-byte packets.  Our two rows are regenerated from the model (provisioned
+memory, rule capacity with/without the shared-memory reclaim, throughput from
+the clock model); the two external rows are quoted literature constants and
+are marked as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.literature import TABLE_VII_PAPER_VALUES, LiteratureEntry
+from repro.analysis.reports import format_table
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm
+
+__all__ = ["Table7Row", "Table7Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """One system's Table VII numbers."""
+
+    system: str
+    memory_mbit: float
+    stored_rules: int
+    throughput_gbps: float
+    source: str
+    paper_memory_mbit: Optional[float]
+    paper_stored_rules: Optional[int]
+    paper_throughput_gbps: Optional[float]
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    """All four comparison rows."""
+
+    packet_bytes: int
+    rows: List[Table7Row]
+
+    def row(self, system: str) -> Table7Row:
+        """Row of one system by its display name."""
+        for row in self.rows:
+            if row.system == system:
+                return row
+        raise KeyError(system)
+
+
+def _our_row(algorithm: IpAlgorithm, packet_bytes: int) -> Table7Row:
+    config = ClassifierConfig(ip_algorithm=algorithm, min_packet_bytes=packet_bytes)
+    classifier = ConfigurableClassifier(config)
+    report = classifier.report()
+    name = f"Our system with {algorithm.value.upper()}"
+    paper = TABLE_VII_PAPER_VALUES.get(name)
+    return Table7Row(
+        system=name,
+        memory_mbit=report.memory_space_mbit,
+        stored_rules=report.rule_capacity,
+        throughput_gbps=classifier.throughput_gbps(packet_bytes),
+        source="measured (this reproduction)",
+        paper_memory_mbit=paper.memory_mbit if paper else None,
+        paper_stored_rules=paper.stored_rules if paper else None,
+        paper_throughput_gbps=paper.throughput_gbps if paper else None,
+    )
+
+
+def _literature_row(entry: LiteratureEntry) -> Table7Row:
+    return Table7Row(
+        system=entry.system,
+        memory_mbit=entry.memory_mbit or 0.0,
+        stored_rules=entry.stored_rules or 0,
+        throughput_gbps=entry.throughput_gbps or 0.0,
+        source=f"quoted from {entry.source}",
+        paper_memory_mbit=entry.memory_mbit,
+        paper_stored_rules=entry.stored_rules,
+        paper_throughput_gbps=entry.throughput_gbps,
+    )
+
+
+def run(packet_bytes: int = 40) -> Table7Result:
+    """Regenerate our rows from the model and carry the quoted rows."""
+    rows = [
+        _our_row(IpAlgorithm.MBT, packet_bytes),
+        _our_row(IpAlgorithm.BST, packet_bytes),
+        _literature_row(TABLE_VII_PAPER_VALUES["Optimizing HyperCuts"]),
+        _literature_row(TABLE_VII_PAPER_VALUES["DCFLE"]),
+    ]
+    return Table7Result(packet_bytes=packet_bytes, rows=rows)
+
+
+def render(result: Table7Result) -> str:
+    """Render the four comparison rows."""
+    rows = [
+        {
+            "Algorithm": row.system,
+            "Memory space Mb": row.memory_mbit,
+            "Stored rules": row.stored_rules,
+            "Throughput Gbps": row.throughput_gbps,
+            "Paper Mb": row.paper_memory_mbit if row.paper_memory_mbit is not None else "-",
+            "Paper rules": row.paper_stored_rules if row.paper_stored_rules is not None else "-",
+            "Paper Gbps": row.paper_throughput_gbps if row.paper_throughput_gbps is not None else "-",
+            "Source": row.source,
+        }
+        for row in result.rows
+    ]
+    return format_table(
+        rows,
+        title=f"Table VII — performance comparison ({result.packet_bytes}-byte packets)",
+    )

@@ -1,0 +1,72 @@
+"""Single-field lookup engines and field-value utilities.
+
+The configurable architecture decomposes classification into independent
+single-field searches; this package provides every engine the paper mentions:
+
+* :class:`~repro.fields.multibit_trie.MultibitTrie` — fast pipelined IP-segment
+  lookup (5/5/6-bit strides);
+* :class:`~repro.fields.binary_search_tree.BinarySearchTree` — memory-efficient
+  IP-segment lookup (binary search over prefix endpoints);
+* :class:`~repro.fields.segment_trie.SegmentTrie` — fixed-stride port trie used
+  by the Option 1/2 baselines;
+* :class:`~repro.fields.port_registers.PortRegisterFile` — parallel range/exact
+  port registers (Table IV);
+* :class:`~repro.fields.protocol_table.ProtocolTable` — direct-indexed protocol
+  LUT;
+
+plus the prefix and port-range value objects shared by the rule model.
+"""
+
+from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
+from repro.fields.binary_search_tree import BinarySearchTree
+from repro.fields.multibit_trie import MultibitTrie, PAPER_SEGMENT_STRIDES, TrieNode
+from repro.fields.port_registers import PortRegister, PortRegisterFile
+from repro.fields.prefix import (
+    IPV4_WIDTH,
+    Prefix,
+    SEGMENT_WIDTH,
+    format_ipv4,
+    format_ipv4_prefix,
+    parse_ipv4,
+    parse_ipv4_prefix,
+    prefix_contains,
+    prefix_mask,
+    prefix_overlaps,
+    prefix_range,
+    range_to_prefixes,
+    split_prefix_segments,
+)
+from repro.fields.protocol_table import ProtocolTable
+from repro.fields.range_utils import PORT_MAX, PORT_WIDTH, PortRange, merge_ranges
+from repro.fields.segment_trie import SegmentTrie
+
+__all__ = [
+    "SingleFieldEngine",
+    "FieldLookupResult",
+    "UpdateCost",
+    "MultibitTrie",
+    "TrieNode",
+    "PAPER_SEGMENT_STRIDES",
+    "BinarySearchTree",
+    "SegmentTrie",
+    "PortRegisterFile",
+    "PortRegister",
+    "ProtocolTable",
+    "Prefix",
+    "PortRange",
+    "merge_ranges",
+    "prefix_mask",
+    "prefix_range",
+    "prefix_contains",
+    "prefix_overlaps",
+    "range_to_prefixes",
+    "split_prefix_segments",
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_ipv4_prefix",
+    "format_ipv4_prefix",
+    "IPV4_WIDTH",
+    "SEGMENT_WIDTH",
+    "PORT_WIDTH",
+    "PORT_MAX",
+]

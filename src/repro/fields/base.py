@@ -1,0 +1,122 @@
+"""Common interface of the single-field lookup engines.
+
+The architecture composes *single-field* lookup engines — one per packet
+header field (or per 16-bit IP segment) — each returning a priority-ordered
+list of matching labels plus the cost of producing it.  Every engine in this
+package implements :class:`SingleFieldEngine`, so the classifier core, the
+"Option 1/2" baseline combinations and the benchmarks can mix and match them
+freely — which is exactly the configurability the paper is about.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Hashable, List, Tuple
+
+from repro.exceptions import FieldLookupError
+
+__all__ = ["FieldLookupResult", "UpdateCost", "SingleFieldEngine"]
+
+
+@dataclass(frozen=True)
+class FieldLookupResult:
+    """Outcome of one single-field lookup.
+
+    Attributes
+    ----------
+    matches:
+        ``(label, priority)`` pairs of every matching unique field value, in
+        the field's priority order (highest priority / most specific first).
+        The first entry is the HPML the paper's fast path uses.
+    memory_accesses:
+        Number of memory words read to produce the result.
+    cycles:
+        Clock cycles of latency this lookup contributes (per section V.B).
+    """
+
+    matches: Tuple[Tuple[int, int], ...]
+    memory_accesses: int
+    cycles: int
+
+    @property
+    def labels(self) -> List[int]:
+        """Matching labels in priority order."""
+        return [label for label, _ in self.matches]
+
+    @property
+    def first_label(self) -> int:
+        """The highest-priority matching label (HPML)."""
+        if not self.matches:
+            raise FieldLookupError("no matching label (missing wildcard entry?)")
+        return self.matches[0][0]
+
+    @property
+    def matched(self) -> bool:
+        """True when at least one label matched."""
+        return bool(self.matches)
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Cost of one structural engine update (insert or remove of a value)."""
+
+    memory_accesses: int = 0
+    nodes_touched: int = 0
+    rebuilt: bool = False
+
+
+class SingleFieldEngine(abc.ABC):
+    """Interface of a single-field lookup engine.
+
+    An engine maps *field value specifications* (a prefix, a port range, a
+    protocol match...) to labels, and answers point lookups with the labels of
+    every specification matching the point.
+    """
+
+    #: Human-readable engine name (used in reports and memory block names).
+    name: str = "engine"
+
+    @property
+    @abc.abstractmethod
+    def lookup_cycles(self) -> int:
+        """Per-packet lookup latency of this engine in clock cycles."""
+
+    @property
+    @abc.abstractmethod
+    def pipelined(self) -> bool:
+        """True when the engine accepts a new lookup every cycle."""
+
+    @abc.abstractmethod
+    def insert(self, spec: Hashable, label: int, priority: int) -> UpdateCost:
+        """Add a field value specification with its label.
+
+        ``priority`` is the best rule priority referencing the value; engines
+        keep their per-node label lists ordered by it.
+        """
+
+    @abc.abstractmethod
+    def remove(self, spec: Hashable, label: int) -> UpdateCost:
+        """Remove a field value specification and its label."""
+
+    @abc.abstractmethod
+    def lookup(self, value: int) -> FieldLookupResult:
+        """Return the labels of every stored specification matching ``value``."""
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Storage footprint of the engine's memory blocks in bits."""
+
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Number of nodes / entries currently stored."""
+
+    def describe(self) -> dict:
+        """Small structured summary used by reports."""
+        return {
+            "engine": self.name,
+            "nodes": self.node_count(),
+            "memory_bits": self.memory_bits(),
+            "lookup_cycles": self.lookup_cycles,
+            "pipelined": self.pipelined,
+        }

@@ -1,0 +1,226 @@
+"""Binary search tree (BST) single-field engine.
+
+The memory-efficient IP lookup alternative of the paper.  The implementation
+follows the classic *binary search on prefix endpoints* construction: every
+stored prefix contributes its low and high endpoints, the distinct endpoints
+partition the 16-bit segment space into elementary intervals, and a balanced
+binary search over the interval boundaries answers a point lookup in
+``ceil(log2(#boundaries))`` comparisons.  The hardware engine is provisioned
+for the full 16-bit segment, i.e. up to 16 iterative comparisons per packet —
+the per-packet access count quoted in Table VI.
+
+Each elementary interval points at a label list holding the labels of every
+prefix covering the interval; identical lists are shared (deduplicated), which
+is what keeps the memory footprint well below the multi-bit trie's.
+
+The trade-off the paper highlights is reproduced faithfully:
+
+* lookup is iterative and **not** pipelined (one packet occupies the engine
+  for the whole search), capping throughput at ~Fmax/16 packets per second;
+* every structural update rebuilds the endpoint array — "this methodology
+  implies re-built structure".  The rebuild runs in software (the SDN
+  controller) and is performed lazily here: consecutive inserts/deletes mark
+  the structure dirty and the sweep reconstruction runs once before the next
+  lookup, exactly like a controller batching a rule-set change before
+  re-uploading the memory image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.exceptions import FieldLookupError
+from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
+from repro.fields.prefix import prefix_range
+from repro.labels.label_list import LabelList
+
+__all__ = ["BinarySearchTree"]
+
+
+@dataclass(frozen=True)
+class _StoredPrefix:
+    """One stored prefix with its label and priority."""
+
+    value: int
+    length: int
+    label: int
+    priority: int
+
+
+class BinarySearchTree(SingleFieldEngine):
+    """Balanced binary search over prefix endpoints for one 16-bit segment."""
+
+    def __init__(self, name: str = "bst", width: int = 16) -> None:
+        self.name = name
+        self.width = width
+        self._prefixes: Dict[Tuple[int, int], _StoredPrefix] = {}
+        # Rebuilt structures: sorted interval boundaries and per-interval
+        # label-list pointers into a deduplicated list pool.
+        self._boundaries: List[int] = [0]
+        self._interval_lists: List[int] = [0]
+        self._list_pool: List[Tuple[Tuple[int, int], ...]] = [()]
+        self._dirty = False
+        self._last_rebuild_words = 0
+
+    # -- engine interface -----------------------------------------------------
+    @property
+    def lookup_cycles(self) -> int:
+        """Provisioned worst-case comparisons: one per key bit (16 for a segment).
+
+        The hardware engine iterates over a comparison stage; its pipeline
+        initiation interval is provisioned for the deepest possible balanced
+        tree over the segment space, which is what Table VI charges (16
+        accesses per packet).  The *measured* accesses of an individual lookup
+        are reported in :class:`FieldLookupResult` and are usually lower.
+        """
+        return self.width
+
+    @property
+    def pipelined(self) -> bool:
+        """The BST engine iterates in place; it cannot overlap packets."""
+        return False
+
+    def node_count(self) -> int:
+        """Number of search-tree nodes (one per interval boundary)."""
+        self._ensure_built()
+        return len(self._boundaries)
+
+    def memory_bits(self) -> int:
+        """Boundary keys + per-interval list pointers + shared label lists."""
+        self._ensure_built()
+        key_bits = self.width
+        pointer_bits = 16
+        node_bits = len(self._boundaries) * (key_bits + pointer_bits)
+        label_bits = sum(len(entry) for entry in self._list_pool) * (13 + 16)
+        return node_bits + label_bits
+
+    # -- update ------------------------------------------------------------------
+    def insert(self, spec: Hashable, label: int, priority: int) -> UpdateCost:
+        """Insert prefix ``spec = (value, length)``; marks the structure for rebuild."""
+        value, length = self._validate_spec(spec)
+        if (value, length) in self._prefixes:
+            raise FieldLookupError(f"prefix {value}/{length} already stored in {self.name}")
+        self._prefixes[(value, length)] = _StoredPrefix(value, length, label, priority)
+        self._dirty = True
+        # The upload cost of the rebuilt structure is proportional to the
+        # number of boundary words; report the last known size + the new entry
+        # (the controller would re-upload the whole image after the batch).
+        return UpdateCost(
+            memory_accesses=max(2, self._last_rebuild_words // max(1, len(self._prefixes))),
+            nodes_touched=2,
+            rebuilt=True,
+        )
+
+    def remove(self, spec: Hashable, label: int) -> UpdateCost:
+        """Remove prefix ``spec``; marks the structure for rebuild."""
+        value, length = self._validate_spec(spec)
+        stored = self._prefixes.get((value, length))
+        if stored is None or stored.label != label:
+            raise FieldLookupError(
+                f"prefix {value}/{length} (label {label}) not stored in {self.name}"
+            )
+        del self._prefixes[(value, length)]
+        self._dirty = True
+        return UpdateCost(memory_accesses=2, nodes_touched=2, rebuilt=True)
+
+    def reprioritize(self, spec: Hashable, label: int, priority: int) -> None:
+        """Update the priority attached to a stored prefix's label."""
+        value, length = self._validate_spec(spec)
+        stored = self._prefixes.get((value, length))
+        if stored is None:
+            raise FieldLookupError(f"prefix {value}/{length} not stored in {self.name}")
+        self._prefixes[(value, length)] = _StoredPrefix(value, length, label, priority)
+        self._dirty = True
+
+    # -- lookup ---------------------------------------------------------------------
+    def lookup(self, value: int) -> FieldLookupResult:
+        """Binary-search the elementary interval containing ``value``."""
+        if not 0 <= value < (1 << self.width):
+            raise FieldLookupError(f"lookup key {value} out of {self.width}-bit range")
+        self._ensure_built()
+        accesses = 0
+        low, high = 0, len(self._boundaries) - 1
+        position = 0
+        while low <= high:
+            mid = (low + high) // 2
+            accesses += 1
+            if self._boundaries[mid] <= value:
+                position = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        pointer = self._interval_lists[position]
+        matches = self._list_pool[pointer]
+        accesses += 1  # dereference the interval's label-list pointer
+        return FieldLookupResult(
+            matches=matches,
+            memory_accesses=accesses,
+            cycles=max(accesses, 1),
+        )
+
+    # -- internals ---------------------------------------------------------------------
+    def _validate_spec(self, spec: Hashable) -> Tuple[int, int]:
+        if not isinstance(spec, tuple) or len(spec) != 2:
+            raise FieldLookupError(f"BST spec must be a (value, length) tuple, got {spec!r}")
+        value, length = spec
+        if not 0 <= length <= self.width:
+            raise FieldLookupError(f"prefix length {length} out of range for width {self.width}")
+        if not 0 <= value < (1 << self.width):
+            raise FieldLookupError(f"prefix value {value} out of {self.width}-bit range")
+        return value, length
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._last_rebuild_words = self._rebuild()
+            self._dirty = False
+
+    def _rebuild(self) -> int:
+        """Recompute boundaries and per-interval label lists with a sweep.
+
+        Returns the number of memory words the controller would upload for
+        the rebuilt structure.  The sweep visits the sorted prefix endpoints
+        once, maintaining the set of prefixes covering the current elementary
+        interval, so the rebuild cost is O(E log E + E * overlap) rather than
+        O(E * N).
+        """
+        start_events: Dict[int, List[_StoredPrefix]] = {}
+        end_events: Dict[int, List[_StoredPrefix]] = {}
+        endpoints = {0}
+        space = 1 << self.width
+        for stored in self._prefixes.values():
+            low, high = prefix_range(stored.value, stored.length, self.width)
+            endpoints.add(low)
+            start_events.setdefault(low, []).append(stored)
+            if high + 1 < space:
+                endpoints.add(high + 1)
+                end_events.setdefault(high + 1, []).append(stored)
+        self._boundaries = sorted(endpoints)
+
+        pool_index: Dict[Tuple[Tuple[int, int], ...], int] = {}
+        self._list_pool = []
+        self._interval_lists = []
+        active: Dict[Tuple[int, int], _StoredPrefix] = {}
+        for boundary in self._boundaries:
+            for stored in end_events.get(boundary, ()):
+                active.pop((stored.value, stored.length), None)
+            for stored in start_events.get(boundary, ()):
+                active[(stored.value, stored.length)] = stored
+            matching = LabelList()
+            for stored in active.values():
+                matching.add(stored.label, stored.priority)
+            key = tuple(matching.pairs())
+            index = pool_index.get(key)
+            if index is None:
+                index = len(self._list_pool)
+                pool_index[key] = index
+                self._list_pool.append(key)
+            self._interval_lists.append(index)
+        if not self._list_pool:
+            self._list_pool.append(())
+            self._interval_lists.append(0)
+        return len(self._boundaries) * 2 + sum(len(entry) for entry in self._list_pool)
+
+    def stored_prefixes(self) -> List[Tuple[int, int]]:
+        """The prefixes currently stored (verification helper)."""
+        return sorted(self._prefixes)

@@ -1,0 +1,274 @@
+"""Multi-bit trie (MBT) single-field engine.
+
+The fast IP lookup engine of the paper: a fixed-stride multi-bit trie over one
+16-bit IP address segment, with the paper's 5/5/6-bit level partition
+(section IV.C).  Prefixes are inserted with controlled prefix expansion — a
+prefix whose length falls between level boundaries is expanded to every node
+of the next boundary it covers — and every trie node carries a
+priority-ordered label list of the prefixes terminating there.
+
+Lookup walks one node per level (3 memory accesses for a 16-bit segment),
+collecting the label lists on the path; because the hardware pipelines the
+levels, the engine reports a 3-cycle latency per segment and *pipelined*
+throughput of one lookup per cycle.  The full 32-bit IP field uses two such
+engines (high and low segment) giving the 6-cycle latency quoted in V.B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import FieldLookupError
+from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
+from repro.labels.label_list import LabelList
+
+__all__ = ["MultibitTrie", "PAPER_SEGMENT_STRIDES", "TrieNode"]
+
+#: The 5-5-6 level partition of one 16-bit segment (section IV.C).
+PAPER_SEGMENT_STRIDES: Tuple[int, ...] = (5, 5, 6)
+
+
+@dataclass
+class TrieNode:
+    """One multi-bit trie node.
+
+    ``children`` maps the next-level stride index to the child node;
+    ``labels`` is the priority-ordered list of labels of prefixes expanded to
+    this node.
+    """
+
+    level: int
+    children: Dict[int, "TrieNode"] = field(default_factory=dict)
+    labels: LabelList = field(default_factory=LabelList)
+
+    def is_empty(self) -> bool:
+        """True when the node has neither labels nor children."""
+        return not self.children and not len(self.labels)
+
+
+class MultibitTrie(SingleFieldEngine):
+    """Fixed-stride multi-bit trie over a ``width``-bit key space."""
+
+    def __init__(
+        self,
+        name: str = "mbt",
+        width: int = 16,
+        strides: Sequence[int] = PAPER_SEGMENT_STRIDES,
+        pipelined: bool = True,
+        cycles_per_level: int = 2,
+    ) -> None:
+        if cycles_per_level <= 0:
+            raise FieldLookupError(f"cycles_per_level must be positive, got {cycles_per_level}")
+        if sum(strides) != width:
+            raise FieldLookupError(
+                f"strides {tuple(strides)} must sum to the key width {width}"
+            )
+        if any(stride <= 0 for stride in strides):
+            raise FieldLookupError(f"strides must be positive, got {tuple(strides)}")
+        self.name = name
+        self.width = width
+        self.strides = tuple(strides)
+        self._pipelined = pipelined
+        #: Clock cycles per level access: a registered block-RAM read takes two
+        #: cycles in the prototype, giving the paper's 6-cycle MBT latency for
+        #: three levels (section V.B).
+        self.cycles_per_level = cycles_per_level
+        self.root = TrieNode(level=0)
+        self._nodes = 1
+        # Prefix -> set of labels stored for it.  The label table normally
+        # guarantees one label per unique prefix, but composite engines (the
+        # segment trie's range expansion) may legitimately map two different
+        # ranges onto one expansion prefix with two different labels.
+        self._prefix_index: Dict[Tuple[int, int], set] = {}
+        # Cumulative stride boundaries, e.g. (5, 10, 16).
+        self._boundaries = tuple(
+            sum(self.strides[: index + 1]) for index in range(len(self.strides))
+        )
+
+    # -- engine interface -----------------------------------------------------
+    @property
+    def lookup_cycles(self) -> int:
+        """Latency: ``cycles_per_level`` per level (levels are pipelined memories)."""
+        return len(self.strides) * self.cycles_per_level
+
+    @property
+    def pipelined(self) -> bool:
+        return self._pipelined
+
+    @property
+    def levels(self) -> int:
+        """Number of trie levels."""
+        return len(self.strides)
+
+    def node_count(self) -> int:
+        return self._nodes
+
+    def memory_bits(self) -> int:
+        """Node storage: per node, child pointers + label count + list pointer.
+
+        The per-node width follows the paper's node format description: child
+        node pointers (one per stride branch), a counter of stored labels and
+        a pointer to the label list.
+        """
+        pointer_bits = 16
+        total = 0
+        for node, stride in self._iter_nodes_with_stride():
+            child_slots = 1 << stride if stride else 0
+            total += child_slots * pointer_bits + 8 + pointer_bits
+        return total
+
+    # -- update ------------------------------------------------------------------
+    def insert(self, spec: Hashable, label: int, priority: int) -> UpdateCost:
+        """Insert prefix ``spec = (value, length)`` with its label."""
+        value, length = self._validate_spec(spec)
+        labels = self._prefix_index.setdefault((value, length), set())
+        if label in labels:
+            raise FieldLookupError(
+                f"prefix {value}/{length} already stored with label {label} in {self.name}"
+            )
+        accesses = 0
+        touched = 0
+        for node, _ in self._expansion_nodes(value, length, create=True):
+            node.labels.add(label, priority)
+            accesses += 1
+            touched += 1
+        labels.add(label)
+        return UpdateCost(memory_accesses=accesses, nodes_touched=touched)
+
+    def remove(self, spec: Hashable, label: int) -> UpdateCost:
+        """Remove prefix ``spec = (value, length)`` and its label."""
+        value, length = self._validate_spec(spec)
+        labels = self._prefix_index.get((value, length))
+        if labels is None or label not in labels:
+            raise FieldLookupError(f"prefix {value}/{length} not stored in {self.name}")
+        accesses = 0
+        touched = 0
+        for node, _ in self._expansion_nodes(value, length, create=False):
+            if label in node.labels:
+                node.labels.remove(label)
+                accesses += 1
+                touched += 1
+        labels.discard(label)
+        if not labels:
+            del self._prefix_index[(value, length)]
+        self._prune()
+        return UpdateCost(memory_accesses=accesses, nodes_touched=touched)
+
+    def reprioritize(self, spec: Hashable, label: int, priority: int) -> None:
+        """Update the stored priority of a prefix's label (after rule deletion)."""
+        value, length = self._validate_spec(spec)
+        for node, _ in self._expansion_nodes(value, length, create=False):
+            if label in node.labels:
+                node.labels.reprioritize(label, priority)
+
+    # -- lookup ---------------------------------------------------------------------
+    def lookup(self, value: int) -> FieldLookupResult:
+        """Collect the labels of every stored prefix matching ``value``."""
+        if not 0 <= value < (1 << self.width):
+            raise FieldLookupError(f"lookup key {value} out of {self.width}-bit range")
+        matches = LabelList()
+        accesses = 0
+        node = self.root
+        # Root labels hold the length-0 wildcard prefix.
+        for label, priority in node.labels.pairs():
+            matches.add(label, priority)
+        consumed = 0
+        for level, stride in enumerate(self.strides):
+            index = self._slice(value, consumed, stride)
+            consumed += stride
+            child = node.children.get(index)
+            accesses += 1
+            if child is None:
+                break
+            for label, priority in child.labels.pairs():
+                matches.add(label, priority)
+            node = child
+        return FieldLookupResult(
+            matches=tuple(matches.pairs()),
+            memory_accesses=accesses,
+            cycles=self.lookup_cycles,
+        )
+
+    # -- internals ---------------------------------------------------------------------
+    def _validate_spec(self, spec: Hashable) -> Tuple[int, int]:
+        if not isinstance(spec, tuple) or len(spec) != 2:
+            raise FieldLookupError(f"MBT spec must be a (value, length) tuple, got {spec!r}")
+        value, length = spec
+        if not 0 <= length <= self.width:
+            raise FieldLookupError(f"prefix length {length} out of range for width {self.width}")
+        if not 0 <= value < (1 << self.width):
+            raise FieldLookupError(f"prefix value {value} out of {self.width}-bit range")
+        return value, length
+
+    def _slice(self, value: int, consumed: int, stride: int) -> int:
+        """Extract the ``stride`` bits following the first ``consumed`` bits."""
+        shift = self.width - consumed - stride
+        return (value >> shift) & ((1 << stride) - 1)
+
+    def _expansion_nodes(self, value: int, length: int, create: bool):
+        """Yield ``(node, level)`` for every node the prefix expands to.
+
+        A length-0 prefix lives in the root's label list.  Otherwise the
+        prefix terminates at the first level boundary >= length and is
+        expanded to every stride index it covers at that level; the ancestor
+        chain down to that level is materialised on demand.
+        """
+        if length == 0:
+            yield self.root, 0
+            return
+        target_level = next(
+            index for index, boundary in enumerate(self._boundaries) if boundary >= length
+        )
+        boundary = self._boundaries[target_level]
+        expansion_bits = boundary - length
+        base = (value >> (self.width - boundary)) & ((1 << boundary) - 1)
+        base &= ~((1 << expansion_bits) - 1) if expansion_bits else (1 << boundary) - 1
+        for offset in range(1 << expansion_bits):
+            path_value = (base | offset) << (self.width - boundary)
+            node = self.root
+            consumed = 0
+            missing = False
+            for level in range(target_level + 1):
+                stride = self.strides[level]
+                index = self._slice(path_value, consumed, stride)
+                consumed += stride
+                child = node.children.get(index)
+                if child is None:
+                    if not create:
+                        missing = True
+                        break
+                    child = TrieNode(level=level + 1)
+                    node.children[index] = child
+                    self._nodes += 1
+                node = child
+            if not missing:
+                yield node, target_level + 1
+
+    def _iter_nodes_with_stride(self):
+        """Yield ``(node, child stride)`` pairs for memory accounting."""
+        stack: List[TrieNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            stride = self.strides[node.level] if node.level < len(self.strides) else 0
+            yield node, stride
+            stack.extend(node.children.values())
+
+    def _prune(self) -> None:
+        """Remove empty leaf nodes after deletions (keeps node counts honest)."""
+
+        def prune(node: TrieNode) -> bool:
+            dead = []
+            for index, child in node.children.items():
+                if prune(child):
+                    dead.append(index)
+            for index in dead:
+                del node.children[index]
+                self._nodes -= 1
+            return node.is_empty() and node is not self.root
+
+        prune(self.root)
+
+    def stored_prefixes(self) -> List[Tuple[int, int]]:
+        """The prefixes currently stored (verification helper)."""
+        return sorted(self._prefix_index)

@@ -1,0 +1,159 @@
+"""Register-based port field lookup.
+
+Table II shows that the number of unique port specifications in real filters
+is tiny (1 unique source port spec, ~100 unique destination port specs), so
+the paper stores them in a bank of registers rather than a tree: each register
+holds one unique port specification as ``(high value, low value, label)`` and
+records whether it is an exact match or a range (Table IV).  All registers are
+compared against the incoming port value in parallel; the matching labels are
+produced in two clock cycles.
+
+Label priority follows section IV.C.1: *exact matching label first, followed
+by the tightest range matching label* — for the Table IV example and an input
+port of 7812, the labels come out ordered B, C, A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.exceptions import FieldLookupError
+from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
+from repro.fields.range_utils import PORT_MAX, PortRange
+
+__all__ = ["PortRegister", "PortRegisterFile"]
+
+
+@dataclass(frozen=True)
+class PortRegister:
+    """One register: a unique port specification and its label."""
+
+    low: int
+    high: int
+    label: int
+    priority: int
+
+    @property
+    def is_exact(self) -> bool:
+        """Exact Matching register (single port value)."""
+        return self.low == self.high
+
+    @property
+    def span(self) -> int:
+        """Number of port values the register covers (1 for exact)."""
+        return self.high - self.low + 1
+
+    def matches(self, port: int) -> bool:
+        """Return True when ``port`` falls inside the register's range."""
+        return self.low <= port <= self.high
+
+    def match_method(self) -> str:
+        """Human-readable match method, as printed in Table IV."""
+        return "Exact matching" if self.is_exact else "Range matching"
+
+
+class PortRegisterFile(SingleFieldEngine):
+    """Bank of parallel comparison registers for one port field."""
+
+    #: Register width: high value + low value + label + flags (Table IV format).
+    REGISTER_WIDTH = 16 + 16 + 7 + 1
+
+    def __init__(self, name: str = "port", capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise FieldLookupError(f"register file capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._registers: Dict[Tuple[int, int], PortRegister] = {}
+
+    # -- engine interface -----------------------------------------------------
+    @property
+    def lookup_cycles(self) -> int:
+        """The paper's port lookup produces its labels in two clock cycles."""
+        return 2
+
+    @property
+    def pipelined(self) -> bool:
+        """The register comparisons are combinational; back-to-back lookups are fine."""
+        return True
+
+    def node_count(self) -> int:
+        return len(self._registers)
+
+    def memory_bits(self) -> int:
+        """All registers exist in hardware whether occupied or not."""
+        return self.capacity * self.REGISTER_WIDTH
+
+    # -- update ------------------------------------------------------------------
+    def insert(self, spec: Hashable, label: int, priority: int) -> UpdateCost:
+        """Store the unique port specification ``spec = (low, high)``."""
+        low, high = self._validate_spec(spec)
+        if (low, high) in self._registers:
+            raise FieldLookupError(f"port range {low}:{high} already stored in {self.name}")
+        if len(self._registers) >= self.capacity:
+            raise FieldLookupError(
+                f"port register file {self.name!r} full ({self.capacity} registers)"
+            )
+        self._registers[(low, high)] = PortRegister(low=low, high=high, label=label, priority=priority)
+        return UpdateCost(memory_accesses=1, nodes_touched=1)
+
+    def remove(self, spec: Hashable, label: int) -> UpdateCost:
+        """Free the register holding ``spec``."""
+        low, high = self._validate_spec(spec)
+        register = self._registers.get((low, high))
+        if register is None or register.label != label:
+            raise FieldLookupError(f"port range {low}:{high} (label {label}) not stored in {self.name}")
+        del self._registers[(low, high)]
+        return UpdateCost(memory_accesses=1, nodes_touched=1)
+
+    def reprioritize(self, spec: Hashable, label: int, priority: int) -> None:
+        """Update the rule priority recorded alongside a register."""
+        low, high = self._validate_spec(spec)
+        register = self._registers.get((low, high))
+        if register is None:
+            raise FieldLookupError(f"port range {low}:{high} not stored in {self.name}")
+        self._registers[(low, high)] = PortRegister(low=low, high=high, label=label, priority=priority)
+
+    # -- lookup ---------------------------------------------------------------------
+    def lookup(self, value: int) -> FieldLookupResult:
+        """Compare ``value`` against every register in parallel.
+
+        The result is ordered by the paper's port priority: exact matches
+        first, then ranges from tightest to widest.  All registers are read in
+        the same cycle, so the access count is 1 regardless of occupancy.
+        """
+        if not 0 <= value <= PORT_MAX:
+            raise FieldLookupError(f"port value {value} out of 16-bit range")
+        matching = [register for register in self._registers.values() if register.matches(value)]
+        matching.sort(key=lambda register: (0 if register.is_exact else register.span, register.low))
+        matches = tuple((register.label, register.priority) for register in matching)
+        return FieldLookupResult(matches=matches, memory_accesses=1, cycles=self.lookup_cycles)
+
+    # -- reporting -----------------------------------------------------------------
+    def registers(self) -> List[PortRegister]:
+        """Stored registers ordered by label (Table IV rendering helper)."""
+        return sorted(self._registers.values(), key=lambda register: register.label)
+
+    def table_iv_rows(self, label_names: Optional[Dict[int, str]] = None) -> List[Dict[str, str]]:
+        """Render the register contents in the format of Table IV."""
+        rows = []
+        for register in self.registers():
+            label = label_names.get(register.label, str(register.label)) if label_names else str(register.label)
+            rows.append(
+                {
+                    "Port field rules": f"[{register.high} - {register.low}]",
+                    "Label": label,
+                    "Match method": register.match_method(),
+                }
+            )
+        return rows
+
+    def _validate_spec(self, spec: Hashable) -> Tuple[int, int]:
+        if not isinstance(spec, tuple) or len(spec) != 2:
+            raise FieldLookupError(f"port spec must be a (low, high) tuple, got {spec!r}")
+        low, high = spec
+        try:
+            PortRange(low, high)  # bounds / inversion validation
+        except Exception as exc:
+            raise FieldLookupError(f"invalid port range spec {spec!r}: {exc}") from exc
+        return low, high

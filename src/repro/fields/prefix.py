@@ -1,0 +1,252 @@
+"""Prefix arithmetic used throughout the single-field lookup engines.
+
+A *prefix* is the pair ``(value, length)`` describing the set of ``width``-bit
+integers whose top ``length`` bits equal the top ``length`` bits of ``value``.
+IPv4 classification uses 32-bit prefixes; the architecture of the paper splits
+each address into two 16-bit segments, so 16-bit prefixes appear as well.
+
+The helpers here are deliberately free functions working on plain integers:
+they are called in the inner loops of the trie builders and of the synthetic
+rule generator, and small immutable objects would dominate the profile.
+:class:`Prefix` is a thin frozen dataclass wrapper for the public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import RuleError
+
+__all__ = [
+    "Prefix",
+    "prefix_mask",
+    "prefix_contains",
+    "prefix_overlaps",
+    "prefix_range",
+    "prefix_to_range",
+    "range_to_prefixes",
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_ipv4_prefix",
+    "format_ipv4_prefix",
+    "split_prefix_segments",
+]
+
+IPV4_WIDTH = 32
+SEGMENT_WIDTH = 16
+
+
+def prefix_mask(length: int, width: int = IPV4_WIDTH) -> int:
+    """Return the bit mask selecting the top ``length`` bits of a ``width``-bit word."""
+    if not 0 <= length <= width:
+        raise RuleError(f"prefix length {length} out of range for width {width}")
+    if length == 0:
+        return 0
+    return ((1 << length) - 1) << (width - length)
+
+
+def prefix_range(value: int, length: int, width: int = IPV4_WIDTH) -> Tuple[int, int]:
+    """Return the inclusive ``(low, high)`` integer range covered by a prefix."""
+    mask = prefix_mask(length, width)
+    low = value & mask
+    high = low | ((1 << (width - length)) - 1)
+    return low, high
+
+
+# ``prefix_to_range`` is the name used by the range-matching helpers; keep both.
+prefix_to_range = prefix_range
+
+
+def prefix_contains(value: int, length: int, point: int, width: int = IPV4_WIDTH) -> bool:
+    """Return True when ``point`` falls inside the prefix ``value/length``."""
+    mask = prefix_mask(length, width)
+    return (point & mask) == (value & mask)
+
+
+def prefix_overlaps(
+    value_a: int, length_a: int, value_b: int, length_b: int, width: int = IPV4_WIDTH
+) -> bool:
+    """Return True when the two prefixes share at least one address.
+
+    Two prefixes overlap exactly when one contains the other, i.e. they agree on
+    the first ``min(length_a, length_b)`` bits.
+    """
+    short = min(length_a, length_b)
+    mask = prefix_mask(short, width)
+    return (value_a & mask) == (value_b & mask)
+
+
+def range_to_prefixes(low: int, high: int, width: int = IPV4_WIDTH) -> List[Tuple[int, int]]:
+    """Decompose an inclusive integer range into the minimal list of prefixes.
+
+    This is the classic range-to-prefix expansion used when a range-syntax rule
+    field (ports, mostly) has to be stored in a prefix-only structure such as a
+    trie or a TCAM.  The result is ordered from ``low`` upwards.
+    """
+    if low > high:
+        raise RuleError(f"inverted range [{low}, {high}]")
+    if low < 0 or high >= (1 << width):
+        raise RuleError(f"range [{low}, {high}] out of {width}-bit space")
+    prefixes: List[Tuple[int, int]] = []
+    while low <= high:
+        # Largest power-of-two block aligned at ``low`` ...
+        max_align = low & -low if low else (1 << width)
+        # ... that still fits below ``high``.
+        block = max_align
+        while block > high - low + 1:
+            block >>= 1
+        length = width - block.bit_length() + 1
+        prefixes.append((low, length))
+        low += block
+    return prefixes
+
+
+def split_prefix_segments(
+    value: int, length: int, width: int = IPV4_WIDTH, segment: int = SEGMENT_WIDTH
+) -> List[Tuple[int, int]]:
+    """Split a prefix into per-segment prefixes (high segment first).
+
+    The architecture of the paper partitions each 32-bit IP field into two
+    16-bit segments, each handled by its own trie.  A 32-bit prefix maps to:
+
+    * a full-length (16-bit) prefix on the high segment plus a partial prefix on
+      the low segment when ``length > 16``;
+    * a partial prefix on the high segment and a wildcard (length 0) on the low
+      segment when ``length <= 16``.
+    """
+    if width % segment != 0:
+        raise RuleError(f"width {width} is not a multiple of segment {segment}")
+    segments: List[Tuple[int, int]] = []
+    remaining = length
+    for index in range(width // segment):
+        shift = width - segment * (index + 1)
+        seg_value = (value >> shift) & ((1 << segment) - 1)
+        seg_length = min(max(remaining, 0), segment)
+        if seg_length == 0:
+            seg_value = 0
+        else:
+            seg_value &= prefix_mask(seg_length, segment)
+        segments.append((seg_value, seg_length))
+        remaining -= segment
+    return segments
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise RuleError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise RuleError(f"malformed IPv4 address {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise RuleError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    if not 0 <= value < (1 << IPV4_WIDTH):
+        raise RuleError(f"IPv4 value {value} out of range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv4_prefix(text: str) -> Tuple[int, int]:
+    """Parse ``a.b.c.d/len`` (ClassBench style, ``@`` prefix already stripped)."""
+    if "/" not in text:
+        raise RuleError(f"malformed IPv4 prefix {text!r}")
+    address, _, length_text = text.partition("/")
+    value = parse_ipv4(address)
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise RuleError(f"malformed prefix length in {text!r}") from exc
+    if not 0 <= length <= IPV4_WIDTH:
+        raise RuleError(f"prefix length out of range in {text!r}")
+    return value & prefix_mask(length), length
+
+
+def format_ipv4_prefix(value: int, length: int) -> str:
+    """Format a 32-bit prefix as ``a.b.c.d/len``."""
+    return f"{format_ipv4(value & prefix_mask(length))}/{length}"
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A ``width``-bit prefix ``value/length``.
+
+    The value is normalised at construction time: bits below the prefix length
+    are forced to zero so two equal prefixes always compare equal.
+    """
+
+    value: int
+    length: int
+    width: int = IPV4_WIDTH
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= self.width:
+            raise RuleError(f"prefix length {self.length} out of range")
+        if not 0 <= self.value < (1 << self.width):
+            raise RuleError(f"prefix value {self.value} out of {self.width}-bit space")
+        object.__setattr__(self, "value", self.value & prefix_mask(self.length, self.width))
+
+    @classmethod
+    def parse(cls, text: str, width: int = IPV4_WIDTH) -> "Prefix":
+        """Parse dotted-quad ``a.b.c.d/len`` notation (32-bit prefixes only)."""
+        if width != IPV4_WIDTH:
+            raise RuleError("Prefix.parse only supports 32-bit IPv4 prefixes")
+        value, length = parse_ipv4_prefix(text)
+        return cls(value, length, width)
+
+    @property
+    def low(self) -> int:
+        """Lowest address covered by the prefix."""
+        return prefix_range(self.value, self.length, self.width)[0]
+
+    @property
+    def high(self) -> int:
+        """Highest address covered by the prefix."""
+        return prefix_range(self.value, self.length, self.width)[1]
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when the prefix matches every value (length 0)."""
+        return self.length == 0
+
+    def contains(self, point: int) -> bool:
+        """Return True when ``point`` matches this prefix."""
+        return prefix_contains(self.value, self.length, point, self.width)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Return True when the two prefixes share at least one address."""
+        if self.width != other.width:
+            raise RuleError("cannot compare prefixes of different widths")
+        return prefix_overlaps(self.value, self.length, other.value, other.length, self.width)
+
+    def segments(self, segment: int = SEGMENT_WIDTH) -> List["Prefix"]:
+        """Split into per-segment prefixes (see :func:`split_prefix_segments`)."""
+        return [
+            Prefix(seg_value, seg_length, segment)
+            for seg_value, seg_length in split_prefix_segments(
+                self.value, self.length, self.width, segment
+            )
+        ]
+
+    def iter_addresses(self, limit: int = 1 << 20) -> Iterator[int]:
+        """Iterate the addresses covered by the prefix (guarded by ``limit``)."""
+        low, high = prefix_range(self.value, self.length, self.width)
+        if high - low + 1 > limit:
+            raise RuleError(
+                f"prefix {self} covers {high - low + 1} addresses, above limit {limit}"
+            )
+        return iter(range(low, high + 1))
+
+    def __str__(self) -> str:
+        if self.width == IPV4_WIDTH:
+            return format_ipv4_prefix(self.value, self.length)
+        return f"{self.value:0{(self.width + 3) // 4}x}/{self.length}"

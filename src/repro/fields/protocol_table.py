@@ -1,0 +1,131 @@
+"""Protocol field lookup table.
+
+The protocol field has an 8-bit domain and only a handful of distinct values
+in real filters (3 in Table II), so the paper uses the simplest possible
+structure: a direct-indexed Look-Up Table where *"the protocol value addresses
+the table where the label is contained"*.  Lookup is a single memory access in
+a single clock cycle.
+
+Two kinds of protocol specification exist: exact values and the wildcard.  A
+wildcard specification matches every packet, so its label is appended to every
+LUT word; the exact-match label (if any) comes first, which is the priority
+rule of section IV.C.1 ("the priority label for Protocol lookup is determined
+by the exact matching value").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.exceptions import FieldLookupError
+from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
+
+__all__ = ["ProtocolTable"]
+
+_PROTOCOL_SPACE = 256
+
+
+@dataclass(frozen=True)
+class _StoredProtocol:
+    """One stored protocol specification (exact value or wildcard)."""
+
+    wildcard: bool
+    value: int
+    label: int
+    priority: int
+
+
+class ProtocolTable(SingleFieldEngine):
+    """Direct-indexed 256-entry LUT for the protocol field."""
+
+    #: LUT word: exact label + wildcard label + valid flags.
+    WORD_WIDTH = 2 + 2 + 2
+
+    def __init__(self, name: str = "protocol") -> None:
+        self.name = name
+        self._exact: Dict[int, _StoredProtocol] = {}
+        self._wildcard: Optional[_StoredProtocol] = None
+
+    # -- engine interface -----------------------------------------------------
+    @property
+    def lookup_cycles(self) -> int:
+        """The protocol label search executes in a single clock cycle."""
+        return 1
+
+    @property
+    def pipelined(self) -> bool:
+        return True
+
+    def node_count(self) -> int:
+        return len(self._exact) + (1 if self._wildcard else 0)
+
+    def memory_bits(self) -> int:
+        """The full 256-entry LUT exists regardless of how many values are used."""
+        return _PROTOCOL_SPACE * self.WORD_WIDTH
+
+    # -- update ------------------------------------------------------------------
+    def insert(self, spec: Hashable, label: int, priority: int) -> UpdateCost:
+        """Store protocol spec ``(wildcard, value)`` with its label."""
+        wildcard, value = self._validate_spec(spec)
+        if wildcard:
+            if self._wildcard is not None:
+                raise FieldLookupError(f"wildcard protocol already stored in {self.name}")
+            self._wildcard = _StoredProtocol(True, 0, label, priority)
+            # The wildcard label is written into every LUT word.
+            return UpdateCost(memory_accesses=_PROTOCOL_SPACE, nodes_touched=1)
+        if value in self._exact:
+            raise FieldLookupError(f"protocol {value} already stored in {self.name}")
+        self._exact[value] = _StoredProtocol(False, value, label, priority)
+        return UpdateCost(memory_accesses=1, nodes_touched=1)
+
+    def remove(self, spec: Hashable, label: int) -> UpdateCost:
+        """Remove protocol spec ``(wildcard, value)``."""
+        wildcard, value = self._validate_spec(spec)
+        if wildcard:
+            if self._wildcard is None or self._wildcard.label != label:
+                raise FieldLookupError(f"wildcard protocol (label {label}) not stored in {self.name}")
+            self._wildcard = None
+            return UpdateCost(memory_accesses=_PROTOCOL_SPACE, nodes_touched=1)
+        stored = self._exact.get(value)
+        if stored is None or stored.label != label:
+            raise FieldLookupError(f"protocol {value} (label {label}) not stored in {self.name}")
+        del self._exact[value]
+        return UpdateCost(memory_accesses=1, nodes_touched=1)
+
+    def reprioritize(self, spec: Hashable, label: int, priority: int) -> None:
+        """Update the rule priority recorded for a protocol specification."""
+        wildcard, value = self._validate_spec(spec)
+        if wildcard:
+            if self._wildcard is None:
+                raise FieldLookupError(f"wildcard protocol not stored in {self.name}")
+            self._wildcard = _StoredProtocol(True, 0, label, priority)
+            return
+        if value not in self._exact:
+            raise FieldLookupError(f"protocol {value} not stored in {self.name}")
+        self._exact[value] = _StoredProtocol(False, value, label, priority)
+
+    # -- lookup ---------------------------------------------------------------------
+    def lookup(self, value: int) -> FieldLookupResult:
+        """Read the LUT word addressed by the protocol value."""
+        if not 0 <= value < _PROTOCOL_SPACE:
+            raise FieldLookupError(f"protocol value {value} out of 8-bit range")
+        matches = []
+        stored = self._exact.get(value)
+        if stored is not None:
+            matches.append((stored.label, stored.priority))
+        if self._wildcard is not None:
+            matches.append((self._wildcard.label, self._wildcard.priority))
+        return FieldLookupResult(matches=tuple(matches), memory_accesses=1, cycles=self.lookup_cycles)
+
+    def _validate_spec(self, spec: Hashable) -> Tuple[bool, int]:
+        if not isinstance(spec, tuple) or len(spec) != 2:
+            raise FieldLookupError(
+                f"protocol spec must be a (wildcard, value) tuple, got {spec!r}"
+            )
+        wildcard, value = spec
+        if not isinstance(wildcard, bool):
+            raise FieldLookupError(f"protocol wildcard flag must be a bool, got {wildcard!r}")
+        if not 0 <= value < _PROTOCOL_SPACE:
+            raise FieldLookupError(f"protocol value {value} out of 8-bit range")
+        return wildcard, value

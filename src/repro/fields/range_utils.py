@@ -1,0 +1,128 @@
+"""Range matching helpers for port-like fields.
+
+Port fields in packet classification rules are specified either as an exact
+value (``port == 7812``), a closed range (``7810-7820``), or the full wildcard
+``0-65535``.  The :class:`PortRange` value object normalises all three forms
+and offers the priority comparison the paper uses for port labels: an exact
+match outranks a range match, and among range matches the *tighter* range
+wins ("the priority of Port labels is given by exact matching label following
+by the tightest range matching label", section IV.C.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.exceptions import RuleError
+from repro.fields.prefix import range_to_prefixes
+
+__all__ = ["PortRange", "PORT_WIDTH", "PORT_MAX", "merge_ranges"]
+
+PORT_WIDTH = 16
+PORT_MAX = (1 << PORT_WIDTH) - 1
+
+
+@dataclass(frozen=True, order=True)
+class PortRange:
+    """Inclusive range ``[low, high]`` over the 16-bit port space."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= PORT_MAX or not 0 <= self.high <= PORT_MAX:
+            raise RuleError(f"port bound out of range: [{self.low}, {self.high}]")
+        if self.low > self.high:
+            raise RuleError(f"inverted port range [{self.low}, {self.high}]")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def exact(cls, value: int) -> "PortRange":
+        """Range containing a single port value."""
+        return cls(value, value)
+
+    @classmethod
+    def wildcard(cls) -> "PortRange":
+        """Range covering every port (the ``0 : 65535`` wildcard)."""
+        return cls(0, PORT_MAX)
+
+    @classmethod
+    def parse(cls, text: str) -> "PortRange":
+        """Parse ClassBench style ``low : high`` (or a bare exact value)."""
+        text = text.strip()
+        if ":" in text:
+            low_text, _, high_text = text.partition(":")
+        elif "-" in text and not text.lstrip().startswith("-"):
+            low_text, _, high_text = text.partition("-")
+        else:
+            low_text = high_text = text
+        try:
+            low = int(low_text)
+            high = int(high_text)
+        except ValueError as exc:
+            raise RuleError(f"malformed port range {text!r}") from exc
+        return cls(low, high)
+
+    # -- predicates ---------------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        """True when the range holds a single value (Exact Matching in the paper)."""
+        return self.low == self.high
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when the range covers the whole 16-bit port space."""
+        return self.low == 0 and self.high == PORT_MAX
+
+    @property
+    def span(self) -> int:
+        """Number of port values covered by the range."""
+        return self.high - self.low + 1
+
+    def contains(self, value: int) -> bool:
+        """Return True when ``value`` is inside the range."""
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "PortRange") -> bool:
+        """Return True when the two ranges share at least one port value."""
+        return self.low <= other.high and other.low <= self.high
+
+    def covers(self, other: "PortRange") -> bool:
+        """Return True when this range fully contains ``other``."""
+        return self.low <= other.low and other.high <= self.high
+
+    # -- conversions ---------------------------------------------------------
+    def to_prefixes(self) -> List[Tuple[int, int]]:
+        """Expand the range into the minimal set of 16-bit prefixes."""
+        return range_to_prefixes(self.low, self.high, PORT_WIDTH)
+
+    def priority_key(self) -> Tuple[int, int]:
+        """Sort key implementing the paper's port-label priority.
+
+        Lower keys mean higher priority: exact matches first, then ranges from
+        the tightest (smallest span) to the widest, ties broken by lower bound
+        so the ordering is total and deterministic.
+        """
+        return (0 if self.is_exact else self.span, self.low)
+
+    def __str__(self) -> str:
+        return f"{self.low}:{self.high}"
+
+
+def merge_ranges(ranges: Iterable[PortRange]) -> List[PortRange]:
+    """Merge overlapping or adjacent ranges into a minimal disjoint cover.
+
+    Used by the analysis helpers to report effective port coverage of a rule
+    set; the classifier itself never merges ranges because each unique range
+    keeps its own label.
+    """
+    ordered = sorted(ranges, key=lambda r: (r.low, r.high))
+    merged: List[PortRange] = []
+    for current in ordered:
+        if merged and current.low <= merged[-1].high + 1:
+            previous = merged.pop()
+            merged.append(PortRange(previous.low, max(previous.high, current.high)))
+        else:
+            merged.append(current)
+    return merged

@@ -1,0 +1,115 @@
+"""Segment trie single-field engine.
+
+The "Option 1" / "Option 2" single-field combinations of Table I (taken from
+the authors' earlier comparison paper [17]) use a *segment trie* for the port
+fields: the 16-bit port space is cut into a fixed number of equal segments per
+level, forming a fixed-stride trie whose leaves carry the labels of the port
+specifications covering them.  Ranges are inserted by decomposing them into
+prefixes (the classic range-to-prefix expansion) and inserting each prefix.
+
+The engine is a thin specialisation of a fixed-stride trie over 16-bit keys;
+it differs from :class:`~repro.fields.multibit_trie.MultibitTrie` only in the
+stride policy (equal strides derived from the level count) and in accepting
+range specs directly, so it reuses the MBT node machinery internally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.exceptions import FieldLookupError
+from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
+from repro.fields.multibit_trie import MultibitTrie
+from repro.fields.range_utils import PORT_MAX, PortRange
+
+__all__ = ["SegmentTrie"]
+
+
+class SegmentTrie(SingleFieldEngine):
+    """Fixed-stride trie over the port space with ``levels`` equal levels."""
+
+    def __init__(self, name: str = "segment_trie", levels: int = 4, width: int = 16) -> None:
+        if levels <= 0 or width % levels != 0:
+            raise FieldLookupError(
+                f"segment trie needs a level count dividing the width; got {levels} levels over {width} bits"
+            )
+        self.name = name
+        self.width = width
+        self.levels = levels
+        stride = width // levels
+        self._trie = MultibitTrie(
+            name=f"{name}_trie", width=width, strides=tuple([stride] * levels), pipelined=True
+        )
+        # Range spec -> the prefixes it expanded to (needed for removal).
+        self._expansions: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+
+    # -- engine interface -----------------------------------------------------
+    @property
+    def lookup_cycles(self) -> int:
+        """One cycle per level, as for any fixed-stride trie."""
+        return self.levels
+
+    @property
+    def pipelined(self) -> bool:
+        return True
+
+    def node_count(self) -> int:
+        return self._trie.node_count()
+
+    def memory_bits(self) -> int:
+        return self._trie.memory_bits()
+
+    # -- update ------------------------------------------------------------------
+    def insert(self, spec: Hashable, label: int, priority: int) -> UpdateCost:
+        """Insert the port range ``spec = (low, high)`` via prefix expansion."""
+        low, high = self._validate_spec(spec)
+        if (low, high) in self._expansions:
+            raise FieldLookupError(f"port range {low}:{high} already stored in {self.name}")
+        prefixes = PortRange(low, high).to_prefixes()
+        accesses = 0
+        touched = 0
+        inserted: List[Tuple[int, int]] = []
+        for prefix in prefixes:
+            cost = self._trie.insert(prefix, label, priority)
+            accesses += cost.memory_accesses
+            touched += cost.nodes_touched
+            inserted.append(prefix)
+        self._expansions[(low, high)] = inserted
+        return UpdateCost(memory_accesses=accesses, nodes_touched=touched)
+
+    def remove(self, spec: Hashable, label: int) -> UpdateCost:
+        """Remove the port range ``spec`` and its expanded prefixes."""
+        low, high = self._validate_spec(spec)
+        prefixes = self._expansions.get((low, high))
+        if prefixes is None:
+            raise FieldLookupError(f"port range {low}:{high} not stored in {self.name}")
+        accesses = 0
+        touched = 0
+        for prefix in prefixes:
+            cost = self._trie.remove(prefix, label)
+            accesses += cost.memory_accesses
+            touched += cost.nodes_touched
+        del self._expansions[(low, high)]
+        return UpdateCost(memory_accesses=accesses, nodes_touched=touched)
+
+    # -- lookup ---------------------------------------------------------------------
+    def lookup(self, value: int) -> FieldLookupResult:
+        """Walk the trie and return the labels of every covering range."""
+        if not 0 <= value <= PORT_MAX:
+            raise FieldLookupError(f"port value {value} out of 16-bit range")
+        result = self._trie.lookup(value)
+        return FieldLookupResult(
+            matches=result.matches,
+            memory_accesses=result.memory_accesses,
+            cycles=self.lookup_cycles,
+        )
+
+    def _validate_spec(self, spec: Hashable) -> Tuple[int, int]:
+        if not isinstance(spec, tuple) or len(spec) != 2:
+            raise FieldLookupError(f"segment trie spec must be a (low, high) tuple, got {spec!r}")
+        low, high = spec
+        try:
+            PortRange(low, high)
+        except Exception as exc:
+            raise FieldLookupError(f"invalid port range spec {spec!r}: {exc}") from exc
+        return low, high

@@ -1,0 +1,69 @@
+"""Behavioural hardware model.
+
+Everything the FPGA prototype provides that the evaluation depends on is
+modelled here as explicit Python objects:
+
+* :mod:`~repro.hardware.memory` — access-counted memory blocks and banks;
+* :mod:`~repro.hardware.clock` — cycle reports and the cycles→throughput model;
+* :mod:`~repro.hardware.hash_unit` — the 68-bit label-key layout and the
+  rule-filter addressing hash;
+* :mod:`~repro.hardware.rule_filter` — the hash-addressed Rule Filter memory;
+* :mod:`~repro.hardware.memory_sharing` — the MBT-L2 / BST shared memory bank
+  (Fig. 5);
+* :mod:`~repro.hardware.pipeline` — the four-phase lookup pipeline (Fig. 3);
+* :mod:`~repro.hardware.memory_image` — binary memory images uploaded by the
+  control plane;
+* :mod:`~repro.hardware.fpga_model` — the Stratix V resource estimator
+  (Table V).
+"""
+
+from repro.hardware.clock import ClockModel, CycleReport, merge_reports
+from repro.hardware.fpga_model import (
+    DeviceBudget,
+    FpgaResourceModel,
+    LogicInventory,
+    STRATIX_V_5SGXMB6R3F43C4,
+    SynthesisEstimate,
+)
+from repro.hardware.hash_unit import DEFAULT_LABEL_LAYOUT, HashUnit, LabelKeyLayout
+from repro.hardware.memory import AccessCounter, MemoryBank, MemoryBlock
+from repro.hardware.memory_image import MemoryImage, MemoryWrite
+from repro.hardware.memory_sharing import MemorySharingReport, SharedMemoryBank, SharedView
+from repro.hardware.pipeline import (
+    PAPER_PHASES,
+    PacketTimeline,
+    PipelineModel,
+    PipelinePhase,
+    PipelineTrace,
+)
+from repro.hardware.rule_filter import RuleFilterEntry, RuleFilterLookup, RuleFilterMemory
+
+__all__ = [
+    "AccessCounter",
+    "MemoryBlock",
+    "MemoryBank",
+    "ClockModel",
+    "CycleReport",
+    "merge_reports",
+    "HashUnit",
+    "LabelKeyLayout",
+    "DEFAULT_LABEL_LAYOUT",
+    "RuleFilterMemory",
+    "RuleFilterEntry",
+    "RuleFilterLookup",
+    "SharedMemoryBank",
+    "SharedView",
+    "MemorySharingReport",
+    "PipelineModel",
+    "PipelinePhase",
+    "PipelineTrace",
+    "PacketTimeline",
+    "PAPER_PHASES",
+    "MemoryImage",
+    "MemoryWrite",
+    "FpgaResourceModel",
+    "LogicInventory",
+    "DeviceBudget",
+    "SynthesisEstimate",
+    "STRATIX_V_5SGXMB6R3F43C4",
+]

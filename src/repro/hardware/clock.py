@@ -1,0 +1,135 @@
+"""Clock-cycle accounting.
+
+The paper reports per-operation costs in clock cycles (section V.A/V.B):
+protocol lookup 1 cycle, port lookup 2 cycles, MBT 6-cycle latency with
+1-packet-per-cycle pipelined throughput, BST up to 16 cycles per packet,
++1 cycle to dereference the label-list pointer and +2 cycles for the final
+combination / rule-filter access; updates take 2 cycles per rule plus 1 hash
+cycle.  :class:`CycleReport` is the structured record of one operation's cycle
+breakdown and :class:`ClockModel` turns cycle counts into wall-clock time and
+throughput given a clock frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CycleReport", "ClockModel", "merge_reports"]
+
+
+@dataclass
+class CycleReport:
+    """Cycle breakdown of one operation (a lookup or an update).
+
+    ``latency_cycles`` is the end-to-end latency seen by a single packet;
+    ``occupancy_cycles`` is the number of cycles during which the pipeline is
+    busy with this packet and cannot accept another one — for a fully
+    pipelined engine (MBT) the occupancy is 1 even though the latency is 6.
+    """
+
+    operation: str
+    phases: Dict[str, int] = field(default_factory=dict)
+    pipelined: bool = False
+
+    def add_phase(self, name: str, cycles: int) -> None:
+        """Record ``cycles`` spent in pipeline phase ``name`` (accumulates)."""
+        if cycles < 0:
+            raise ConfigurationError(f"negative cycle count {cycles} for phase {name!r}")
+        self.phases[name] = self.phases.get(name, 0) + cycles
+
+    @property
+    def latency_cycles(self) -> int:
+        """End-to-end latency in cycles (sum of every phase)."""
+        return sum(self.phases.values())
+
+    @property
+    def occupancy_cycles(self) -> int:
+        """Cycles before the next operation can enter the engine.
+
+        A pipelined operation occupies the slowest single stage — which the
+        architecture of the paper keeps at one cycle — whereas a non-pipelined
+        operation occupies its full latency.
+        """
+        if not self.phases:
+            return 0
+        if self.pipelined:
+            return 1
+        return self.latency_cycles
+
+    def phase_breakdown(self) -> Dict[str, int]:
+        """Copy of the per-phase cycle mapping."""
+        return dict(self.phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"CycleReport({self.operation!r}, latency={self.latency_cycles}, "
+            f"occupancy={self.occupancy_cycles}, pipelined={self.pipelined})"
+        )
+
+
+def merge_reports(operation: str, reports: Iterable[CycleReport], pipelined: bool = False) -> CycleReport:
+    """Merge several reports into one (phases with equal names accumulate)."""
+    merged = CycleReport(operation=operation, pipelined=pipelined)
+    for report in reports:
+        for name, cycles in report.phases.items():
+            merged.add_phase(name, cycles)
+    return merged
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Converts cycle counts into time and throughput.
+
+    The default frequency is the maximum frequency reported in Table V for
+    the Stratix V prototype (133.51 MHz).
+    """
+
+    frequency_hz: float = 133.51e6
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(f"clock frequency must be positive, got {self.frequency_hz}")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1e9 / self.frequency_hz
+
+    def time_ns(self, cycles: int) -> float:
+        """Wall-clock nanoseconds taken by ``cycles`` clock cycles."""
+        return cycles * self.cycle_time_ns
+
+    def lookups_per_second(self, cycles_per_lookup: float) -> float:
+        """Sustained lookup rate given the per-lookup occupancy in cycles."""
+        if cycles_per_lookup <= 0:
+            raise ConfigurationError("cycles per lookup must be positive")
+        return self.frequency_hz / cycles_per_lookup
+
+    def throughput_gbps(self, cycles_per_packet: float, packet_bytes: int = 40) -> float:
+        """Line-rate throughput in Gbit/s for back-to-back minimum-size packets.
+
+        This is the model behind Tables VI/VII: MBT sustains one packet per
+        cycle, so at 133.51 MHz and 40-byte packets the throughput is
+        133.51e6 x 320 bits = 42.7 Gbps; BST needs ~16 cycles per packet and
+        lands at about 2.67 Gbps.
+        """
+        if packet_bytes <= 0:
+            raise ConfigurationError("packet size must be positive")
+        return self.lookups_per_second(cycles_per_packet) * packet_bytes * 8 / 1e9
+
+    def summarize(self, reports: Mapping[str, CycleReport], packet_bytes: int = 40) -> Dict[str, Dict[str, float]]:
+        """Build a throughput/latency summary for a set of named operations."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for name, report in reports.items():
+            occupancy = max(1, report.occupancy_cycles)
+            summary[name] = {
+                "latency_cycles": float(report.latency_cycles),
+                "latency_ns": self.time_ns(report.latency_cycles),
+                "occupancy_cycles": float(occupancy),
+                "lookups_per_second": self.lookups_per_second(occupancy),
+                "throughput_gbps": self.throughput_gbps(occupancy, packet_bytes),
+            }
+        return summary

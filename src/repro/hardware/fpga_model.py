@@ -1,0 +1,213 @@
+"""FPGA resource model (Table V).
+
+The prototype targets Altera's Stratix V 5SGXMB6R3F43C4.  Synthesis results
+obviously cannot be reproduced from Python, so this module provides a
+calibrated *resource estimator*: given the memory bank of an instantiated
+classifier and a description of the lookup logic, it estimates
+
+* block memory bits (directly the sum of the memory blocks),
+* logic utilisation in ALMs (a per-engine cost model calibrated against the
+  paper's 79,835 ALM figure),
+* register count (pipeline registers per stage plus per-block addressing),
+* maximum frequency (a simple critical-path model: the base fabric speed
+  derated by the widest memory block's address decode),
+* I/O pin usage.
+
+The constants are calibration knobs, not physics; EXPERIMENTS.md reports both
+the paper's Table V numbers and the model's estimates side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.memory import MemoryBank
+
+__all__ = ["DeviceBudget", "STRATIX_V_5SGXMB6R3F43C4", "LogicInventory", "SynthesisEstimate", "FpgaResourceModel"]
+
+
+@dataclass(frozen=True)
+class DeviceBudget:
+    """Available resources of the target FPGA device."""
+
+    name: str
+    alms: int
+    block_memory_bits: int
+    registers: int
+    pins: int
+    base_fmax_mhz: float
+
+
+#: The device of Table V.  54,476,800 block-memory bits ~= 54 Mbit as stated
+#: in section V.C; the ALM and pin budgets are the published device totals the
+#: paper's utilisation row is measured against.
+STRATIX_V_5SGXMB6R3F43C4 = DeviceBudget(
+    name="Stratix V 5SGXMB6R3F43C4",
+    alms=225_400,
+    block_memory_bits=54_476_800,
+    registers=901_600,
+    pins=908,
+    base_fmax_mhz=200.0,
+)
+
+
+@dataclass
+class LogicInventory:
+    """Inventory of the synthesised logic, used to estimate ALMs/registers.
+
+    The per-engine constants are calibrated so that the full architecture
+    (two MBT segment engines per IP field x 2 fields, two BST engines, the
+    port register file, the protocol LUT, the label combiner and the hash
+    unit) lands close to the paper's 79,835 ALMs / 129,273 registers.
+    """
+
+    mbt_engines: int = 4
+    bst_engines: int = 4
+    port_register_entries: int = 128
+    protocol_table_entries: int = 256
+    label_combiner_width_bits: int = 68
+    pipeline_stages: int = 10
+    hash_units: int = 1
+    update_controllers: int = 1
+
+    #: Calibrated ALM cost per unit of each logic class.
+    ALM_COSTS: Dict[str, float] = field(
+        default_factory=lambda: {
+            "mbt_engine": 7_200.0,
+            "bst_engine": 6_100.0,
+            "port_register_entry": 58.0,
+            "protocol_table": 900.0,
+            "label_combiner_bit": 95.0,
+            "pipeline_stage": 650.0,
+            "hash_unit": 2_400.0,
+            "update_controller": 3_000.0,
+        }
+    )
+
+    def estimated_alms(self) -> float:
+        """Estimate the ALM count of the control/datapath logic."""
+        costs = self.ALM_COSTS
+        return (
+            self.mbt_engines * costs["mbt_engine"]
+            + self.bst_engines * costs["bst_engine"]
+            + self.port_register_entries * costs["port_register_entry"]
+            + (1 if self.protocol_table_entries else 0) * costs["protocol_table"]
+            + self.label_combiner_width_bits * costs["label_combiner_bit"]
+            + self.pipeline_stages * costs["pipeline_stage"]
+            + self.hash_units * costs["hash_unit"]
+            + self.update_controllers * costs["update_controller"]
+        )
+
+    def estimated_registers(self) -> float:
+        """Estimate the register count (pipeline + per-engine state).
+
+        The datapath is replicated across the parallel engines and each of the
+        ~10 pipeline stages carries the full header/label context, so the
+        register count is dominated by per-engine working state; the constants
+        are calibrated against the prototype's 129,273 registers.
+        """
+        per_stage = 68 + 32 + 16  # label key + header segment + control
+        engine_state = (self.mbt_engines + self.bst_engines) * 9_000
+        port_state = self.port_register_entries * 48
+        return self.pipeline_stages * per_stage * 20 + engine_state + port_state + 28_000
+
+
+@dataclass(frozen=True)
+class SynthesisEstimate:
+    """The Table V row produced by the model."""
+
+    device: str
+    logic_alms: int
+    logic_alms_available: int
+    block_memory_bits: int
+    block_memory_bits_available: int
+    registers: int
+    fmax_mhz: float
+    pins_used: int
+    pins_available: int
+
+    @property
+    def logic_utilisation(self) -> float:
+        """Fraction of device ALMs used."""
+        return self.logic_alms / self.logic_alms_available
+
+    @property
+    def memory_utilisation(self) -> float:
+        """Fraction of device block-memory bits used."""
+        return self.block_memory_bits / self.block_memory_bits_available
+
+    def as_table_row(self) -> Dict[str, str]:
+        """Render in the same shape as Table V."""
+        return {
+            "Logical Utilization": f"{self.logic_alms:,} / {self.logic_alms_available:,}",
+            "Total block memory bits": f"{self.block_memory_bits:,} / {self.block_memory_bits_available:,}",
+            "Total registers": f"{self.registers:,}",
+            "Maximum Frequency": f"{self.fmax_mhz:.2f} MHz",
+            "Total Number Pins": f"{self.pins_used} / {self.pins_available}",
+        }
+
+
+class FpgaResourceModel:
+    """Estimates Table V style synthesis results for an instantiated design."""
+
+    #: Pins: 2 x 68-bit update buses + lookup request/response + control,
+    #: rounded to the paper's 500 used pins by calibration.
+    _PIN_ESTIMATE = 500
+
+    def __init__(self, device: DeviceBudget = STRATIX_V_5SGXMB6R3F43C4) -> None:
+        self.device = device
+
+    def estimate(
+        self,
+        memory_bank: MemoryBank,
+        logic: Optional[LogicInventory] = None,
+        target_fmax_mhz: float = 133.51,
+    ) -> SynthesisEstimate:
+        """Produce a synthesis estimate for the given memory bank and logic.
+
+        ``target_fmax_mhz`` is the paper's achieved frequency; the model only
+        derates it further if the design's widest memory block implies a
+        longer address-decode path than the prototype's.
+        """
+        logic = logic or LogicInventory()
+        memory_bits = memory_bank.total_bits
+        if memory_bits > self.device.block_memory_bits:
+            raise ConfigurationError(
+                f"design needs {memory_bits} block memory bits, device only has "
+                f"{self.device.block_memory_bits}"
+            )
+        alms = int(round(logic.estimated_alms()))
+        if alms > self.device.alms:
+            raise ConfigurationError(
+                f"design needs {alms} ALMs, device only has {self.device.alms}"
+            )
+        registers = int(round(logic.estimated_registers()))
+        fmax = min(self.device.base_fmax_mhz, self._fmax_estimate(memory_bank, target_fmax_mhz))
+        return SynthesisEstimate(
+            device=self.device.name,
+            logic_alms=alms,
+            logic_alms_available=self.device.alms,
+            block_memory_bits=memory_bits,
+            block_memory_bits_available=self.device.block_memory_bits,
+            registers=registers,
+            fmax_mhz=fmax,
+            pins_used=self._PIN_ESTIMATE,
+            pins_available=self.device.pins,
+        )
+
+    def _fmax_estimate(self, memory_bank: MemoryBank, target_fmax_mhz: float) -> float:
+        """Derate the target frequency for unusually deep memory blocks.
+
+        The prototype's deepest block is a 16K-word memory; every doubling
+        beyond that costs roughly 6% of Fmax (an extra address decode level).
+        """
+        deepest = max((block.depth for block in memory_bank), default=1)
+        reference_depth = 1 << 14
+        fmax = target_fmax_mhz
+        depth = deepest
+        while depth > reference_depth:
+            fmax *= 0.94
+            depth //= 2
+        return fmax

@@ -1,0 +1,129 @@
+"""Hardware hash unit for Rule Filter addressing.
+
+Section IV.A of the paper: *"The final address to store each rule in the Rule
+Filter block is performed using a hash function implemented in hardware"*, and
+section IV.C.1: the highest-priority labels of every field are *"merged in one
+large data segment (68 bits) in which a hash function is used to obtain the
+HPMR address"*.
+
+The model implements a simple multiplicative/XOR-fold hash over the packed
+68-bit label key, plus linear probing for collision resolution so the
+behavioural model never loses a rule to a hash collision (the FPGA design
+would size the table and pick the hash to make collisions rare; the probing
+steps are visible in the access counts, so collision cost is still modelled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LabelKeyLayout", "HashUnit", "DEFAULT_LABEL_LAYOUT"]
+
+
+@dataclass(frozen=True)
+class LabelKeyLayout:
+    """Bit widths used to pack per-field labels into the combined key.
+
+    The paper uses 13-bit IP-segment labels, 7-bit port labels and a 2-bit
+    protocol label, giving 4x13 + 2x7 + 2 = 68 bits.
+    """
+
+    ip_label_bits: int = 13
+    port_label_bits: int = 7
+    protocol_label_bits: int = 2
+
+    @property
+    def total_bits(self) -> int:
+        """Width of the packed key in bits (68 with the paper's layout)."""
+        return 4 * self.ip_label_bits + 2 * self.port_label_bits + self.protocol_label_bits
+
+    def field_widths(self) -> Tuple[int, ...]:
+        """Per-component widths in canonical order.
+
+        Order: src-IP-high, src-IP-low, dst-IP-high, dst-IP-low, src-port,
+        dst-port, protocol — the same order the label combiner produces.
+        """
+        return (
+            self.ip_label_bits,
+            self.ip_label_bits,
+            self.ip_label_bits,
+            self.ip_label_bits,
+            self.port_label_bits,
+            self.port_label_bits,
+            self.protocol_label_bits,
+        )
+
+    def pack(self, labels: Sequence[int]) -> int:
+        """Pack seven per-field label values into the combined integer key."""
+        widths = self.field_widths()
+        if len(labels) != len(widths):
+            raise ConfigurationError(
+                f"expected {len(widths)} labels to pack, got {len(labels)}"
+            )
+        key = 0
+        for label, width in zip(labels, widths):
+            if label < 0 or label >= (1 << width):
+                raise ConfigurationError(
+                    f"label value {label} does not fit in {width} bits"
+                )
+            key = (key << width) | label
+        return key
+
+    def unpack(self, key: int) -> Tuple[int, ...]:
+        """Inverse of :meth:`pack`."""
+        widths = self.field_widths()
+        values = []
+        for width in reversed(widths):
+            values.append(key & ((1 << width) - 1))
+            key >>= width
+        return tuple(reversed(values))
+
+
+#: Layout used throughout the library unless a caller overrides it.
+DEFAULT_LABEL_LAYOUT = LabelKeyLayout()
+
+
+class HashUnit:
+    """Multiplicative/XOR-fold hash with a power-of-two table size."""
+
+    #: 64-bit odd multiplicative constant (splitmix64 finaliser flavour).
+    _MULTIPLIER = 0x9E3779B97F4A7C15
+
+    def __init__(self, table_bits: int = 14) -> None:
+        if not 1 <= table_bits <= 30:
+            raise ConfigurationError(f"table_bits must be in [1, 30], got {table_bits}")
+        self.table_bits = table_bits
+
+    @property
+    def table_size(self) -> int:
+        """Number of slots the hash addresses (2**table_bits)."""
+        return 1 << self.table_bits
+
+    def hash(self, key: int) -> int:
+        """Map a packed label key to a table slot index."""
+        if key < 0:
+            raise ConfigurationError(f"hash keys must be non-negative, got {key}")
+        value = key & 0xFFFFFFFFFFFFFFFF
+        # Fold anything above 64 bits back in so the full 68-bit key matters.
+        value ^= key >> 64
+        value = (value * self._MULTIPLIER) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 29
+        value = (value * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 32
+        return value & (self.table_size - 1)
+
+    def probe_sequence(self, key: int, limit: int):
+        """Yield the first ``limit`` linear-probing slots for ``key``.
+
+        The sequence is generated lazily: callers normally stop at the first
+        empty slot, so materialising the full table-sized sequence would be
+        wasted work.
+        """
+        if limit <= 0:
+            raise ConfigurationError(f"probe limit must be positive, got {limit}")
+        start = self.hash(key)
+        mask = self.table_size - 1
+        return ((start + offset) & mask for offset in range(limit))

@@ -1,0 +1,250 @@
+"""Behavioural model of on-chip memory blocks.
+
+The FPGA prototype of the paper is built from explicit memory blocks
+(algorithm node memories, label list memories, the rule filter memory).  The
+evaluation metrics — memory accesses per lookup/update and total memory bits —
+are all properties of those blocks, so the Python model makes each block an
+explicit object that:
+
+* has a fixed geometry (``depth`` words of ``width`` bits),
+* stores arbitrary Python payloads per word (the behavioural content),
+* counts every read and write port access,
+* refuses out-of-range addresses and over-wide data, which is how geometry
+  bugs in the builders are caught early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CapacityError, MemoryModelError
+
+__all__ = ["AccessCounter", "MemoryBlock", "MemoryBank"]
+
+
+@dataclass
+class AccessCounter:
+    """Read/write access counters attached to every memory block."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of accesses of either kind."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero both counters (used between benchmark phases)."""
+        self.reads = 0
+        self.writes = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Return ``(reads, writes)`` at this instant."""
+        return (self.reads, self.writes)
+
+
+class MemoryBlock:
+    """A single on-chip memory of ``depth`` words x ``width`` bits.
+
+    The payload stored per word is an arbitrary Python object (a trie node, a
+    label list pointer, a rule entry...).  The ``width`` is purely an
+    accounting property: it defines how many bits this block contributes to
+    the total memory budget and is what the FPGA resource model adds up.
+    """
+
+    def __init__(self, name: str, depth: int, width: int) -> None:
+        if depth <= 0:
+            raise MemoryModelError(f"memory block {name!r} needs positive depth, got {depth}")
+        if width <= 0:
+            raise MemoryModelError(f"memory block {name!r} needs positive width, got {width}")
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.counter = AccessCounter()
+        self._words: Dict[int, Any] = {}
+
+    # -- geometry / accounting ------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total capacity of the block in bits (depth x width)."""
+        return self.depth * self.width
+
+    @property
+    def used_words(self) -> int:
+        """Number of words currently holding a payload."""
+        return len(self._words)
+
+    @property
+    def used_bits(self) -> int:
+        """Bits corresponding to occupied words."""
+        return self.used_words * self.width
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of words in use."""
+        return self.used_words / self.depth
+
+    def reset_counters(self) -> None:
+        """Zero the access counters without touching the contents."""
+        self.counter.reset()
+
+    # -- access -----------------------------------------------------------------
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.depth:
+            raise MemoryModelError(
+                f"address {address} out of range for memory block {self.name!r} "
+                f"(depth {self.depth})"
+            )
+
+    def read(self, address: int) -> Any:
+        """Read the payload at ``address`` (counts one read access)."""
+        self._check_address(address)
+        self.counter.reads += 1
+        return self._words.get(address)
+
+    def write(self, address: int, payload: Any) -> None:
+        """Write ``payload`` at ``address`` (counts one write access)."""
+        self._check_address(address)
+        self.counter.writes += 1
+        self._words[address] = payload
+
+    def clear(self, address: int) -> None:
+        """Erase the word at ``address`` (counts one write access)."""
+        self._check_address(address)
+        self.counter.writes += 1
+        self._words.pop(address, None)
+
+    def clear_all(self) -> None:
+        """Erase the whole block (not counted: models a reset line)."""
+        self._words.clear()
+
+    def allocate(self) -> int:
+        """Return the lowest free address, raising when the block is full."""
+        for address in range(self.depth):
+            if address not in self._words:
+                return address
+        raise CapacityError(f"memory block {self.name!r} is full ({self.depth} words)")
+
+    def peek(self, address: int) -> Any:
+        """Read without counting an access (debug/verification use only)."""
+        self._check_address(address)
+        return self._words.get(address)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate ``(address, payload)`` pairs of occupied words (not counted)."""
+        return iter(sorted(self._words.items()))
+
+    def __len__(self) -> int:
+        return self.used_words
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBlock(name={self.name!r}, depth={self.depth}, width={self.width}, "
+            f"used={self.used_words})"
+        )
+
+
+@dataclass
+class MemoryBank:
+    """A named collection of memory blocks with aggregate accounting.
+
+    The classifier instantiates one bank holding every block of the design
+    (algorithm memories, label memories, rule filter); the FPGA resource
+    model and the reports then only need the bank.
+    """
+
+    name: str
+    blocks: List[MemoryBlock] = field(default_factory=list)
+
+    def add(self, block: MemoryBlock) -> MemoryBlock:
+        """Register a block with the bank and return it."""
+        if any(existing.name == block.name for existing in self.blocks):
+            raise MemoryModelError(f"duplicate memory block name {block.name!r} in bank {self.name!r}")
+        self.blocks.append(block)
+        return block
+
+    def new_block(self, name: str, depth: int, width: int) -> MemoryBlock:
+        """Create, register and return a new block."""
+        return self.add(MemoryBlock(name, depth, width))
+
+    def get(self, name: str) -> MemoryBlock:
+        """Return the block called ``name``."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise MemoryModelError(f"no memory block named {name!r} in bank {self.name!r}")
+
+    def __contains__(self, name: object) -> bool:
+        return any(block.name == name for block in self.blocks)
+
+    def __iter__(self) -> Iterator[MemoryBlock]:
+        return iter(self.blocks)
+
+    # -- aggregate accounting ---------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Sum of the capacities of every block, in bits."""
+        return sum(block.total_bits for block in self.blocks)
+
+    @property
+    def used_bits(self) -> int:
+        """Sum of occupied bits over every block."""
+        return sum(block.used_bits for block in self.blocks)
+
+    @property
+    def total_accesses(self) -> int:
+        """Total reads + writes over every block."""
+        return sum(block.counter.total for block in self.blocks)
+
+    @property
+    def total_reads(self) -> int:
+        """Total reads over every block."""
+        return sum(block.counter.reads for block in self.blocks)
+
+    @property
+    def total_writes(self) -> int:
+        """Total writes over every block."""
+        return sum(block.counter.writes for block in self.blocks)
+
+    def reset_counters(self) -> None:
+        """Zero the counters of every block."""
+        for block in self.blocks:
+            block.reset_counters()
+
+    def access_report(self) -> Dict[str, Tuple[int, int]]:
+        """Per-block ``(reads, writes)`` snapshot."""
+        return {block.name: block.counter.snapshot() for block in self.blocks}
+
+    def utilisation_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-block geometry and occupancy summary."""
+        return {
+            block.name: {
+                "depth": block.depth,
+                "width": block.width,
+                "total_bits": block.total_bits,
+                "used_words": block.used_words,
+                "occupancy": block.occupancy,
+            }
+            for block in self.blocks
+        }
+
+    def find(self, prefix: str) -> List[MemoryBlock]:
+        """Return the blocks whose name starts with ``prefix``."""
+        return [block for block in self.blocks if block.name.startswith(prefix)]
+
+    def subtotal_bits(self, prefix: str) -> int:
+        """Total bits of the blocks whose name starts with ``prefix``."""
+        return sum(block.total_bits for block in self.find(prefix))
+
+    def merge_counters(self) -> AccessCounter:
+        """Return one counter aggregating every block (a copy, not live)."""
+        merged = AccessCounter()
+        for block in self.blocks:
+            merged.reads += block.counter.reads
+            merged.writes += block.counter.writes
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,165 @@
+"""Shared memory bank between the MBT level-2 memory and the BST memory.
+
+Section IV.C.2 and Fig. 5 of the paper: because both IP lookup algorithms are
+synthesised in hardware, implementing them side by side would double the
+memory cost.  The proposed architecture instead *shares* physical memory: the
+MBT level-2 block has the same geometry (depth and word width) as the BST node
+block, so one physical RAM holds either "Data 1" (MBT level-2 nodes) or
+"Data 2" (BST nodes) depending on the ``IPalg_s`` selection signal, and the
+remaining MBT memory is reused for extra rule storage ("Data 3") when the BST
+is selected.
+
+:class:`SharedMemoryBank` models exactly that multiplexing: one physical
+:class:`~repro.hardware.memory.MemoryBlock` with two logical *views*; only the
+view selected by ``IPalg_s`` may be accessed, and switching the selection
+invalidates whatever the other algorithm had loaded (the controller re-uploads
+the memory image after reconfiguration, exactly as the SDN control plane
+would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError, MemoryModelError
+from repro.hardware.memory import MemoryBlock
+
+__all__ = ["SharedView", "SharedMemoryBank", "MemorySharingReport"]
+
+
+@dataclass(frozen=True)
+class SharedView:
+    """One logical occupant of the shared physical memory."""
+
+    name: str
+    description: str
+
+
+@dataclass(frozen=True)
+class MemorySharingReport:
+    """Snapshot of the sharing state (rendered by the Fig. 5 experiment)."""
+
+    physical_name: str
+    depth: int
+    width: int
+    total_bits: int
+    active_view: str
+    views: Dict[str, str]
+    used_words: int
+    reclaimed_bits: int
+
+
+class SharedMemoryBank:
+    """A physical memory block multiplexed between two logical views.
+
+    Parameters
+    ----------
+    name:
+        Name of the physical block (appears in memory reports).
+    depth, width:
+        Geometry shared by both views — the paper's point is precisely that the
+        MBT level-2 memory and the BST memory have identical geometry.
+    view_a, view_b:
+        The two logical occupants (by convention A = MBT level 2, B = BST).
+    reclaimable_bits:
+        Bits of *other* MBT memory that become available for rule storage when
+        view B (BST) is selected — the "Data 3" arrow of Fig. 5.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        depth: int,
+        width: int,
+        view_a: SharedView,
+        view_b: SharedView,
+        reclaimable_bits: int = 0,
+    ) -> None:
+        if view_a.name == view_b.name:
+            raise ConfigurationError("the two shared views must have distinct names")
+        if reclaimable_bits < 0:
+            raise ConfigurationError("reclaimable_bits must be non-negative")
+        self.physical = MemoryBlock(name, depth=depth, width=width)
+        self.view_a = view_a
+        self.view_b = view_b
+        self.reclaimable_bits = reclaimable_bits
+        self._active = view_a.name
+
+    # -- selection ------------------------------------------------------------
+    @property
+    def active_view(self) -> str:
+        """Name of the view currently owning the physical memory."""
+        return self._active
+
+    def select(self, view_name: str) -> bool:
+        """Switch the ``IPalg_s`` multiplexer to ``view_name``.
+
+        Returns True when the selection actually changed (in which case the
+        physical contents are invalidated and must be re-uploaded by the
+        controller).
+        """
+        if view_name not in (self.view_a.name, self.view_b.name):
+            raise ConfigurationError(
+                f"unknown shared view {view_name!r}; expected "
+                f"{self.view_a.name!r} or {self.view_b.name!r}"
+            )
+        if view_name == self._active:
+            return False
+        self._active = view_name
+        self.physical.clear_all()
+        return True
+
+    def _check_view(self, view_name: str) -> None:
+        if view_name != self._active:
+            raise MemoryModelError(
+                f"view {view_name!r} is not selected on shared memory "
+                f"{self.physical.name!r} (active: {self._active!r})"
+            )
+
+    # -- access (delegated to the physical block) ------------------------------
+    def read(self, view_name: str, address: int):
+        """Read through a view; the view must currently be selected."""
+        self._check_view(view_name)
+        return self.physical.read(address)
+
+    def write(self, view_name: str, address: int, payload) -> None:
+        """Write through a view; the view must currently be selected."""
+        self._check_view(view_name)
+        self.physical.write(address, payload)
+
+    def allocate(self, view_name: str) -> int:
+        """Allocate a free word through a view."""
+        self._check_view(view_name)
+        return self.physical.allocate()
+
+    # -- accounting ---------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Capacity of the physical block."""
+        return self.physical.total_bits
+
+    def reclaimed_rule_bits(self) -> int:
+        """Extra rule-storage bits available with the current selection.
+
+        Zero when view A (MBT) is active; ``reclaimable_bits`` when view B
+        (BST) is active — this is what lets the BST configuration hold 12K
+        rules where MBT holds 8K in Table VI.
+        """
+        return self.reclaimable_bits if self._active == self.view_b.name else 0
+
+    def report(self) -> MemorySharingReport:
+        """Produce the sharing snapshot used by the Fig. 5 experiment."""
+        return MemorySharingReport(
+            physical_name=self.physical.name,
+            depth=self.physical.depth,
+            width=self.physical.width,
+            total_bits=self.physical.total_bits,
+            active_view=self._active,
+            views={
+                self.view_a.name: self.view_a.description,
+                self.view_b.name: self.view_b.description,
+            },
+            used_words=self.physical.used_words,
+            reclaimed_bits=self.reclaimed_rule_bits(),
+        )

@@ -1,0 +1,190 @@
+"""Four-phase lookup pipeline model (Fig. 3).
+
+The paper identifies four pipelined phases in the lookup process:
+
+1. **Dispatch** — the ``Lookup_s`` signal starts the search and the packet
+   header is split into segments routed to the selected algorithms;
+2. **Parallel field lookup** — every selected single-field engine searches its
+   segment and returns a pointer to a list of matching labels;
+3. **Label combination** — the per-field label lists are combined (the
+   highest-priority labels form the 68-bit key) to find the HPMR address;
+4. **Rule fetch** — the Rule Filter memory is read and the HPMR plus its
+   action are returned.
+
+:class:`PipelineModel` simulates a stream of packets through those phases and
+produces per-packet start/finish times plus aggregate throughput — this is the
+machinery behind the Fig. 3 reproduction and behind the pipelined-vs-iterative
+throughput distinction between MBT and BST in Tables VI/VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PipelinePhase", "PacketTimeline", "PipelineTrace", "PipelineModel", "PAPER_PHASES"]
+
+
+@dataclass(frozen=True)
+class PipelinePhase:
+    """One pipeline phase: a name, a per-packet latency and whether it is
+    internally pipelined (can accept a new packet every cycle regardless of
+    its latency)."""
+
+    name: str
+    latency_cycles: int
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ConfigurationError(f"phase {self.name!r} has negative latency")
+
+
+#: The four phases of Fig. 3 with the MBT configuration's latencies:
+#: dispatch 1, parallel field lookup 6 (MBT latency dominates), label fetch /
+#: combination 1 + hash, final rule fetch 2.
+PAPER_PHASES: Sequence[PipelinePhase] = (
+    PipelinePhase("dispatch", 1, pipelined=True),
+    PipelinePhase("field_lookup", 6, pipelined=True),
+    PipelinePhase("label_combination", 1, pipelined=True),
+    PipelinePhase("rule_fetch", 2, pipelined=True),
+)
+
+
+@dataclass(frozen=True)
+class PacketTimeline:
+    """Cycle-level schedule of one packet through every phase."""
+
+    packet_index: int
+    phase_entry: Dict[str, int]
+    phase_exit: Dict[str, int]
+
+    @property
+    def start_cycle(self) -> int:
+        """Cycle at which the packet enters the first phase."""
+        return min(self.phase_entry.values())
+
+    @property
+    def finish_cycle(self) -> int:
+        """Cycle at which the packet leaves the last phase."""
+        return max(self.phase_exit.values())
+
+    @property
+    def latency_cycles(self) -> int:
+        """End-to-end latency of this packet."""
+        return self.finish_cycle - self.start_cycle
+
+
+@dataclass
+class PipelineTrace:
+    """Aggregate result of streaming a batch of packets through the pipeline."""
+
+    timelines: List[PacketTimeline] = field(default_factory=list)
+
+    @property
+    def packets(self) -> int:
+        """Number of packets streamed."""
+        return len(self.timelines)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycle at which the last packet completes."""
+        return max((t.finish_cycle for t in self.timelines), default=0)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean per-packet latency in cycles."""
+        if not self.timelines:
+            return 0.0
+        return sum(t.latency_cycles for t in self.timelines) / len(self.timelines)
+
+    @property
+    def steady_state_cycles_per_packet(self) -> float:
+        """Observed initiation interval once the pipeline is full."""
+        if len(self.timelines) < 2:
+            return float(self.timelines[0].latency_cycles) if self.timelines else 0.0
+        starts = sorted(t.start_cycle for t in self.timelines)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        return sum(gaps) / len(gaps)
+
+    def occupancy_diagram(self, max_packets: int = 8) -> str:
+        """Render a small ASCII space-time diagram (the Fig. 3 visual)."""
+        lines = []
+        for timeline in self.timelines[:max_packets]:
+            row = [f"pkt{timeline.packet_index:>3} |"]
+            horizon = self.timelines[min(max_packets, len(self.timelines)) - 1].finish_cycle
+            for cycle in range(horizon + 1):
+                marker = "."
+                for phase, entry in timeline.phase_entry.items():
+                    if entry <= cycle < timeline.phase_exit[phase]:
+                        marker = phase[0].upper()
+                        break
+                row.append(marker)
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+class PipelineModel:
+    """Simulates in-order packets flowing through a linear pipeline."""
+
+    def __init__(self, phases: Sequence[PipelinePhase] = PAPER_PHASES) -> None:
+        if not phases:
+            raise ConfigurationError("a pipeline needs at least one phase")
+        self.phases = list(phases)
+
+    @property
+    def total_latency(self) -> int:
+        """Latency of one packet through an empty pipeline."""
+        return sum(phase.latency_cycles for phase in self.phases)
+
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between successive packet admissions in steady state.
+
+        A fully pipelined phase admits a new packet every cycle; a
+        non-pipelined phase blocks for its whole latency.  The pipeline's
+        initiation interval is the maximum over the phases.
+        """
+        interval = 1
+        for phase in self.phases:
+            cost = 1 if phase.pipelined else max(1, phase.latency_cycles)
+            interval = max(interval, cost)
+        return interval
+
+    def run(self, packet_count: int) -> PipelineTrace:
+        """Stream ``packet_count`` back-to-back packets and return the trace."""
+        if packet_count < 0:
+            raise ConfigurationError(f"packet count must be non-negative, got {packet_count}")
+        trace = PipelineTrace()
+        # Earliest cycle at which each phase becomes free again.
+        phase_free = {phase.name: 0 for phase in self.phases}
+        for index in range(packet_count):
+            entry: Dict[str, int] = {}
+            exit_: Dict[str, int] = {}
+            ready = index * 0  # packets arrive back to back from cycle 0
+            previous_exit = ready
+            for phase in self.phases:
+                start = max(previous_exit, phase_free[phase.name])
+                finish = start + max(1, phase.latency_cycles)
+                entry[phase.name] = start
+                exit_[phase.name] = finish
+                # A pipelined phase frees one cycle after accepting the packet,
+                # a non-pipelined phase only when the packet leaves it.
+                phase_free[phase.name] = start + (1 if phase.pipelined else max(1, phase.latency_cycles))
+                previous_exit = finish
+            trace.timelines.append(PacketTimeline(index, entry, exit_))
+        return trace
+
+    def throughput_cycles_per_packet(self, packet_count: int = 64) -> float:
+        """Steady-state cycles per packet measured from a simulated stream."""
+        if packet_count < 2:
+            return float(self.total_latency)
+        trace = self.run(packet_count)
+        finishes = sorted(t.finish_cycle for t in trace.timelines)
+        # Ignore pipeline fill: measure the spacing of completions in the tail.
+        tail = finishes[len(finishes) // 2 :]
+        if len(tail) < 2:
+            return float(self.total_latency)
+        return (tail[-1] - tail[0]) / (len(tail) - 1)

@@ -1,0 +1,184 @@
+"""Rule Filter memory block.
+
+The Rule Filter is the final memory of the lookup pipeline: it is addressed by
+the hash of the combined label key and returns the Highest Priority Matching
+Rule (rule id, priority and action).  Thanks to the label method it is
+*independent of the chosen per-field algorithms* (section IV.C.2) — only the
+label combination matters — which is why it lives here in the hardware layer
+rather than inside any particular engine.
+
+Collisions between distinct label keys are resolved by linear probing; each
+probe step is one memory access and is therefore visible in both the cycle and
+the memory-access accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import CapacityError, MemoryModelError
+from repro.hardware.hash_unit import HashUnit
+from repro.hardware.memory import MemoryBlock
+from repro.rules.rule import Rule
+
+__all__ = ["RuleFilterEntry", "RuleFilterLookup", "RuleFilterMemory"]
+
+
+@dataclass(frozen=True)
+class RuleFilterEntry:
+    """One stored rule entry: the packed label key it belongs to plus the rule."""
+
+    label_key: int
+    rule_id: int
+    priority: int
+    action: str
+
+
+@dataclass(frozen=True)
+class RuleFilterLookup:
+    """Result of probing the rule filter with one label key."""
+
+    entry: Optional[RuleFilterEntry]
+    probes: int
+    memory_accesses: int
+
+
+class RuleFilterMemory:
+    """Hash-addressed rule store shared by every algorithm combination."""
+
+    #: Width of one rule-filter word: 68-bit key + rule id + priority + action
+    #: pointer; 96 bits keeps the arithmetic round and matches the scale of the
+    #: prototype's rule memory.
+    WORD_WIDTH = 96
+
+    def __init__(self, capacity: int = 16384, hash_unit: Optional[HashUnit] = None, name: str = "rule_filter") -> None:
+        if capacity <= 0:
+            raise MemoryModelError(f"rule filter capacity must be positive, got {capacity}")
+        table_bits = max(1, (capacity - 1).bit_length())
+        self.hash_unit = hash_unit or HashUnit(table_bits=table_bits)
+        if self.hash_unit.table_size < capacity:
+            raise MemoryModelError(
+                f"hash unit addresses {self.hash_unit.table_size} slots, below capacity {capacity}"
+            )
+        self.capacity = capacity
+        self.memory = MemoryBlock(name, depth=self.hash_unit.table_size, width=self.WORD_WIDTH)
+        self._stored = 0
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def stored_rules(self) -> int:
+        """Number of rules currently stored."""
+        return self._stored
+
+    @property
+    def total_bits(self) -> int:
+        """Capacity of the underlying memory block in bits."""
+        return self.memory.total_bits
+
+    def reset_counters(self) -> None:
+        """Zero the access counters of the underlying memory."""
+        self.memory.reset_counters()
+
+    # -- update path -----------------------------------------------------------
+    def insert(self, label_key: int, rule: Rule) -> Tuple[int, int]:
+        """Store ``rule`` under ``label_key``.
+
+        Returns ``(slot, memory_accesses)``.  Rules sharing the same label key
+        (possible when two rules have identical field specifications apart
+        from priority) are chained in the probe sequence; the lower-priority
+        duplicate simply occupies the next free probe slot.
+        """
+        if self._stored >= self.capacity:
+            raise CapacityError(
+                f"rule filter full: {self._stored} rules stored, capacity {self.capacity}"
+            )
+        accesses = 0
+        entry = RuleFilterEntry(
+            label_key=label_key,
+            rule_id=rule.rule_id,
+            priority=rule.priority,
+            action=rule.action.value,
+        )
+        for slot in self.hash_unit.probe_sequence(label_key, self.memory.depth):
+            occupant = self.memory.read(slot)
+            accesses += 1
+            if occupant is None:
+                self.memory.write(slot, entry)
+                accesses += 1
+                self._stored += 1
+                return slot, accesses
+        raise CapacityError(f"rule filter probing exhausted all {self.memory.depth} slots")
+
+    def delete(self, label_key: int, rule_id: int) -> Tuple[bool, int]:
+        """Remove the entry for ``rule_id`` under ``label_key``.
+
+        Returns ``(deleted, memory_accesses)``.  The probe chain is left
+        intact by re-inserting any displaced entries (backward-shift
+        deletion), so lookups never cross a hole created by deletion.
+        """
+        accesses = 0
+        target_slot: Optional[int] = None
+        chain: List[Tuple[int, RuleFilterEntry]] = []
+        for slot in self.hash_unit.probe_sequence(label_key, self.memory.depth):
+            occupant = self.memory.read(slot)
+            accesses += 1
+            if occupant is None:
+                break
+            if occupant.label_key == label_key and occupant.rule_id == rule_id and target_slot is None:
+                target_slot = slot
+            elif target_slot is not None:
+                chain.append((slot, occupant))
+        if target_slot is None:
+            return False, accesses
+        self.memory.clear(target_slot)
+        accesses += 1
+        self._stored -= 1
+        # Re-insert the tail of the probe chain so no lookup hits the hole.
+        for slot, occupant in chain:
+            self.memory.clear(slot)
+            accesses += 1
+            self._stored -= 1
+        for _, occupant in chain:
+            rule_like = _entry_as_rule(occupant)
+            _, extra = self.insert(occupant.label_key, rule_like)
+            accesses += extra
+        return True, accesses
+
+    # -- lookup path --------------------------------------------------------------
+    def lookup(self, label_key: int) -> RuleFilterLookup:
+        """Return the best-priority entry stored under ``label_key``."""
+        accesses = 0
+        probes = 0
+        best: Optional[RuleFilterEntry] = None
+        for slot in self.hash_unit.probe_sequence(label_key, self.memory.depth):
+            occupant = self.memory.read(slot)
+            accesses += 1
+            probes += 1
+            if occupant is None:
+                break
+            if occupant.label_key == label_key:
+                if best is None or occupant.priority < best.priority:
+                    best = occupant
+        return RuleFilterLookup(entry=best, probes=probes, memory_accesses=accesses)
+
+    def entries(self) -> List[RuleFilterEntry]:
+        """Every stored entry (verification helper, not access-counted)."""
+        return [payload for _, payload in self.memory.items()]
+
+
+def _entry_as_rule(entry: RuleFilterEntry) -> Rule:
+    """Rebuild a minimal Rule carrying only the identity the filter stores.
+
+    Only ``rule_id``, ``priority`` and ``action`` matter to the rule filter;
+    the field specifications are irrelevant once the label key is known, so a
+    fully wildcarded rule carrying the right identity is sufficient for
+    re-insertion during backward-shift deletion.
+    """
+    from repro.rules.rule import RuleAction
+
+    return Rule.build(
+        rule_id=entry.rule_id,
+        priority=entry.priority,
+        action=RuleAction(entry.action),
+    )

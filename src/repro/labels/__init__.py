@@ -1,0 +1,28 @@
+"""Label method substrate (DCFL-style unique-field labelling).
+
+The label method tags every *unique* rule field value with a small label so
+rules sharing a field value are stored once; see section III.C of the paper.
+The package provides:
+
+* :class:`~repro.labels.label_allocator.LabelAllocator` — width-bounded label
+  value allocation with recycling;
+* :class:`~repro.labels.label_table.LabelTable` — unique value → label mapping
+  with the reference counters driving fast incremental update (Fig. 4);
+* :class:`~repro.labels.label_list.LabelList` — priority-ordered lists of
+  matching labels (the HPML-first invariant) and their pointer store.
+"""
+
+from repro.labels.label_allocator import LabelAllocator, PAPER_LABEL_WIDTHS
+from repro.labels.label_list import LabelList, LabelListStore
+from repro.labels.label_table import InsertOutcome, LabelEntry, LabelTable, RemoveOutcome
+
+__all__ = [
+    "LabelAllocator",
+    "PAPER_LABEL_WIDTHS",
+    "LabelTable",
+    "LabelEntry",
+    "InsertOutcome",
+    "RemoveOutcome",
+    "LabelList",
+    "LabelListStore",
+]

@@ -1,0 +1,93 @@
+"""Label allocation policy.
+
+Section IV.C.1 fixes the label widths: 13 bits for IP-segment labels, 7 bits
+for port labels and 2 bits for protocol labels — wide enough for the unique
+field counts of Table II (e.g. 108 unique destination ports fit in 7 bits).
+
+:class:`LabelAllocator` hands out label values for one field, recycles the
+values of deleted labels, and enforces the width limit so a rule set whose
+unique-field count exceeds the hardware label space fails loudly (this is the
+point where the real design would need wider labels, and the failure mode is
+worth surfacing rather than silently wrapping).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.exceptions import LabelError
+
+__all__ = ["LabelAllocator", "PAPER_LABEL_WIDTHS"]
+
+#: The per-field label widths of the paper (bits).
+PAPER_LABEL_WIDTHS = {
+    "ip": 13,
+    "port": 7,
+    "protocol": 2,
+}
+
+
+class LabelAllocator:
+    """Allocates and recycles integer labels bounded by a bit width."""
+
+    def __init__(self, field_name: str, width_bits: int) -> None:
+        if width_bits <= 0:
+            raise LabelError(f"label width must be positive, got {width_bits}")
+        self.field_name = field_name
+        self.width_bits = width_bits
+        self._next = 0
+        self._free: List[int] = []
+        self._live: Set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneously live labels (2**width)."""
+        return 1 << self.width_bits
+
+    @property
+    def live_count(self) -> int:
+        """Number of labels currently allocated."""
+        return len(self._live)
+
+    @property
+    def remaining(self) -> int:
+        """Labels still available before the space is exhausted."""
+        return self.capacity - self.live_count
+
+    def allocate(self) -> int:
+        """Return a fresh label value.
+
+        Recycled values (from deleted labels) are reused first, keeping label
+        values dense — which is what a hardware free-list would do.
+        """
+        if self._free:
+            label = self._free.pop()
+        elif self._next < self.capacity:
+            label = self._next
+            self._next += 1
+        else:
+            raise LabelError(
+                f"label space exhausted for field {self.field_name!r}: "
+                f"{self.capacity} labels of {self.width_bits} bits all live"
+            )
+        self._live.add(label)
+        return label
+
+    def release(self, label: int) -> None:
+        """Return a label value to the free pool."""
+        if label not in self._live:
+            raise LabelError(
+                f"cannot release label {label} of field {self.field_name!r}: not live"
+            )
+        self._live.remove(label)
+        self._free.append(label)
+
+    def is_live(self, label: int) -> bool:
+        """Return True when ``label`` is currently allocated."""
+        return label in self._live
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelAllocator(field={self.field_name!r}, width={self.width_bits}, "
+            f"live={self.live_count}/{self.capacity})"
+        )

@@ -1,0 +1,145 @@
+"""Priority-ordered label lists.
+
+Every single-field lookup terminates on a *pointer to a list of matching
+labels* (section III.B phase 2).  The list is kept sorted so that *"the
+highest priority matching label (HPML) is in the first position"* (section
+IV.A) — that invariant is what makes the paper's first-label combination
+possible, and it is enforced here on every mutation.
+
+The sort key is the best rule priority associated with the label (smaller =
+higher priority), with the label value as a deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import LabelError
+
+__all__ = ["LabelList", "LabelListStore"]
+
+
+@dataclass(frozen=True, order=True)
+class _Slot:
+    """Internal sortable record: (priority, label)."""
+
+    priority: int
+    label: int
+
+
+class LabelList:
+    """A list of labels kept ordered by ascending rule priority."""
+
+    def __init__(self, entries: Optional[Sequence[Tuple[int, int]]] = None) -> None:
+        """``entries`` is an iterable of ``(label, priority)`` pairs."""
+        self._slots: List[_Slot] = []
+        if entries:
+            for label, priority in entries:
+                self.add(label, priority)
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, label: int, priority: int) -> None:
+        """Insert a label with its priority, keeping the list ordered.
+
+        Adding a label that is already present updates its priority if the new
+        priority is better (smaller); otherwise the call is a no-op — a label
+        represents a unique field value, so it appears at most once per list.
+        """
+        for index, slot in enumerate(self._slots):
+            if slot.label == label:
+                if priority < slot.priority:
+                    del self._slots[index]
+                    bisect.insort(self._slots, _Slot(priority, label))
+                return
+        bisect.insort(self._slots, _Slot(priority, label))
+
+    def remove(self, label: int) -> None:
+        """Remove a label from the list."""
+        for index, slot in enumerate(self._slots):
+            if slot.label == label:
+                del self._slots[index]
+                return
+        raise LabelError(f"label {label} not present in label list")
+
+    def reprioritize(self, label: int, priority: int) -> None:
+        """Force the priority of a label (used after rule deletion)."""
+        self.remove(label)
+        bisect.insort(self._slots, _Slot(priority, label))
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __bool__(self) -> bool:
+        return bool(self._slots)
+
+    def __contains__(self, label: object) -> bool:
+        return any(slot.label == label for slot in self._slots)
+
+    def __iter__(self) -> Iterator[int]:
+        return (slot.label for slot in self._slots)
+
+    def labels(self) -> List[int]:
+        """Labels in priority order (highest priority first)."""
+        return [slot.label for slot in self._slots]
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """``(label, priority)`` pairs in priority order."""
+        return [(slot.label, slot.priority) for slot in self._slots]
+
+    def first(self) -> int:
+        """The highest-priority matching label (HPML)."""
+        if not self._slots:
+            raise LabelError("label list is empty; no HPML")
+        return self._slots[0].label
+
+    def first_priority(self) -> int:
+        """Priority of the HPML."""
+        if not self._slots:
+            raise LabelError("label list is empty; no HPML")
+        return self._slots[0].priority
+
+    def is_sorted(self) -> bool:
+        """Invariant check used by the property-based tests."""
+        return all(a <= b for a, b in zip(self._slots, self._slots[1:]))
+
+    def __repr__(self) -> str:
+        return f"LabelList({self.pairs()!r})"
+
+
+class LabelListStore:
+    """A pool of label lists addressed by integer pointers.
+
+    The hardware stores label lists in a dedicated Label memory block and the
+    algorithm nodes only carry a pointer; this store reproduces that
+    indirection (and its one-extra-memory-access cost is accounted by the
+    classifier, which charges one access per list dereference).
+    """
+
+    def __init__(self, name: str = "label_store") -> None:
+        self.name = name
+        self._lists: List[LabelList] = []
+
+    def new_list(self) -> int:
+        """Allocate an empty list and return its pointer."""
+        self._lists.append(LabelList())
+        return len(self._lists) - 1
+
+    def get(self, pointer: int) -> LabelList:
+        """Dereference a label-list pointer."""
+        if not 0 <= pointer < len(self._lists):
+            raise LabelError(f"dangling label list pointer {pointer} in {self.name!r}")
+        return self._lists[pointer]
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def total_entries(self) -> int:
+        """Total number of (label, priority) slots across every list."""
+        return sum(len(lst) for lst in self._lists)
+
+    def memory_bits(self, label_bits: int, priority_bits: int = 16) -> int:
+        """Estimated storage of the label memory block."""
+        return self.total_entries() * (label_bits + priority_bits)

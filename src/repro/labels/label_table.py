@@ -1,0 +1,186 @@
+"""Label tables with reference counters.
+
+The update methodology of the paper (section IV.A, Fig. 4) revolves around a
+*Label Table* per field: a lookup table mapping each unique field value to its
+label together with a counter of how many rules currently reference that
+value.  Inserting a rule whose field value already has a label only increments
+the counter; inserting a brand-new value allocates a label and triggers the
+(expensive) algorithm-structure update.  Deletion is symmetric: the counter is
+decremented and the label is only removed from the hardware when the counter
+reaches zero.
+
+:class:`LabelTable` implements exactly that contract and records how many
+insertions were "cheap" (counter bump only) versus "structural" (new label) —
+those statistics are what the update-cost experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.exceptions import LabelError
+from repro.labels.label_allocator import LabelAllocator
+
+__all__ = ["LabelEntry", "LabelTable", "InsertOutcome", "RemoveOutcome"]
+
+
+@dataclass
+class LabelEntry:
+    """One unique field value: its label, its reference count, its best priority."""
+
+    label: int
+    counter: int
+    best_priority: int
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """Result of inserting one field value occurrence."""
+
+    label: int
+    created: bool
+    counter: int
+
+
+@dataclass(frozen=True)
+class RemoveOutcome:
+    """Result of removing one field value occurrence."""
+
+    label: int
+    deleted: bool
+    counter: int
+
+
+class LabelTable:
+    """Maps unique field values to labels, with reference counting."""
+
+    def __init__(self, field_name: str, width_bits: int) -> None:
+        self.field_name = field_name
+        self.allocator = LabelAllocator(field_name, width_bits)
+        self._entries: Dict[Hashable, LabelEntry] = {}
+        self._values_by_label: Dict[int, Hashable] = {}
+        self.structural_inserts = 0
+        self.counter_only_inserts = 0
+        self.structural_deletes = 0
+        self.counter_only_deletes = 0
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._entries
+
+    @property
+    def unique_values(self) -> int:
+        """Number of unique field values currently labelled (Table II metric)."""
+        return len(self._entries)
+
+    def label_of(self, value: Hashable) -> int:
+        """Return the label of ``value``."""
+        try:
+            return self._entries[value].label
+        except KeyError as exc:
+            raise LabelError(f"value {value!r} has no label in field {self.field_name!r}") from exc
+
+    def value_of(self, label: int) -> Hashable:
+        """Return the field value owning ``label``."""
+        try:
+            return self._values_by_label[label]
+        except KeyError as exc:
+            raise LabelError(f"label {label} not live in field {self.field_name!r}") from exc
+
+    def counter_of(self, value: Hashable) -> int:
+        """Return the reference counter of ``value``."""
+        return self._entries[value].counter if value in self._entries else 0
+
+    def best_priority_of(self, label: int) -> int:
+        """Return the best (smallest) priority among the rules using ``label``."""
+        value = self.value_of(label)
+        return self._entries[value].best_priority
+
+    def entries(self) -> List[Tuple[Hashable, LabelEntry]]:
+        """Every ``(value, entry)`` pair (stable order by label)."""
+        return sorted(self._entries.items(), key=lambda item: item[1].label)
+
+    # -- update path -----------------------------------------------------------
+    def insert(self, value: Hashable, priority: int) -> InsertOutcome:
+        """Record that one more rule (of the given priority) uses ``value``.
+
+        Follows the Fig. 4 pseudo-code: existing value → counter increment;
+        new value → allocate label, counter = 1.
+        """
+        entry = self._entries.get(value)
+        if entry is not None:
+            entry.counter += 1
+            entry.best_priority = min(entry.best_priority, priority)
+            self.counter_only_inserts += 1
+            return InsertOutcome(label=entry.label, created=False, counter=entry.counter)
+        label = self.allocator.allocate()
+        self._entries[value] = LabelEntry(label=label, counter=1, best_priority=priority)
+        self._values_by_label[label] = value
+        self.structural_inserts += 1
+        return InsertOutcome(label=label, created=True, counter=1)
+
+    def remove(self, value: Hashable) -> RemoveOutcome:
+        """Record that one rule using ``value`` was deleted.
+
+        The label survives (counter decrement only) until the last referencing
+        rule disappears, at which point the label is released and the caller
+        must remove the value from the algorithm structure.
+        """
+        entry = self._entries.get(value)
+        if entry is None:
+            raise LabelError(
+                f"cannot remove value {value!r}: not present in field {self.field_name!r}"
+            )
+        entry.counter -= 1
+        if entry.counter > 0:
+            self.counter_only_deletes += 1
+            return RemoveOutcome(label=entry.label, deleted=False, counter=entry.counter)
+        del self._entries[value]
+        del self._values_by_label[entry.label]
+        self.allocator.release(entry.label)
+        self.structural_deletes += 1
+        return RemoveOutcome(label=entry.label, deleted=True, counter=0)
+
+    def refresh_best_priority(self, value: Hashable, priorities: List[int]) -> None:
+        """Recompute the best priority of ``value`` from the surviving rules.
+
+        Needed after deleting the rule that *was* the best priority for this
+        value; the update engine passes the remaining priorities.
+        """
+        entry = self._entries.get(value)
+        if entry is None:
+            raise LabelError(f"value {value!r} not present in field {self.field_name!r}")
+        if not priorities:
+            raise LabelError(
+                f"refresh_best_priority needs at least one surviving priority for {value!r}"
+            )
+        entry.best_priority = min(priorities)
+
+    # -- statistics ----------------------------------------------------------------
+    def update_statistics(self) -> Dict[str, int]:
+        """Counts of cheap vs structural updates since construction."""
+        return {
+            "structural_inserts": self.structural_inserts,
+            "counter_only_inserts": self.counter_only_inserts,
+            "structural_deletes": self.structural_deletes,
+            "counter_only_deletes": self.counter_only_deletes,
+        }
+
+    def memory_bits(self, value_bits: int, counter_bits: int = 16) -> int:
+        """Estimated storage of the label table itself.
+
+        One entry holds the field value, the label and the counter; the table
+        is sized for the label space so the hardware never reallocates.
+        """
+        entry_bits = value_bits + self.allocator.width_bits + counter_bits
+        return self.allocator.capacity * entry_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelTable(field={self.field_name!r}, unique={self.unique_values}, "
+            f"width={self.allocator.width_bits})"
+        )

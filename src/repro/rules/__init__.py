@@ -1,0 +1,56 @@
+"""Rule, packet, rule-set and workload-generation substrate.
+
+This package models everything the classifiers consume:
+
+* :class:`~repro.rules.packet.PacketHeader` — the 5-tuple packet header;
+* :class:`~repro.rules.rule.Rule` and its field specifications;
+* :class:`~repro.rules.ruleset.RuleSet` — ordered rule collections with the
+  linear-scan ground truth used to validate every classifier;
+* :mod:`~repro.rules.classbench` — the synthetic ClassBench-style generator
+  replacing the paper's ACL/FW/IPC filter files;
+* :mod:`~repro.rules.parser` — reader/writer for the real ClassBench format;
+* :mod:`~repro.rules.trace` — packet trace generation for lookup benchmarks.
+"""
+
+from repro.rules.classbench import (
+    ClassBenchGenerator,
+    FilterFlavor,
+    FlavorProfile,
+    PAPER_RULE_COUNTS,
+    generate_ruleset,
+)
+from repro.rules.packet import FIVE_TUPLE_FIELDS, PacketHeader
+from repro.rules.parser import (
+    dump_classbench_file,
+    format_classbench,
+    load_classbench_file,
+    parse_classbench,
+    parse_classbench_line,
+)
+from repro.rules.rule import ProtocolMatch, Rule, RuleAction
+from repro.rules.ruleset import RuleSet, RuleSetStats
+from repro.rules.trace import TraceStats, generate_trace, generate_uniform_trace, trace_stats
+
+__all__ = [
+    "PacketHeader",
+    "FIVE_TUPLE_FIELDS",
+    "Rule",
+    "RuleAction",
+    "ProtocolMatch",
+    "RuleSet",
+    "RuleSetStats",
+    "FilterFlavor",
+    "FlavorProfile",
+    "ClassBenchGenerator",
+    "generate_ruleset",
+    "PAPER_RULE_COUNTS",
+    "parse_classbench",
+    "parse_classbench_line",
+    "load_classbench_file",
+    "format_classbench",
+    "dump_classbench_file",
+    "generate_trace",
+    "generate_uniform_trace",
+    "trace_stats",
+    "TraceStats",
+]

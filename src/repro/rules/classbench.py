@@ -1,0 +1,404 @@
+"""Synthetic ClassBench-style rule set generator.
+
+The paper evaluates on the Washington University filter sets (ACL, FW and IPC
+flavours at roughly 1K/5K/10K rules) [12], which are not redistributable.
+This module provides a **seeded synthetic generator** that reproduces the
+structural properties those tables depend on:
+
+* the rough rule counts of Table III (916/4415/9603 for acl1, and similar for
+  FW/IPC),
+* the unique-field-value structure of Table II — e.g. for ACL filters the
+  source-port field is a single wildcard, the protocol field has ~3 distinct
+  values, destination ports cluster on ~100 well-known services and the number
+  of unique source addresses grows much faster with rule count than the number
+  of unique destination addresses,
+* heavy reuse of individual field values across rules (the property the label
+  method exploits to cut storage by "more than 50%").
+
+Every generator run is fully deterministic given ``seed``, so tests and
+benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import RuleSetError
+from repro.fields.prefix import Prefix, prefix_mask
+from repro.fields.range_utils import PORT_MAX, PortRange
+from repro.rules.rule import ProtocolMatch, Rule, RuleAction
+from repro.rules.ruleset import RuleSet
+
+__all__ = [
+    "FilterFlavor",
+    "FlavorProfile",
+    "ClassBenchGenerator",
+    "generate_ruleset",
+    "PAPER_RULE_COUNTS",
+]
+
+
+class FilterFlavor(enum.Enum):
+    """The three filter families of Table III."""
+
+    ACL = "acl"
+    FW = "fw"
+    IPC = "ipc"
+
+
+#: The actual rule counts the paper reports for its nominal 1K/5K/10K sets
+#: (Table III).  The generator targets these exact sizes when asked for the
+#: nominal size.
+PAPER_RULE_COUNTS: Dict[Tuple[FilterFlavor, int], int] = {
+    (FilterFlavor.ACL, 1000): 916,
+    (FilterFlavor.ACL, 5000): 4415,
+    (FilterFlavor.ACL, 10000): 9603,
+    (FilterFlavor.FW, 1000): 791,
+    (FilterFlavor.FW, 5000): 4653,
+    (FilterFlavor.FW, 10000): 9311,
+    (FilterFlavor.IPC, 1000): 938,
+    (FilterFlavor.IPC, 5000): 4460,
+    (FilterFlavor.IPC, 10000): 9037,
+}
+
+#: Well-known destination ports that real ACL/FW filters concentrate on.
+_WELL_KNOWN_PORTS: Sequence[int] = (
+    20, 21, 22, 23, 25, 53, 67, 68, 69, 80, 110, 119, 123, 135, 137, 138, 139,
+    143, 161, 162, 179, 389, 443, 445, 465, 500, 514, 515, 520, 554, 587, 631,
+    636, 873, 993, 995, 1080, 1194, 1433, 1434, 1521, 1701, 1723, 1812, 1813,
+    2049, 2082, 2083, 2181, 2375, 2376, 3128, 3306, 3389, 4443, 4500, 5060,
+    5061, 5222, 5432, 5671, 5672, 5900, 6379, 6443, 6881, 7001, 7812, 8000,
+    8008, 8080, 8081, 8443, 8888, 9000, 9090, 9092, 9200, 9300, 10000, 11211,
+    27017, 27018, 33434, 49152, 51820, 61000,
+)
+
+#: Port ranges that show up repeatedly in real filters (ephemeral ranges,
+#: registered ranges, small service clusters).
+_COMMON_PORT_RANGES: Sequence[Tuple[int, int]] = (
+    (0, PORT_MAX),
+    (0, 1023),
+    (1024, PORT_MAX),
+    (1024, 65535),
+    (49152, PORT_MAX),
+    (6000, 6063),
+    (137, 139),
+    (67, 68),
+    (161, 162),
+    (20, 21),
+    (5060, 5061),
+    (7810, 7820),
+    (8080, 8090),
+    (2082, 2083),
+    (27015, 27030),
+)
+
+#: Protocol mix: TCP, UDP and the wildcard — three unique protocol
+#: specifications, matching the "3" of Table II.
+_PROTOCOLS: Sequence[Tuple[Optional[int], float]] = (
+    (6, 0.65),     # TCP
+    (17, 0.25),    # UDP
+    (None, 0.10),  # wildcard
+)
+
+
+@dataclass(frozen=True)
+class FlavorProfile:
+    """Tunable structural knobs for one filter flavour.
+
+    The default profiles below are calibrated so the Table II / Table III
+    statistics land in the paper's regime; they can be overridden to explore
+    other rule-set shapes (the ablation benchmarks do exactly that).
+    """
+
+    #: Fraction of nominal size actually emitted (real filter sets lose rules
+    #: to redundancy elimination — 916/1000 for acl1 and so on).
+    yield_ratio: float
+    #: Ratio of unique source prefixes to rule count (used off-anchor).
+    src_ip_uniqueness: float
+    #: Asymptotic number of unique destination prefixes (saturating growth).
+    dst_ip_asymptote: int
+    #: Rule count at which destination uniqueness reaches ~63% of the asymptote.
+    dst_ip_knee: int
+    #: Number of distinct source port specifications (1 => always wildcard).
+    src_port_pool: int
+    #: Number of distinct destination port specifications.
+    dst_port_pool: int
+    #: Fraction of dst ports that are exact values (vs ranges).
+    dst_port_exact_fraction: float
+    #: Fraction of fully wildcarded source prefixes.
+    src_wildcard_fraction: float
+    #: Fraction of fully wildcarded destination prefixes.
+    dst_wildcard_fraction: float
+    #: Typical prefix length distribution (length, weight) pairs.
+    prefix_length_weights: Tuple[Tuple[int, float], ...]
+    #: Calibration anchors: (nominal size, unique src prefixes, unique dst
+    #: prefixes) taken straight from Table II; when the requested nominal size
+    #: matches an anchor, the generator targets those exact unique counts.
+    unique_anchors: Tuple[Tuple[int, int, int], ...] = ()
+
+    def anchor_for(self, nominal_size: int) -> Optional[Tuple[int, int]]:
+        """Return the (src, dst) unique-count targets for an anchored size."""
+        for size, src_unique, dst_unique in self.unique_anchors:
+            if size == nominal_size:
+                return src_unique, dst_unique
+        return None
+
+
+_PROFILES: Dict[FilterFlavor, FlavorProfile] = {
+    FilterFlavor.ACL: FlavorProfile(
+        yield_ratio=0.92,
+        src_ip_uniqueness=0.50,
+        dst_ip_asymptote=750,
+        dst_ip_knee=2500,
+        src_port_pool=1,
+        dst_port_pool=108,
+        dst_port_exact_fraction=0.85,
+        src_wildcard_fraction=0.05,
+        dst_wildcard_fraction=0.02,
+        prefix_length_weights=((32, 0.45), (24, 0.25), (28, 0.10), (16, 0.12), (8, 0.08)),
+        unique_anchors=((1000, 103, 297), (5000, 805, 640), (10000, 4784, 733)),
+    ),
+    FilterFlavor.FW: FlavorProfile(
+        yield_ratio=0.82,
+        src_ip_uniqueness=0.30,
+        dst_ip_asymptote=1600,
+        dst_ip_knee=4000,
+        src_port_pool=30,
+        dst_port_pool=120,
+        dst_port_exact_fraction=0.55,
+        src_wildcard_fraction=0.25,
+        dst_wildcard_fraction=0.12,
+        prefix_length_weights=((32, 0.30), (24, 0.20), (16, 0.15), (0, 0.15), (8, 0.20)),
+    ),
+    FilterFlavor.IPC: FlavorProfile(
+        yield_ratio=0.91,
+        src_ip_uniqueness=0.40,
+        dst_ip_asymptote=2200,
+        dst_ip_knee=5000,
+        src_port_pool=12,
+        dst_port_pool=118,
+        dst_port_exact_fraction=0.70,
+        src_wildcard_fraction=0.10,
+        dst_wildcard_fraction=0.05,
+        prefix_length_weights=((32, 0.40), (24, 0.22), (20, 0.10), (16, 0.16), (12, 0.12)),
+    ),
+}
+
+
+def _coverage_corrected_pool(target_unique: int, draws: int) -> int:
+    """Pool size whose expected coverage under uniform sampling is ``target_unique``.
+
+    Drawing ``draws`` times uniformly from a pool of ``P`` values covers about
+    ``P * (1 - exp(-draws / P))`` distinct values; this inverts that relation
+    with a few fixed-point iterations so the *realised* unique-field counts of
+    the generated rule set land on the Table II targets.
+    """
+    import math
+
+    if target_unique <= 0:
+        return 1
+    if target_unique >= draws:
+        return target_unique
+    pool = float(target_unique)
+    for _ in range(60):
+        coverage_fraction = 1.0 - math.exp(-draws / pool)
+        updated = target_unique / coverage_fraction
+        if abs(updated - pool) < 0.5:
+            pool = updated
+            break
+        pool = updated
+    return max(1, int(round(pool)))
+
+
+class ClassBenchGenerator:
+    """Deterministic generator of ClassBench-flavoured rule sets."""
+
+    def __init__(
+        self,
+        flavor: FilterFlavor = FilterFlavor.ACL,
+        seed: int = 2014,
+        profile: Optional[FlavorProfile] = None,
+    ) -> None:
+        self.flavor = flavor
+        self.seed = seed
+        self.profile = profile or _PROFILES[flavor]
+
+    # -- public API --------------------------------------------------------
+    def generate(self, nominal_size: int, name: Optional[str] = None) -> RuleSet:
+        """Generate a rule set of roughly ``nominal_size`` rules.
+
+        When ``nominal_size`` is one of the paper's nominal sizes (1K/5K/10K)
+        the exact Table III rule count for this flavour is produced; otherwise
+        the flavour's ``yield_ratio`` is applied.
+        """
+        if nominal_size <= 0:
+            raise RuleSetError(f"nominal size must be positive, got {nominal_size}")
+        target = PAPER_RULE_COUNTS.get(
+            (self.flavor, nominal_size), max(1, int(round(nominal_size * self.profile.yield_ratio)))
+        )
+        rng = random.Random((self.seed, self.flavor.value, nominal_size).__hash__())
+        label = name or f"{self.flavor.value}1_{nominal_size // 1000}k"
+
+        anchor = self.profile.anchor_for(nominal_size)
+        if anchor is not None:
+            src_unique_target, dst_unique_target = anchor
+        else:
+            src_unique_target = max(1, int(target * self.profile.src_ip_uniqueness))
+            import math
+
+            dst_unique_target = max(
+                1,
+                int(
+                    self.profile.dst_ip_asymptote
+                    * (1.0 - math.exp(-target / self.profile.dst_ip_knee))
+                ),
+            )
+        src_prefixes = self._prefix_pool(rng, _coverage_corrected_pool(src_unique_target, target))
+        dst_prefixes = self._prefix_pool(rng, _coverage_corrected_pool(dst_unique_target, target))
+        src_ports = self._port_pool(rng, self.profile.src_port_pool, exact_fraction=0.2)
+        dst_ports = self._port_pool(
+            rng, self.profile.dst_port_pool, exact_fraction=self.profile.dst_port_exact_fraction
+        )
+
+        ruleset = RuleSet(name=label)
+        seen: set = set()
+        priority = 0
+        attempts = 0
+        max_attempts = target * 50
+        while len(ruleset) < target and attempts < max_attempts:
+            attempts += 1
+            rule = self._draw_rule(rng, priority, src_prefixes, dst_prefixes, src_ports, dst_ports)
+            signature = tuple(sorted(rule.field_keys().items()))
+            if signature in seen:
+                continue
+            seen.add(signature)
+            ruleset.add(rule)
+            priority += 1
+        if len(ruleset) < target:
+            # The combinatorial pools are too small for the requested size;
+            # widen by appending fully random specific rules.
+            while len(ruleset) < target:
+                rule = self._draw_rule(
+                    rng,
+                    priority,
+                    self._prefix_pool(rng, 64),
+                    self._prefix_pool(rng, 64),
+                    src_ports,
+                    dst_ports,
+                )
+                signature = tuple(sorted(rule.field_keys().items()))
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                ruleset.add(rule)
+                priority += 1
+        return ruleset
+
+    # -- internals -----------------------------------------------------------
+    def _choose_length(self, rng: random.Random) -> int:
+        lengths, weights = zip(*self.profile.prefix_length_weights)
+        return rng.choices(lengths, weights=weights, k=1)[0]
+
+    def _prefix_pool(self, rng: random.Random, size: int) -> List[Prefix]:
+        pool: List[Prefix] = []
+        seen = set()
+        # Cluster addresses inside a handful of /8 and /16 "institution" blocks,
+        # the way real filter sets concentrate on the owner's address space.
+        cluster_bases = [rng.getrandbits(16) << 16 for _ in range(max(2, size // 64))]
+        guard = 0
+        while len(pool) < size and guard < size * 30:
+            guard += 1
+            length = self._choose_length(rng)
+            if length == 0:
+                continue
+            base = rng.choice(cluster_bases)
+            value = (base | rng.getrandbits(16)) & prefix_mask(length)
+            key = (value, length)
+            if key in seen:
+                continue
+            seen.add(key)
+            pool.append(Prefix(value, length))
+        if not pool:
+            pool.append(Prefix(0, 0))
+        return pool
+
+    def _port_pool(self, rng: random.Random, size: int, exact_fraction: float) -> List[PortRange]:
+        if size <= 1:
+            return [PortRange.wildcard()]
+        pool: List[PortRange] = [PortRange.wildcard()]
+        seen = {(0, PORT_MAX)}
+        exact_target = int(round((size - 1) * exact_fraction))
+        ports = list(_WELL_KNOWN_PORTS)
+        rng.shuffle(ports)
+        for port in ports[:exact_target]:
+            key = (port, port)
+            if key in seen:
+                continue
+            seen.add(key)
+            pool.append(PortRange.exact(port))
+        range_candidates = list(_COMMON_PORT_RANGES)
+        rng.shuffle(range_candidates)
+        index = 0
+        guard = 0
+        while len(pool) < size and guard < size * 20:
+            guard += 1
+            if index < len(range_candidates):
+                low, high = range_candidates[index]
+                index += 1
+            else:
+                low = rng.randrange(0, PORT_MAX - 64)
+                high = min(PORT_MAX, low + rng.choice((0, 1, 3, 7, 15, 63, 255, 1023)))
+            if (low, high) in seen:
+                continue
+            seen.add((low, high))
+            pool.append(PortRange(low, high))
+        return pool
+
+    def _draw_protocol(self, rng: random.Random) -> ProtocolMatch:
+        values, weights = zip(*((value, weight) for value, weight in _PROTOCOLS))
+        choice = rng.choices(values, weights=weights, k=1)[0]
+        return ProtocolMatch.any() if choice is None else ProtocolMatch.exact(choice)
+
+    def _draw_rule(
+        self,
+        rng: random.Random,
+        priority: int,
+        src_prefixes: Sequence[Prefix],
+        dst_prefixes: Sequence[Prefix],
+        src_ports: Sequence[PortRange],
+        dst_ports: Sequence[PortRange],
+    ) -> Rule:
+        action = rng.choices(
+            (RuleAction.FORWARD, RuleAction.DROP, RuleAction.REDIRECT_GROUP, RuleAction.MODIFY),
+            weights=(0.55, 0.30, 0.10, 0.05),
+            k=1,
+        )[0]
+        # Fully wildcarded address fields appear with the per-flavour
+        # probability (FW filters carry many "from anywhere" rules, ACLs few).
+        wildcard = Prefix(0, 0)
+        src_prefix = wildcard if rng.random() < self.profile.src_wildcard_fraction else rng.choice(src_prefixes)
+        dst_prefix = wildcard if rng.random() < self.profile.dst_wildcard_fraction else rng.choice(dst_prefixes)
+        return Rule(
+            rule_id=priority,
+            priority=priority,
+            src_prefix=src_prefix,
+            dst_prefix=dst_prefix,
+            src_port=rng.choice(src_ports),
+            dst_port=rng.choice(dst_ports),
+            protocol=self._draw_protocol(rng),
+            action=action,
+            metadata={"flavor": self.flavor.value},
+        )
+
+
+def generate_ruleset(
+    flavor: FilterFlavor = FilterFlavor.ACL,
+    nominal_size: int = 1000,
+    seed: int = 2014,
+    name: Optional[str] = None,
+) -> RuleSet:
+    """Convenience wrapper: one-call synthetic rule set generation."""
+    return ClassBenchGenerator(flavor=flavor, seed=seed).generate(nominal_size, name=name)

@@ -1,0 +1,109 @@
+"""Packet header model.
+
+The classification architecture of the paper works on the classic 5-tuple:
+source / destination IPv4 addresses, source / destination transport ports and
+the IP protocol number.  :class:`PacketHeader` is the immutable value object
+flowing through every classifier in this library (the configurable
+architecture, the baselines and the linear-search ground truth alike), so
+every engine sees exactly the same input representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.exceptions import RuleError
+from repro.fields.prefix import IPV4_WIDTH, format_ipv4, parse_ipv4
+from repro.fields.range_utils import PORT_MAX
+
+__all__ = ["PacketHeader", "FIVE_TUPLE_FIELDS"]
+
+#: Canonical field ordering used across the library (rule fields, label
+#: tuples, memory images and reports all follow this order).
+FIVE_TUPLE_FIELDS: Tuple[str, ...] = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+)
+
+_IP_MAX = (1 << IPV4_WIDTH) - 1
+_PROTO_MAX = 255
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """The 5-tuple header of one packet, all fields as plain integers."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_ip <= _IP_MAX:
+            raise RuleError(f"source IP {self.src_ip} out of 32-bit range")
+        if not 0 <= self.dst_ip <= _IP_MAX:
+            raise RuleError(f"destination IP {self.dst_ip} out of 32-bit range")
+        if not 0 <= self.src_port <= PORT_MAX:
+            raise RuleError(f"source port {self.src_port} out of 16-bit range")
+        if not 0 <= self.dst_port <= PORT_MAX:
+            raise RuleError(f"destination port {self.dst_port} out of 16-bit range")
+        if not 0 <= self.protocol <= _PROTO_MAX:
+            raise RuleError(f"protocol {self.protocol} out of 8-bit range")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_strings(
+        cls,
+        src_ip: str,
+        dst_ip: str,
+        src_port: int,
+        dst_port: int,
+        protocol: int,
+    ) -> "PacketHeader":
+        """Build a header from dotted-quad address strings."""
+        return cls(parse_ipv4(src_ip), parse_ipv4(dst_ip), src_port, dst_port, protocol)
+
+    # -- field access --------------------------------------------------------
+    def field(self, name: str) -> int:
+        """Return the value of one 5-tuple field by canonical name."""
+        if name not in FIVE_TUPLE_FIELDS:
+            raise RuleError(f"unknown packet field {name!r}")
+        return getattr(self, name)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the header as a ``field name -> value`` mapping."""
+        return {name: getattr(self, name) for name in FIVE_TUPLE_FIELDS}
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Return the header as the canonical 5-tuple of integers."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+    # -- segmentation ---------------------------------------------------------
+    def ip_segments(self) -> Dict[str, int]:
+        """Split the two IP fields into 16-bit segments.
+
+        The hardware architecture partitions each 32-bit address into a high
+        and a low 16-bit segment, each searched by its own trie (section
+        IV.C).  Keys follow the ``<field>_hi`` / ``<field>_lo`` convention used
+        by the IP lookup engines.
+        """
+        return {
+            "src_ip_hi": self.src_ip >> 16,
+            "src_ip_lo": self.src_ip & 0xFFFF,
+            "dst_ip_hi": self.dst_ip >> 16,
+            "dst_ip_lo": self.dst_ip & 0xFFFF,
+        }
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+    def __str__(self) -> str:
+        return (
+            f"{format_ipv4(self.src_ip)}:{self.src_port} -> "
+            f"{format_ipv4(self.dst_ip)}:{self.dst_port} proto={self.protocol}"
+        )

@@ -1,0 +1,125 @@
+"""Parser and writer for the ClassBench filter-set text format.
+
+The on-line filter sets the paper uses [12] are distributed in the ClassBench
+``db_generator`` output format, one rule per line::
+
+    @<src prefix>  <dst prefix>  <srclo> : <srchi>  <dstlo> : <dsthi>  <proto>/<mask>  [extra]
+
+for example::
+
+    @192.168.1.0/24  10.0.0.0/8  0 : 65535  7812 : 7812  0x06/0xFF
+
+This module parses that format into :class:`~repro.rules.ruleset.RuleSet`
+objects (so real filter files can be dropped in whenever they are available)
+and can also serialise any rule set back to it, which is how the synthetic
+generator output is persisted for inspection.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.exceptions import RuleSetError
+from repro.fields.prefix import Prefix, format_ipv4_prefix
+from repro.fields.range_utils import PortRange
+from repro.rules.rule import ProtocolMatch, Rule, RuleAction
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["parse_classbench_line", "parse_classbench", "load_classbench_file", "format_classbench", "dump_classbench_file"]
+
+_LINE_RE = re.compile(
+    r"^@(?P<src>\S+)\s+(?P<dst>\S+)\s+"
+    r"(?P<splo>\d+)\s*:\s*(?P<sphi>\d+)\s+"
+    r"(?P<dplo>\d+)\s*:\s*(?P<dphi>\d+)\s+"
+    r"(?P<proto>0x[0-9a-fA-F]+|\d+)\s*/\s*(?P<pmask>0x[0-9a-fA-F]+|\d+)"
+    r"(?P<rest>.*)$"
+)
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def parse_classbench_line(line: str, rule_id: int, priority: int) -> Rule:
+    """Parse one ClassBench rule line into a :class:`Rule`.
+
+    The trailing columns some generators append (flags, extra fields) are kept
+    verbatim in ``rule.metadata['extra']``.
+    """
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise RuleSetError(f"malformed ClassBench rule line: {line!r}")
+    protocol_value = _parse_int(match.group("proto"))
+    protocol_mask = _parse_int(match.group("pmask"))
+    if protocol_mask == 0:
+        protocol = ProtocolMatch.any()
+    elif protocol_mask == 0xFF:
+        protocol = ProtocolMatch.exact(protocol_value & 0xFF)
+    else:
+        # Partial protocol masks are extremely rare; treat any non-zero mask as
+        # an exact match on the masked value, which is how the paper's tables
+        # (3 unique protocol values) behave.
+        protocol = ProtocolMatch.exact(protocol_value & protocol_mask & 0xFF)
+    metadata = {}
+    rest = match.group("rest").strip()
+    if rest:
+        metadata["extra"] = rest
+    return Rule(
+        rule_id=rule_id,
+        priority=priority,
+        src_prefix=Prefix.parse(match.group("src")),
+        dst_prefix=Prefix.parse(match.group("dst")),
+        src_port=PortRange(int(match.group("splo")), int(match.group("sphi"))),
+        dst_port=PortRange(int(match.group("dplo")), int(match.group("dphi"))),
+        protocol=protocol,
+        action=RuleAction.FORWARD,
+        metadata=metadata,
+    )
+
+
+def parse_classbench(lines: Iterable[str], name: str = "classbench") -> RuleSet:
+    """Parse an iterable of ClassBench rule lines into a rule set.
+
+    Rule priority is the line order, matching the filter-set convention that
+    earlier rules win.
+    """
+    ruleset = RuleSet(name=name)
+    priority = 0
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        ruleset.add(parse_classbench_line(line, rule_id=priority, priority=priority))
+        priority += 1
+    return ruleset
+
+
+def load_classbench_file(path: Union[str, Path], name: Optional[str] = None) -> RuleSet:
+    """Load a ClassBench filter file from disk."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return parse_classbench(handle, name=name or path.stem)
+
+
+def format_classbench(rule: Rule) -> str:
+    """Serialise one rule back to the ClassBench line format."""
+    if rule.protocol.wildcard:
+        proto = "0x00/0x00"
+    else:
+        proto = f"0x{rule.protocol.value:02X}/0xFF"
+    return (
+        f"@{format_ipv4_prefix(rule.src_prefix.value, rule.src_prefix.length)}\t"
+        f"{format_ipv4_prefix(rule.dst_prefix.value, rule.dst_prefix.length)}\t"
+        f"{rule.src_port.low} : {rule.src_port.high}\t"
+        f"{rule.dst_port.low} : {rule.dst_port.high}\t"
+        f"{proto}"
+    )
+
+
+def dump_classbench_file(ruleset: RuleSet, path: Union[str, Path]) -> List[str]:
+    """Write a rule set to disk in ClassBench format; returns the lines written."""
+    lines = [format_classbench(rule) for rule in ruleset.rules()]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return lines

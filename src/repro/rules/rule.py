@@ -1,0 +1,220 @@
+"""Classification rules and their field specifications.
+
+A rule (flow table entry in OpenFlow terms) is a conjunction of per-field
+match specifications plus a priority and an action.  The three match syntaxes
+of the paper are modelled explicitly:
+
+* **Longest Prefix Match** for the two IP address fields (:class:`~repro.fields.prefix.Prefix`),
+* **Range / Exact Matching** for the two port fields (:class:`~repro.fields.range_utils.PortRange`),
+* **Exact-or-wildcard matching** for the protocol field (:class:`ProtocolMatch`).
+
+Priorities follow the usual filter-set convention: the rule listed *first* has
+the highest priority, so **lower numeric priority wins**.  The classifier must
+return the Highest Priority Matching Rule (HPMR) — the matching rule with the
+smallest ``priority`` value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import RuleError
+from repro.fields.prefix import Prefix, format_ipv4_prefix
+from repro.fields.range_utils import PortRange
+from repro.rules.packet import FIVE_TUPLE_FIELDS, PacketHeader
+
+__all__ = ["RuleAction", "ProtocolMatch", "Rule"]
+
+
+class RuleAction(enum.Enum):
+    """The flow actions the paper's introduction mentions.
+
+    The architecture only needs to *return* the action attached to the HPMR;
+    it never executes it, so a small closed enumeration is sufficient.
+    """
+
+    FORWARD = "forward"
+    DROP = "drop"
+    MODIFY = "modify"
+    REDIRECT_GROUP = "redirect_group"
+    SEND_TO_CONTROLLER = "send_to_controller"
+
+
+@dataclass(frozen=True)
+class ProtocolMatch:
+    """Exact-or-wildcard match on the 8-bit IP protocol field."""
+
+    value: int = 0
+    wildcard: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 255:
+            raise RuleError(f"protocol value {self.value} out of 8-bit range")
+
+    @classmethod
+    def exact(cls, value: int) -> "ProtocolMatch":
+        """Match a single protocol number (TCP=6, UDP=17, ICMP=1, ...)."""
+        return cls(value=value, wildcard=False)
+
+    @classmethod
+    def any(cls) -> "ProtocolMatch":
+        """Match every protocol (the ``0x00/0x00`` ClassBench wildcard)."""
+        return cls(value=0, wildcard=True)
+
+    def matches(self, protocol: int) -> bool:
+        """Return True when the packet protocol satisfies this match."""
+        return self.wildcard or protocol == self.value
+
+    def key(self) -> Tuple[bool, int]:
+        """Hashable canonical identity (used for unique-field label tables)."""
+        return (self.wildcard, 0 if self.wildcard else self.value)
+
+    def __str__(self) -> str:
+        return "*" if self.wildcard else str(self.value)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One 5-tuple classification rule.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier, unique within a rule set.  Survives priority
+        renumbering and incremental updates.
+    priority:
+        Smaller value = higher priority (position in the original filter).
+    src_prefix / dst_prefix:
+        IPv4 prefixes for the address fields.
+    src_port / dst_port:
+        Port ranges (exact values are ranges of span 1).
+    protocol:
+        Exact-or-wildcard protocol match.
+    action:
+        Action attached to the rule; returned alongside the match.
+    metadata:
+        Free-form annotations (generator flavour, original text line, ...).
+    """
+
+    rule_id: int
+    priority: int
+    src_prefix: Prefix
+    dst_prefix: Prefix
+    src_port: PortRange
+    dst_port: PortRange
+    protocol: ProtocolMatch
+    action: RuleAction = RuleAction.FORWARD
+    metadata: Dict[str, str] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.rule_id < 0:
+            raise RuleError(f"rule id must be non-negative, got {self.rule_id}")
+        if self.priority < 0:
+            raise RuleError(f"priority must be non-negative, got {self.priority}")
+        if self.src_prefix.width != 32 or self.dst_prefix.width != 32:
+            raise RuleError("rule IP prefixes must be 32-bit")
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        rule_id: int,
+        priority: int,
+        src: str = "0.0.0.0/0",
+        dst: str = "0.0.0.0/0",
+        src_port: str = "0:65535",
+        dst_port: str = "0:65535",
+        protocol: Optional[int] = None,
+        action: RuleAction = RuleAction.FORWARD,
+    ) -> "Rule":
+        """Convenience constructor from human-readable field strings."""
+        return cls(
+            rule_id=rule_id,
+            priority=priority,
+            src_prefix=Prefix.parse(src),
+            dst_prefix=Prefix.parse(dst),
+            src_port=PortRange.parse(src_port),
+            dst_port=PortRange.parse(dst_port),
+            protocol=ProtocolMatch.any() if protocol is None else ProtocolMatch.exact(protocol),
+            action=action,
+        )
+
+    @classmethod
+    def catch_all(cls, rule_id: int, priority: int, action: RuleAction = RuleAction.DROP) -> "Rule":
+        """The fully-wildcarded default rule that matches every packet."""
+        return cls.build(rule_id=rule_id, priority=priority, action=action)
+
+    def with_priority(self, priority: int) -> "Rule":
+        """Return a copy of the rule with a different priority."""
+        return replace(self, priority=priority)
+
+    # -- matching ---------------------------------------------------------------
+    def matches(self, packet: PacketHeader) -> bool:
+        """Return True when the packet header satisfies every field of the rule."""
+        return (
+            self.src_prefix.contains(packet.src_ip)
+            and self.dst_prefix.contains(packet.dst_ip)
+            and self.src_port.contains(packet.src_port)
+            and self.dst_port.contains(packet.dst_port)
+            and self.protocol.matches(packet.protocol)
+        )
+
+    def overlaps(self, other: "Rule") -> bool:
+        """Return True when some packet could match both rules."""
+        return (
+            self.src_prefix.overlaps(other.src_prefix)
+            and self.dst_prefix.overlaps(other.dst_prefix)
+            and self.src_port.overlaps(other.src_port)
+            and self.dst_port.overlaps(other.dst_port)
+            and (
+                self.protocol.wildcard
+                or other.protocol.wildcard
+                or self.protocol.value == other.protocol.value
+            )
+        )
+
+    # -- field access used by label tables / generators -------------------------
+    def field_key(self, name: str):
+        """Canonical hashable identity of one field's match specification.
+
+        Two rules sharing the same ``field_key`` for a field also share the
+        label for that field — this is precisely the "unique rule field"
+        notion of Table II.
+        """
+        if name == "src_ip":
+            return (self.src_prefix.value, self.src_prefix.length)
+        if name == "dst_ip":
+            return (self.dst_prefix.value, self.dst_prefix.length)
+        if name == "src_port":
+            return (self.src_port.low, self.src_port.high)
+        if name == "dst_port":
+            return (self.dst_port.low, self.dst_port.high)
+        if name == "protocol":
+            return self.protocol.key()
+        raise RuleError(f"unknown rule field {name!r}")
+
+    def field_keys(self) -> Dict[str, object]:
+        """Return the canonical identities of all five fields."""
+        return {name: self.field_key(name) for name in FIVE_TUPLE_FIELDS}
+
+    def specificity(self) -> int:
+        """A rough measure of how narrow the rule is (used by generators/tests).
+
+        Sum of prefix lengths plus a bonus for exact ports/protocol; bigger is
+        more specific.
+        """
+        score = self.src_prefix.length + self.dst_prefix.length
+        score += 16 if self.src_port.is_exact else 0
+        score += 16 if self.dst_port.is_exact else 0
+        score += 8 if not self.protocol.wildcard else 0
+        return score
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.rule_id} p{self.priority} "
+            f"@{format_ipv4_prefix(self.src_prefix.value, self.src_prefix.length)} "
+            f"{format_ipv4_prefix(self.dst_prefix.value, self.dst_prefix.length)} "
+            f"{self.src_port} {self.dst_port} {self.protocol} -> {self.action.value}"
+        )

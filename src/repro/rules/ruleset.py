@@ -1,0 +1,174 @@
+"""Rule set container.
+
+A :class:`RuleSet` is an ordered collection of :class:`~repro.rules.rule.Rule`
+objects with unique ids and unique priorities.  It is the unit exchanged
+between the workload generators, the SDN controller and every classifier: all
+classifiers are built from a rule set (or updated incrementally with rules
+taken from one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.exceptions import RuleSetError
+from repro.rules.packet import FIVE_TUPLE_FIELDS, PacketHeader
+from repro.rules.rule import Rule
+
+__all__ = ["RuleSet", "RuleSetStats"]
+
+
+@dataclass(frozen=True)
+class RuleSetStats:
+    """Summary statistics of a rule set (feeds Tables II and III)."""
+
+    name: str
+    size: int
+    unique_field_counts: Dict[str, int]
+    wildcard_field_counts: Dict[str, int]
+    exact_port_counts: Dict[str, int]
+    average_specificity: float
+
+
+class RuleSet:
+    """Ordered, indexable collection of classification rules.
+
+    Rules are kept sorted by priority (ascending, i.e. highest priority
+    first).  Ids and priorities must both be unique; the container enforces
+    this on every mutation so downstream structures can use either as a key.
+    """
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None, name: str = "ruleset") -> None:
+        self.name = name
+        self._by_id: Dict[int, Rule] = {}
+        self._ordered: List[Rule] = []
+        self._dirty = False
+        if rules is not None:
+            for rule in rules:
+                self.add(rule)
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        """Add a rule; ids and priorities must not collide with existing rules."""
+        if rule.rule_id in self._by_id:
+            raise RuleSetError(f"duplicate rule id {rule.rule_id} in {self.name}")
+        if any(existing.priority == rule.priority for existing in self._by_id.values()):
+            raise RuleSetError(f"duplicate priority {rule.priority} in {self.name}")
+        self._by_id[rule.rule_id] = rule
+        self._dirty = True
+
+    def remove(self, rule_id: int) -> Rule:
+        """Remove and return the rule with the given id."""
+        try:
+            rule = self._by_id.pop(rule_id)
+        except KeyError as exc:
+            raise RuleSetError(f"unknown rule id {rule_id} in {self.name}") from exc
+        self._dirty = True
+        return rule
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        """Add several rules."""
+        for rule in rules:
+            self.add(rule)
+
+    # -- access --------------------------------------------------------------
+    def get(self, rule_id: int) -> Rule:
+        """Return the rule with the given id."""
+        try:
+            return self._by_id[rule_id]
+        except KeyError as exc:
+            raise RuleSetError(f"unknown rule id {rule_id} in {self.name}") from exc
+
+    def __contains__(self, rule_id: object) -> bool:
+        return rule_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules())
+
+    def rules(self) -> List[Rule]:
+        """Return the rules sorted by priority (highest priority first)."""
+        if self._dirty:
+            self._ordered = sorted(self._by_id.values(), key=lambda r: r.priority)
+            self._dirty = False
+        return list(self._ordered)
+
+    def rule_ids(self) -> List[int]:
+        """Return rule ids in priority order."""
+        return [rule.rule_id for rule in self.rules()]
+
+    def subset(self, count: int, name: Optional[str] = None) -> "RuleSet":
+        """Return a new rule set holding the ``count`` highest priority rules."""
+        if count < 0:
+            raise RuleSetError(f"cannot take a negative subset ({count})")
+        return RuleSet(self.rules()[:count], name=name or f"{self.name}[:{count}]")
+
+    def filter(self, predicate: Callable[[Rule], bool], name: Optional[str] = None) -> "RuleSet":
+        """Return a new rule set containing the rules satisfying ``predicate``."""
+        return RuleSet(
+            (rule for rule in self.rules() if predicate(rule)),
+            name=name or f"{self.name}[filtered]",
+        )
+
+    # -- classification ground truth ------------------------------------------
+    def highest_priority_match(self, packet: PacketHeader) -> Optional[Rule]:
+        """Linear scan reference: the HPMR for ``packet``, or None.
+
+        Every classifier in the library is validated against this method; it
+        is intentionally the most naive possible implementation.
+        """
+        for rule in self.rules():
+            if rule.matches(packet):
+                return rule
+        return None
+
+    def all_matches(self, packet: PacketHeader) -> List[Rule]:
+        """Every rule matching ``packet``, in priority order."""
+        return [rule for rule in self.rules() if rule.matches(packet)]
+
+    # -- statistics -------------------------------------------------------------
+    def unique_field_values(self, field_name: str) -> int:
+        """Number of distinct match specifications for one field (Table II)."""
+        if field_name not in FIVE_TUPLE_FIELDS:
+            raise RuleSetError(f"unknown field {field_name!r}")
+        return len({rule.field_key(field_name) for rule in self._by_id.values()})
+
+    def stats(self) -> RuleSetStats:
+        """Compute the summary statistics used by Tables II and III."""
+        rules = self.rules()
+        unique = {name: self.unique_field_values(name) for name in FIVE_TUPLE_FIELDS}
+        wildcards = {
+            "src_ip": sum(1 for r in rules if r.src_prefix.is_wildcard),
+            "dst_ip": sum(1 for r in rules if r.dst_prefix.is_wildcard),
+            "src_port": sum(1 for r in rules if r.src_port.is_wildcard),
+            "dst_port": sum(1 for r in rules if r.dst_port.is_wildcard),
+            "protocol": sum(1 for r in rules if r.protocol.wildcard),
+        }
+        exact_ports = {
+            "src_port": sum(1 for r in rules if r.src_port.is_exact),
+            "dst_port": sum(1 for r in rules if r.dst_port.is_exact),
+        }
+        average = (
+            sum(rule.specificity() for rule in rules) / len(rules) if rules else 0.0
+        )
+        return RuleSetStats(
+            name=self.name,
+            size=len(rules),
+            unique_field_counts=unique,
+            wildcard_field_counts=wildcards,
+            exact_port_counts=exact_ports,
+            average_specificity=average,
+        )
+
+    def renumbered(self, name: Optional[str] = None) -> "RuleSet":
+        """Return a copy with priorities renumbered 0..N-1 preserving order."""
+        renumbered = RuleSet(name=name or self.name)
+        for position, rule in enumerate(self.rules()):
+            renumbered.add(rule.with_priority(position))
+        return renumbered
+
+    def __repr__(self) -> str:
+        return f"RuleSet(name={self.name!r}, size={len(self)})"

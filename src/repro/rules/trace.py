@@ -1,0 +1,147 @@
+"""Packet trace generation.
+
+Lookup-performance experiments (Tables I and VI) need a stream of packet
+headers to classify.  ClassBench ships a ``trace_generator`` that derives
+headers from the filter set so that most packets actually hit a rule; this
+module reproduces that behaviour:
+
+* :func:`generate_trace` draws headers biased towards the rule set (a packet
+  is synthesised *inside* a randomly chosen rule with probability
+  ``hit_ratio`` and uniformly at random otherwise);
+* :func:`generate_uniform_trace` draws headers uniformly from the full header
+  space (almost every packet misses — useful for default-rule stress tests);
+* :class:`TraceStats` summarises the hit structure of a generated trace.
+
+All generation is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.fields.range_utils import PORT_MAX
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["generate_trace", "generate_uniform_trace", "TraceStats", "trace_stats"]
+
+_COMMON_PROTOCOLS: Sequence[int] = (6, 17, 1, 47, 50)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Hit statistics of a packet trace against a rule set."""
+
+    packets: int
+    hits: int
+    misses: int
+    distinct_rules_hit: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of packets that matched at least one rule."""
+        return self.hits / self.packets if self.packets else 0.0
+
+
+def _random_point_in_rule(rng: random.Random, rule: Rule) -> PacketHeader:
+    """Draw one header uniformly from the hyper-rectangle a rule covers."""
+    src_low, src_high = rule.src_prefix.low, rule.src_prefix.high
+    dst_low, dst_high = rule.dst_prefix.low, rule.dst_prefix.high
+    protocol = rule.protocol.value if not rule.protocol.wildcard else rng.choice(_COMMON_PROTOCOLS)
+    return PacketHeader(
+        src_ip=rng.randint(src_low, src_high),
+        dst_ip=rng.randint(dst_low, dst_high),
+        src_port=rng.randint(rule.src_port.low, rule.src_port.high),
+        dst_port=rng.randint(rule.dst_port.low, rule.dst_port.high),
+        protocol=protocol,
+    )
+
+
+def _random_header(rng: random.Random) -> PacketHeader:
+    return PacketHeader(
+        src_ip=rng.getrandbits(32),
+        dst_ip=rng.getrandbits(32),
+        src_port=rng.randint(0, PORT_MAX),
+        dst_port=rng.randint(0, PORT_MAX),
+        protocol=rng.choice(_COMMON_PROTOCOLS),
+    )
+
+
+def generate_trace(
+    ruleset: RuleSet,
+    count: int,
+    seed: int = 99,
+    hit_ratio: float = 0.9,
+    locality: float = 0.0,
+) -> List[PacketHeader]:
+    """Generate ``count`` packet headers biased towards ``ruleset``.
+
+    Parameters
+    ----------
+    ruleset:
+        The rule set the trace should exercise; must be non-empty when
+        ``hit_ratio > 0``.
+    count:
+        Number of headers to generate.
+    seed:
+        PRNG seed, making traces reproducible.
+    hit_ratio:
+        Probability that a header is synthesised inside a randomly chosen
+        rule (ClassBench's trace generator uses a similar scheme).
+    locality:
+        Probability of repeating the previous header instead of drawing a new
+        one — models flow locality, where only the first packet of a flow is a
+        "new" classification.
+    """
+    if count < 0:
+        raise ExperimentError(f"trace length must be non-negative, got {count}")
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ExperimentError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+    if not 0.0 <= locality < 1.0:
+        raise ExperimentError(f"locality must be in [0, 1), got {locality}")
+    rules = ruleset.rules()
+    if hit_ratio > 0.0 and not rules:
+        raise ExperimentError("cannot generate a hit-biased trace from an empty rule set")
+    rng = random.Random(seed)
+    trace: List[PacketHeader] = []
+    previous: Optional[PacketHeader] = None
+    for _ in range(count):
+        if previous is not None and locality and rng.random() < locality:
+            trace.append(previous)
+            continue
+        if rules and rng.random() < hit_ratio:
+            header = _random_point_in_rule(rng, rng.choice(rules))
+        else:
+            header = _random_header(rng)
+        trace.append(header)
+        previous = header
+    return trace
+
+
+def generate_uniform_trace(count: int, seed: int = 99) -> List[PacketHeader]:
+    """Generate ``count`` headers drawn uniformly from the full header space."""
+    if count < 0:
+        raise ExperimentError(f"trace length must be non-negative, got {count}")
+    rng = random.Random(seed)
+    return [_random_header(rng) for _ in range(count)]
+
+
+def trace_stats(ruleset: RuleSet, trace: Sequence[PacketHeader]) -> TraceStats:
+    """Compute hit statistics of ``trace`` against ``ruleset`` (linear scan)."""
+    hits = 0
+    rules_hit = set()
+    for packet in trace:
+        match = ruleset.highest_priority_match(packet)
+        if match is not None:
+            hits += 1
+            rules_hit.add(match.rule_id)
+    return TraceStats(
+        packets=len(trace),
+        hits=hits,
+        misses=len(trace) - hits,
+        distinct_rules_hit=len(rules_hit),
+    )

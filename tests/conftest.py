@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Workloads are deliberately small (hundreds of rules, short traces): the tests
+exercise behaviour and invariants, not scale — scale lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rules.classbench import ClassBenchGenerator, FilterFlavor
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule, RuleAction
+from repro.rules.ruleset import RuleSet
+from repro.rules.trace import generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_acl_ruleset() -> RuleSet:
+    """A ~180-rule ACL-flavoured rule set used across the suite."""
+    return ClassBenchGenerator(FilterFlavor.ACL, seed=42).generate(200)
+
+
+@pytest.fixture(scope="session")
+def small_fw_ruleset() -> RuleSet:
+    """A ~160-rule FW-flavoured rule set (more wildcards, more overlap)."""
+    return ClassBenchGenerator(FilterFlavor.FW, seed=43).generate(200)
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_acl_ruleset) -> list:
+    """A 120-packet trace biased towards the small ACL rule set."""
+    return generate_trace(small_acl_ruleset, count=120, seed=77)
+
+
+@pytest.fixture()
+def handcrafted_ruleset() -> RuleSet:
+    """A tiny hand-written rule set with known overlap structure.
+
+    Priorities: rule 0 is the most specific, rule 4 is a catch-all.  Several
+    rules deliberately share field values so the label method's counters and
+    the HPMR resolution among overlapping rules are both exercised.
+    """
+    rules = [
+        Rule.build(0, 0, src="10.0.0.0/8", dst="192.168.1.0/24", src_port="0:65535",
+                   dst_port="80:80", protocol=6, action=RuleAction.FORWARD),
+        Rule.build(1, 1, src="10.0.0.0/8", dst="192.168.1.0/24", src_port="0:65535",
+                   dst_port="0:1023", protocol=6, action=RuleAction.MODIFY),
+        Rule.build(2, 2, src="10.1.0.0/16", dst="192.168.0.0/16", src_port="0:65535",
+                   dst_port="53:53", protocol=17, action=RuleAction.REDIRECT_GROUP),
+        Rule.build(3, 3, src="0.0.0.0/0", dst="192.168.0.0/16", src_port="0:65535",
+                   dst_port="0:65535", protocol=6, action=RuleAction.DROP),
+        Rule.build(4, 4, action=RuleAction.DROP),
+    ]
+    return RuleSet(rules, name="handcrafted")
+
+
+@pytest.fixture()
+def web_packet() -> PacketHeader:
+    """A packet matching rules 0, 1, 3 and 4 of the handcrafted rule set."""
+    return PacketHeader.from_strings("10.2.3.4", "192.168.1.10", 40000, 80, 6)
+
+
+@pytest.fixture()
+def dns_packet() -> PacketHeader:
+    """A packet matching rules 2 and 4 of the handcrafted rule set."""
+    return PacketHeader.from_strings("10.1.9.9", "192.168.7.7", 5353, 53, 17)
+
+
+@pytest.fixture()
+def miss_packet() -> PacketHeader:
+    """A packet matching only the catch-all rule 4."""
+    return PacketHeader.from_strings("172.16.0.1", "8.8.8.8", 1234, 4444, 17)

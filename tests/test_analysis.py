@@ -1,0 +1,128 @@
+"""Unit tests for the analysis helpers: metrics, uniqueness, reports, literature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    TABLE_I_PAPER_VALUES,
+    TABLE_V_PAPER_VALUES,
+    TABLE_VI_PAPER_VALUES,
+    TABLE_VII_PAPER_VALUES,
+    format_kv,
+    format_number,
+    format_table,
+    measure_lookups,
+    measure_updates,
+    storage_reduction,
+    summarize_lookups,
+    summarize_updates,
+    table_ii_rows,
+    unique_field_report,
+)
+from repro.core.classifier import ConfigurableClassifier
+from repro.rules.ruleset import RuleSet
+
+
+class TestLookupMetrics:
+    def test_measure_lookups(self, handcrafted_ruleset, web_packet, dns_packet, miss_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        metrics = measure_lookups(classifier, [web_packet, dns_packet, miss_packet])
+        assert metrics.packets == 3
+        assert metrics.matched == 3
+        assert metrics.hit_ratio == 1.0
+        assert metrics.average_memory_accesses > 0
+        assert metrics.worst_memory_accesses >= metrics.average_memory_accesses
+        assert metrics.worst_latency_cycles >= metrics.average_latency_cycles
+
+    def test_empty_summaries(self):
+        lookups = summarize_lookups([])
+        updates = summarize_updates([])
+        assert lookups.packets == 0 and lookups.hit_ratio == 0.0
+        assert updates.operations == 0 and updates.counter_only_fraction == 0.0
+
+    def test_measure_updates(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier()
+        metrics = measure_updates(classifier, handcrafted_ruleset.rules())
+        assert metrics.operations == len(handcrafted_ruleset)
+        assert metrics.total_cycles > 0
+        assert 0.0 <= metrics.counter_only_fraction <= 1.0
+        assert metrics.average_cycles == pytest.approx(metrics.total_cycles / metrics.operations)
+
+
+class TestUniqueness:
+    def test_unique_field_report(self, handcrafted_ruleset):
+        report = unique_field_report(handcrafted_ruleset)
+        assert report.rules == 5
+        assert report.unique_counts["src_port"] == 1
+        assert report.unique_counts["protocol"] == 3
+        assert report.total_unique_fields() == sum(report.unique_counts.values())
+        assert report.duplication_ratio() > 1.0
+
+    def test_storage_reduction_positive_for_heavy_reuse(self, small_acl_ruleset):
+        # Reuse (and therefore the saving) grows with rule count; even the
+        # 200-rule test workload must already save a substantial fraction.
+        assert storage_reduction(small_acl_ruleset) > 0.2
+
+    def test_storage_reduction_empty_ruleset(self):
+        assert storage_reduction(RuleSet(name="empty")) == 0.0
+
+    def test_table_ii_rows(self, handcrafted_ruleset, small_acl_ruleset):
+        reports = [unique_field_report(handcrafted_ruleset), unique_field_report(small_acl_ruleset)]
+        rows = table_ii_rows(reports)
+        assert len(rows) == 5
+        assert rows[0]["Packet Header Field"] == "Source IP Address"
+        assert len(rows[0]) == 3
+
+
+class TestReports:
+    def test_format_number(self):
+        assert format_number(1234567) == "1,234,567"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(12345.6789) == "12,345.68"
+        assert format_number("text") == "text"
+        assert format_number(True) == "True"
+        assert format_number(float("nan")) == "n/a"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_table_explicit_headers(self):
+        text = format_table([{"a": 1, "b": 2}], headers=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_kv(self):
+        text = format_kv({"key": 1, "longer key": 2.5}, title="Block")
+        assert text.splitlines()[0] == "Block"
+        assert ":" in text.splitlines()[1]
+
+    def test_format_kv_empty(self):
+        assert "(empty)" in format_kv({})
+
+
+class TestLiteratureConstants:
+    def test_table_i_rows_present(self):
+        assert set(TABLE_I_PAPER_VALUES) == {"HyperCuts", "RFC", "DCFL", "Option1", "Option2"}
+        assert TABLE_I_PAPER_VALUES["DCFL"].lookup_memory_accesses == pytest.approx(23.1)
+        assert TABLE_I_PAPER_VALUES["RFC"].memory_mbit == pytest.approx(31.48)
+
+    def test_table_vi_values(self):
+        assert TABLE_VI_PAPER_VALUES["MBT"]["lookup_accesses_per_packet"] == 1
+        assert TABLE_VI_PAPER_VALUES["BST"]["stored_rules"] == 12000
+
+    def test_table_vii_values(self):
+        assert TABLE_VII_PAPER_VALUES["Our system with MBT"].throughput_gbps == pytest.approx(42.73)
+        assert TABLE_VII_PAPER_VALUES["DCFLE"].stored_rules == 128
+
+    def test_table_v_values(self):
+        assert TABLE_V_PAPER_VALUES["Maximum Frequency MHz"] == pytest.approx(133.51)
+        assert TABLE_V_PAPER_VALUES["Total block memory bits"][1] == 54_476_800

@@ -1,0 +1,134 @@
+"""Integration tests: the configurable classifier against the linear-scan ground truth.
+
+These are the most important tests of the suite: for generated ACL and FW
+workloads, under both IP algorithm configurations, every classified packet
+must return exactly the rule the naive priority-ordered linear scan returns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.rules.trace import generate_trace, generate_uniform_trace
+
+
+def _assert_agrees_with_reference(classifier, ruleset, trace):
+    for packet in trace:
+        result = classifier.lookup(packet)
+        expected = ruleset.highest_priority_match(packet)
+        got_id = result.match.rule_id if result.match else None
+        expected_id = expected.rule_id if expected else None
+        assert got_id == expected_id, f"{packet}: got {got_id}, expected {expected_id}"
+
+
+@pytest.mark.parametrize("algorithm", [IpAlgorithm.MBT, IpAlgorithm.BST])
+class TestGroundTruthAgreement:
+    def test_acl_workload(self, algorithm, small_acl_ruleset, small_trace):
+        config = ClassifierConfig(ip_algorithm=algorithm)
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset, config)
+        _assert_agrees_with_reference(classifier, small_acl_ruleset, small_trace)
+
+    def test_fw_workload(self, algorithm, small_fw_ruleset):
+        config = ClassifierConfig(ip_algorithm=algorithm)
+        classifier = ConfigurableClassifier.from_ruleset(small_fw_ruleset, config)
+        trace = generate_trace(small_fw_ruleset, count=100, seed=11)
+        _assert_agrees_with_reference(classifier, small_fw_ruleset, trace)
+
+    def test_uniform_traffic_mostly_misses(self, algorithm, small_acl_ruleset):
+        config = ClassifierConfig(ip_algorithm=algorithm)
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset, config)
+        trace = generate_uniform_trace(60, seed=13)
+        _assert_agrees_with_reference(classifier, small_acl_ruleset, trace)
+
+    def test_agreement_survives_churn(self, algorithm, small_acl_ruleset, small_trace):
+        config = ClassifierConfig(ip_algorithm=algorithm)
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset, config)
+        victims = small_acl_ruleset.rule_ids()[::3]
+        for rule_id in victims:
+            classifier.remove_rule(rule_id)
+        survivors = small_acl_ruleset.filter(lambda rule: rule.rule_id not in set(victims))
+        _assert_agrees_with_reference(classifier, survivors, small_trace[:60])
+        # Re-install the removed rules and verify full agreement again.
+        for rule_id in victims:
+            classifier.install_rule(small_acl_ruleset.get(rule_id))
+        _assert_agrees_with_reference(classifier, small_acl_ruleset, small_trace[:60])
+
+
+class TestReconfigurationConsistency:
+    def test_results_identical_across_algorithms(self, small_acl_ruleset, small_trace):
+        mbt = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        bst = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        )
+        for packet in small_trace[:60]:
+            mbt_match = mbt.lookup(packet).match
+            bst_match = bst.lookup(packet).match
+            assert (mbt_match.rule_id if mbt_match else None) == (
+                bst_match.rule_id if bst_match else None
+            )
+
+    def test_runtime_reconfiguration_preserves_results(self, small_acl_ruleset, small_trace):
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        before = [
+            result.match.rule_id if result.match else None
+            for result in classifier.classify_trace(small_trace[:40])
+        ]
+        classifier.reconfigure(IpAlgorithm.BST)
+        after = [
+            result.match.rule_id if result.match else None
+            for result in classifier.classify_trace(small_trace[:40])
+        ]
+        assert before == after
+
+
+class TestCombinerModesOnRealWorkload:
+    def test_cross_product_is_exact(self, small_acl_ruleset, small_trace):
+        classifier = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, ClassifierConfig(combiner_mode=CombinerMode.CROSS_PRODUCT)
+        )
+        _assert_agrees_with_reference(classifier, small_acl_ruleset, small_trace[:80])
+
+    def test_first_label_mode_runs_with_single_probe(self, small_acl_ruleset, small_trace):
+        classifier = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, ClassifierConfig(combiner_mode=CombinerMode.FIRST_LABEL)
+        )
+        for packet in small_trace[:80]:
+            result = classifier.lookup(packet)
+            assert result.combiner_probes <= 1
+            # Whatever the fast path returns must at least be a real installed
+            # rule that genuinely matches the packet (no false matches).
+            if result.match is not None:
+                rule = small_acl_ruleset.get(result.match.rule_id)
+                assert rule.matches(packet)
+
+
+class TestCostAccountingOnRealWorkload:
+    def test_mbt_lookup_access_budget(self, small_acl_ruleset, small_trace):
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        for packet in small_trace[:50]:
+            result = classifier.lookup(packet)
+            # 4 IP segment engines x <=3 levels + 2 port register reads +
+            # 1 protocol read; the rule filter probing comes on top.
+            field_accesses = sum(
+                count for name, count in result.memory_accesses.items() if name != "rule_filter"
+            )
+            assert field_accesses <= 4 * 3 + 2 + 1
+
+    def test_bst_lookup_access_budget(self, small_acl_ruleset, small_trace):
+        classifier = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        )
+        for packet in small_trace[:50]:
+            result = classifier.lookup(packet)
+            for dimension in ("src_ip_hi", "src_ip_lo", "dst_ip_hi", "dst_ip_lo"):
+                assert result.memory_accesses[dimension] <= 16
+
+    def test_latency_reflects_configuration(self, small_acl_ruleset, small_trace):
+        mbt = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        bst = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        )
+        packet = small_trace[0]
+        assert mbt.lookup(packet).latency_cycles < bst.lookup(packet).latency_cycles

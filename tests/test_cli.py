@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tcam"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestExperimentCommands:
+    def test_table4_runs(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "B, C, A" in out
+
+    def test_table5_runs(self, capsys):
+        assert main(["table5"]) == 0
+        assert "Stratix V" in capsys.readouterr().out
+
+    def test_table7_runs(self, capsys):
+        assert main(["table7"]) == 0
+        assert "Our system with MBT" in capsys.readouterr().out
+
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Initiation interval" in capsys.readouterr().out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "memory sharing" in capsys.readouterr().out
+
+
+class TestWorkloadCommands:
+    def test_generate_writes_classbench_file(self, tmp_path, capsys):
+        output = tmp_path / "acl.rules"
+        assert main(["generate", "--size", "300", "--output", str(output)]) == 0
+        assert output.exists()
+        lines = output.read_text().strip().splitlines()
+        assert len(lines) > 200
+        assert lines[0].startswith("@")
+        assert "Wrote" in capsys.readouterr().out
+
+    def test_classify_synthetic_workload(self, capsys):
+        assert main(["classify", "--size", "300", "--packets", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Classification run" in out
+        assert "Hit ratio" in out
+        assert "MBT" in out
+
+    def test_classify_bst_configuration(self, capsys):
+        assert main(["classify", "--size", "300", "--packets", "20", "--ip-algorithm", "bst"]) == 0
+        assert "BST" in capsys.readouterr().out
+
+    def test_classify_from_generated_file(self, tmp_path, capsys):
+        rules_file = tmp_path / "fw.rules"
+        main(["generate", "--flavor", "fw", "--size", "300", "--output", str(rules_file)])
+        capsys.readouterr()
+        assert main(["classify", "--rules", str(rules_file), "--packets", "20"]) == 0
+        assert "Classification run" in capsys.readouterr().out

@@ -1,0 +1,265 @@
+"""Unit and integration tests for the SDN control plane (OpenFlow-lite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller import (
+    ApplicationRequirements,
+    BarrierReply,
+    BarrierRequest,
+    ConfigMod,
+    ControlChannel,
+    FlowMod,
+    FlowModCommand,
+    FlowModReply,
+    SdnController,
+    StatsReply,
+    StatsRequest,
+    Switch,
+    decode_message,
+    encode_message,
+)
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.exceptions import ControlPlaneError
+from repro.rules.rule import Rule
+from repro.rules.trace import generate_trace
+
+
+class TestOpenFlowMessages:
+    def test_flow_mod_add_requires_rule(self):
+        with pytest.raises(ControlPlaneError):
+            FlowMod(command=FlowModCommand.ADD)
+
+    def test_flow_mod_delete_requires_target(self):
+        with pytest.raises(ControlPlaneError):
+            FlowMod(command=FlowModCommand.DELETE)
+        assert FlowMod(command=FlowModCommand.DELETE, rule_id=3).target_rule_id == 3
+
+    def test_flow_mod_round_trip(self):
+        rule = Rule.build(5, 2, src="10.0.0.0/8", dst_port="443:443", protocol=6)
+        message = FlowMod(command=FlowModCommand.ADD, rule=rule, xid=9)
+        decoded = decode_message(encode_message(message))
+        assert decoded.command is FlowModCommand.ADD
+        assert decoded.xid == 9
+        assert decoded.rule.field_keys() == rule.field_keys()
+        assert decoded.rule.action == rule.action
+
+    def test_flow_mod_reply_round_trip(self):
+        reply = FlowModReply(xid=4, rule_id=7, success=False, error="capacity")
+        decoded = decode_message(encode_message(reply))
+        assert decoded.rule_id == 7 and not decoded.success and decoded.error == "capacity"
+
+    def test_config_mod_round_trip(self):
+        message = ConfigMod(ip_algorithm=IpAlgorithm.BST, combiner_mode=CombinerMode.FIRST_LABEL, xid=2)
+        decoded = decode_message(encode_message(message))
+        assert decoded.ip_algorithm is IpAlgorithm.BST
+        assert decoded.combiner_mode is CombinerMode.FIRST_LABEL
+
+    def test_barrier_and_stats_round_trip(self):
+        assert decode_message(encode_message(BarrierRequest(xid=1))).xid == 1
+        assert decode_message(encode_message(BarrierReply(xid=2))).xid == 2
+        assert decode_message(encode_message(StatsRequest(xid=3))).xid == 3
+        reply = StatsReply(xid=4, stats={"rules_installed": 10})
+        assert decode_message(encode_message(reply)).stats["rules_installed"] == 10
+
+    def test_malformed_blob_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            decode_message(b"this is not json")
+
+
+class TestControlChannel:
+    def test_fifo_ordering_and_stats(self):
+        channel = ControlChannel()
+        channel.send_to_switch(BarrierRequest(xid=1))
+        channel.send_to_switch(BarrierRequest(xid=2))
+        assert channel.pending_to_switch == 2
+        first = channel.receive_from_controller()
+        second = channel.receive_from_controller()
+        assert (first.xid, second.xid) == (1, 2)
+        assert channel.receive_from_controller() is None
+        assert channel.stats.messages_to_switch == 2
+        assert channel.stats.bytes_to_switch > 0
+
+    def test_reverse_direction(self):
+        channel = ControlChannel()
+        channel.send_to_controller(BarrierReply(xid=7))
+        assert channel.pending_to_controller == 1
+        assert channel.receive_from_switch().xid == 7
+        assert channel.receive_from_switch() is None
+
+    def test_drain(self):
+        channel = ControlChannel()
+        for xid in range(3):
+            channel.send_to_controller(BarrierReply(xid=xid))
+        assert [message.xid for message in channel.drain_from_switch()] == [0, 1, 2]
+
+    def test_require_empty(self):
+        channel = ControlChannel()
+        channel.require_empty()
+        channel.send_to_switch(BarrierRequest())
+        with pytest.raises(ControlPlaneError):
+            channel.require_empty()
+
+    def test_total_counters(self):
+        channel = ControlChannel()
+        channel.send_to_switch(BarrierRequest())
+        channel.send_to_controller(BarrierReply())
+        assert channel.stats.total_messages == 2
+        assert channel.stats.total_bytes > 0
+
+
+class TestSwitch:
+    def make_switch(self):
+        channel = ControlChannel()
+        return Switch(datapath_id=1, channel=channel), channel
+
+    def test_flow_mod_add_and_reply(self, handcrafted_ruleset):
+        switch, channel = self.make_switch()
+        channel.send_to_switch(FlowMod(command=FlowModCommand.ADD, rule=handcrafted_ruleset.get(0), xid=5))
+        assert switch.process_control_messages() == 1
+        reply = channel.receive_from_switch()
+        assert isinstance(reply, FlowModReply) and reply.success and reply.xid == 5
+        assert switch.classifier.installed_rules == 1
+        assert switch.stats.flow_mods_applied == 1
+
+    def test_flow_mod_failure_reported(self, handcrafted_ruleset):
+        switch, channel = self.make_switch()
+        channel.send_to_switch(FlowMod(command=FlowModCommand.DELETE, rule_id=42, xid=6))
+        switch.process_control_messages()
+        reply = channel.receive_from_switch()
+        assert not reply.success and reply.error
+        assert switch.stats.flow_mods_failed == 1
+
+    def test_config_mod_reconfigures(self, handcrafted_ruleset):
+        switch, channel = self.make_switch()
+        for rule in handcrafted_ruleset:
+            channel.send_to_switch(FlowMod(command=FlowModCommand.ADD, rule=rule))
+        channel.send_to_switch(ConfigMod(ip_algorithm=IpAlgorithm.BST, xid=9))
+        switch.process_control_messages()
+        assert switch.classifier.config.ip_algorithm is IpAlgorithm.BST
+        assert switch.stats.reconfigurations == 1
+        replies = channel.drain_from_switch()
+        assert isinstance(replies[-1], BarrierReply)
+
+    def test_barrier_and_stats(self, handcrafted_ruleset):
+        switch, channel = self.make_switch()
+        channel.send_to_switch(BarrierRequest(xid=1))
+        channel.send_to_switch(StatsRequest(xid=2))
+        switch.process_control_messages()
+        replies = channel.drain_from_switch()
+        assert isinstance(replies[0], BarrierReply)
+        assert isinstance(replies[1], StatsReply)
+        assert replies[1].stats["rules_installed"] == 0
+
+    def test_data_plane_counters(self, handcrafted_ruleset, web_packet, miss_packet):
+        switch, channel = self.make_switch()
+        for rule in handcrafted_ruleset:
+            if rule.rule_id != 4:
+                channel.send_to_switch(FlowMod(command=FlowModCommand.ADD, rule=rule))
+        switch.process_control_messages()
+        switch.classify(web_packet)
+        switch.classify(miss_packet)
+        assert switch.stats.packets_classified == 2
+        assert switch.stats.packets_matched == 1
+        assert switch.stats.match_ratio == pytest.approx(0.5)
+
+    def test_process_limit(self, handcrafted_ruleset):
+        switch, channel = self.make_switch()
+        for rule in handcrafted_ruleset:
+            channel.send_to_switch(FlowMod(command=FlowModCommand.ADD, rule=rule))
+        assert switch.process_control_messages(limit=2) == 2
+        assert channel.pending_to_switch == len(handcrafted_ruleset) - 2
+
+
+class TestSdnController:
+    def test_add_switch_and_duplicate_rejected(self):
+        controller = SdnController()
+        controller.add_switch(1)
+        with pytest.raises(ControlPlaneError):
+            controller.add_switch(1)
+        with pytest.raises(ControlPlaneError):
+            controller.switch(2)
+
+    def test_push_ruleset_and_stats(self, small_acl_ruleset):
+        controller = SdnController()
+        switch = controller.add_switch(1)
+        report = controller.push_ruleset(1, small_acl_ruleset)
+        assert report.success
+        assert report.accepted == len(small_acl_ruleset)
+        assert report.total_update_cycles > 0
+        stats = controller.request_stats(1)
+        assert stats["rules_installed"] == len(small_acl_ruleset)
+        assert switch.classifier.installed_rules == len(small_acl_ruleset)
+
+    def test_push_rejection_reported(self, handcrafted_ruleset):
+        controller = SdnController()
+        controller.add_switch(1)
+        controller.push_ruleset(1, handcrafted_ruleset)
+        # pushing the same rules again must be rejected (duplicate ids)
+        report = controller.push_ruleset(1, handcrafted_ruleset)
+        assert report.rejected == len(handcrafted_ruleset)
+        assert not report.success
+        assert report.errors
+
+    def test_remove_rule(self, handcrafted_ruleset):
+        controller = SdnController()
+        switch = controller.add_switch(1)
+        controller.push_ruleset(1, handcrafted_ruleset)
+        controller.remove_rule(1, 0)
+        assert switch.classifier.installed_rules == len(handcrafted_ruleset) - 1
+        with pytest.raises(ControlPlaneError):
+            controller.remove_rule(1, 0)
+
+    def test_barrier(self, handcrafted_ruleset):
+        controller = SdnController()
+        controller.add_switch(1)
+        controller.barrier(1)  # must not raise
+
+    def test_configure_switch(self, handcrafted_ruleset):
+        controller = SdnController()
+        switch = controller.add_switch(1)
+        controller.push_ruleset(1, handcrafted_ruleset)
+        controller.configure_switch(1, ip_algorithm=IpAlgorithm.BST)
+        assert switch.classifier.config.ip_algorithm is IpAlgorithm.BST
+        assert switch.classifier.installed_rules == len(handcrafted_ruleset)
+
+    def test_select_ip_algorithm_policy(self):
+        controller = SdnController()
+        latency_app = ApplicationRequirements("video", min_throughput_gbps=40, expected_rules=1000, latency_critical=True)
+        assert controller.select_ip_algorithm(latency_app) is IpAlgorithm.MBT
+        big_app = ApplicationRequirements("firewall", min_throughput_gbps=1, expected_rules=10000)
+        assert controller.select_ip_algorithm(big_app) is IpAlgorithm.BST
+        small_app = ApplicationRequirements("small", min_throughput_gbps=1, expected_rules=100)
+        assert controller.select_ip_algorithm(small_app) is IpAlgorithm.MBT
+
+    def test_select_ip_algorithm_rejects_impossible(self):
+        controller = SdnController()
+        too_big = ApplicationRequirements("huge", expected_rules=50000)
+        with pytest.raises(ControlPlaneError):
+            controller.select_ip_algorithm(too_big)
+        conflicted = ApplicationRequirements(
+            "conflicted", expected_rules=10000, latency_critical=True, min_throughput_gbps=40
+        )
+        with pytest.raises(ControlPlaneError):
+            controller.select_ip_algorithm(conflicted)
+
+    def test_deploy_application_end_to_end(self, small_acl_ruleset):
+        controller = SdnController()
+        switch = controller.add_switch(1)
+        app = ApplicationRequirements("video", min_throughput_gbps=40, expected_rules=len(small_acl_ruleset), latency_critical=True)
+        report = controller.deploy_application(1, app, small_acl_ruleset)
+        assert report.success
+        trace = generate_trace(small_acl_ruleset, count=40, seed=5)
+        for packet in trace:
+            result = switch.classify(packet)
+            expected = small_acl_ruleset.highest_priority_match(packet)
+            assert (result.match.rule_id if result.match else None) == (
+                expected.rule_id if expected else None
+            )
+
+    def test_channel_accessor(self):
+        controller = SdnController()
+        controller.add_switch(3)
+        assert controller.channel(3).stats.total_messages == 0
+        assert len(controller.switches()) == 1

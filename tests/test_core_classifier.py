@@ -1,0 +1,158 @@
+"""Unit tests for the ConfigurableClassifier behavioural model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import ConfigurableClassifier, DISPATCH_CYCLES, FINAL_CYCLES, LABEL_FETCH_CYCLES
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.core.dimensions import DIMENSIONS
+
+
+class TestClassifierConstruction:
+    def test_default_engines(self):
+        classifier = ConfigurableClassifier()
+        assert set(classifier.engines) == set(DIMENSIONS)
+        assert classifier.engines["src_ip_hi"].name.endswith("mbt")
+        assert classifier.engines["protocol"].lookup_cycles == 1
+
+    def test_bst_configuration_builds_bst_engines(self):
+        classifier = ConfigurableClassifier(ClassifierConfig(ip_algorithm=IpAlgorithm.BST))
+        assert classifier.engines["dst_ip_lo"].name.endswith("bst")
+        assert not classifier.engines["dst_ip_lo"].pipelined
+
+    def test_label_table_widths_follow_layout(self):
+        classifier = ConfigurableClassifier()
+        assert classifier.label_tables["src_ip_hi"].allocator.width_bits == 13
+        assert classifier.label_tables["dst_port"].allocator.width_bits == 7
+        assert classifier.label_tables["protocol"].allocator.width_bits == 2
+
+    def test_shared_memory_selection_tracks_config(self):
+        mbt = ConfigurableClassifier()
+        bst = ConfigurableClassifier(ClassifierConfig(ip_algorithm=IpAlgorithm.BST))
+        assert mbt.shared_memory.active_view == "mbt_level2"
+        assert bst.shared_memory.active_view == "bst_nodes"
+
+    def test_from_ruleset_installs_everything(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert classifier.installed_rules == len(handcrafted_ruleset)
+
+    def test_repr(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert "mbt" in repr(classifier)
+
+
+class TestLookup:
+    def test_lookup_returns_hpmr(self, handcrafted_ruleset, web_packet, dns_packet, miss_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert classifier.lookup(web_packet).match.rule_id == 0
+        assert classifier.lookup(dns_packet).match.rule_id == 2
+        assert classifier.lookup(miss_packet).match.rule_id == 4
+
+    def test_lookup_miss_without_catch_all(self, handcrafted_ruleset, miss_packet):
+        trimmed = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 4)
+        classifier = ConfigurableClassifier.from_ruleset(trimmed)
+        result = classifier.lookup(miss_packet)
+        assert result.match is None and not result.matched
+
+    def test_lookup_reports_field_labels(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        result = classifier.lookup(web_packet)
+        assert set(result.field_labels) == set(DIMENSIONS)
+        assert result.field_labels["protocol"]
+
+    def test_lookup_cycle_report_phases(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        cycles = classifier.lookup(web_packet).cycles
+        assert cycles.phases["dispatch"] == DISPATCH_CYCLES
+        assert cycles.phases["label_fetch"] == LABEL_FETCH_CYCLES
+        assert cycles.phases["rule_fetch"] == FINAL_CYCLES
+        assert cycles.phases["field_lookup"] >= 6
+
+    def test_lookup_memory_access_breakdown(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        result = classifier.lookup(web_packet)
+        assert set(result.memory_accesses) == set(DIMENSIONS) | {"rule_filter"}
+        assert result.total_memory_accesses == sum(result.memory_accesses.values())
+
+    def test_classify_trace(self, handcrafted_ruleset, web_packet, dns_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        results = classifier.classify_trace([web_packet, dns_packet])
+        assert [result.match.rule_id for result in results] == [0, 2]
+
+    def test_action_returned_with_match(self, handcrafted_ruleset, dns_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert classifier.lookup(dns_packet).match.action == "redirect_group"
+
+
+class TestConfigurability:
+    def test_reconfigure_switches_algorithm_and_keeps_rules(
+        self, handcrafted_ruleset, web_packet
+    ):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        moved = classifier.reconfigure(IpAlgorithm.BST)
+        assert moved == len(handcrafted_ruleset)
+        assert classifier.config.ip_algorithm is IpAlgorithm.BST
+        assert classifier.lookup(web_packet).match.rule_id == 0
+
+    def test_reconfigure_to_same_algorithm_is_noop(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert classifier.reconfigure(IpAlgorithm.MBT) == 0
+
+    def test_set_combiner_mode(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        classifier.set_combiner_mode(CombinerMode.FIRST_LABEL)
+        assert classifier.combiner.mode is CombinerMode.FIRST_LABEL
+        assert classifier.config.combiner_mode is CombinerMode.FIRST_LABEL
+
+    def test_occupancy_and_latency(self):
+        mbt = ConfigurableClassifier()
+        bst = ConfigurableClassifier(ClassifierConfig(ip_algorithm=IpAlgorithm.BST))
+        assert mbt.occupancy_cycles() == 1.0
+        assert bst.occupancy_cycles() == 16.0
+        assert mbt.lookup_latency_cycles() < bst.lookup_latency_cycles()
+
+    def test_throughput_matches_paper(self):
+        mbt = ConfigurableClassifier()
+        bst = ConfigurableClassifier(ClassifierConfig(ip_algorithm=IpAlgorithm.BST))
+        assert mbt.throughput_gbps() == pytest.approx(42.72, rel=0.01)
+        assert bst.throughput_gbps() == pytest.approx(2.67, rel=0.01)
+
+    def test_throughput_scales_with_packet_size(self):
+        classifier = ConfigurableClassifier()
+        assert classifier.throughput_gbps(100) > classifier.throughput_gbps(40)
+
+
+class TestReporting:
+    def test_memory_bits_used_grows_with_rules(self, handcrafted_ruleset):
+        empty = ConfigurableClassifier()
+        loaded = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert loaded.memory_bits_used()["rule_filter"] > empty.memory_bits_used()["rule_filter"]
+
+    def test_provisioned_memory_bank_contents(self):
+        bank = ConfigurableClassifier().provisioned_memory_bank()
+        names = {block.name for block in bank}
+        assert "src_ip_hi_mbt_l1" in names
+        assert "rule_filter" in names
+        assert "protocol_lut" in names
+        # Table V scale: ~2.1 Mbit total.
+        assert bank.total_bits == pytest.approx(2_097_184, rel=0.02)
+
+    def test_provisioned_memory_bank_bst(self):
+        bank = ConfigurableClassifier(ClassifierConfig(ip_algorithm=IpAlgorithm.BST)).provisioned_memory_bank()
+        assert any(block.name.endswith("_bst") for block in bank)
+
+    def test_report_structure(self, handcrafted_ruleset):
+        report = ConfigurableClassifier.from_ruleset(handcrafted_ruleset).report()
+        assert report.rules_installed == len(handcrafted_ruleset)
+        assert report.rule_capacity == 8192
+        assert report.memory_space_mbit == pytest.approx(2.1, rel=0.05)
+        assert report.throughput_gbps == pytest.approx(42.72, rel=0.01)
+        assert set(report.unique_labels) == set(DIMENSIONS)
+        assert report.total_memory_bits_used > 0
+
+    def test_report_capacity_in_bst_mode(self):
+        report = ConfigurableClassifier(ClassifierConfig(ip_algorithm=IpAlgorithm.BST)).report()
+        assert report.rule_capacity > 12000
+        # provisioned memory is the same synthesised design in both modes
+        assert report.memory_space_mbit == pytest.approx(2.1, rel=0.05)

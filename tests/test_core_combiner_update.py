@@ -1,0 +1,220 @@
+"""Unit tests for the label combiner and the incremental update engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.core.dimensions import DIMENSIONS, rule_dimension_specs
+from repro.core.label_combiner import LabelCombiner
+from repro.core.update_engine import HASH_CYCLES, RULE_UPLOAD_CYCLES
+from repro.exceptions import ConfigurationError, UpdateError
+from repro.hardware.hash_unit import LabelKeyLayout
+from repro.hardware.rule_filter import RuleFilterMemory
+from repro.rules.rule import Rule
+
+
+def _matches(**labels):
+    """Build a full per-dimension match mapping with defaults of one label."""
+    base = {name: ((0, 0),) for name in DIMENSIONS}
+    base.update(labels)
+    return base
+
+
+class TestLabelCombiner:
+    def make_combiner(self, mode=CombinerMode.CROSS_PRODUCT, probe_budget=4096):
+        layout = LabelKeyLayout()
+        rule_filter = RuleFilterMemory(capacity=64)
+        return LabelCombiner(rule_filter, layout, mode=mode, probe_budget=probe_budget), layout, rule_filter
+
+    def test_missing_dimension_rejected(self):
+        combiner, _, _ = self.make_combiner()
+        with pytest.raises(ConfigurationError):
+            combiner.combine({"src_ip_hi": ((0, 0),)})
+
+    def test_empty_field_list_is_a_miss(self):
+        combiner, _, _ = self.make_combiner()
+        outcome = combiner.combine(_matches(protocol=()))
+        assert outcome.entry is None
+        assert outcome.probes == 0
+
+    def test_cross_product_finds_best_priority(self):
+        combiner, layout, rule_filter = self.make_combiner()
+        # Two rules share every label except dst_port.
+        key_a = layout.pack((1, 0, 0, 0, 0, 5, 0))
+        key_b = layout.pack((1, 0, 0, 0, 0, 6, 0))
+        rule_filter.insert(key_a, Rule.build(10, 10))
+        rule_filter.insert(key_b, Rule.build(3, 3))
+        outcome = combiner.combine(
+            _matches(src_ip_hi=((1, 3),), dst_port=((5, 10), (6, 3)))
+        )
+        assert outcome.entry is not None and outcome.entry.rule_id == 3
+        assert outcome.probes >= 1
+
+    def test_cross_product_prunes_with_priority_bound(self):
+        combiner, layout, rule_filter = self.make_combiner()
+        best_key = layout.pack((1, 0, 0, 0, 0, 0, 0))
+        rule_filter.insert(best_key, Rule.build(0, 0))
+        # Many worse-priority candidate labels on dst_port: once the priority-0
+        # rule is found, combinations whose bound is >= 0 are skipped.
+        matches = _matches(
+            src_ip_hi=((1, 0),),
+            dst_port=tuple((label, label) for label in range(0, 30)),
+        )
+        outcome = combiner.combine(matches)
+        assert outcome.entry.rule_id == 0
+        assert outcome.probes < 30
+
+    def test_probe_budget_caps_work(self):
+        combiner, _, _ = self.make_combiner(probe_budget=5)
+        matches = _matches(dst_port=tuple((label, 10 + label) for label in range(50)))
+        outcome = combiner.combine(matches)
+        assert outcome.probes <= 5
+
+    def test_first_label_single_probe(self):
+        combiner, layout, rule_filter = self.make_combiner(mode=CombinerMode.FIRST_LABEL)
+        key = layout.pack((2, 0, 0, 0, 0, 0, 0))
+        rule_filter.insert(key, Rule.build(1, 1))
+        outcome = combiner.combine(_matches(src_ip_hi=((2, 1), (3, 2))))
+        assert outcome.probes == 1
+        assert outcome.entry.rule_id == 1
+
+    def test_first_label_can_miss_real_match(self):
+        combiner, layout, rule_filter = self.make_combiner(mode=CombinerMode.FIRST_LABEL)
+        # The stored rule uses the SECOND-best src label, so the fast path misses.
+        key = layout.pack((3, 0, 0, 0, 0, 0, 0))
+        rule_filter.insert(key, Rule.build(1, 1))
+        outcome = combiner.combine(_matches(src_ip_hi=((2, 1), (3, 2))))
+        assert outcome.entry is None
+
+    def test_invalid_probe_budget(self):
+        with pytest.raises(ConfigurationError):
+            self.make_combiner(probe_budget=0)
+
+
+class TestUpdateEngine:
+    def make_classifier(self, **kwargs):
+        return ConfigurableClassifier(ClassifierConfig(**kwargs))
+
+    def test_insert_returns_per_dimension_labels(self, handcrafted_ruleset):
+        classifier = self.make_classifier()
+        result = classifier.install_rule(handcrafted_ruleset.get(0))
+        assert set(result.labels) == set(DIMENSIONS)
+        assert result.operation == "insert"
+        assert all(created for _, created in result.labels.values())
+        assert result.structural
+
+    def test_second_rule_reuses_labels(self, handcrafted_ruleset):
+        classifier = self.make_classifier()
+        classifier.install_rule(handcrafted_ruleset.get(0))
+        result = classifier.install_rule(handcrafted_ruleset.get(1))
+        # Rule 1 shares src prefix, dst prefix, src port and protocol with rule 0.
+        assert not result.labels["src_ip_hi"][1]
+        assert not result.labels["protocol"][1]
+        assert result.labels["dst_port"][1]  # 0:1023 is a new port value
+
+    def test_fixed_upload_cost_constants(self):
+        assert RULE_UPLOAD_CYCLES == 2
+        assert HASH_CYCLES == 1
+
+    def test_insert_cycles_include_upload_and_hash(self, handcrafted_ruleset):
+        classifier = self.make_classifier()
+        result = classifier.install_rule(handcrafted_ruleset.get(0))
+        assert result.cycles.phases["rule_upload"] == RULE_UPLOAD_CYCLES
+        assert result.cycles.phases["hash"] == HASH_CYCLES
+
+    def test_duplicate_insert_rejected(self, handcrafted_ruleset):
+        classifier = self.make_classifier()
+        classifier.install_rule(handcrafted_ruleset.get(0))
+        with pytest.raises(UpdateError):
+            classifier.install_rule(handcrafted_ruleset.get(0))
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(UpdateError):
+            self.make_classifier().remove_rule(5)
+
+    def test_delete_releases_labels_only_at_zero(self, handcrafted_ruleset):
+        classifier = self.make_classifier()
+        classifier.install_rule(handcrafted_ruleset.get(0))
+        classifier.install_rule(handcrafted_ruleset.get(1))
+        first = classifier.remove_rule(0)
+        # src prefix 10.0.0.0/8 is still used by rule 1: counter-only delete.
+        assert not first.labels["src_ip_hi"][1]
+        second = classifier.remove_rule(1)
+        # now the label disappears for good
+        assert second.labels["src_ip_hi"][1]
+
+    def test_delete_then_lookup_matches_reference(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        classifier.remove_rule(0)
+        result = classifier.lookup(web_packet)
+        remaining = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 0)
+        assert result.match.rule_id == remaining.highest_priority_match(web_packet).rule_id
+
+    def test_reinsert_after_delete(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        rule = handcrafted_ruleset.get(0)
+        classifier.remove_rule(0)
+        classifier.install_rule(rule)
+        assert classifier.lookup(web_packet).match.rule_id == 0
+
+    def test_capacity_enforced(self, handcrafted_ruleset):
+        tiny = ClassifierConfig()
+        from dataclasses import replace
+
+        provisioning = replace(tiny.provisioning, rule_filter_entries=2)
+        config = replace(tiny, provisioning=provisioning)
+        classifier = ConfigurableClassifier(config)
+        classifier.install_rule(handcrafted_ruleset.get(0))
+        classifier.install_rule(handcrafted_ruleset.get(1))
+        with pytest.raises(UpdateError):
+            classifier.install_rule(handcrafted_ruleset.get(2))
+
+    def test_priority_improvement_reorders_hpml(self):
+        classifier = self.make_classifier()
+        low_priority = Rule.build(10, 10, src="10.0.0.0/8", protocol=6)
+        high_priority = Rule.build(1, 1, src="10.0.0.0/8", protocol=6, dst="1.2.3.0/24")
+        classifier.install_rule(low_priority)
+        classifier.install_rule(high_priority)
+        # The shared src_ip_hi label must now carry priority 1 as its best.
+        spec = rule_dimension_specs(high_priority)["src_ip_hi"]
+        table = classifier.label_tables["src_ip_hi"]
+        assert table.best_priority_of(table.label_of(spec)) == 1
+
+    def test_delete_recomputes_best_priority(self):
+        classifier = self.make_classifier()
+        high = Rule.build(1, 1, src="10.0.0.0/8", protocol=6)
+        low = Rule.build(10, 10, src="10.0.0.0/8", protocol=17)
+        classifier.install_rule(high)
+        classifier.install_rule(low)
+        classifier.remove_rule(1)
+        spec = rule_dimension_specs(low)["src_ip_hi"]
+        table = classifier.label_tables["src_ip_hi"]
+        assert table.best_priority_of(table.label_of(spec)) == 10
+
+    def test_rule_key_round_trip(self, handcrafted_ruleset):
+        classifier = self.make_classifier()
+        classifier.install_rule(handcrafted_ruleset.get(0))
+        key = classifier.update_engine.rule_key(0)
+        assert classifier.rule_filter.lookup(key).entry.rule_id == 0
+        with pytest.raises(UpdateError):
+            classifier.update_engine.rule_key(77)
+
+    def test_installed_rule_ids(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        assert classifier.update_engine.installed_rule_ids() == [0, 1, 2, 3, 4]
+
+    def test_update_statistics_structure(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        stats = classifier.update_engine.update_statistics()
+        assert set(stats) == set(DIMENSIONS)
+        assert stats["src_port"]["structural_inserts"] == 1
+
+    def test_bst_configuration_updates_work(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(
+            handcrafted_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        )
+        classifier.remove_rule(0)
+        classifier.install_rule(handcrafted_ruleset.get(0))
+        assert classifier.lookup(web_packet).match.rule_id == 0

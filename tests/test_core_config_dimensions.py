@@ -1,0 +1,145 @@
+"""Unit tests for the classifier configuration and the dimension mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm, MemoryProvisioning
+from repro.core.dimensions import (
+    DIMENSIONS,
+    IP_DIMENSIONS,
+    PORT_DIMENSIONS,
+    dimension_label_width,
+    packet_dimension_values,
+    rule_dimension_specs,
+)
+from repro.exceptions import ConfigurationError
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+
+
+class TestMemoryProvisioning:
+    def test_default_matches_table_vi_budgets(self):
+        provisioning = MemoryProvisioning()
+        assert provisioning.total_mbt_bits() == pytest.approx(543_000, rel=0.01)
+        assert provisioning.total_bst_bits() == pytest.approx(49_000, rel=0.01)
+
+    def test_rule_filter_budget(self):
+        provisioning = MemoryProvisioning()
+        assert provisioning.rule_filter_bits() == 8192 * 96
+
+    def test_reclaim_gives_about_4k_extra_rules(self):
+        provisioning = MemoryProvisioning()
+        assert provisioning.extra_rules_when_bst() == pytest.approx(4000, rel=0.15)
+        assert provisioning.reclaimable_bits() < provisioning.total_mbt_bits()
+
+    def test_per_segment_accessors(self):
+        provisioning = MemoryProvisioning()
+        assert provisioning.mbt_bits_per_segment() * 4 == provisioning.total_mbt_bits()
+        assert provisioning.bst_bits_per_segment() * 4 == provisioning.total_bst_bits()
+
+
+class TestClassifierConfig:
+    def test_defaults_reproduce_the_prototype(self):
+        config = ClassifierConfig()
+        assert config.ip_algorithm is IpAlgorithm.MBT
+        assert config.combiner_mode is CombinerMode.CROSS_PRODUCT
+        assert config.label_layout.total_bits == 68
+        assert config.clock_mhz == pytest.approx(133.51)
+        assert config.mbt_strides == (5, 5, 6)
+
+    def test_rule_capacity_by_algorithm(self):
+        mbt = ClassifierConfig(ip_algorithm=IpAlgorithm.MBT)
+        bst = ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        assert mbt.rule_capacity() == 8192
+        assert bst.rule_capacity() > 12000
+
+    def test_ip_memory_bits_by_algorithm(self):
+        mbt = ClassifierConfig(ip_algorithm=IpAlgorithm.MBT)
+        bst = ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        assert mbt.ip_memory_bits() > 10 * bst.ip_memory_bits()
+
+    def test_with_helpers_return_copies(self):
+        config = ClassifierConfig()
+        switched = config.with_ip_algorithm(IpAlgorithm.BST)
+        assert switched.ip_algorithm is IpAlgorithm.BST
+        assert config.ip_algorithm is IpAlgorithm.MBT
+        fast_path = config.with_combiner(CombinerMode.FIRST_LABEL)
+        assert fast_path.combiner_mode is CombinerMode.FIRST_LABEL
+
+    def test_describe_contains_key_fields(self):
+        info = ClassifierConfig().describe()
+        assert info["label_key_bits"] == 68
+        assert info["rule_capacity"] == 8192
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mbt_strides": (5, 5, 5)},
+            {"clock_mhz": 0},
+            {"min_packet_bytes": 0},
+            {"mbt_cycles_per_level": 0},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClassifierConfig(**kwargs)
+
+
+class TestDimensions:
+    def test_dimension_names(self):
+        assert len(DIMENSIONS) == 7
+        assert set(IP_DIMENSIONS) | set(PORT_DIMENSIONS) | {"protocol"} == set(DIMENSIONS)
+
+    def test_rule_dimension_specs(self):
+        rule = Rule.build(0, 0, src="10.1.2.0/24", dst="192.168.0.0/16",
+                          src_port="0:65535", dst_port="80:80", protocol=6)
+        specs = rule_dimension_specs(rule)
+        assert specs["src_ip_hi"] == (0x0A01, 16)
+        assert specs["src_ip_lo"] == (0x0200, 8)
+        assert specs["dst_ip_hi"] == (0xC0A8, 16)
+        assert specs["dst_ip_lo"] == (0, 0)
+        assert specs["src_port"] == (0, 65535)
+        assert specs["dst_port"] == (80, 80)
+        assert specs["protocol"] == (False, 6)
+
+    def test_wildcard_rule_specs(self):
+        specs = rule_dimension_specs(Rule.build(0, 0))
+        assert specs["src_ip_hi"] == (0, 0)
+        assert specs["protocol"] == (True, 0)
+
+    def test_packet_dimension_values(self):
+        packet = PacketHeader.from_strings("10.1.2.3", "192.168.9.1", 1234, 80, 6)
+        values = packet_dimension_values(packet)
+        assert values["src_ip_hi"] == 0x0A01
+        assert values["src_ip_lo"] == 0x0203
+        assert values["dst_port"] == 80
+        assert values["protocol"] == 6
+
+    def test_specs_and_values_are_consistent(self, small_acl_ruleset, small_trace):
+        # If a rule matches a packet, then for every dimension the packet's
+        # value must fall inside the rule's dimension spec — the property the
+        # whole decomposition relies on.
+        from repro.fields.prefix import prefix_contains
+
+        for packet in small_trace[:30]:
+            values = packet_dimension_values(packet)
+            for rule in small_acl_ruleset:
+                if not rule.matches(packet):
+                    continue
+                specs = rule_dimension_specs(rule)
+                for dimension in IP_DIMENSIONS:
+                    value, length = specs[dimension]
+                    assert prefix_contains(value, length, values[dimension], width=16)
+                for dimension in PORT_DIMENSIONS:
+                    low, high = specs[dimension]
+                    assert low <= values[dimension] <= high
+                wildcard, protocol_value = specs["protocol"]
+                assert wildcard or protocol_value == values["protocol"]
+
+    def test_dimension_label_width(self):
+        assert dimension_label_width("src_ip_hi", 13, 7, 2) == 13
+        assert dimension_label_width("dst_port", 13, 7, 2) == 7
+        assert dimension_label_width("protocol", 13, 7, 2) == 2
+        with pytest.raises(KeyError):
+            dimension_label_width("vlan", 13, 7, 2)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; running them as subprocesses
+(the way a user would) catches import errors, API drift and crashes.  The two
+heavier examples are trimmed via environment-independent defaults, so the
+whole module stays within a reasonable test-suite budget.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(script_name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script_name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(ALL_EXAMPLES) >= 3
+    assert "quickstart.py" in ALL_EXAMPLES
+
+
+def test_quickstart_runs_and_reports_throughput():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Classifier report" in result.stdout
+    assert "Gbps" in result.stdout
+
+
+def test_incremental_update_example_runs():
+    result = _run("incremental_update.py")
+    assert result.returncode == 0, result.stderr
+    assert "Incremental insertion" in result.stdout
+    assert "ground-truth check" in result.stdout
+    # every verification line reports full agreement
+    for line in result.stdout.splitlines():
+        if "ground-truth check" in line:
+            counts = line.split(":")[1].strip().split(" ")[0]
+            agreed, total = counts.split("/")
+            assert agreed == total
+
+
+@pytest.mark.slow
+def test_sdn_service_chaining_example_runs():
+    result = _run("sdn_service_chaining.py")
+    assert result.returncode == 0, result.stderr
+    assert "Per-device statistics" in result.stdout
+    assert "BST" in result.stdout and "MBT" in result.stdout
+
+
+@pytest.mark.slow
+def test_algorithm_tradeoff_study_runs():
+    result = _run("algorithm_tradeoff_study.py")
+    assert result.returncode == 0, result.stderr
+    assert "Controller IPalg_s decisions" in result.stdout

@@ -1,0 +1,134 @@
+"""Tests for the experiment drivers (small parameterisations for speed).
+
+The benchmarks run the drivers at paper scale; here every driver is exercised
+at a reduced scale to verify it runs, returns the documented structure and
+renders without error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IpAlgorithm
+from repro.experiments import (
+    fig3_pipeline,
+    fig4_update,
+    fig5_memory_sharing,
+    lookup_latency,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    update_cost,
+)
+from repro.experiments.common import workload_ruleset, workload_trace
+from repro.rules.classbench import FilterFlavor
+
+
+class TestWorkloadHelpers:
+    def test_ruleset_caching_returns_same_object(self):
+        first = workload_ruleset(FilterFlavor.ACL, 300, seed=5)
+        second = workload_ruleset(FilterFlavor.ACL, 300, seed=5)
+        assert first is second
+
+    def test_trace_cached_and_copied(self):
+        first = workload_trace(FilterFlavor.ACL, 300, count=20, seed=5)
+        second = workload_trace(FilterFlavor.ACL, 300, count=20, seed=5)
+        assert first == second
+        assert first is not second  # callers may mutate their copy
+
+
+class TestTableDrivers:
+    def test_table1_small(self):
+        result = table1.run(nominal_size=300, trace_length=60)
+        assert {row.algorithm for row in result.rows} == {"HyperCuts", "RFC", "DCFL", "Option1", "Option2"}
+        assert all(row.measured_memory_accesses > 0 for row in result.rows)
+        assert "Table I" in table1.render(result)
+
+    def test_table2_small(self):
+        result = table2.run(sizes=(300, 500))
+        assert result.sizes == (300, 500)
+        assert result.unique_count(300, "src_port") == 1
+        assert all(0 <= value <= 1 for value in result.storage_reductions.values())
+        assert "unique rule fields" in table2.render(result)
+        with pytest.raises(KeyError):
+            result.unique_count(999, "src_ip")
+
+    def test_table3_small(self):
+        result = table3.run(sizes=(300,))
+        for flavor in FilterFlavor:
+            assert result.count(flavor, 300) > 200
+        assert "Table III" in table3.render(result)
+
+    def test_table4(self):
+        result = table4.run()
+        assert result.matches_paper_order
+        assert result.label_order == ("B", "C", "A")
+        assert "Table IV" in table4.render(result)
+
+    def test_table5(self):
+        result = table5.run()
+        assert result.estimate.fmax_mhz == pytest.approx(133.51, abs=1.0)
+        assert 0.0 < result.memory_utilisation_percent < 10.0
+        assert "Stratix V" in table5.render(result)
+
+    def test_table6_small(self):
+        result = table6.run(nominal_size=300, trace_length=40)
+        mbt = result.row(IpAlgorithm.MBT)
+        bst = result.row(IpAlgorithm.BST)
+        assert mbt.occupancy_cycles_per_packet == 1
+        assert bst.occupancy_cycles_per_packet == 16
+        assert bst.stored_rule_capacity > mbt.stored_rule_capacity
+        assert mbt.lookup_metrics.packets == 40
+        assert "Table VI" in table6.render(result)
+        with pytest.raises(KeyError):
+            result.row("nonsense")
+
+    def test_table7(self):
+        result = table7.run()
+        assert len(result.rows) == 4
+        ours = result.row("Our system with MBT")
+        assert ours.throughput_gbps == pytest.approx(42.73, rel=0.01)
+        assert "quoted" in result.row("DCFLE").source
+        assert "Table VII" in table7.render(result)
+
+
+class TestFigureDrivers:
+    def test_fig3(self):
+        result = fig3_pipeline.run(packets=6)
+        assert result.fully_pipelined
+        assert result.single_packet_latency == 10
+        rendered = fig3_pipeline.render(result)
+        assert "pkt" in rendered and "Initiation interval" in rendered
+
+    def test_fig4_small(self):
+        result = fig4_update.run(nominal_size=300, delete_fraction=0.2)
+        assert result.rules_inserted > 200
+        assert result.rules_deleted == int(result.rules_inserted * 0.2)
+        assert 0.0 <= result.counter_only_fraction("dst_port") <= 1.0
+        assert "Fig. 4" in fig4_update.render(result)
+
+    def test_fig5(self):
+        result = fig5_memory_sharing.run()
+        assert result.rule_capacities["bst"] > result.rule_capacities["mbt"]
+        assert result.extra_rules_with_bst > 0
+        assert "memory sharing" in fig5_memory_sharing.render(result)
+
+    def test_update_cost_small(self):
+        result = update_cost.run(nominal_size=300, delete_fraction=0.3)
+        assert result.matches_paper_fixed_cost
+        assert result.insert_metrics.operations > 200
+        assert result.delete_metrics.operations > 0
+        assert "update cost" in update_cost.render(result)
+
+    def test_lookup_latency_small(self):
+        result = lookup_latency.run(nominal_size=300, trace_length=30)
+        assert result.row("mbt").configured_cycles == 6
+        assert result.row("bst").configured_cycles == 16
+        assert result.end_to_end_mbt_cycles < result.end_to_end_bst_cycles
+        assert "per-field lookup latency" in lookup_latency.render(result)
+        with pytest.raises(KeyError):
+            result.row("tcam")

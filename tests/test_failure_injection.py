@@ -1,0 +1,122 @@
+"""Failure-injection tests: capacity limits, exhaustion and error propagation.
+
+The paper's architecture has hard resource limits (label widths, rule filter
+capacity, register counts).  These tests drive the system into those limits on
+purpose and check that the failure is loud, precise and does not corrupt the
+surviving state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.controller import FlowMod, FlowModCommand, SdnController
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm, MemoryProvisioning
+from repro.exceptions import LabelError, UpdateError
+from repro.hardware.hash_unit import LabelKeyLayout
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def _narrow_config(**kwargs) -> ClassifierConfig:
+    """A configuration with deliberately tiny label/memory budgets."""
+    base = ClassifierConfig(**kwargs)
+    return base
+
+
+class TestRuleCapacityExhaustion:
+    def _tiny_capacity_config(self, entries: int) -> ClassifierConfig:
+        base = ClassifierConfig()
+        provisioning = replace(base.provisioning, rule_filter_entries=entries)
+        return replace(base, provisioning=provisioning)
+
+    def test_insert_beyond_capacity_fails_loudly(self):
+        classifier = ConfigurableClassifier(self._tiny_capacity_config(3))
+        for index in range(3):
+            classifier.install_rule(Rule.build(index, index, dst_port=f"{80 + index}:{80 + index}"))
+        with pytest.raises(UpdateError):
+            classifier.install_rule(Rule.build(9, 9, dst_port="99:99"))
+        # the three installed rules keep working
+        assert classifier.installed_rules == 3
+
+    def test_bst_reclaim_raises_the_ceiling(self):
+        mbt = self._tiny_capacity_config(3)
+        bst = mbt.with_ip_algorithm(IpAlgorithm.BST)
+        assert bst.rule_capacity() > mbt.rule_capacity()
+
+    def test_controller_reports_rejections_without_crashing(self):
+        controller = SdnController()
+        switch = controller.add_switch(1, config=self._tiny_capacity_config(2))
+        ruleset = RuleSet(
+            [Rule.build(index, index, dst_port=f"{1000 + index}:{1000 + index}") for index in range(5)],
+            name="overflow",
+        )
+        report = controller.push_ruleset(1, ruleset)
+        assert report.accepted == 2
+        assert report.rejected == 3
+        assert report.errors and "capacity" in report.errors[0]
+        assert switch.stats.flow_mods_failed == 3
+        assert switch.classifier.installed_rules == 2
+
+
+class TestLabelSpaceExhaustion:
+    def test_narrow_protocol_labels_exhaust(self):
+        config = replace(ClassifierConfig(), label_layout=LabelKeyLayout(protocol_label_bits=1))
+        classifier = ConfigurableClassifier(config)
+        classifier.install_rule(Rule.build(0, 0, protocol=6, dst_port="1:1"))
+        classifier.install_rule(Rule.build(1, 1, protocol=17, dst_port="2:2"))
+        with pytest.raises(LabelError):
+            classifier.install_rule(Rule.build(2, 2, protocol=1, dst_port="3:3"))
+
+    def test_narrow_port_labels_exhaust(self):
+        config = replace(ClassifierConfig(), label_layout=LabelKeyLayout(port_label_bits=2))
+        classifier = ConfigurableClassifier(config)
+        for index in range(4):
+            classifier.install_rule(Rule.build(index, index, dst_port=f"{index}:{index}"))
+        with pytest.raises(LabelError):
+            classifier.install_rule(Rule.build(9, 9, dst_port="9:9"))
+
+    def test_deleting_frees_label_space(self):
+        config = replace(ClassifierConfig(), label_layout=LabelKeyLayout(port_label_bits=2))
+        classifier = ConfigurableClassifier(config)
+        for index in range(4):
+            classifier.install_rule(Rule.build(index, index, dst_port=f"{index}:{index}"))
+        classifier.remove_rule(0)
+        # the freed label value can be reused by a new unique port value
+        classifier.install_rule(Rule.build(9, 9, dst_port="9:9"))
+        assert classifier.installed_rules == 4
+
+
+class TestPortRegisterExhaustion:
+    def test_register_file_overflow_surfaces_as_update_failure(self):
+        base = ClassifierConfig()
+        provisioning = replace(base.provisioning, port_registers=2)
+        classifier = ConfigurableClassifier(replace(base, provisioning=provisioning))
+        classifier.install_rule(Rule.build(0, 0, dst_port="1:1"))
+        classifier.install_rule(Rule.build(1, 1, dst_port="2:2"))
+        with pytest.raises(Exception):
+            classifier.install_rule(Rule.build(2, 2, dst_port="3:3"))
+
+
+class TestSwitchErrorHandling:
+    def test_failed_flow_mod_does_not_poison_later_ones(self, handcrafted_ruleset):
+        controller = SdnController()
+        switch = controller.add_switch(1)
+        channel = controller.channel(1)
+        channel.send_to_switch(FlowMod(command=FlowModCommand.DELETE, rule_id=77, xid=1))
+        channel.send_to_switch(FlowMod(command=FlowModCommand.ADD, rule=handcrafted_ruleset.get(0), xid=2))
+        switch.process_control_messages()
+        replies = channel.drain_from_switch()
+        assert [reply.success for reply in replies] == [False, True]
+        assert switch.classifier.installed_rules == 1
+
+    def test_duplicate_push_keeps_first_copy_working(self, handcrafted_ruleset, web_packet):
+        controller = SdnController()
+        switch = controller.add_switch(1)
+        controller.push_ruleset(1, handcrafted_ruleset)
+        controller.push_ruleset(1, handcrafted_ruleset)  # all rejected as duplicates
+        result = switch.classify(web_packet)
+        assert result.match.rule_id == 0

@@ -1,0 +1,409 @@
+"""Unit tests for the single-field lookup engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FieldLookupError
+from repro.fields import (
+    BinarySearchTree,
+    MultibitTrie,
+    PortRegisterFile,
+    ProtocolTable,
+    SegmentTrie,
+)
+from repro.fields.multibit_trie import PAPER_SEGMENT_STRIDES
+
+
+class TestMultibitTrie:
+    def make_loaded(self):
+        trie = MultibitTrie()
+        # (prefix, label, priority) — nested prefixes to exercise multi-match.
+        for spec, label, priority in (
+            ((0x0A00, 8), 1, 10),   # 0x0Axx
+            ((0x0A10, 12), 2, 5),   # 0x0A1x
+            ((0x0A12, 16), 3, 1),   # exact
+            ((0, 0), 0, 99),        # wildcard
+        ):
+            trie.insert(spec, label, priority)
+        return trie
+
+    def test_paper_strides(self):
+        assert PAPER_SEGMENT_STRIDES == (5, 5, 6)
+        assert MultibitTrie().lookup_cycles == 6  # 3 levels x 2 cycles
+
+    def test_strides_must_cover_width(self):
+        with pytest.raises(FieldLookupError):
+            MultibitTrie(width=16, strides=(5, 5, 5))
+        with pytest.raises(FieldLookupError):
+            MultibitTrie(width=16, strides=(16, 0))
+        with pytest.raises(FieldLookupError):
+            MultibitTrie(cycles_per_level=0)
+
+    def test_lookup_collects_all_matching_prefixes(self):
+        trie = self.make_loaded()
+        result = trie.lookup(0x0A12)
+        assert set(result.labels) == {0, 1, 2, 3}
+        # priority order: exact (1) first, wildcard (99) last
+        assert result.labels[0] == 3
+        assert result.labels[-1] == 0
+
+    def test_lookup_partial_match(self):
+        trie = self.make_loaded()
+        assert set(trie.lookup(0x0A55).labels) == {0, 1}
+        assert set(trie.lookup(0x0B00).labels) == {0}
+
+    def test_lookup_counts_one_access_per_level(self):
+        trie = self.make_loaded()
+        assert 1 <= trie.lookup(0x0A12).memory_accesses <= len(trie.strides)
+
+    def test_lookup_out_of_range_raises(self):
+        with pytest.raises(FieldLookupError):
+            MultibitTrie().lookup(1 << 16)
+
+    def test_insert_duplicate_prefix_label_raises(self):
+        trie = self.make_loaded()
+        with pytest.raises(FieldLookupError):
+            trie.insert((0x0A00, 8), 1, 10)
+
+    def test_same_prefix_two_labels_supported(self):
+        trie = MultibitTrie()
+        trie.insert((0x1000, 8), 5, 1)
+        trie.insert((0x1000, 8), 6, 2)
+        assert set(trie.lookup(0x1034).labels) == {5, 6}
+
+    def test_remove_restores_previous_behaviour(self):
+        trie = self.make_loaded()
+        before_nodes = trie.node_count()
+        trie.insert((0x0B00, 8), 9, 2)
+        trie.remove((0x0B00, 8), 9)
+        assert set(trie.lookup(0x0B77).labels) == {0}
+        assert trie.node_count() == before_nodes
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(FieldLookupError):
+            self.make_loaded().remove((0x0C00, 8), 1)
+
+    def test_reprioritize_changes_hpml(self):
+        trie = self.make_loaded()
+        trie.reprioritize((0, 0), 0, priority=0)
+        assert trie.lookup(0x0B00).matches[0] == (0, 0)
+
+    def test_wildcard_only_matches_everything(self):
+        trie = MultibitTrie()
+        trie.insert((0, 0), 7, 0)
+        for value in (0, 0xFFFF, 0x1234):
+            assert trie.lookup(value).labels == [7]
+
+    def test_expansion_cost_reported(self):
+        trie = MultibitTrie()
+        # A /6 prefix expands over 2^(10-6)=16 level-2 nodes (boundaries 5,10,16)
+        cost = trie.insert((0x4000, 6), 1, 1)
+        assert cost.nodes_touched == 16
+
+    def test_memory_bits_grow_with_nodes(self):
+        empty = MultibitTrie().memory_bits()
+        assert self.make_loaded().memory_bits() > empty
+
+    def test_stored_prefixes(self):
+        assert (0x0A00, 8) in self.make_loaded().stored_prefixes()
+
+    def test_invalid_specs_rejected(self):
+        trie = MultibitTrie()
+        with pytest.raises(FieldLookupError):
+            trie.insert("not-a-tuple", 1, 1)
+        with pytest.raises(FieldLookupError):
+            trie.insert((0, 20), 1, 1)
+        with pytest.raises(FieldLookupError):
+            trie.insert((1 << 16, 4), 1, 1)
+
+    def test_pipelined_flag(self):
+        assert MultibitTrie().pipelined
+        assert not MultibitTrie(pipelined=False).pipelined
+
+    def test_describe(self):
+        info = self.make_loaded().describe()
+        assert info["engine"] == "mbt"
+        assert info["lookup_cycles"] == 6
+
+
+class TestBinarySearchTree:
+    def make_loaded(self):
+        bst = BinarySearchTree()
+        for spec, label, priority in (
+            ((0x0A00, 8), 1, 10),
+            ((0x0A10, 12), 2, 5),
+            ((0x0A12, 16), 3, 1),
+            ((0, 0), 0, 99),
+        ):
+            bst.insert(spec, label, priority)
+        return bst
+
+    def test_worst_case_cycles_is_width(self):
+        assert BinarySearchTree().lookup_cycles == 16
+
+    def test_not_pipelined(self):
+        assert not BinarySearchTree().pipelined
+
+    def test_lookup_matches_multibit_trie(self):
+        bst = self.make_loaded()
+        trie = TestMultibitTrie().make_loaded()
+        for value in (0x0A12, 0x0A55, 0x0B00, 0xFFFF, 0):
+            assert set(bst.lookup(value).labels) == set(trie.lookup(value).labels), hex(value)
+
+    def test_priority_order_preserved(self):
+        result = self.make_loaded().lookup(0x0A12)
+        assert result.labels[0] == 3
+
+    def test_lookup_accesses_bounded_by_log(self):
+        bst = self.make_loaded()
+        result = bst.lookup(0x0A12)
+        assert result.memory_accesses <= 16
+
+    def test_empty_tree_returns_no_labels(self):
+        result = BinarySearchTree().lookup(42)
+        assert not result.matched
+
+    def test_insert_duplicate_raises(self):
+        bst = self.make_loaded()
+        with pytest.raises(FieldLookupError):
+            bst.insert((0x0A00, 8), 9, 0)
+
+    def test_remove(self):
+        bst = self.make_loaded()
+        bst.remove((0x0A12, 16), 3)
+        assert 3 not in bst.lookup(0x0A12).labels
+        with pytest.raises(FieldLookupError):
+            bst.remove((0x0A12, 16), 3)
+
+    def test_update_marks_rebuild(self):
+        bst = BinarySearchTree()
+        cost = bst.insert((0x1234, 16), 1, 1)
+        assert cost.rebuilt
+
+    def test_reprioritize(self):
+        bst = self.make_loaded()
+        bst.reprioritize((0, 0), 0, priority=0)
+        assert bst.lookup(0x0B00).matches[0] == (0, 0)
+        with pytest.raises(FieldLookupError):
+            bst.reprioritize((0x7777, 16), 1, 0)
+
+    def test_memory_is_smaller_than_mbt_for_same_content(self, small_acl_ruleset):
+        from repro.core.dimensions import rule_dimension_specs
+
+        prefixes = sorted({rule_dimension_specs(rule)["src_ip_hi"] for rule in small_acl_ruleset})
+        mbt, bst = MultibitTrie(), BinarySearchTree()
+        for label, prefix in enumerate(prefixes):
+            mbt.insert(prefix, label, label)
+            bst.insert(prefix, label, label)
+        assert bst.memory_bits() < mbt.memory_bits()
+
+    def test_node_count_tracks_boundaries(self):
+        bst = BinarySearchTree()
+        assert bst.node_count() == 1
+        bst.insert((0x8000, 1), 1, 1)
+        assert bst.node_count() >= 2
+
+    def test_invalid_inputs(self):
+        bst = BinarySearchTree()
+        with pytest.raises(FieldLookupError):
+            bst.lookup(1 << 16)
+        with pytest.raises(FieldLookupError):
+            bst.insert((0, 17), 1, 1)
+
+
+class TestSegmentTrie:
+    def make_loaded(self):
+        trie = SegmentTrie(levels=4)
+        trie.insert((0, 65535), 0, 9)     # wildcard
+        trie.insert((80, 80), 1, 0)       # exact
+        trie.insert((1024, 2047), 2, 3)   # aligned range
+        trie.insert((7810, 7820), 3, 1)   # unaligned range
+        return trie
+
+    def test_level_configuration(self):
+        assert SegmentTrie(levels=4).lookup_cycles == 4
+        assert SegmentTrie(levels=2).lookup_cycles == 2
+        with pytest.raises(FieldLookupError):
+            SegmentTrie(levels=3)
+        with pytest.raises(FieldLookupError):
+            SegmentTrie(levels=0)
+
+    def test_lookup_exact_and_ranges(self):
+        trie = self.make_loaded()
+        assert set(trie.lookup(80).labels) == {0, 1}
+        assert set(trie.lookup(1500).labels) == {0, 2}
+        assert set(trie.lookup(7815).labels) == {0, 3}
+        assert set(trie.lookup(50000).labels) == {0}
+
+    def test_priority_order(self):
+        assert self.make_loaded().lookup(80).labels[0] == 1
+
+    def test_shared_expansion_prefixes_keep_both_labels(self):
+        trie = SegmentTrie(levels=4)
+        trie.insert((1024, 2047), 1, 1)
+        trie.insert((1024, 3071), 2, 2)  # shares the 1024-2047 expansion block
+        assert set(trie.lookup(1500).labels) == {1, 2}
+        assert set(trie.lookup(2500).labels) == {2}
+
+    def test_duplicate_range_rejected(self):
+        trie = self.make_loaded()
+        with pytest.raises(FieldLookupError):
+            trie.insert((80, 80), 7, 0)
+
+    def test_remove(self):
+        trie = self.make_loaded()
+        trie.remove((7810, 7820), 3)
+        assert set(trie.lookup(7815).labels) == {0}
+        with pytest.raises(FieldLookupError):
+            trie.remove((7810, 7820), 3)
+
+    def test_invalid_specs(self):
+        trie = SegmentTrie()
+        with pytest.raises(FieldLookupError):
+            trie.insert((10, 5), 1, 1)
+        with pytest.raises(FieldLookupError):
+            trie.lookup(1 << 16)
+
+    def test_memory_and_nodes(self):
+        trie = self.make_loaded()
+        assert trie.node_count() > 1
+        assert trie.memory_bits() > 0
+        assert trie.pipelined
+
+
+class TestPortRegisterFile:
+    def make_table_iv(self):
+        registers = PortRegisterFile(capacity=8)
+        registers.insert((0, 65355), 0, priority=2)   # A
+        registers.insert((7812, 7812), 1, priority=0)  # B
+        registers.insert((7810, 7820), 2, priority=1)  # C
+        return registers
+
+    def test_table_iv_label_order(self):
+        result = self.make_table_iv().lookup(7812)
+        assert result.labels == [1, 2, 0]  # B, C, A
+        assert result.cycles == 2
+        assert result.memory_accesses == 1
+
+    def test_lookup_outside_all_ranges(self):
+        registers = PortRegisterFile()
+        registers.insert((80, 80), 0, 0)
+        assert not registers.lookup(81).matched
+
+    def test_capacity_enforced(self):
+        registers = PortRegisterFile(capacity=1)
+        registers.insert((80, 80), 0, 0)
+        with pytest.raises(FieldLookupError):
+            registers.insert((81, 81), 1, 1)
+
+    def test_duplicate_range_rejected(self):
+        registers = self.make_table_iv()
+        with pytest.raises(FieldLookupError):
+            registers.insert((7812, 7812), 9, 9)
+
+    def test_remove_requires_matching_label(self):
+        registers = self.make_table_iv()
+        with pytest.raises(FieldLookupError):
+            registers.remove((7812, 7812), 99)
+        registers.remove((7812, 7812), 1)
+        assert registers.lookup(7812).labels == [2, 0]
+
+    def test_reprioritize(self):
+        registers = self.make_table_iv()
+        registers.reprioritize((0, 65355), 0, priority=0)
+        assert registers.lookup(7812).labels == [1, 2, 0]  # specificity order unchanged
+        with pytest.raises(FieldLookupError):
+            registers.reprioritize((1, 2), 0, 0)
+
+    def test_memory_bits_fixed_by_capacity(self):
+        assert PortRegisterFile(capacity=128).memory_bits() == 128 * PortRegisterFile.REGISTER_WIDTH
+
+    def test_table_iv_rows_rendering(self):
+        rows = self.make_table_iv().table_iv_rows({0: "A", 1: "B", 2: "C"})
+        assert rows[0]["Label"] == "A"
+        assert rows[1]["Match method"] == "Exact matching"
+        assert rows[2]["Match method"] == "Range matching"
+
+    def test_invalid_construction_and_specs(self):
+        with pytest.raises(FieldLookupError):
+            PortRegisterFile(capacity=0)
+        registers = PortRegisterFile()
+        with pytest.raises(FieldLookupError):
+            registers.insert((5, 2), 0, 0)
+        with pytest.raises(FieldLookupError):
+            registers.lookup(1 << 16)
+
+    def test_node_count(self):
+        assert self.make_table_iv().node_count() == 3
+
+
+class TestProtocolTable:
+    def make_loaded(self):
+        table = ProtocolTable()
+        table.insert((False, 6), 0, priority=0)
+        table.insert((False, 17), 1, priority=1)
+        table.insert((True, 0), 2, priority=5)
+        return table
+
+    def test_single_cycle_lookup(self):
+        table = self.make_loaded()
+        result = table.lookup(6)
+        assert result.cycles == 1
+        assert result.memory_accesses == 1
+
+    def test_exact_before_wildcard(self):
+        assert self.make_loaded().lookup(6).labels == [0, 2]
+        assert self.make_loaded().lookup(17).labels == [1, 2]
+
+    def test_unknown_protocol_matches_only_wildcard(self):
+        assert self.make_loaded().lookup(47).labels == [2]
+
+    def test_no_wildcard_no_match(self):
+        table = ProtocolTable()
+        table.insert((False, 6), 0, 0)
+        assert not table.lookup(17).matched
+
+    def test_duplicate_rejected(self):
+        table = self.make_loaded()
+        with pytest.raises(FieldLookupError):
+            table.insert((False, 6), 7, 7)
+        with pytest.raises(FieldLookupError):
+            table.insert((True, 0), 7, 7)
+
+    def test_remove(self):
+        table = self.make_loaded()
+        table.remove((False, 6), 0)
+        assert table.lookup(6).labels == [2]
+        table.remove((True, 0), 2)
+        assert not table.lookup(99).matched
+        with pytest.raises(FieldLookupError):
+            table.remove((False, 6), 0)
+
+    def test_wildcard_insert_touches_whole_lut(self):
+        table = ProtocolTable()
+        cost = table.insert((True, 0), 0, 0)
+        assert cost.memory_accesses == 256
+
+    def test_reprioritize(self):
+        table = self.make_loaded()
+        table.reprioritize((False, 6), 0, 9)
+        table.reprioritize((True, 0), 2, 0)
+        assert table.lookup(6).matches == ((0, 9), (2, 0))
+        with pytest.raises(FieldLookupError):
+            table.reprioritize((False, 50), 0, 0)
+
+    def test_memory_bits_constant(self):
+        assert ProtocolTable().memory_bits() == 256 * ProtocolTable.WORD_WIDTH
+
+    def test_invalid_specs(self):
+        table = ProtocolTable()
+        with pytest.raises(FieldLookupError):
+            table.insert((False, 300), 0, 0)
+        with pytest.raises(FieldLookupError):
+            table.insert(("yes", 6), 0, 0)
+        with pytest.raises(FieldLookupError):
+            table.lookup(300)
+
+    def test_node_count(self):
+        assert self.make_loaded().node_count() == 3

@@ -1,0 +1,170 @@
+"""Unit tests for the label-key layout, the hash unit and the Rule Filter memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.hardware.hash_unit import DEFAULT_LABEL_LAYOUT, HashUnit, LabelKeyLayout
+from repro.hardware.rule_filter import RuleFilterMemory
+from repro.rules.rule import Rule
+
+
+class TestLabelKeyLayout:
+    def test_paper_layout_is_68_bits(self):
+        assert DEFAULT_LABEL_LAYOUT.total_bits == 68
+
+    def test_field_widths_order(self):
+        assert DEFAULT_LABEL_LAYOUT.field_widths() == (13, 13, 13, 13, 7, 7, 2)
+
+    def test_pack_unpack_round_trip(self):
+        labels = (1, 8191, 42, 0, 127, 3, 2)
+        packed = DEFAULT_LABEL_LAYOUT.pack(labels)
+        assert DEFAULT_LABEL_LAYOUT.unpack(packed) == labels
+        assert packed < (1 << 68)
+
+    def test_distinct_tuples_distinct_keys(self):
+        a = DEFAULT_LABEL_LAYOUT.pack((1, 2, 3, 4, 5, 6, 1))
+        b = DEFAULT_LABEL_LAYOUT.pack((1, 2, 3, 4, 5, 7, 1))
+        assert a != b
+
+    def test_pack_rejects_wrong_arity(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_LABEL_LAYOUT.pack((1, 2, 3))
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_LABEL_LAYOUT.pack((1 << 13, 0, 0, 0, 0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            DEFAULT_LABEL_LAYOUT.pack((0, 0, 0, 0, 0, 0, 4))
+
+    def test_custom_layout(self):
+        layout = LabelKeyLayout(ip_label_bits=8, port_label_bits=4, protocol_label_bits=2)
+        assert layout.total_bits == 4 * 8 + 2 * 4 + 2
+
+
+class TestHashUnit:
+    def test_table_size(self):
+        assert HashUnit(table_bits=14).table_size == 16384
+
+    def test_hash_in_range_and_deterministic(self):
+        unit = HashUnit(table_bits=10)
+        for key in (0, 1, 12345, (1 << 68) - 1):
+            slot = unit.hash(key)
+            assert 0 <= slot < unit.table_size
+            assert slot == unit.hash(key)
+
+    def test_high_bits_matter(self):
+        unit = HashUnit(table_bits=12)
+        low = unit.hash(5)
+        high = unit.hash(5 | (1 << 67))
+        assert low != high or unit.hash(7) != unit.hash(7 | (1 << 67))
+
+    def test_distribution_is_reasonable(self):
+        unit = HashUnit(table_bits=8)
+        slots = {unit.hash(key) for key in range(2000)}
+        # At least half of the 256 slots are touched by 2000 sequential keys.
+        assert len(slots) > 128
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashUnit().hash(-1)
+
+    def test_probe_sequence_is_lazy_and_wraps(self):
+        unit = HashUnit(table_bits=4)
+        sequence = unit.probe_sequence(123, limit=20)
+        slots = list(sequence)
+        assert len(slots) == 20
+        assert all(0 <= slot < 16 for slot in slots)
+        # consecutive probes advance by one slot modulo the table size
+        assert slots[1] == (slots[0] + 1) % 16
+
+    def test_probe_sequence_invalid_limit(self):
+        with pytest.raises(ConfigurationError):
+            list(HashUnit().probe_sequence(1, 0))
+
+    def test_invalid_table_bits(self):
+        with pytest.raises(ConfigurationError):
+            HashUnit(table_bits=0)
+
+
+class TestRuleFilterMemory:
+    def _key(self, seed: int) -> int:
+        return DEFAULT_LABEL_LAYOUT.pack((seed % 8192, 1, 2, 3, seed % 128, 5, seed % 4))
+
+    def test_insert_and_lookup(self):
+        memory = RuleFilterMemory(capacity=64)
+        rule = Rule.build(7, 3)
+        slot, accesses = memory.insert(self._key(1), rule)
+        assert accesses >= 2
+        found = memory.lookup(self._key(1))
+        assert found.entry is not None
+        assert found.entry.rule_id == 7
+        assert found.entry.priority == 3
+
+    def test_lookup_miss(self):
+        memory = RuleFilterMemory(capacity=64)
+        result = memory.lookup(self._key(9))
+        assert result.entry is None
+        assert result.probes >= 1
+
+    def test_duplicate_key_keeps_best_priority(self):
+        memory = RuleFilterMemory(capacity=64)
+        memory.insert(self._key(2), Rule.build(1, 10))
+        memory.insert(self._key(2), Rule.build(2, 4))
+        assert memory.lookup(self._key(2)).entry.rule_id == 2
+
+    def test_delete_and_chain_repair(self):
+        memory = RuleFilterMemory(capacity=64)
+        keys = [self._key(i) for i in range(20)]
+        for index, key in enumerate(keys):
+            memory.insert(key, Rule.build(index, index))
+        deleted, _ = memory.delete(keys[5], rule_id=5)
+        assert deleted
+        assert memory.lookup(keys[5]).entry is None
+        # every other rule must still be reachable after the chain repair
+        for index, key in enumerate(keys):
+            if index == 5:
+                continue
+            assert memory.lookup(key).entry.rule_id == index
+
+    def test_delete_missing_returns_false(self):
+        memory = RuleFilterMemory(capacity=16)
+        deleted, accesses = memory.delete(self._key(3), rule_id=1)
+        assert not deleted and accesses >= 1
+
+    def test_capacity_enforced(self):
+        memory = RuleFilterMemory(capacity=4)
+        for index in range(4):
+            memory.insert(self._key(index), Rule.build(index, index))
+        with pytest.raises(CapacityError):
+            memory.insert(self._key(99), Rule.build(99, 99))
+
+    def test_stored_rules_and_entries(self):
+        memory = RuleFilterMemory(capacity=16)
+        for index in range(5):
+            memory.insert(self._key(index), Rule.build(index, index))
+        assert memory.stored_rules == 5
+        assert len(memory.entries()) == 5
+        memory.delete(self._key(0), 0)
+        assert memory.stored_rules == 4
+
+    def test_total_bits_and_counters(self):
+        memory = RuleFilterMemory(capacity=128)
+        assert memory.total_bits == memory.memory.depth * RuleFilterMemory.WORD_WIDTH
+        memory.insert(self._key(1), Rule.build(0, 0))
+        assert memory.memory.counter.total > 0
+        memory.reset_counters()
+        assert memory.memory.counter.total == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(Exception):
+            RuleFilterMemory(capacity=0)
+
+    def test_collisions_resolved_by_probing(self):
+        # Force collisions with a tiny table: every rule must stay reachable.
+        memory = RuleFilterMemory(capacity=8, hash_unit=HashUnit(table_bits=3))
+        for index in range(8):
+            memory.insert(self._key(index), Rule.build(index, index))
+        for index in range(8):
+            assert memory.lookup(self._key(index)).entry.rule_id == index

@@ -1,0 +1,266 @@
+"""Unit tests for the memory-block model, memory sharing and memory images."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CapacityError, ConfigurationError, MemoryModelError
+from repro.hardware.memory import AccessCounter, MemoryBank, MemoryBlock
+from repro.hardware.memory_image import MemoryImage, MemoryWrite
+from repro.hardware.memory_sharing import SharedMemoryBank, SharedView
+
+
+class TestAccessCounter:
+    def test_counts_and_total(self):
+        counter = AccessCounter()
+        counter.reads += 3
+        counter.writes += 2
+        assert counter.total == 5
+        assert counter.snapshot() == (3, 2)
+
+    def test_reset(self):
+        counter = AccessCounter(reads=4, writes=4)
+        counter.reset()
+        assert counter.total == 0
+
+
+class TestMemoryBlock:
+    def test_geometry_accounting(self):
+        block = MemoryBlock("m", depth=128, width=36)
+        assert block.total_bits == 128 * 36
+        assert block.used_words == 0 and block.used_bits == 0
+        block.write(3, "node")
+        assert block.used_words == 1
+        assert block.used_bits == 36
+        assert block.occupancy == pytest.approx(1 / 128)
+
+    def test_read_write_counters(self):
+        block = MemoryBlock("m", depth=8, width=8)
+        block.write(0, "a")
+        assert block.read(0) == "a"
+        assert block.counter.snapshot() == (1, 1)
+        block.reset_counters()
+        assert block.counter.total == 0
+
+    def test_read_empty_word_returns_none(self):
+        assert MemoryBlock("m", 8, 8).read(5) is None
+
+    def test_out_of_range_address_raises(self):
+        block = MemoryBlock("m", depth=4, width=8)
+        with pytest.raises(MemoryModelError):
+            block.read(4)
+        with pytest.raises(MemoryModelError):
+            block.write(-1, "x")
+
+    def test_clear_and_clear_all(self):
+        block = MemoryBlock("m", 4, 8)
+        block.write(1, "x")
+        block.clear(1)
+        assert block.peek(1) is None
+        block.write(2, "y")
+        block.clear_all()
+        assert len(block) == 0
+
+    def test_allocate_finds_lowest_free(self):
+        block = MemoryBlock("m", 3, 8)
+        block.write(0, "a")
+        assert block.allocate() == 1
+        block.write(1, "b")
+        block.write(2, "c")
+        with pytest.raises(CapacityError):
+            block.allocate()
+
+    def test_peek_does_not_count(self):
+        block = MemoryBlock("m", 4, 8)
+        block.write(0, "a")
+        block.reset_counters()
+        assert block.peek(0) == "a"
+        assert block.counter.total == 0
+
+    def test_items_sorted(self):
+        block = MemoryBlock("m", 8, 8)
+        block.write(5, "e")
+        block.write(1, "b")
+        assert [address for address, _ in block.items()] == [1, 5]
+
+    @pytest.mark.parametrize("depth,width", [(0, 8), (8, 0), (-1, 8)])
+    def test_invalid_geometry_raises(self, depth, width):
+        with pytest.raises(MemoryModelError):
+            MemoryBlock("m", depth, width)
+
+
+class TestMemoryBank:
+    def make_bank(self):
+        bank = MemoryBank("bank")
+        bank.new_block("mbt_l1", 32, 68)
+        bank.new_block("mbt_l2", 512, 68)
+        bank.new_block("rule_filter", 1024, 96)
+        return bank
+
+    def test_total_bits(self):
+        bank = self.make_bank()
+        assert bank.total_bits == 32 * 68 + 512 * 68 + 1024 * 96
+
+    def test_duplicate_name_rejected(self):
+        bank = self.make_bank()
+        with pytest.raises(MemoryModelError):
+            bank.new_block("mbt_l1", 8, 8)
+
+    def test_get_and_contains(self):
+        bank = self.make_bank()
+        assert bank.get("mbt_l2").depth == 512
+        assert "rule_filter" in bank and "missing" not in bank
+        with pytest.raises(MemoryModelError):
+            bank.get("missing")
+
+    def test_aggregate_counters(self):
+        bank = self.make_bank()
+        bank.get("mbt_l1").write(0, "a")
+        bank.get("mbt_l2").read(0)
+        assert bank.total_writes == 1
+        assert bank.total_reads == 1
+        assert bank.total_accesses == 2
+        bank.reset_counters()
+        assert bank.total_accesses == 0
+
+    def test_access_and_utilisation_reports(self):
+        bank = self.make_bank()
+        bank.get("mbt_l1").write(0, "a")
+        access = bank.access_report()
+        assert access["mbt_l1"] == (0, 1)
+        utilisation = bank.utilisation_report()
+        assert utilisation["rule_filter"]["total_bits"] == 1024 * 96
+
+    def test_find_and_subtotal(self):
+        bank = self.make_bank()
+        assert len(bank.find("mbt_")) == 2
+        assert bank.subtotal_bits("mbt_") == 32 * 68 + 512 * 68
+
+    def test_merge_counters(self):
+        bank = self.make_bank()
+        bank.get("mbt_l1").write(0, "a")
+        bank.get("rule_filter").read(0)
+        merged = bank.merge_counters()
+        assert (merged.reads, merged.writes) == (1, 1)
+
+    def test_len_and_iter(self):
+        bank = self.make_bank()
+        assert len(bank) == 3
+        assert {block.name for block in bank} == {"mbt_l1", "mbt_l2", "rule_filter"}
+
+
+class TestSharedMemoryBank:
+    def make_shared(self):
+        return SharedMemoryBank(
+            name="shared",
+            depth=512,
+            width=68,
+            view_a=SharedView("mbt_level2", "MBT level 2 nodes"),
+            view_b=SharedView("bst_nodes", "BST nodes"),
+            reclaimable_bits=400_000,
+        )
+
+    def test_default_selection_is_view_a(self):
+        assert self.make_shared().active_view == "mbt_level2"
+
+    def test_only_selected_view_can_access(self):
+        shared = self.make_shared()
+        shared.write("mbt_level2", 0, "node")
+        with pytest.raises(MemoryModelError):
+            shared.write("bst_nodes", 0, "node")
+        with pytest.raises(MemoryModelError):
+            shared.read("bst_nodes", 0)
+
+    def test_switching_invalidates_contents(self):
+        shared = self.make_shared()
+        shared.write("mbt_level2", 7, "node")
+        assert shared.select("bst_nodes") is True
+        assert shared.read("bst_nodes", 7) is None
+
+    def test_reselecting_same_view_is_noop(self):
+        shared = self.make_shared()
+        shared.write("mbt_level2", 7, "node")
+        assert shared.select("mbt_level2") is False
+        assert shared.read("mbt_level2", 7) == "node"
+
+    def test_unknown_view_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_shared().select("hypercuts")
+
+    def test_reclaimed_bits_depend_on_selection(self):
+        shared = self.make_shared()
+        assert shared.reclaimed_rule_bits() == 0
+        shared.select("bst_nodes")
+        assert shared.reclaimed_rule_bits() == 400_000
+
+    def test_allocate_through_view(self):
+        shared = self.make_shared()
+        assert shared.allocate("mbt_level2") == 0
+
+    def test_report_contents(self):
+        shared = self.make_shared()
+        shared.select("bst_nodes")
+        report = shared.report()
+        assert report.active_view == "bst_nodes"
+        assert report.total_bits == 512 * 68
+        assert set(report.views) == {"mbt_level2", "bst_nodes"}
+        assert report.reclaimed_bits == 400_000
+
+    def test_identical_view_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemoryBank("s", 8, 8, SharedView("x", ""), SharedView("x", ""))
+
+    def test_negative_reclaim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemoryBank("s", 8, 8, SharedView("a", ""), SharedView("b", ""), reclaimable_bits=-1)
+
+
+class TestMemoryImage:
+    def test_add_and_accounting(self):
+        image = MemoryImage("img")
+        image.add("mbt_l1", 0, 0xAB, payload={"node": 1})
+        image.add("mbt_l1", 1, 0xCD)
+        image.add("rule_filter", 7, 0x11)
+        assert len(image) == 3
+        assert image.blocks() == ["mbt_l1", "rule_filter"]
+        assert image.writes_per_block() == {"mbt_l1": 2, "rule_filter": 1}
+
+    def test_invalid_records_rejected(self):
+        image = MemoryImage("img")
+        with pytest.raises(MemoryModelError):
+            image.add("m", -1, 0)
+        with pytest.raises(MemoryModelError):
+            image.add("m", 0, -5)
+
+    def test_binary_round_trip(self):
+        image = MemoryImage("img")
+        image.add("mbt_l1", 3, 0xDEADBEEF)
+        image.add("labels", 1, 42)
+        blob = image.to_bytes()
+        decoded = MemoryImage.from_bytes(blob, name="copy")
+        assert len(decoded) == 2
+        assert decoded.writes[0].block == "mbt_l1"
+        assert decoded.writes[0].address == 3
+        assert decoded.writes[0].data == 0xDEADBEEF
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(MemoryModelError):
+            MemoryImage.from_bytes(b"XXXX" + b"\x00" * 16)
+
+    def test_extend_copies_records(self):
+        image = MemoryImage("img")
+        image.extend([MemoryWrite("a", 0, 1), MemoryWrite("b", 1, 2)])
+        assert len(image) == 2
+
+    def test_apply_uploads_into_bank(self):
+        bank = MemoryBank("device")
+        bank.new_block("mbt_l1", 16, 68)
+        bank.new_block("labels", 16, 20)
+        image = MemoryImage("img")
+        image.add("mbt_l1", 2, 99, payload="node-2")
+        image.add("labels", 5, 7)
+        words, blocks = image.apply(bank)
+        assert (words, blocks) == (2, 2)
+        assert bank.get("mbt_l1").peek(2) == "node-2"
+        assert bank.get("labels").peek(5) == 7
+        assert bank.total_writes == 2

@@ -1,0 +1,192 @@
+"""Unit tests for the clock model, the lookup pipeline and the FPGA resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.clock import ClockModel, CycleReport, merge_reports
+from repro.hardware.fpga_model import (
+    DeviceBudget,
+    FpgaResourceModel,
+    LogicInventory,
+    STRATIX_V_5SGXMB6R3F43C4,
+)
+from repro.hardware.memory import MemoryBank
+from repro.hardware.pipeline import PAPER_PHASES, PipelineModel, PipelinePhase
+
+
+class TestCycleReport:
+    def test_phases_accumulate(self):
+        report = CycleReport("lookup")
+        report.add_phase("dispatch", 1)
+        report.add_phase("field", 6)
+        report.add_phase("field", 2)
+        assert report.latency_cycles == 9
+        assert report.phase_breakdown() == {"dispatch": 1, "field": 8}
+
+    def test_occupancy_pipelined_vs_iterative(self):
+        pipelined = CycleReport("lookup", pipelined=True)
+        pipelined.add_phase("field", 6)
+        iterative = CycleReport("lookup", pipelined=False)
+        iterative.add_phase("field", 6)
+        assert pipelined.occupancy_cycles == 1
+        assert iterative.occupancy_cycles == 6
+
+    def test_empty_report(self):
+        assert CycleReport("noop").occupancy_cycles == 0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CycleReport("x").add_phase("p", -1)
+
+    def test_merge_reports(self):
+        a = CycleReport("a")
+        a.add_phase("x", 2)
+        b = CycleReport("b")
+        b.add_phase("x", 3)
+        b.add_phase("y", 1)
+        merged = merge_reports("total", [a, b])
+        assert merged.latency_cycles == 6
+        assert merged.phases["x"] == 5
+
+
+class TestClockModel:
+    def test_default_frequency_is_table_v(self):
+        assert ClockModel().frequency_hz == pytest.approx(133.51e6)
+
+    def test_cycle_time(self):
+        assert ClockModel(100e6).cycle_time_ns == pytest.approx(10.0)
+        assert ClockModel(100e6).time_ns(5) == pytest.approx(50.0)
+
+    def test_mbt_throughput_matches_table_vii(self):
+        clock = ClockModel()
+        assert clock.throughput_gbps(cycles_per_packet=1, packet_bytes=40) == pytest.approx(42.72, rel=0.01)
+
+    def test_bst_throughput_matches_table_vii(self):
+        clock = ClockModel()
+        assert clock.throughput_gbps(cycles_per_packet=16, packet_bytes=40) == pytest.approx(2.67, rel=0.01)
+
+    def test_conclusion_100byte_claim(self):
+        # Conclusion: 133M lookups/s at 100-byte packets is over 100 Gbit/s.
+        clock = ClockModel()
+        assert clock.lookups_per_second(1) == pytest.approx(133.51e6)
+        assert clock.throughput_gbps(1, packet_bytes=100) > 100
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            ClockModel(0)
+        with pytest.raises(ConfigurationError):
+            ClockModel().lookups_per_second(0)
+        with pytest.raises(ConfigurationError):
+            ClockModel().throughput_gbps(1, packet_bytes=0)
+
+    def test_summarize(self):
+        report = CycleReport("lookup", pipelined=True)
+        report.add_phase("all", 10)
+        summary = ClockModel().summarize({"lookup": report})
+        assert summary["lookup"]["latency_cycles"] == 10
+        assert summary["lookup"]["occupancy_cycles"] == 1
+        assert summary["lookup"]["throughput_gbps"] == pytest.approx(42.72, rel=0.01)
+
+
+class TestPipelineModel:
+    def test_paper_phases_latency(self):
+        model = PipelineModel(PAPER_PHASES)
+        assert model.total_latency == 10
+        assert model.initiation_interval == 1
+
+    def test_fully_pipelined_one_packet_per_cycle(self):
+        model = PipelineModel(PAPER_PHASES)
+        assert model.throughput_cycles_per_packet(64) == pytest.approx(1.0, abs=0.05)
+
+    def test_non_pipelined_phase_limits_rate(self):
+        phases = (
+            PipelinePhase("dispatch", 1),
+            PipelinePhase("bst", 16, pipelined=False),
+            PipelinePhase("final", 2),
+        )
+        model = PipelineModel(phases)
+        assert model.initiation_interval == 16
+        assert model.throughput_cycles_per_packet(64) == pytest.approx(16.0, rel=0.05)
+
+    def test_trace_latencies(self):
+        trace = PipelineModel(PAPER_PHASES).run(4)
+        assert trace.packets == 4
+        assert trace.timelines[0].latency_cycles == 10
+        # back-to-back packets start one cycle apart
+        assert trace.timelines[1].start_cycle - trace.timelines[0].start_cycle == 1
+        assert trace.average_latency == pytest.approx(10.0)
+
+    def test_empty_run(self):
+        trace = PipelineModel(PAPER_PHASES).run(0)
+        assert trace.packets == 0 and trace.total_cycles == 0
+
+    def test_occupancy_diagram_renders(self):
+        trace = PipelineModel(PAPER_PHASES).run(3)
+        diagram = trace.occupancy_diagram()
+        assert diagram.count("\n") == 2
+        assert "D" in diagram and "R" in diagram
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            PipelineModel(())
+        with pytest.raises(ConfigurationError):
+            PipelineModel(PAPER_PHASES).run(-1)
+        with pytest.raises(ConfigurationError):
+            PipelinePhase("x", -1)
+
+
+class TestFpgaResourceModel:
+    def make_bank(self, bits: int = 2_000_000) -> MemoryBank:
+        bank = MemoryBank("design")
+        # Keep the block depth at the prototype's deepest (16K words) so the
+        # Fmax derating path is not triggered by this synthetic design.
+        bank.new_block("memory", depth=16384, width=max(1, bits // 16384))
+        return bank
+
+    def test_device_budget_constants(self):
+        device = STRATIX_V_5SGXMB6R3F43C4
+        assert device.block_memory_bits == 54_476_800
+        assert device.alms == 225_400
+        assert device.pins == 908
+
+    def test_estimate_matches_paper_scale(self):
+        model = FpgaResourceModel()
+        estimate = model.estimate(self.make_bank(), LogicInventory(), target_fmax_mhz=133.51)
+        assert abs(estimate.logic_alms - 79_835) / 79_835 < 0.10
+        assert abs(estimate.registers - 129_273) / 129_273 < 0.10
+        assert estimate.fmax_mhz == pytest.approx(133.51)
+        assert estimate.pins_used == 500
+
+    def test_utilisation_properties(self):
+        estimate = FpgaResourceModel().estimate(self.make_bank())
+        assert 0 < estimate.logic_utilisation < 1
+        assert 0 < estimate.memory_utilisation < 1
+
+    def test_as_table_row(self):
+        row = FpgaResourceModel().estimate(self.make_bank()).as_table_row()
+        assert "Logical Utilization" in row
+        assert "MHz" in row["Maximum Frequency"]
+
+    def test_memory_over_budget_rejected(self):
+        big = MemoryBank("too_big")
+        big.new_block("huge", depth=1_000_000, width=64)
+        with pytest.raises(ConfigurationError):
+            FpgaResourceModel().estimate(big)
+
+    def test_logic_over_budget_rejected(self):
+        inventory = LogicInventory(mbt_engines=100, bst_engines=100)
+        with pytest.raises(ConfigurationError):
+            FpgaResourceModel().estimate(self.make_bank(), inventory)
+
+    def test_deep_memory_derates_fmax(self):
+        deep = MemoryBank("deep")
+        deep.new_block("huge", depth=1 << 18, width=8)
+        estimate = FpgaResourceModel().estimate(deep, LogicInventory(), target_fmax_mhz=133.51)
+        assert estimate.fmax_mhz < 133.51
+
+    def test_small_device_budget(self):
+        tiny = DeviceBudget("tiny", alms=1000, block_memory_bits=10_000, registers=1000, pins=10, base_fmax_mhz=50)
+        with pytest.raises(ConfigurationError):
+            FpgaResourceModel(tiny).estimate(self.make_bank())

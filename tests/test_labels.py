@@ -1,0 +1,247 @@
+"""Unit tests for the label method: allocator, label tables, label lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelError
+from repro.labels import (
+    LabelAllocator,
+    LabelList,
+    LabelListStore,
+    LabelTable,
+    PAPER_LABEL_WIDTHS,
+)
+
+
+class TestLabelAllocator:
+    def test_allocates_dense_values(self):
+        allocator = LabelAllocator("ip", 4)
+        assert [allocator.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_capacity_matches_width(self):
+        assert LabelAllocator("ip", 13).capacity == 8192
+        assert LabelAllocator("port", 7).capacity == 128
+        assert LabelAllocator("protocol", 2).capacity == 4
+
+    def test_paper_widths_constant(self):
+        assert PAPER_LABEL_WIDTHS == {"ip": 13, "port": 7, "protocol": 2}
+
+    def test_exhaustion_raises(self):
+        allocator = LabelAllocator("protocol", 2)
+        for _ in range(4):
+            allocator.allocate()
+        with pytest.raises(LabelError):
+            allocator.allocate()
+
+    def test_release_and_recycle(self):
+        allocator = LabelAllocator("port", 3)
+        first = allocator.allocate()
+        allocator.allocate()
+        allocator.release(first)
+        assert allocator.allocate() == first
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(LabelError):
+            LabelAllocator("port", 3).release(0)
+
+    def test_live_tracking(self):
+        allocator = LabelAllocator("port", 3)
+        label = allocator.allocate()
+        assert allocator.is_live(label)
+        assert allocator.live_count == 1
+        assert allocator.remaining == allocator.capacity - 1
+        allocator.release(label)
+        assert not allocator.is_live(label)
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(LabelError):
+            LabelAllocator("x", 0)
+
+    def test_repr_mentions_field(self):
+        assert "port" in repr(LabelAllocator("port", 7))
+
+
+class TestLabelTable:
+    def test_first_insert_creates_label(self):
+        table = LabelTable("dst_port", 7)
+        outcome = table.insert((80, 80), priority=3)
+        assert outcome.created and outcome.counter == 1
+        assert table.label_of((80, 80)) == outcome.label
+
+    def test_second_insert_bumps_counter_only(self):
+        table = LabelTable("dst_port", 7)
+        first = table.insert((80, 80), priority=3)
+        second = table.insert((80, 80), priority=7)
+        assert not second.created
+        assert second.label == first.label
+        assert second.counter == 2
+
+    def test_best_priority_tracks_minimum(self):
+        table = LabelTable("dst_port", 7)
+        outcome = table.insert((80, 80), priority=9)
+        table.insert((80, 80), priority=2)
+        table.insert((80, 80), priority=5)
+        assert table.best_priority_of(outcome.label) == 2
+
+    def test_remove_decrements_then_deletes(self):
+        table = LabelTable("dst_port", 7)
+        table.insert((80, 80), priority=1)
+        table.insert((80, 80), priority=2)
+        first = table.remove((80, 80))
+        assert not first.deleted and first.counter == 1
+        second = table.remove((80, 80))
+        assert second.deleted and second.counter == 0
+        assert (80, 80) not in table
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(LabelError):
+            LabelTable("dst_port", 7).remove((80, 80))
+
+    def test_label_recycled_after_delete(self):
+        table = LabelTable("protocol", 2)
+        released = table.insert(("tcp",), priority=0).label
+        table.remove(("tcp",))
+        assert table.insert(("udp",), priority=1).label == released
+
+    def test_value_of_reverse_mapping(self):
+        table = LabelTable("dst_port", 7)
+        label = table.insert((53, 53), priority=0).label
+        assert table.value_of(label) == (53, 53)
+        with pytest.raises(LabelError):
+            table.value_of(label + 1)
+
+    def test_label_of_unknown_raises(self):
+        with pytest.raises(LabelError):
+            LabelTable("dst_port", 7).label_of((1, 1))
+
+    def test_counter_of_missing_value_is_zero(self):
+        assert LabelTable("dst_port", 7).counter_of((1, 1)) == 0
+
+    def test_refresh_best_priority(self):
+        table = LabelTable("dst_port", 7)
+        label = table.insert((80, 80), priority=0).label
+        table.insert((80, 80), priority=5)
+        table.remove((80, 80))  # the priority-0 user goes away
+        table.refresh_best_priority((80, 80), [5])
+        assert table.best_priority_of(label) == 5
+
+    def test_refresh_best_priority_requires_survivors(self):
+        table = LabelTable("dst_port", 7)
+        table.insert((80, 80), priority=0)
+        with pytest.raises(LabelError):
+            table.refresh_best_priority((80, 80), [])
+        with pytest.raises(LabelError):
+            table.refresh_best_priority((99, 99), [1])
+
+    def test_update_statistics(self):
+        table = LabelTable("dst_port", 7)
+        table.insert((80, 80), priority=0)
+        table.insert((80, 80), priority=1)
+        table.insert((53, 53), priority=2)
+        table.remove((53, 53))
+        stats = table.update_statistics()
+        assert stats["structural_inserts"] == 2
+        assert stats["counter_only_inserts"] == 1
+        assert stats["structural_deletes"] == 1
+        assert stats["counter_only_deletes"] == 0
+
+    def test_unique_values_matches_entries(self):
+        table = LabelTable("dst_port", 7)
+        for port in (80, 53, 443):
+            table.insert((port, port), priority=port)
+        assert table.unique_values == 3
+        assert len(table.entries()) == 3
+        assert len(table) == 3
+
+    def test_memory_bits_scales_with_capacity(self):
+        table = LabelTable("dst_port", 7)
+        assert table.memory_bits(value_bits=32) == 128 * (32 + 7 + 16)
+
+    def test_exhaustion_propagates(self):
+        table = LabelTable("protocol", 1)
+        table.insert(("a",), priority=0)
+        table.insert(("b",), priority=0)
+        with pytest.raises(LabelError):
+            table.insert(("c",), priority=0)
+
+
+class TestLabelList:
+    def test_orders_by_priority(self):
+        labels = LabelList()
+        labels.add(5, priority=30)
+        labels.add(7, priority=10)
+        labels.add(9, priority=20)
+        assert labels.labels() == [7, 9, 5]
+        assert labels.first() == 7
+        assert labels.first_priority() == 10
+
+    def test_construction_from_pairs(self):
+        labels = LabelList([(1, 9), (2, 3)])
+        assert labels.first() == 2
+
+    def test_duplicate_label_keeps_best_priority(self):
+        labels = LabelList()
+        labels.add(4, priority=20)
+        labels.add(4, priority=5)
+        labels.add(4, priority=50)  # worse priority must not displace
+        assert labels.pairs() == [(4, 5)]
+
+    def test_remove(self):
+        labels = LabelList([(1, 1), (2, 2)])
+        labels.remove(1)
+        assert labels.labels() == [2]
+        with pytest.raises(LabelError):
+            labels.remove(1)
+
+    def test_reprioritize(self):
+        labels = LabelList([(1, 1), (2, 2)])
+        labels.reprioritize(1, 10)
+        assert labels.first() == 2
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(LabelError):
+            LabelList().first()
+        with pytest.raises(LabelError):
+            LabelList().first_priority()
+
+    def test_contains_len_bool_iter(self):
+        labels = LabelList([(3, 1)])
+        assert 3 in labels and 4 not in labels
+        assert len(labels) == 1 and bool(labels)
+        assert list(labels) == [3]
+        assert not LabelList()
+
+    def test_is_sorted_invariant(self):
+        labels = LabelList()
+        for label, priority in ((1, 9), (2, 1), (3, 5), (4, 5)):
+            labels.add(label, priority)
+        assert labels.is_sorted()
+
+    def test_tie_break_is_deterministic(self):
+        a = LabelList([(10, 5), (2, 5)])
+        b = LabelList([(2, 5), (10, 5)])
+        assert a.labels() == b.labels()
+
+
+class TestLabelListStore:
+    def test_pointer_round_trip(self):
+        store = LabelListStore()
+        pointer = store.new_list()
+        store.get(pointer).add(1, 1)
+        assert store.get(pointer).first() == 1
+        assert len(store) == 1
+
+    def test_dangling_pointer_raises(self):
+        with pytest.raises(LabelError):
+            LabelListStore().get(0)
+
+    def test_total_entries_and_memory(self):
+        store = LabelListStore()
+        first = store.new_list()
+        second = store.new_list()
+        store.get(first).add(1, 1)
+        store.get(second).add(2, 2)
+        store.get(second).add(3, 3)
+        assert store.total_entries() == 3
+        assert store.memory_bits(label_bits=13) == 3 * (13 + 16)

@@ -1,0 +1,48 @@
+"""Tests for exporting the classifier state as a control-plane memory image."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm
+from repro.hardware.memory_image import MemoryImage
+
+
+class TestMemoryImageExport:
+    def test_image_covers_rules_and_labels(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        image = classifier.export_memory_image()
+        writes = image.writes_per_block()
+        assert writes["rule_filter"] == len(handcrafted_ruleset)
+        # One write per unique field value of every dimension.
+        assert writes["protocol_lut"] == handcrafted_ruleset.unique_field_values("protocol")
+        assert writes["dst_port_label_buffer"] == handcrafted_ruleset.unique_field_values("dst_port")
+        assert any(block.endswith("_labels") for block in image.blocks())
+
+    def test_image_round_trips_through_binary_form(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        image = classifier.export_memory_image(name="snapshot")
+        decoded = MemoryImage.from_bytes(image.to_bytes(), name="copy")
+        assert len(decoded) == len(image)
+        assert decoded.blocks() == image.blocks()
+
+    def test_image_applies_to_provisioned_bank(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        bank = classifier.provisioned_memory_bank()
+        words, blocks = classifier.export_memory_image().apply(bank)
+        assert words == len(classifier.export_memory_image())
+        assert blocks >= 3
+        assert bank.get("rule_filter").used_words == len(handcrafted_ruleset)
+
+    def test_bst_configuration_exports_too(self, handcrafted_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(
+            handcrafted_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        )
+        image = classifier.export_memory_image()
+        assert "bst" in image.name
+        assert image.writes_per_block()["rule_filter"] == len(handcrafted_ruleset)
+
+    def test_empty_classifier_exports_empty_rule_filter(self):
+        image = ConfigurableClassifier().export_memory_image()
+        assert image.writes_per_block().get("rule_filter", 0) == 0

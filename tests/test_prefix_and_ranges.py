@@ -1,0 +1,263 @@
+"""Unit tests for the prefix arithmetic and port-range helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.fields.prefix import (
+    Prefix,
+    format_ipv4,
+    format_ipv4_prefix,
+    parse_ipv4,
+    parse_ipv4_prefix,
+    prefix_contains,
+    prefix_mask,
+    prefix_overlaps,
+    prefix_range,
+    range_to_prefixes,
+    split_prefix_segments,
+)
+from repro.fields.range_utils import PORT_MAX, PortRange, merge_ranges
+
+
+class TestPrefixMask:
+    def test_zero_length_is_empty_mask(self):
+        assert prefix_mask(0) == 0
+
+    def test_full_length_is_all_ones(self):
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_byte_boundary(self):
+        assert prefix_mask(8) == 0xFF000000
+
+    def test_sixteen_bit_width(self):
+        assert prefix_mask(4, width=16) == 0xF000
+
+    def test_out_of_range_length_raises(self):
+        with pytest.raises(RuleError):
+            prefix_mask(33)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(RuleError):
+            prefix_mask(-1)
+
+
+class TestPrefixRange:
+    def test_slash24_range(self):
+        low, high = prefix_range(parse_ipv4("192.168.1.0"), 24)
+        assert low == parse_ipv4("192.168.1.0")
+        assert high == parse_ipv4("192.168.1.255")
+
+    def test_wildcard_covers_everything(self):
+        low, high = prefix_range(0, 0)
+        assert (low, high) == (0, 0xFFFFFFFF)
+
+    def test_host_prefix_is_single_address(self):
+        address = parse_ipv4("10.1.2.3")
+        assert prefix_range(address, 32) == (address, address)
+
+    def test_unaligned_value_is_masked(self):
+        low, high = prefix_range(parse_ipv4("10.0.0.77"), 24)
+        assert low == parse_ipv4("10.0.0.0")
+        assert high == parse_ipv4("10.0.0.255")
+
+
+class TestPrefixContainsAndOverlaps:
+    def test_contains_inside(self):
+        assert prefix_contains(parse_ipv4("10.0.0.0"), 8, parse_ipv4("10.200.1.1"))
+
+    def test_contains_outside(self):
+        assert not prefix_contains(parse_ipv4("10.0.0.0"), 8, parse_ipv4("11.0.0.1"))
+
+    def test_nested_prefixes_overlap(self):
+        assert prefix_overlaps(parse_ipv4("10.0.0.0"), 8, parse_ipv4("10.1.0.0"), 16)
+
+    def test_disjoint_prefixes_do_not_overlap(self):
+        assert not prefix_overlaps(parse_ipv4("10.0.0.0"), 8, parse_ipv4("11.0.0.0"), 8)
+
+    def test_wildcard_overlaps_everything(self):
+        assert prefix_overlaps(0, 0, parse_ipv4("203.0.113.7"), 32)
+
+
+class TestRangeToPrefixes:
+    def test_exact_value(self):
+        assert range_to_prefixes(80, 80, width=16) == [(80, 16)]
+
+    def test_full_range_is_single_wildcard(self):
+        assert range_to_prefixes(0, PORT_MAX, width=16) == [(0, 0)]
+
+    def test_aligned_power_of_two_block(self):
+        assert range_to_prefixes(1024, 2047, width=16) == [(1024, 6)]
+
+    def test_unaligned_range_decomposes_and_covers(self):
+        prefixes = range_to_prefixes(7810, 7820, width=16)
+        covered = set()
+        for value, length in prefixes:
+            low, high = prefix_range(value, length, width=16)
+            covered.update(range(low, high + 1))
+        assert covered == set(range(7810, 7821))
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(RuleError):
+            range_to_prefixes(10, 5, width=16)
+
+    def test_out_of_space_raises(self):
+        with pytest.raises(RuleError):
+            range_to_prefixes(0, 1 << 16, width=16)
+
+
+class TestSplitPrefixSegments:
+    def test_short_prefix_leaves_low_segment_wild(self):
+        high, low = split_prefix_segments(parse_ipv4("10.0.0.0"), 8)
+        assert high == (0x0A00, 8)
+        assert low == (0, 0)
+
+    def test_long_prefix_pins_high_segment(self):
+        high, low = split_prefix_segments(parse_ipv4("192.168.1.0"), 24)
+        assert high == (0xC0A8, 16)
+        assert low == (0x0100, 8)
+
+    def test_host_prefix_pins_both_segments(self):
+        high, low = split_prefix_segments(parse_ipv4("1.2.3.4"), 32)
+        assert high == (0x0102, 16)
+        assert low == (0x0304, 16)
+
+    def test_wildcard_prefix(self):
+        assert split_prefix_segments(0, 0) == [(0, 0), (0, 0)]
+
+    def test_segments_reassemble_range(self):
+        value, length = parse_ipv4("172.16.0.0"), 12
+        (hi_value, hi_len), (lo_value, lo_len) = split_prefix_segments(value, length)
+        hi_low, hi_high = prefix_range(hi_value, hi_len, 16)
+        lo_low, lo_high = prefix_range(lo_value, lo_len, 16)
+        full_low, full_high = prefix_range(value, length)
+        assert (hi_low << 16) | lo_low == full_low
+        assert (hi_high << 16) | lo_high == full_high
+
+
+class TestIpv4Parsing:
+    def test_round_trip(self):
+        assert format_ipv4(parse_ipv4("203.0.113.9")) == "203.0.113.9"
+
+    def test_prefix_round_trip(self):
+        assert format_ipv4_prefix(*parse_ipv4_prefix("10.20.0.0/16")) == "10.20.0.0/16"
+
+    def test_prefix_parse_masks_host_bits(self):
+        value, length = parse_ipv4_prefix("10.20.30.40/16")
+        assert format_ipv4(value) == "10.20.0.0"
+        assert length == 16
+
+    @pytest.mark.parametrize("text", ["1.2.3", "1.2.3.256", "a.b.c.d", "10.0.0.0", "10.0.0.0/33"])
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(RuleError):
+            parse_ipv4_prefix(text)
+
+
+class TestPrefixObject:
+    def test_normalises_value(self):
+        assert Prefix.parse("10.9.9.9/8").value == parse_ipv4("10.0.0.0")
+
+    def test_low_high_and_contains(self):
+        prefix = Prefix.parse("192.168.0.0/16")
+        assert prefix.low == parse_ipv4("192.168.0.0")
+        assert prefix.high == parse_ipv4("192.168.255.255")
+        assert prefix.contains(parse_ipv4("192.168.44.1"))
+        assert not prefix.contains(parse_ipv4("192.169.0.0"))
+
+    def test_wildcard_flag(self):
+        assert Prefix(0, 0).is_wildcard
+        assert not Prefix.parse("1.0.0.0/8").is_wildcard
+
+    def test_overlap_requires_same_width(self):
+        with pytest.raises(RuleError):
+            Prefix(0, 0).overlaps(Prefix(0, 0, width=16))
+
+    def test_segments_helper(self):
+        segments = Prefix.parse("10.1.0.0/16").segments()
+        assert [segment.width for segment in segments] == [16, 16]
+        assert segments[0].length == 16
+        assert segments[1].length == 0
+
+    def test_iter_addresses_guard(self):
+        with pytest.raises(RuleError):
+            Prefix.parse("10.0.0.0/8").iter_addresses(limit=10)
+
+    def test_str_renders_cidr(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_bad_length_raises(self):
+        with pytest.raises(RuleError):
+            Prefix(0, 40)
+
+
+class TestPortRange:
+    def test_exact_constructor(self):
+        assert PortRange.exact(80).is_exact
+
+    def test_wildcard_constructor(self):
+        assert PortRange.wildcard().is_wildcard
+
+    def test_parse_colon_syntax(self):
+        assert PortRange.parse("1024 : 2048") == PortRange(1024, 2048)
+
+    def test_parse_single_value(self):
+        assert PortRange.parse("443") == PortRange.exact(443)
+
+    def test_parse_dash_syntax(self):
+        assert PortRange.parse("20-21") == PortRange(20, 21)
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(RuleError):
+            PortRange(10, 5)
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(RuleError):
+            PortRange(0, PORT_MAX + 1)
+
+    def test_contains_and_overlaps(self):
+        service = PortRange(7810, 7820)
+        assert service.contains(7812)
+        assert not service.contains(7821)
+        assert service.overlaps(PortRange.exact(7812))
+        assert not service.overlaps(PortRange(8000, 9000))
+
+    def test_covers(self):
+        assert PortRange.wildcard().covers(PortRange.exact(7812))
+        assert not PortRange.exact(7812).covers(PortRange.wildcard())
+
+    def test_priority_key_orders_exact_then_tightest(self):
+        # Table IV: for port 7812 the order must be B (exact), C (tight), A (wide).
+        a = PortRange(0, 65355)
+        b = PortRange.exact(7812)
+        c = PortRange(7810, 7820)
+        ordered = sorted([a, b, c], key=lambda r: r.priority_key())
+        assert ordered == [b, c, a]
+
+    def test_to_prefixes_cover_range(self):
+        covered = set()
+        for value, length in PortRange(1000, 1100).to_prefixes():
+            low, high = prefix_range(value, length, 16)
+            covered.update(range(low, high + 1))
+        assert covered == set(range(1000, 1101))
+
+    def test_span(self):
+        assert PortRange(10, 19).span == 10
+        assert PortRange.exact(5).span == 1
+
+
+class TestMergeRanges:
+    def test_merges_overlapping(self):
+        merged = merge_ranges([PortRange(0, 10), PortRange(5, 20)])
+        assert merged == [PortRange(0, 20)]
+
+    def test_merges_adjacent(self):
+        merged = merge_ranges([PortRange(0, 10), PortRange(11, 20)])
+        assert merged == [PortRange(0, 20)]
+
+    def test_keeps_disjoint(self):
+        merged = merge_ranges([PortRange(0, 10), PortRange(20, 30)])
+        assert merged == [PortRange(0, 10), PortRange(20, 30)]
+
+    def test_empty_input(self):
+        assert merge_ranges([]) == []

@@ -1,0 +1,327 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These tests target the invariants the architecture's correctness rests on:
+
+* prefix/range arithmetic round-trips and containment equivalences;
+* the label-key pack/unpack bijection and hash determinism;
+* label-list ordering (HPML-first) under arbitrary insertion orders;
+* label-table counter semantics under arbitrary insert/remove interleavings;
+* single-field engine agreement: the multi-bit trie and the binary search
+  tree must return identical label sets for every lookup key;
+* end-to-end classifier agreement with the linear-scan ground truth on
+  randomly generated rule sets and packets;
+* rule-filter membership after arbitrary insert/delete sequences;
+* memory-image binary round-trips.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import ClassifierConfig, IpAlgorithm
+from repro.fields.binary_search_tree import BinarySearchTree
+from repro.fields.multibit_trie import MultibitTrie
+from repro.fields.prefix import (
+    Prefix,
+    prefix_contains,
+    prefix_range,
+    range_to_prefixes,
+    split_prefix_segments,
+)
+from repro.fields.range_utils import PORT_MAX, PortRange
+from repro.hardware.hash_unit import HashUnit, LabelKeyLayout
+from repro.hardware.memory_image import MemoryImage
+from repro.hardware.rule_filter import RuleFilterMemory
+from repro.labels.label_list import LabelList
+from repro.labels.label_table import LabelTable
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import ProtocolMatch, Rule
+from repro.rules.ruleset import RuleSet
+
+# -- strategies -----------------------------------------------------------------
+
+ip_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+segment_values = st.integers(min_value=0, max_value=(1 << 16) - 1)
+port_values = st.integers(min_value=0, max_value=PORT_MAX)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+segment_lengths = st.integers(min_value=0, max_value=16)
+
+
+@st.composite
+def prefixes32(draw):
+    return Prefix(draw(ip_values), draw(prefix_lengths))
+
+
+@st.composite
+def segment_prefixes(draw):
+    value = draw(segment_values)
+    length = draw(segment_lengths)
+    return (value & (((1 << length) - 1) << (16 - length) if length else 0), length)
+
+
+@st.composite
+def port_ranges(draw):
+    low = draw(port_values)
+    high = draw(st.integers(min_value=low, max_value=PORT_MAX))
+    return PortRange(low, high)
+
+
+@st.composite
+def rules(draw, rule_id=0, priority=0):
+    protocol = draw(st.sampled_from([None, 6, 17]))
+    return Rule(
+        rule_id=rule_id,
+        priority=priority,
+        src_prefix=draw(prefixes32()),
+        dst_prefix=draw(prefixes32()),
+        src_port=draw(port_ranges()),
+        dst_port=draw(port_ranges()),
+        protocol=ProtocolMatch.any() if protocol is None else ProtocolMatch.exact(protocol),
+    )
+
+
+@st.composite
+def rulesets(draw, max_rules=12):
+    count = draw(st.integers(min_value=1, max_value=max_rules))
+    ruleset = RuleSet(name="hypothesis")
+    for index in range(count):
+        ruleset.add(draw(rules(rule_id=index, priority=index)))
+    return ruleset
+
+
+@st.composite
+def packets(draw):
+    return PacketHeader(
+        src_ip=draw(ip_values),
+        dst_ip=draw(ip_values),
+        src_port=draw(port_values),
+        dst_port=draw(port_values),
+        protocol=draw(st.sampled_from([1, 6, 17, 47])),
+    )
+
+
+# -- prefix / range properties -----------------------------------------------------
+
+
+class TestPrefixProperties:
+    @given(prefixes32(), ip_values)
+    def test_contains_equals_range_membership(self, prefix, point):
+        low, high = prefix_range(prefix.value, prefix.length)
+        assert prefix.contains(point) == (low <= point <= high)
+
+    @given(port_values, port_values)
+    def test_range_to_prefix_cover_is_exact(self, a, b):
+        low, high = min(a, b), max(a, b)
+        covered = set()
+        for value, length in range_to_prefixes(low, high, width=16):
+            plow, phigh = prefix_range(value, length, width=16)
+            assert not (covered & set(range(plow, phigh + 1))), "prefixes must be disjoint"
+            covered.update(range(plow, phigh + 1))
+        assert covered == set(range(low, high + 1))
+
+    @given(prefixes32(), ip_values)
+    def test_segment_split_preserves_membership(self, prefix, point):
+        segments = split_prefix_segments(prefix.value, prefix.length)
+        point_segments = (point >> 16, point & 0xFFFF)
+        segment_match = all(
+            prefix_contains(value, length, part, width=16)
+            for (value, length), part in zip(segments, point_segments)
+        )
+        assert segment_match == prefix.contains(point)
+
+    @given(port_ranges(), port_values)
+    def test_port_range_contains(self, port_range, value):
+        assert port_range.contains(value) == (port_range.low <= value <= port_range.high)
+
+
+# -- hash / label key properties -------------------------------------------------------
+
+
+class TestLabelKeyProperties:
+    layout = LabelKeyLayout()
+
+    @given(
+        st.tuples(
+            st.integers(0, 8191), st.integers(0, 8191), st.integers(0, 8191), st.integers(0, 8191),
+            st.integers(0, 127), st.integers(0, 127), st.integers(0, 3),
+        )
+    )
+    def test_pack_unpack_round_trip(self, labels):
+        assert self.layout.unpack(self.layout.pack(labels)) == labels
+
+    @given(st.integers(min_value=0, max_value=(1 << 68) - 1))
+    def test_hash_is_deterministic_and_in_range(self, key):
+        unit = HashUnit(table_bits=12)
+        slot = unit.hash(key)
+        assert slot == unit.hash(key)
+        assert 0 <= slot < unit.table_size
+
+
+# -- label structures -------------------------------------------------------------------
+
+
+class TestLabelStructureProperties:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1000)), max_size=40))
+    def test_label_list_sorted_and_unique(self, entries):
+        label_list = LabelList()
+        best = {}
+        for label, priority in entries:
+            label_list.add(label, priority)
+            best[label] = min(best.get(label, priority), priority)
+        assert label_list.is_sorted()
+        assert sorted(label_list.labels()) == sorted(best)
+        if entries:
+            assert label_list.first_priority() == min(best.values())
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=60))
+    def test_label_table_counters_balance(self, values):
+        table = LabelTable("field", width_bits=3)
+        live = {}
+        for value in values:
+            outcome = table.insert(value, priority=0)
+            live[value] = live.get(value, 0) + 1
+            assert outcome.counter == live[value]
+        for value, count in live.items():
+            assert table.counter_of(value) == count
+        # remove everything; labels must disappear exactly at zero
+        for value, count in live.items():
+            for remaining in range(count - 1, -1, -1):
+                outcome = table.remove(value)
+                assert outcome.deleted == (remaining == 0)
+        assert table.unique_values == 0
+
+
+# -- engine equivalence --------------------------------------------------------------------
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(segment_prefixes(), min_size=1, max_size=20, unique=True), st.lists(segment_values, min_size=1, max_size=10))
+    def test_mbt_and_bst_agree(self, prefix_list, lookups):
+        mbt = MultibitTrie()
+        bst = BinarySearchTree()
+        for label, spec in enumerate(prefix_list):
+            mbt.insert(spec, label, priority=label)
+            bst.insert(spec, label, priority=label)
+        for value in lookups:
+            assert set(mbt.lookup(value).labels) == set(bst.lookup(value).labels)
+            if mbt.lookup(value).matched:
+                assert mbt.lookup(value).first_label == bst.lookup(value).first_label
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(segment_prefixes(), min_size=1, max_size=15, unique=True), segment_values)
+    def test_engine_lookup_matches_naive_containment(self, prefix_list, value):
+        mbt = MultibitTrie()
+        for label, spec in enumerate(prefix_list):
+            mbt.insert(spec, label, priority=label)
+        expected = {
+            label
+            for label, (prefix_value, length) in enumerate(prefix_list)
+            if prefix_contains(prefix_value, length, value, width=16)
+        }
+        assert set(mbt.lookup(value).labels) == expected
+
+
+# -- rule filter properties ---------------------------------------------------------------------
+
+
+class TestRuleFilterProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=30, unique=True), st.data())
+    def test_membership_after_random_deletes(self, rule_ids, data):
+        layout = LabelKeyLayout()
+        memory = RuleFilterMemory(capacity=64)
+        keys = {}
+        for rule_id in rule_ids:
+            key = layout.pack((rule_id % 8192, rule_id % 3, 0, 0, rule_id % 128, 0, rule_id % 4))
+            keys[rule_id] = key
+            memory.insert(key, Rule.build(rule_id, rule_id))
+        to_delete = data.draw(st.lists(st.sampled_from(rule_ids), unique=True))
+        for rule_id in to_delete:
+            deleted, _ = memory.delete(keys[rule_id], rule_id)
+            assert deleted
+        surviving = set(rule_ids) - set(to_delete)
+        for rule_id in rule_ids:
+            entry = memory.lookup(keys[rule_id]).entry
+            found = {e.rule_id for e in memory.entries() if e.label_key == keys[rule_id]}
+            if rule_id in surviving:
+                assert rule_id in found
+            else:
+                assert rule_id not in found
+        assert memory.stored_rules == len(surviving)
+
+
+# -- end-to-end classifier property ----------------------------------------------------------------
+
+
+class TestClassifierProperties:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(), st.lists(packets(), min_size=1, max_size=8))
+    def test_classifier_matches_linear_scan(self, ruleset, packet_list):
+        classifier = ConfigurableClassifier.from_ruleset(ruleset)
+        for packet in packet_list:
+            expected = ruleset.highest_priority_match(packet)
+            result = classifier.lookup(packet)
+            got = result.match.rule_id if result.match else None
+            want = expected.rule_id if expected else None
+            assert got == want
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(max_rules=8), st.lists(packets(), min_size=1, max_size=5))
+    def test_bst_configuration_matches_linear_scan(self, ruleset, packet_list):
+        classifier = ConfigurableClassifier.from_ruleset(
+            ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
+        )
+        for packet in packet_list:
+            expected = ruleset.highest_priority_match(packet)
+            result = classifier.lookup(packet)
+            got = result.match.rule_id if result.match else None
+            want = expected.rule_id if expected else None
+            assert got == want
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(max_rules=8), st.lists(packets(), min_size=1, max_size=5), st.data())
+    def test_agreement_survives_random_deletion(self, ruleset, packet_list, data):
+        classifier = ConfigurableClassifier.from_ruleset(ruleset)
+        victims = data.draw(
+            st.lists(st.sampled_from(ruleset.rule_ids()), unique=True, max_size=len(ruleset) - 1)
+        )
+        for rule_id in victims:
+            classifier.remove_rule(rule_id)
+        survivors = ruleset.filter(lambda rule: rule.rule_id not in set(victims))
+        for packet in packet_list:
+            expected = survivors.highest_priority_match(packet)
+            result = classifier.lookup(packet)
+            got = result.match.rule_id if result.match else None
+            want = expected.rule_id if expected else None
+            assert got == want
+
+
+# -- memory image round trip --------------------------------------------------------------------------
+
+
+class TestMemoryImageProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["mbt_l1", "mbt_l2", "labels", "rule_filter"]),
+                st.integers(0, 1 << 20),
+                st.integers(0, (1 << 64) - 1),
+            ),
+            max_size=50,
+        )
+    )
+    def test_binary_round_trip(self, records):
+        image = MemoryImage("img")
+        for block, address, word in records:
+            image.add(block, address, word)
+        decoded = MemoryImage.from_bytes(image.to_bytes())
+        assert len(decoded) == len(image)
+        for original, copy in zip(image.writes, decoded.writes):
+            assert (original.block, original.address, original.data) == (
+                copy.block,
+                copy.address,
+                copy.data,
+            )

@@ -1,0 +1,107 @@
+"""Tests for the public API surface and the result dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.result import ClassifierReport, LookupResult, MatchedRule, UpdateResult
+from repro.hardware.clock import CycleReport
+
+
+class TestPackageExports:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "subpackage",
+        ["core", "fields", "labels", "hardware", "rules", "baselines", "controller", "analysis", "experiments"],
+    )
+    def test_subpackage_all_exports_resolve(self, subpackage):
+        import importlib
+
+        module = importlib.import_module(f"repro.{subpackage}")
+        for name in module.__all__:
+            assert hasattr(module, name), f"repro.{subpackage}.{name}"
+
+    def test_top_level_quickstart_flow(self):
+        rules = repro.generate_ruleset(nominal_size=200, seed=1)
+        classifier = repro.ConfigurableClassifier.from_ruleset(rules)
+        packet = repro.generate_trace(rules, count=1, seed=2)[0]
+        result = classifier.lookup(packet)
+        assert isinstance(result, repro.LookupResult)
+
+
+class TestResultDataclasses:
+    def _cycles(self, pipelined=True):
+        report = CycleReport("lookup", pipelined=pipelined)
+        report.add_phase("dispatch", 1)
+        report.add_phase("field_lookup", 6)
+        return report
+
+    def test_lookup_result_properties(self):
+        result = LookupResult(
+            match=MatchedRule(rule_id=3, priority=1, action="forward"),
+            field_labels={"protocol": ((0, 1),)},
+            cycles=self._cycles(),
+            memory_accesses={"protocol": 1, "rule_filter": 2},
+            combiner_probes=1,
+        )
+        assert result.matched
+        assert result.total_memory_accesses == 3
+        assert result.latency_cycles == 7
+
+    def test_lookup_result_miss(self):
+        result = LookupResult(
+            match=None,
+            field_labels={},
+            cycles=self._cycles(),
+            memory_accesses={},
+            combiner_probes=0,
+        )
+        assert not result.matched
+        assert result.total_memory_accesses == 0
+
+    def test_update_result_properties(self):
+        result = UpdateResult(
+            rule_id=9,
+            operation="insert",
+            labels={"protocol": (1, True), "src_port": (0, False)},
+            structural_dimensions=("protocol",),
+            cycles=self._cycles(pipelined=False),
+            memory_accesses={"protocol": 2, "rule_filter": 2},
+        )
+        assert result.structural
+        assert result.total_memory_accesses == 4
+
+    def test_update_result_counter_only(self):
+        result = UpdateResult(
+            rule_id=9,
+            operation="insert",
+            labels={"protocol": (1, False)},
+            structural_dimensions=(),
+            cycles=self._cycles(),
+            memory_accesses={"protocol": 1},
+        )
+        assert not result.structural
+
+    def test_classifier_report_aggregates(self):
+        report = ClassifierReport(
+            ip_algorithm="mbt",
+            combiner_mode="cross_product",
+            rules_installed=10,
+            rule_capacity=8192,
+            unique_labels={"protocol": 3},
+            memory_bits_used={"engines": 1000, "rule_filter": 960},
+            memory_bits_provisioned={"engines": 543_000, "rule_filter": 786_432},
+            lookup_latency_cycles=11,
+            lookup_occupancy_cycles=1.0,
+            throughput_gbps=42.7,
+        )
+        assert report.total_memory_bits_used == 1960
+        assert report.total_memory_bits_provisioned == 543_000 + 786_432
+        assert report.memory_space_mbit == pytest.approx(1.329, rel=0.01)

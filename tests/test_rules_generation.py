@@ -1,0 +1,181 @@
+"""Unit tests for the ClassBench-style generator, the parser and the trace tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError, RuleSetError
+from repro.rules.classbench import (
+    ClassBenchGenerator,
+    FilterFlavor,
+    PAPER_RULE_COUNTS,
+    generate_ruleset,
+)
+from repro.rules.parser import (
+    dump_classbench_file,
+    format_classbench,
+    load_classbench_file,
+    parse_classbench,
+    parse_classbench_line,
+)
+from repro.rules.ruleset import RuleSet
+from repro.rules.trace import generate_trace, generate_uniform_trace, trace_stats
+
+
+class TestClassBenchGenerator:
+    def test_deterministic_given_seed(self):
+        first = ClassBenchGenerator(FilterFlavor.ACL, seed=5).generate(300)
+        second = ClassBenchGenerator(FilterFlavor.ACL, seed=5).generate(300)
+        assert [str(rule) for rule in first] == [str(rule) for rule in second]
+
+    def test_different_seeds_differ(self):
+        first = ClassBenchGenerator(FilterFlavor.ACL, seed=5).generate(300)
+        second = ClassBenchGenerator(FilterFlavor.ACL, seed=6).generate(300)
+        assert [str(rule) for rule in first] != [str(rule) for rule in second]
+
+    def test_nominal_1k_matches_paper_count(self):
+        assert len(generate_ruleset(FilterFlavor.ACL, 1000)) == PAPER_RULE_COUNTS[(FilterFlavor.ACL, 1000)]
+
+    @pytest.mark.parametrize("flavor", list(FilterFlavor))
+    def test_every_flavor_produces_valid_rules(self, flavor):
+        ruleset = ClassBenchGenerator(flavor, seed=1).generate(200)
+        assert len(ruleset) > 100
+        for rule in ruleset:
+            assert 0 <= rule.src_prefix.length <= 32
+            assert rule.src_port.low <= rule.src_port.high
+
+    def test_priorities_are_dense_and_unique(self):
+        ruleset = generate_ruleset(FilterFlavor.ACL, 500, seed=9)
+        priorities = [rule.priority for rule in ruleset.rules()]
+        assert priorities == sorted(set(priorities))
+
+    def test_acl_source_port_always_wildcard(self):
+        ruleset = generate_ruleset(FilterFlavor.ACL, 500, seed=4)
+        assert ruleset.unique_field_values("src_port") == 1
+        assert all(rule.src_port.is_wildcard for rule in ruleset)
+
+    def test_acl_protocol_values_limited(self):
+        ruleset = generate_ruleset(FilterFlavor.ACL, 500, seed=4)
+        assert ruleset.unique_field_values("protocol") <= 3
+
+    def test_fw_has_more_wildcards_than_acl(self):
+        acl = generate_ruleset(FilterFlavor.ACL, 1000, seed=3)
+        fw = generate_ruleset(FilterFlavor.FW, 1000, seed=3)
+        acl_wild = acl.stats().wildcard_field_counts["src_ip"] / len(acl)
+        fw_wild = fw.stats().wildcard_field_counts["src_ip"] / len(fw)
+        assert fw_wild > acl_wild
+
+    def test_field_value_reuse_is_heavy(self):
+        # The label method depends on rules sharing field values; the ACL
+        # profile reuses destination ports and protocols heavily.
+        ruleset = generate_ruleset(FilterFlavor.ACL, 1000, seed=2)
+        assert ruleset.unique_field_values("dst_port") < len(ruleset) / 4
+
+    def test_rules_unique_as_tuples(self):
+        ruleset = generate_ruleset(FilterFlavor.ACL, 300, seed=8)
+        signatures = {tuple(sorted(rule.field_keys().items())) for rule in ruleset}
+        assert len(signatures) == len(ruleset)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(RuleSetError):
+            generate_ruleset(FilterFlavor.ACL, 0)
+
+    def test_custom_name(self):
+        assert generate_ruleset(FilterFlavor.ACL, 200, name="custom").name == "custom"
+
+    def test_port_labels_fit_the_paper_widths(self):
+        # The 7-bit port label space must accommodate every flavour's unique
+        # port specifications (the architecture's label width constraint).
+        for flavor in FilterFlavor:
+            ruleset = ClassBenchGenerator(flavor, seed=12).generate(1000)
+            assert ruleset.unique_field_values("dst_port") <= 128
+            assert ruleset.unique_field_values("src_port") <= 128
+
+
+class TestClassBenchParser:
+    EXAMPLE = "@192.168.1.0/24\t10.0.0.0/8\t0 : 65535\t7812 : 7812\t0x06/0xFF"
+
+    def test_parse_line(self):
+        rule = parse_classbench_line(self.EXAMPLE, rule_id=0, priority=0)
+        assert rule.src_prefix.length == 24
+        assert rule.dst_port.is_exact and rule.dst_port.low == 7812
+        assert rule.protocol.value == 6 and not rule.protocol.wildcard
+
+    def test_parse_line_wildcard_protocol(self):
+        line = "@0.0.0.0/0\t0.0.0.0/0\t0 : 65535\t0 : 65535\t0x00/0x00"
+        rule = parse_classbench_line(line, 0, 0)
+        assert rule.protocol.wildcard
+
+    def test_parse_line_keeps_extra_columns(self):
+        rule = parse_classbench_line(self.EXAMPLE + "\t0x0000/0x0000", 0, 0)
+        assert "extra" in rule.metadata
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(RuleSetError):
+            parse_classbench_line("not a rule", 0, 0)
+
+    def test_parse_many_skips_comments_and_blanks(self):
+        lines = ["# header", "", self.EXAMPLE, self.EXAMPLE.replace("7812", "53")]
+        ruleset = parse_classbench(lines, name="test")
+        assert len(ruleset) == 2
+        assert ruleset.rules()[0].priority == 0
+
+    def test_round_trip_through_text(self, small_acl_ruleset):
+        lines = [format_classbench(rule) for rule in small_acl_ruleset]
+        parsed = parse_classbench(lines)
+        assert len(parsed) == len(small_acl_ruleset)
+        for original, reparsed in zip(small_acl_ruleset, parsed):
+            assert original.field_keys() == reparsed.field_keys()
+
+    def test_file_round_trip(self, tmp_path, small_acl_ruleset):
+        path = tmp_path / "acl1.rules"
+        dump_classbench_file(small_acl_ruleset, path)
+        loaded = load_classbench_file(path)
+        assert len(loaded) == len(small_acl_ruleset)
+        assert loaded.name == "acl1"
+
+
+class TestTraceGeneration:
+    def test_deterministic(self, small_acl_ruleset):
+        assert generate_trace(small_acl_ruleset, 50, seed=1) == generate_trace(small_acl_ruleset, 50, seed=1)
+
+    def test_hit_ratio_respected(self, small_acl_ruleset):
+        trace = generate_trace(small_acl_ruleset, 300, seed=2, hit_ratio=1.0)
+        stats = trace_stats(small_acl_ruleset, trace)
+        assert stats.hit_ratio == 1.0
+
+    def test_zero_hit_ratio_allows_empty_ruleset(self):
+        trace = generate_trace(RuleSet(name="empty"), 10, seed=3, hit_ratio=0.0)
+        assert len(trace) == 10
+
+    def test_hit_biased_trace_needs_rules(self):
+        with pytest.raises(ExperimentError):
+            generate_trace(RuleSet(name="empty"), 10, seed=3, hit_ratio=0.5)
+
+    def test_locality_repeats_headers(self, small_acl_ruleset):
+        trace = generate_trace(small_acl_ruleset, 200, seed=4, locality=0.8)
+        assert len(set(trace)) < len(trace) / 2
+
+    def test_invalid_parameters_raise(self, small_acl_ruleset):
+        with pytest.raises(ExperimentError):
+            generate_trace(small_acl_ruleset, -1)
+        with pytest.raises(ExperimentError):
+            generate_trace(small_acl_ruleset, 10, hit_ratio=1.5)
+        with pytest.raises(ExperimentError):
+            generate_trace(small_acl_ruleset, 10, locality=1.0)
+
+    def test_uniform_trace(self):
+        trace = generate_uniform_trace(50, seed=5)
+        assert len(trace) == 50
+        assert len(set(trace)) > 40
+
+    def test_uniform_trace_negative_raises(self):
+        with pytest.raises(ExperimentError):
+            generate_uniform_trace(-5)
+
+    def test_trace_stats_counts_distinct_rules(self, small_acl_ruleset):
+        trace = generate_trace(small_acl_ruleset, 150, seed=6, hit_ratio=1.0)
+        stats = trace_stats(small_acl_ruleset, trace)
+        assert stats.packets == 150
+        assert stats.hits + stats.misses == 150
+        assert 0 < stats.distinct_rules_hit <= len(small_acl_ruleset)

@@ -1,0 +1,213 @@
+"""Unit tests for the packet, rule and rule-set models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleError, RuleSetError
+from repro.rules.packet import FIVE_TUPLE_FIELDS, PacketHeader
+from repro.rules.rule import ProtocolMatch, Rule, RuleAction
+from repro.rules.ruleset import RuleSet
+
+
+class TestPacketHeader:
+    def test_from_strings_round_trip(self):
+        packet = PacketHeader.from_strings("10.0.0.1", "192.168.1.2", 1234, 80, 6)
+        assert packet.src_port == 1234
+        assert packet.protocol == 6
+        assert "10.0.0.1" in str(packet)
+
+    def test_field_accessor(self):
+        packet = PacketHeader(1, 2, 3, 4, 5)
+        assert [packet.field(name) for name in FIVE_TUPLE_FIELDS] == [1, 2, 3, 4, 5]
+
+    def test_field_accessor_rejects_unknown(self):
+        with pytest.raises(RuleError):
+            PacketHeader(1, 2, 3, 4, 5).field("ttl")
+
+    def test_as_dict_and_tuple_agree(self):
+        packet = PacketHeader(10, 20, 30, 40, 6)
+        assert tuple(packet.as_dict().values()) == packet.as_tuple()
+        assert tuple(packet) == packet.as_tuple()
+
+    def test_ip_segments(self):
+        packet = PacketHeader.from_strings("1.2.3.4", "5.6.7.8", 0, 0, 6)
+        segments = packet.ip_segments()
+        assert segments["src_ip_hi"] == 0x0102
+        assert segments["src_ip_lo"] == 0x0304
+        assert segments["dst_ip_hi"] == 0x0506
+        assert segments["dst_ip_lo"] == 0x0708
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"src_ip": -1, "dst_ip": 0, "src_port": 0, "dst_port": 0, "protocol": 0},
+            {"src_ip": 0, "dst_ip": 1 << 32, "src_port": 0, "dst_port": 0, "protocol": 0},
+            {"src_ip": 0, "dst_ip": 0, "src_port": 70000, "dst_port": 0, "protocol": 0},
+            {"src_ip": 0, "dst_ip": 0, "src_port": 0, "dst_port": -3, "protocol": 0},
+            {"src_ip": 0, "dst_ip": 0, "src_port": 0, "dst_port": 0, "protocol": 300},
+        ],
+    )
+    def test_out_of_range_fields_raise(self, kwargs):
+        with pytest.raises(RuleError):
+            PacketHeader(**kwargs)
+
+    def test_hashable_and_equal(self):
+        assert PacketHeader(1, 2, 3, 4, 5) == PacketHeader(1, 2, 3, 4, 5)
+        assert len({PacketHeader(1, 2, 3, 4, 5), PacketHeader(1, 2, 3, 4, 5)}) == 1
+
+
+class TestProtocolMatch:
+    def test_exact_match(self):
+        assert ProtocolMatch.exact(6).matches(6)
+        assert not ProtocolMatch.exact(6).matches(17)
+
+    def test_wildcard_matches_everything(self):
+        assert ProtocolMatch.any().matches(0)
+        assert ProtocolMatch.any().matches(255)
+
+    def test_key_canonicalises_wildcard_value(self):
+        assert ProtocolMatch(value=17, wildcard=True).key() == ProtocolMatch.any().key()
+
+    def test_str(self):
+        assert str(ProtocolMatch.any()) == "*"
+        assert str(ProtocolMatch.exact(6)) == "6"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(RuleError):
+            ProtocolMatch.exact(256)
+
+
+class TestRule:
+    def test_build_defaults_to_catch_all(self):
+        rule = Rule.build(0, 0)
+        assert rule.matches(PacketHeader(1, 2, 3, 4, 5))
+
+    def test_matching_respects_every_field(self, handcrafted_ruleset, web_packet, dns_packet):
+        rules = {rule.rule_id: rule for rule in handcrafted_ruleset}
+        assert rules[0].matches(web_packet)
+        assert not rules[0].matches(dns_packet)
+        assert rules[2].matches(dns_packet)
+        assert rules[4].matches(web_packet) and rules[4].matches(dns_packet)
+
+    def test_overlap_detection(self, handcrafted_ruleset):
+        rules = {rule.rule_id: rule for rule in handcrafted_ruleset}
+        assert rules[0].overlaps(rules[1])
+        assert rules[0].overlaps(rules[4])
+        assert not rules[0].overlaps(rules[2])  # different protocol and dst port
+
+    def test_field_keys_identify_unique_values(self):
+        a = Rule.build(0, 0, src="10.0.0.0/8", dst_port="80:80", protocol=6)
+        b = Rule.build(1, 1, src="10.0.0.0/8", dst_port="80:80", protocol=6)
+        assert a.field_keys() == b.field_keys()
+
+    def test_field_key_rejects_unknown_field(self):
+        with pytest.raises(RuleError):
+            Rule.build(0, 0).field_key("vlan")
+
+    def test_specificity_ordering(self):
+        broad = Rule.build(0, 0)
+        narrow = Rule.build(1, 1, src="10.0.0.0/32", dst="10.0.0.1/32",
+                            src_port="80:80", dst_port="443:443", protocol=6)
+        assert narrow.specificity() > broad.specificity()
+
+    def test_with_priority_preserves_identity(self):
+        rule = Rule.build(7, 3, src="10.0.0.0/8")
+        moved = rule.with_priority(9)
+        assert moved.rule_id == 7 and moved.priority == 9
+        assert moved.src_prefix == rule.src_prefix
+
+    def test_negative_identifiers_raise(self):
+        with pytest.raises(RuleError):
+            Rule.build(-1, 0)
+        with pytest.raises(RuleError):
+            Rule.build(0, -2)
+
+    def test_catch_all_factory(self):
+        rule = Rule.catch_all(99, 99)
+        assert rule.action is RuleAction.DROP
+        assert rule.matches(PacketHeader(0, 0, 0, 0, 0))
+
+    def test_str_contains_action(self):
+        assert "drop" in str(Rule.catch_all(1, 1))
+
+
+class TestRuleSet:
+    def test_priority_ordering(self, handcrafted_ruleset):
+        priorities = [rule.priority for rule in handcrafted_ruleset.rules()]
+        assert priorities == sorted(priorities)
+
+    def test_duplicate_id_rejected(self):
+        ruleset = RuleSet([Rule.build(0, 0)])
+        with pytest.raises(RuleSetError):
+            ruleset.add(Rule.build(0, 1))
+
+    def test_duplicate_priority_rejected(self):
+        ruleset = RuleSet([Rule.build(0, 0)])
+        with pytest.raises(RuleSetError):
+            ruleset.add(Rule.build(1, 0))
+
+    def test_remove_and_contains(self):
+        ruleset = RuleSet([Rule.build(0, 0), Rule.build(1, 1)])
+        removed = ruleset.remove(0)
+        assert removed.rule_id == 0
+        assert 0 not in ruleset and 1 in ruleset
+        with pytest.raises(RuleSetError):
+            ruleset.remove(0)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(RuleSetError):
+            RuleSet().get(12)
+
+    def test_highest_priority_match(self, handcrafted_ruleset, web_packet, dns_packet, miss_packet):
+        assert handcrafted_ruleset.highest_priority_match(web_packet).rule_id == 0
+        assert handcrafted_ruleset.highest_priority_match(dns_packet).rule_id == 2
+        assert handcrafted_ruleset.highest_priority_match(miss_packet).rule_id == 4
+
+    def test_highest_priority_match_can_miss(self, handcrafted_ruleset, miss_packet):
+        without_default = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 4)
+        assert without_default.highest_priority_match(miss_packet) is None
+
+    def test_all_matches_sorted_by_priority(self, handcrafted_ruleset, web_packet):
+        matches = [rule.rule_id for rule in handcrafted_ruleset.all_matches(web_packet)]
+        assert matches == [0, 1, 3, 4]
+
+    def test_subset(self, handcrafted_ruleset):
+        subset = handcrafted_ruleset.subset(2)
+        assert len(subset) == 2
+        assert subset.rule_ids() == [0, 1]
+
+    def test_subset_negative_raises(self, handcrafted_ruleset):
+        with pytest.raises(RuleSetError):
+            handcrafted_ruleset.subset(-1)
+
+    def test_filter(self, handcrafted_ruleset):
+        tcp_only = handcrafted_ruleset.filter(lambda rule: not rule.protocol.wildcard and rule.protocol.value == 6)
+        assert {rule.rule_id for rule in tcp_only} == {0, 1, 3}
+
+    def test_unique_field_values(self, handcrafted_ruleset):
+        assert handcrafted_ruleset.unique_field_values("src_port") == 1
+        assert handcrafted_ruleset.unique_field_values("protocol") == 3
+        with pytest.raises(RuleSetError):
+            handcrafted_ruleset.unique_field_values("vlan")
+
+    def test_stats(self, handcrafted_ruleset):
+        stats = handcrafted_ruleset.stats()
+        assert stats.size == 5
+        assert stats.unique_field_counts["dst_port"] == 4
+        assert stats.wildcard_field_counts["src_port"] == 5
+        assert stats.exact_port_counts["dst_port"] == 2
+        assert stats.average_specificity > 0
+
+    def test_renumbered_preserves_order(self, handcrafted_ruleset):
+        shuffled = RuleSet(
+            [rule.with_priority(priority) for rule, priority in zip(handcrafted_ruleset, (10, 30, 20, 50, 40))],
+            name="shuffled",
+        )
+        renumbered = shuffled.renumbered()
+        assert [rule.priority for rule in renumbered.rules()] == [0, 1, 2, 3, 4]
+
+    def test_len_iter_repr(self, handcrafted_ruleset):
+        assert len(handcrafted_ruleset) == 5
+        assert len(list(iter(handcrafted_ruleset))) == 5
+        assert "handcrafted" in repr(handcrafted_ruleset)
