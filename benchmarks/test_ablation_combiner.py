@@ -27,7 +27,7 @@ def test_ablation_combiner_kernel(benchmark, mode, acl1k_ruleset, acl1k_trace):
     classifier = ConfigurableClassifier.from_ruleset(acl1k_ruleset, config)
     packets = acl1k_trace[:100]
 
-    results = benchmark(lambda: [classifier.lookup(packet) for packet in packets])
+    results = benchmark(lambda: classifier.classify_batch(packets))
     assert len(results) == len(packets)
 
 
@@ -44,9 +44,9 @@ def test_ablation_combiner_accuracy_and_probes(benchmark, acl1k_ruleset, acl1k_t
             correct = 0
             probes = 0
             for packet, reference in zip(packets, expected):
-                result = classifier.lookup(packet)
+                result = classifier.classify(packet)
                 probes += result.combiner_probes
-                got = result.match.rule_id if result.match else None
+                got = result.rule_id
                 want = reference.rule_id if reference else None
                 if got == want:
                     correct += 1

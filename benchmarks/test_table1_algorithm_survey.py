@@ -20,31 +20,20 @@ from __future__ import annotations
 import pytest
 
 from conftest import write_result
-from repro.baselines import (
-    DcflClassifier,
-    HyperCutsClassifier,
-    Option1Classifier,
-    Option2Classifier,
-    RfcClassifier,
-)
+from repro.api import create_classifier
 from repro.experiments import table1
 
-ALGORITHMS = {
-    "hypercuts": HyperCutsClassifier,
-    "rfc": RfcClassifier,
-    "dcfl": DcflClassifier,
-    "option1": Option1Classifier,
-    "option2": Option2Classifier,
-}
+#: Registry names of the Table I algorithm rows (unified API sweep).
+ALGORITHMS = tuple(table1.ALGORITHMS)
 
 
 @pytest.mark.parametrize("name", sorted(ALGORITHMS))
 def test_table1_lookup_kernel(benchmark, name, acl1k_ruleset, acl1k_trace):
     """Per-algorithm classification kernel over the acl1-1K trace."""
-    classifier = ALGORITHMS[name](acl1k_ruleset)
+    classifier = create_classifier(name, acl1k_ruleset)
 
     def classify_trace():
-        return [classifier.classify(packet) for packet in acl1k_trace]
+        return classifier.classify_batch(acl1k_trace)
 
     outcomes = benchmark(classify_trace)
     assert len(outcomes) == len(acl1k_trace)

@@ -25,7 +25,7 @@ def test_table6_lookup_kernel(benchmark, algorithm, acl1k_ruleset, acl1k_trace):
     packets = acl1k_trace[:100]
 
     def classify():
-        return [classifier.lookup(packet) for packet in packets]
+        return classifier.classify_batch(packets)
 
     results = benchmark(classify)
     assert len(results) == len(packets)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro import ClassifierConfig, ConfigurableClassifier, IpAlgorithm
 from repro.analysis import format_table, measure_lookups
-from repro.baselines import DcflClassifier, HyperCutsClassifier, evaluate_baseline
+from repro.api import create_classifier
 from repro.controller import ApplicationRequirements, SdnController
 from repro.rules import FilterFlavor, generate_ruleset, generate_trace
 
@@ -56,15 +56,15 @@ def baseline_rows() -> list:
     for size in SIZES:
         rules = generate_ruleset(FilterFlavor.ACL, nominal_size=size, seed=2014)
         trace = generate_trace(rules, count=100, seed=5)
-        for baseline_type in (HyperCutsClassifier, DcflClassifier):
-            baseline = baseline_type(rules)
-            evaluation = evaluate_baseline(baseline, trace)
+        for name in ("hypercuts", "dcfl"):
+            baseline = create_classifier(name, rules)
+            batch = baseline.classify_batch(trace)
             rows.append(
                 {
                     "Rules": len(rules),
-                    "Algorithm": baseline.name,
-                    "Avg memory accesses": round(evaluation.average_memory_accesses, 1),
-                    "Memory Mbit": round(evaluation.memory_megabits, 2),
+                    "Algorithm": name,
+                    "Avg memory accesses": round(batch.average_memory_accesses, 1),
+                    "Memory Mbit": round(baseline.memory_bits() / 1e6, 2),
                 }
             )
     return rows

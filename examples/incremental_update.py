@@ -43,9 +43,9 @@ def main() -> None:
     def verify(tag: str, reference: RuleSet) -> None:
         mismatches = 0
         for packet in trace:
-            result = classifier.lookup(packet)
+            result = classifier.classify(packet)
             expected = reference.highest_priority_match(packet)
-            got_id = result.match.rule_id if result.match else None
+            got_id = result.rule_id
             expected_id = expected.rule_id if expected else None
             if got_id != expected_id:
                 mismatches += 1

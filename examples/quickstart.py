@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: build a classifier from a synthetic rule set and classify packets.
+"""Quickstart: the unified classification API end to end.
 
-This is the smallest end-to-end tour of the public API:
+This is the smallest tour of :mod:`repro.api`, the package front door:
 
 1. generate an ACL-flavoured rule set with the ClassBench-style generator;
-2. build a :class:`~repro.core.classifier.ConfigurableClassifier` (default
-   configuration: multi-bit trie IP lookup, cross-product label combination);
-3. classify a few packets and print the matched rule, the action, the
-   per-lookup cycle latency and the memory accesses;
-4. print the classifier report (throughput, memory, label table sizes).
+2. build the paper's configurable architecture by registry name with
+   :func:`repro.api.create_classifier` (any other registered engine —
+   ``"hypercuts"``, ``"rfc"``, ... — is the same one-line change);
+3. classify single packets (``classify``) and a whole trace
+   (``classify_batch``), checking against the linear-search ground truth;
+4. stream a larger trace through a :class:`repro.api.ClassificationSession`
+   and print the uniform session statistics;
+5. sweep every registered classifier on the same workload.
 
 Run with::
 
@@ -17,8 +20,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ConfigurableClassifier, generate_ruleset, generate_trace
-from repro.analysis import format_kv
+from repro import generate_ruleset, generate_trace
+from repro.api import ClassificationSession, available_classifiers, create_classifier
+from repro.analysis import format_kv, format_table
 
 
 def main() -> None:
@@ -26,41 +30,70 @@ def main() -> None:
     rules = generate_ruleset(nominal_size=1000, seed=2014)
     print(f"Generated rule set {rules.name!r} with {len(rules)} rules")
 
-    # 2. The configurable classifier with the paper's default configuration.
-    classifier = ConfigurableClassifier.from_ruleset(rules)
+    # 2. The configurable architecture, by registry name.  Options are the
+    #    config knobs: ip_algorithm="bst", combiner="first_label", or a full
+    #    ClassifierConfig.builder()... config.
+    classifier = create_classifier("configurable", rules)
     print(f"Classifier: {classifier}\n")
 
-    # 3. Classify a few packets drawn from the rule set.
+    # 3. Single packets against the linear-scan reference.
     trace = generate_trace(rules, count=5, seed=7)
     for index, packet in enumerate(trace):
-        result = classifier.lookup(packet)
+        result = classifier.classify(packet)
         reference = rules.highest_priority_match(packet)
-        matched = f"rule #{result.match.rule_id} ({result.match.action})" if result.match else "no match"
+        matched = f"rule #{result.rule_id} ({result.action})" if result.matched else "no match"
         print(f"packet {index}: {packet}")
         print(
             f"  -> {matched}  | latency {result.latency_cycles} cycles, "
-            f"{result.total_memory_accesses} memory accesses, "
+            f"{result.memory_accesses} memory accesses, "
             f"{result.combiner_probes} rule-filter probes"
         )
         expected = f"rule #{reference.rule_id}" if reference else "no match"
         print(f"  -> linear-scan reference agrees: {expected}")
 
-    # 4. The device-level report.
-    report = classifier.report()
+    # ... and a whole trace in one call.
+    batch = classifier.classify_batch(trace)
+    print(f"\nBatch of {batch.packets}: hit ratio {batch.hit_ratio:.2f}, "
+          f"avg {batch.average_memory_accesses:.1f} accesses/packet")
+
+    # 4. Stream a larger trace in chunks; statistics are engine-independent.
+    session = ClassificationSession(classifier, chunk_size=64)
+    stats = session.run(generate_trace(rules, count=512, seed=11))
+    details = classifier.stats().details
     print()
     print(
         format_kv(
             {
-                "IP algorithm": report.ip_algorithm,
-                "Rules installed": report.rules_installed,
-                "Rule capacity": report.rule_capacity,
-                "Throughput (40B packets)": f"{report.throughput_gbps:.2f} Gbps",
-                "Provisioned memory": f"{report.memory_space_mbit:.2f} Mbit",
-                "Lookup latency": f"{report.lookup_latency_cycles} cycles",
+                "Classifier": stats.classifier,
+                "Packets streamed": stats.packets,
+                "Chunks": stats.chunks,
+                "Hit ratio": f"{stats.hit_ratio:.3f}",
+                "Avg accesses / packet": f"{stats.average_memory_accesses:.1f}",
+                "Structure memory": f"{stats.memory_megabits:.2f} Mbit",
+                "Model throughput (40B packets)": f"{details['throughput_gbps']:.2f} Gbps",
             },
             title="Classifier report",
         )
     )
+
+    # 5. Every registered engine through the exact same protocol.
+    sweep_trace = generate_trace(rules, count=60, seed=13)
+    rows = []
+    for name in available_classifiers():
+        if name == "rfc":  # RFC's cross-product build dominates quickstart time
+            continue
+        engine = create_classifier(name, rules)
+        result = engine.classify_batch(sweep_trace)
+        rows.append(
+            {
+                "Classifier": name,
+                "Avg accesses": round(result.average_memory_accesses, 1),
+                "Memory Mbit": round(engine.memory_bits() / 1e6, 2),
+                "Hit ratio": round(result.hit_ratio, 3),
+            }
+        )
+    print()
+    print(format_table(rows, title="Registry sweep (classify_batch on 60 packets)"))
 
 
 if __name__ == "__main__":

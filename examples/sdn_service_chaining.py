@@ -64,7 +64,7 @@ def main() -> None:
     # -- data plane traffic -------------------------------------------------------
     for datapath_id, switch, rules in ((1, video_switch, video_rules), (2, firewall_switch, firewall_rules)):
         trace = generate_trace(rules, count=200, seed=datapath_id)
-        switch.classify_trace(trace)
+        switch.classify_batch(trace)
 
     # -- controller-side statistics ------------------------------------------------
     rows = []

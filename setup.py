@@ -1,0 +1,11 @@
+#!/usr/bin/env python3
+"""Compatibility shim for environments without PEP 660 support.
+
+All packaging metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` / legacy editable installs on toolchains that
+lack the ``wheel`` package (modern ``pip install -e .`` never reads it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,7 +1,22 @@
 """repro — a behavioural reproduction of "A Configurable Packet Classification
 Architecture for Software-Defined Networking" (Guerra Pérez et al., SOCC 2014).
 
-The package provides:
+The front door is :mod:`repro.api` — one uniform classification surface over
+every engine in the library:
+
+* :func:`~repro.api.create_classifier` builds any registered engine by name
+  (``"configurable"`` — the paper's architecture — plus ``"linear_search"``,
+  ``"hypercuts"``, ``"efficuts"``, ``"rfc"``, ``"dcfl"``, ``"bitvector"``,
+  ``"option1"``, ``"option2"``); :func:`~repro.api.available_classifiers`
+  lists them for sweeps;
+* every engine satisfies the :class:`~repro.api.PacketClassifier` protocol:
+  ``classify(packet) -> Classification``, ``classify_batch(trace) ->
+  BatchResult``, ``install``/``remove``, ``memory_bits()``, ``stats()``;
+* :class:`~repro.api.ClassificationSession` streams traces through any engine
+  in chunks with uniform statistics;
+* ``ClassifierConfig.builder()`` configures the architecture fluently.
+
+Underneath sit the paper-faithful layers:
 
 * :mod:`repro.core` — the configurable, label-based, parallel single-field
   classification architecture (the paper's contribution);
@@ -13,8 +28,8 @@ The package provides:
   cycle accounting, pipeline, rule filter, FPGA resource estimator);
 * :mod:`repro.rules` — rules, rule sets, the synthetic ClassBench-style
   generator and packet traces;
-* :mod:`repro.baselines` — HyperCuts, RFC, DCFL, bit-vector and linear-search
-  comparison classifiers;
+* :mod:`repro.baselines` — HyperCuts, EffiCuts, RFC, DCFL, bit-vector and
+  linear-search comparison classifiers;
 * :mod:`repro.controller` — the OpenFlow-lite SDN control plane driving the
   device;
 * :mod:`repro.analysis` and :mod:`repro.experiments` — metrics, reporting and
@@ -22,12 +37,14 @@ The package provides:
 
 Quickstart::
 
-    from repro import ConfigurableClassifier, generate_ruleset, generate_trace
+    from repro import generate_ruleset, generate_trace
+    from repro.api import create_classifier
 
     rules = generate_ruleset(nominal_size=1000)
-    classifier = ConfigurableClassifier.from_ruleset(rules)
-    packet = generate_trace(rules, count=1)[0]
-    print(classifier.lookup(packet).match)
+    classifier = create_classifier("configurable", rules)
+    trace = generate_trace(rules, count=100)
+    print(classifier.classify(trace[0]).rule_id)
+    print(classifier.classify_batch(trace).average_memory_accesses)
 """
 
 from repro.core import (
@@ -38,6 +55,14 @@ from repro.core import (
     IpAlgorithm,
     LookupResult,
     UpdateResult,
+)
+from repro.core.result import BatchResult, Classification, ClassifierStats
+from repro.api import (
+    ClassificationSession,
+    PacketClassifier,
+    available_classifiers,
+    create_classifier,
+    register_classifier,
 )
 from repro.rules import (
     FilterFlavor,
@@ -50,7 +75,7 @@ from repro.rules import (
     load_classbench_file,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -61,6 +86,14 @@ __all__ = [
     "LookupResult",
     "UpdateResult",
     "ClassifierReport",
+    "Classification",
+    "BatchResult",
+    "ClassifierStats",
+    "PacketClassifier",
+    "ClassificationSession",
+    "create_classifier",
+    "available_classifiers",
+    "register_classifier",
     "PacketHeader",
     "Rule",
     "RuleAction",

@@ -93,7 +93,9 @@ def measure_lookups(
     classifier: ConfigurableClassifier, trace: Iterable[PacketHeader]
 ) -> LookupMetrics:
     """Classify ``trace`` and return its aggregate lookup metrics."""
-    return summarize_lookups([classifier.lookup(packet) for packet in trace])
+    return summarize_lookups(
+        [classifier.classify(packet).detail for packet in trace]
+    )
 
 
 def measure_updates(

@@ -1,0 +1,61 @@
+"""repro.api — the canonical entry point to the package.
+
+One uniform classification surface over every engine in the library::
+
+    from repro.api import available_classifiers, create_classifier
+
+    classifier = create_classifier("configurable", ruleset, ip_algorithm="bst")
+    result = classifier.classify(packet)           # -> Classification
+    batch = classifier.classify_batch(trace)       # -> BatchResult
+
+    for name in available_classifiers():           # sweeps are one loop
+        print(name, create_classifier(name, ruleset).classify_batch(trace).hit_ratio)
+
+Building blocks:
+
+* :class:`~repro.api.protocol.PacketClassifier` — the structural protocol
+  (``classify``, ``classify_batch``, ``install``, ``remove``, ``memory_bits``,
+  ``stats``) every engine satisfies;
+* :func:`~repro.api.registry.create_classifier` /
+  :func:`~repro.api.registry.available_classifiers` /
+  :func:`~repro.api.registry.register_classifier` — the name-keyed registry;
+* :class:`~repro.api.builder.ConfigBuilder` (``ClassifierConfig.builder()``)
+  — fluent configuration of the paper's architecture;
+* :class:`~repro.api.session.ClassificationSession` — chunked streaming over
+  any engine with uniform statistics.
+"""
+
+from repro.api.adapters import BaselineAdapter
+from repro.api.builder import ConfigBuilder
+from repro.api.protocol import (
+    BatchResult,
+    Classification,
+    ClassifierStats,
+    PacketClassifier,
+)
+from repro.api.registry import (
+    UnknownClassifierError,
+    available_classifiers,
+    classifier_description,
+    create_classifier,
+    register_classifier,
+    validate_classifier_names,
+)
+from repro.api.session import ClassificationSession, SessionStats
+
+__all__ = [
+    "PacketClassifier",
+    "Classification",
+    "BatchResult",
+    "ClassifierStats",
+    "BaselineAdapter",
+    "ConfigBuilder",
+    "ClassificationSession",
+    "SessionStats",
+    "register_classifier",
+    "create_classifier",
+    "available_classifiers",
+    "classifier_description",
+    "validate_classifier_names",
+    "UnknownClassifierError",
+]

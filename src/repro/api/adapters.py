@@ -1,0 +1,91 @@
+"""Adapters presenting baseline classifiers through the unified protocol.
+
+The baselines keep their research-faithful
+``match_packet() -> ClassificationOutcome`` primitive;
+:class:`BaselineAdapter` lifts any of them into the
+:class:`~repro.api.protocol.PacketClassifier` protocol — unified
+:class:`~repro.core.result.Classification` results, batch classification and
+rule install/remove via structure rebuild (the baselines are build-once
+algorithms: the paper's section V.A update-cost comparison is exactly that a
+rule change forces them to reconstruct, while the configurable architecture
+updates incrementally).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.baselines.base import BaselineClassifier
+from repro.core.result import BatchResult, Classification, ClassifierStats
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["BaselineAdapter"]
+
+
+class BaselineAdapter:
+    """Wrap a :class:`BaselineClassifier` into the unified protocol."""
+
+    def __init__(
+        self,
+        engine: BaselineClassifier,
+        name: Optional[str] = None,
+        rebuild: Optional[Callable[[RuleSet], BaselineClassifier]] = None,
+    ) -> None:
+        self.engine = engine
+        #: Registry name when created through the registry; the engine's
+        #: display name for direct wraps (pass ``name=`` to override).
+        self.name = name or engine.name
+        # Reconstruction after a rule change replays the constructor options
+        # the engine recorded, so a tuned engine stays tuned across rebuilds
+        # whether it came from the registry, create(), or a direct wrap.
+        self._rebuild_factory = rebuild or (
+            lambda ruleset: type(self.engine).create(ruleset, **self.engine._create_options)
+        )
+        engine.ensure_built()
+
+    # -- classification ------------------------------------------------------
+    def classify(self, packet: PacketHeader) -> Classification:
+        """Classify one packet with the wrapped baseline."""
+        return Classification.from_outcome(self.engine.match_packet(packet))
+
+    def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """Classify every packet of ``packets``."""
+        return BatchResult(tuple(self.classify(packet) for packet in packets))
+
+    # -- updates (rebuild path) ----------------------------------------------
+    def _rebuild(self, ruleset: RuleSet) -> None:
+        self.engine = self._rebuild_factory(ruleset)
+        self.engine.ensure_built()
+
+    def install(self, rule: Rule) -> int:
+        """Install one rule by rebuilding the structure (returns the rule id)."""
+        ruleset = RuleSet(self.engine.ruleset.rules(), name=self.engine.ruleset.name)
+        ruleset.add(rule)
+        self._rebuild(ruleset)
+        return rule.rule_id
+
+    def remove(self, rule_id: int) -> int:
+        """Remove one rule by rebuilding the structure (returns the rule id)."""
+        ruleset = RuleSet(self.engine.ruleset.rules(), name=self.engine.ruleset.name)
+        ruleset.remove(rule_id)
+        self._rebuild(ruleset)
+        return rule_id
+
+    # -- introspection -------------------------------------------------------
+    def memory_bits(self) -> int:
+        """Total size of the wrapped search structure in bits."""
+        return self.engine.memory_bits()
+
+    def stats(self) -> ClassifierStats:
+        """Unified snapshot of the wrapped baseline."""
+        return ClassifierStats(
+            name=self.name,
+            rules=len(self.engine.ruleset),
+            memory_bits=self.engine.memory_bits(),
+            details={"algorithm": self.engine.name, "update_model": "rebuild"},
+        )
+
+    def __repr__(self) -> str:
+        return f"BaselineAdapter({self.engine.name}, rules={len(self.engine.ruleset)})"

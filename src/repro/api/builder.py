@@ -1,0 +1,109 @@
+"""Fluent builder for :class:`~repro.core.config.ClassifierConfig`.
+
+Replaces scattered keyword plumbing with a chainable configuration surface::
+
+    config = (ClassifierConfig.builder()
+              .ip_algorithm("bst")
+              .combiner("first_label")
+              .provisioning(rule_filter_entries=16384)
+              .clock_mhz(200.0)
+              .build())
+
+Every setter accepts either the typed enum/object or its plain-string /
+keyword spelling, so CLI layers and notebooks can drive the architecture
+without importing the enums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple, Union
+
+from repro.core.config import (
+    ClassifierConfig,
+    CombinerMode,
+    IpAlgorithm,
+    MemoryProvisioning,
+)
+from repro.exceptions import ConfigurationError
+from repro.hardware.hash_unit import LabelKeyLayout
+
+__all__ = ["ConfigBuilder"]
+
+
+class ConfigBuilder:
+    """Chainable builder producing an immutable :class:`ClassifierConfig`."""
+
+    def __init__(self, base: Optional[ClassifierConfig] = None) -> None:
+        self._config = base or ClassifierConfig()
+
+    # -- knobs ---------------------------------------------------------------
+    def ip_algorithm(self, algorithm: Union[str, IpAlgorithm]) -> "ConfigBuilder":
+        """Select the ``IPalg_s`` position (``"mbt"`` or ``"bst"``)."""
+        if isinstance(algorithm, str):
+            try:
+                algorithm = IpAlgorithm(algorithm.lower())
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown IP algorithm {algorithm!r}; "
+                    f"expected one of {[a.value for a in IpAlgorithm]}"
+                ) from None
+        self._config = replace(self._config, ip_algorithm=algorithm)
+        return self
+
+    def combiner(self, mode: Union[str, CombinerMode]) -> "ConfigBuilder":
+        """Select the label combination mode (``"first_label"``/``"cross_product"``)."""
+        if isinstance(mode, str):
+            try:
+                mode = CombinerMode(mode.lower())
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown combiner mode {mode!r}; "
+                    f"expected one of {[m.value for m in CombinerMode]}"
+                ) from None
+        self._config = replace(self._config, combiner_mode=mode)
+        return self
+
+    def provisioning(
+        self, provisioning: Optional[MemoryProvisioning] = None, **overrides
+    ) -> "ConfigBuilder":
+        """Set the provisioned memory geometry, whole or by field overrides."""
+        if provisioning is not None and overrides:
+            raise ConfigurationError("pass either a MemoryProvisioning or field overrides")
+        if provisioning is None:
+            provisioning = replace(self._config.provisioning, **overrides)
+        self._config = replace(self._config, provisioning=provisioning)
+        return self
+
+    def label_layout(self, layout: LabelKeyLayout) -> "ConfigBuilder":
+        """Set the per-dimension label bit widths."""
+        self._config = replace(self._config, label_layout=layout)
+        return self
+
+    def mbt_strides(self, strides: Tuple[int, ...]) -> "ConfigBuilder":
+        """Set the MBT segment strides (must sum to 16)."""
+        self._config = replace(self._config, mbt_strides=tuple(strides))
+        return self
+
+    def mbt_cycles_per_level(self, cycles: int) -> "ConfigBuilder":
+        """Set the per-level MBT read cost in cycles."""
+        self._config = replace(self._config, mbt_cycles_per_level=cycles)
+        return self
+
+    def clock_mhz(self, mhz: float) -> "ConfigBuilder":
+        """Set the device clock frequency."""
+        self._config = replace(self._config, clock_mhz=mhz)
+        return self
+
+    def min_packet_bytes(self, size: int) -> "ConfigBuilder":
+        """Set the minimum packet size used for line-rate throughput."""
+        self._config = replace(self._config, min_packet_bytes=size)
+        return self
+
+    # -- terminal ------------------------------------------------------------
+    def build(self) -> ClassifierConfig:
+        """Return the accumulated immutable configuration."""
+        return self._config
+
+    def __repr__(self) -> str:
+        return f"ConfigBuilder({self._config!r})"

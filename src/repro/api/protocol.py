@@ -1,0 +1,48 @@
+"""The unified packet-classification protocol.
+
+Every classification engine in the package — the paper's configurable
+architecture and all the baseline algorithms — satisfies the structural
+:class:`PacketClassifier` protocol: one packet in, one engine-independent
+:class:`~repro.core.result.Classification` out, plus batch classification,
+incremental rule installation where supported, and uniform memory/stats
+introspection.  Experiments, the CLI and the streaming
+:class:`~repro.api.session.ClassificationSession` are all written against
+this protocol, so a new engine only needs a registry entry
+(:func:`~repro.api.registry.register_classifier`) to join every sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.core.result import BatchResult, Classification, ClassifierStats
+from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
+
+__all__ = ["PacketClassifier", "Classification", "BatchResult", "ClassifierStats"]
+
+
+@runtime_checkable
+class PacketClassifier(Protocol):
+    """Structural protocol every registered classification engine satisfies."""
+
+    #: Registry name of the engine (e.g. ``"configurable"``, ``"hypercuts"``).
+    name: str
+
+    def classify(self, packet: PacketHeader) -> Classification:
+        """Classify one packet and return the unified outcome."""
+
+    def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """Classify every packet of ``packets`` and return the batch record."""
+
+    def install(self, rule: Rule) -> object:
+        """Install one rule into the running classifier."""
+
+    def remove(self, rule_id: int) -> object:
+        """Remove one installed rule by id."""
+
+    def memory_bits(self) -> int:
+        """Total size of the search structures in bits."""
+
+    def stats(self) -> ClassifierStats:
+        """Engine-independent snapshot of the classifier."""

@@ -1,0 +1,153 @@
+"""String-keyed classifier registry.
+
+The paper's evaluation is a head-to-head sweep of one architecture against
+five classic algorithms (Table I); the registry makes that sweep a loop over
+names instead of per-classifier glue:
+
+* :func:`register_classifier` — decorator registering an engine under a name.
+  Applied to a :class:`~repro.baselines.base.BaselineClassifier` subclass it
+  registers a factory that builds the baseline through the
+  :meth:`~repro.baselines.base.BaselineClassifier.create` path and wraps it
+  in a :class:`~repro.api.adapters.BaselineAdapter`; applied to a function it
+  registers the function itself as the factory.
+* :func:`create_classifier` — ``create_classifier("hypercuts", ruleset)``
+  returns a ready :class:`~repro.api.protocol.PacketClassifier`.
+* :func:`available_classifiers` — the registered names, for sweeps.
+
+The configurable architecture registers itself under ``"configurable"`` in
+:mod:`repro.core.classifier`; the baselines register in their own modules.
+Registration happens as those modules import; :func:`_ensure_populated`
+imports them on first registry use so lookups work regardless of which
+corner of the package the caller imported first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.rules.ruleset import RuleSet
+
+__all__ = [
+    "register_classifier",
+    "create_classifier",
+    "available_classifiers",
+    "classifier_description",
+    "validate_classifier_names",
+    "UnknownClassifierError",
+]
+
+
+class UnknownClassifierError(ConfigurationError):
+    """Raised when a classifier name is not in the registry."""
+
+
+class _RegistryEntry(NamedTuple):
+    name: str
+    factory: Callable[..., object]
+    description: str
+
+
+_REGISTRY: Dict[str, _RegistryEntry] = {}
+
+
+def register_classifier(name: str, *, description: str = "") -> Callable:
+    """Class/function decorator adding an engine to the registry under ``name``.
+
+    Usage::
+
+        @register_classifier("hypercuts", description="decision-tree cuts")
+        class HyperCutsClassifier(BaselineClassifier): ...
+
+        @register_classifier("configurable")
+        def _make(ruleset, **options) -> PacketClassifier: ...
+    """
+
+    def decorate(target):
+        if name in _REGISTRY:
+            raise ConfigurationError(f"classifier {name!r} registered twice")
+        factory = _baseline_factory(name, target) if _is_baseline_class(target) else target
+        doc = description
+        if not doc and target.__doc__:
+            doc = target.__doc__.strip().splitlines()[0]
+        _REGISTRY[name] = _RegistryEntry(name=name, factory=factory, description=doc)
+        return target
+
+    return decorate
+
+
+def _is_baseline_class(target) -> bool:
+    from repro.baselines.base import BaselineClassifier
+
+    return isinstance(target, type) and issubclass(target, BaselineClassifier)
+
+
+def _baseline_factory(name: str, classifier_type) -> Callable[..., object]:
+    def factory(ruleset: RuleSet, **options):
+        # Imported here, not at decoration time: baseline modules register
+        # themselves while repro.api.adapters may still be mid-import.
+        from repro.api.adapters import BaselineAdapter
+
+        engine = classifier_type.create(ruleset, **options)
+        return BaselineAdapter(
+            engine,
+            name=name,
+            rebuild=lambda new_ruleset: classifier_type.create(new_ruleset, **options),
+        )
+
+    return factory
+
+
+def _ensure_populated() -> None:
+    """Import the modules whose decorators populate the registry."""
+    import repro.baselines  # noqa: F401  (baseline @register_classifier side effects)
+    import repro.core.classifier  # noqa: F401  ("configurable" registration)
+
+
+def _unknown_error(names) -> UnknownClassifierError:
+    known = ", ".join(sorted(_REGISTRY)) or "<none>"
+    listed = ", ".join(repr(name) for name in names)
+    plural = "s" if len(names) != 1 else ""
+    return UnknownClassifierError(
+        f"unknown classifier{plural} {listed}; registered: {known}"
+    )
+
+
+def validate_classifier_names(names) -> None:
+    """Raise :class:`UnknownClassifierError` naming every unregistered entry.
+
+    Use before an expensive build loop so a typo fails fast instead of after
+    minutes of construction.
+    """
+    _ensure_populated()
+    unknown = [name for name in names if name not in _REGISTRY]
+    if unknown:
+        raise _unknown_error(unknown)
+
+
+def create_classifier(name: str, ruleset: RuleSet, **options):
+    """Build a ready-to-use classifier registered under ``name``.
+
+    ``options`` are forwarded to the registered factory (baseline ``__init__``
+    options, or the configurable architecture's config knobs).
+    """
+    _ensure_populated()
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise _unknown_error([name]) from None
+    return entry.factory(ruleset, **options)
+
+
+def available_classifiers() -> Tuple[str, ...]:
+    """Names of every registered classifier, sorted."""
+    _ensure_populated()
+    return tuple(sorted(_REGISTRY))
+
+
+def classifier_description(name: str) -> str:
+    """One-line description of a registered classifier."""
+    _ensure_populated()
+    if name not in _REGISTRY:
+        raise _unknown_error([name])
+    return _REGISTRY[name].description

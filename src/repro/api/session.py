@@ -1,0 +1,153 @@
+"""Streaming classification sessions.
+
+A :class:`ClassificationSession` feeds packet traces — lists, generators,
+live feeds — through any :class:`~repro.api.protocol.PacketClassifier` in
+fixed-size chunks and aggregates throughput/latency/memory statistics
+uniformly across engines.  Aggregation is incremental (running counters):
+:meth:`ClassificationSession.run` retains nothing per packet, so arbitrarily
+long streams run in constant memory, while :meth:`ClassificationSession.feed`
+additionally returns the fed packets' results for callers that want them.
+This is the unified runner behind the CLI's
+``classify``/``sweep`` subcommands and the scale-oriented harnesses: because
+it only speaks the protocol, swapping the paper's architecture for any
+baseline (or any future sharded/async engine) is a registry name change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.api.protocol import PacketClassifier
+from repro.core.result import BatchResult, Classification
+from repro.exceptions import ConfigurationError
+from repro.rules.packet import PacketHeader
+
+__all__ = ["ClassificationSession", "SessionStats"]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate statistics of one classification session."""
+
+    classifier: str
+    packets: int
+    matched: int
+    chunks: int
+    average_memory_accesses: float
+    worst_memory_accesses: int
+    average_latency_cycles: Optional[float]
+    worst_latency_cycles: Optional[int]
+    memory_bits: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of streamed packets that hit a rule."""
+        return self.matched / self.packets if self.packets else 0.0
+
+    @property
+    def memory_megabits(self) -> float:
+        """Engine structure size in Mbit."""
+        return self.memory_bits / 1e6
+
+
+class ClassificationSession:
+    """Feed traces through one classifier in chunks and aggregate stats."""
+
+    def __init__(self, classifier: PacketClassifier, chunk_size: int = 256) -> None:
+        if chunk_size <= 0:
+            raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+        self.classifier = classifier
+        self.chunk_size = chunk_size
+        self.reset()
+
+    # -- streaming -----------------------------------------------------------
+    def _iter_chunks(self, packets: Iterable[PacketHeader]) -> Iterator[List[PacketHeader]]:
+        chunk: List[PacketHeader] = []
+        for packet in packets:
+            chunk.append(packet)
+            if len(chunk) >= self.chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def _absorb(self, result: Classification) -> None:
+        self._packets += 1
+        if result.matched:
+            self._matched += 1
+        self._access_sum += result.memory_accesses
+        self._access_worst = max(self._access_worst, result.memory_accesses)
+        if result.latency_cycles is not None:
+            self._latency_sum += result.latency_cycles
+            self._latency_count += 1
+            self._latency_worst = max(self._latency_worst, result.latency_cycles)
+
+    def _consume(
+        self, packets: Iterable[PacketHeader], retain: bool
+    ) -> Optional[List[Classification]]:
+        fed: Optional[List[Classification]] = [] if retain else None
+        for chunk in self._iter_chunks(packets):
+            batch = self.classifier.classify_batch(chunk)
+            for result in batch.results:
+                self._absorb(result)
+            if fed is not None:
+                fed.extend(batch.results)
+            self._chunks += 1
+        return fed
+
+    def feed(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """Stream ``packets`` through the classifier; returns this feed's batch.
+
+        Accepts any iterable — including generators — so traces never need to
+        be materialised by the caller.  Only running counters persist across
+        feeds (see :meth:`stats`); the returned :class:`BatchResult` holds
+        this feed's results alone.
+        """
+        return BatchResult(tuple(self._consume(packets, retain=True)))
+
+    def run(self, packets: Iterable[PacketHeader]) -> SessionStats:
+        """Feed one trace and return the session statistics.
+
+        Unlike :meth:`feed` this retains nothing per packet — only the
+        running counters — so arbitrarily long streams run in constant
+        memory.
+        """
+        self._consume(packets, retain=False)
+        return self.stats()
+
+    def reset(self) -> None:
+        """Zero the aggregate counters (the classifier keeps its rules)."""
+        self._packets = 0
+        self._matched = 0
+        self._chunks = 0
+        self._access_sum = 0
+        self._access_worst = 0
+        self._latency_sum = 0
+        self._latency_count = 0
+        self._latency_worst = 0
+
+    # -- aggregation ---------------------------------------------------------
+    def stats(self) -> SessionStats:
+        """Aggregate statistics over everything streamed so far."""
+        return SessionStats(
+            classifier=self.classifier.name,
+            packets=self._packets,
+            matched=self._matched,
+            chunks=self._chunks,
+            average_memory_accesses=(
+                self._access_sum / self._packets if self._packets else 0.0
+            ),
+            worst_memory_accesses=self._access_worst,
+            average_latency_cycles=(
+                self._latency_sum / self._latency_count if self._latency_count else None
+            ),
+            worst_latency_cycles=self._latency_worst if self._latency_count else None,
+            memory_bits=self.classifier.memory_bits(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClassificationSession({self.classifier.name}, "
+            f"chunk_size={self.chunk_size}, packets={self._packets})"
+        )

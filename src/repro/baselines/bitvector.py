@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.baselines.dcfl import _field_interval, _field_space, _packet_value
 from repro.rules.packet import PacketHeader
@@ -51,6 +52,7 @@ class _FieldIndex:
         return self.vectors[position], accesses
 
 
+@register_classifier("bitvector", description="parallel bit-vector decomposition")
 class BitVectorClassifier(BaselineClassifier):
     """Decomposition classifier combining per-field rule bit vectors."""
 
@@ -90,7 +92,7 @@ class BitVectorClassifier(BaselineClassifier):
         return _FieldIndex(boundaries=ordered, vectors=vectors)
 
     # -- lookup ---------------------------------------------------------------------
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """AND the per-field vectors and take the lowest set bit (best priority)."""
         accesses = 0
         words_per_vector = (len(self._rules) + self.WORD_BITS - 1) // self.WORD_BITS
@@ -106,7 +108,7 @@ class BitVectorClassifier(BaselineClassifier):
         return ClassificationOutcome(rule=self._rules[position], memory_accesses=accesses)
 
     # -- accounting -----------------------------------------------------------------
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """Interval boundaries plus one N-bit vector per elementary interval."""
         total = 0
         for index in self._indexes.values():

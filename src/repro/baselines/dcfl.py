@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
@@ -98,6 +99,7 @@ class _FieldLabeller:
         return node_bits + set_bits + table_bits
 
 
+@register_classifier("dcfl", description="distributed crossproducting of field labels")
 class DcflClassifier(BaselineClassifier):
     """Label-based decomposition classifier with a pairwise aggregation network."""
 
@@ -174,7 +176,7 @@ class DcflClassifier(BaselineClassifier):
         return _FieldLabeller(field=field, labels=labels, boundaries=ordered, covering=covering)
 
     # -- lookup ---------------------------------------------------------------------
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """Parallel field lookups followed by the pairwise aggregation network."""
         accesses = 0
         field_sets: List[FrozenSet[int]] = []
@@ -208,7 +210,7 @@ class DcflClassifier(BaselineClassifier):
         return ClassificationOutcome(rule=best, memory_accesses=accesses)
 
     # -- accounting -----------------------------------------------------------------
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """Field labellers + aggregation hash tables + the rule table."""
         total = sum(labeller.memory_bits() for labeller in self._labellers.values())
         # DCFL's hash tables are provisioned well above their load factor; the
@@ -223,4 +225,5 @@ class DcflClassifier(BaselineClassifier):
 
     def aggregation_sizes(self) -> List[int]:
         """Entries per aggregation stage (diagnostics / tests)."""
+        self.ensure_built()
         return [len(table) for table in self._aggregation]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.baselines.hypercuts import HyperCutsClassifier, _rule_interval
 from repro.rules.packet import PacketHeader
@@ -48,6 +49,7 @@ def _largeness_signature(rule: Rule) -> Tuple[bool, ...]:
     return tuple(signature)
 
 
+@register_classifier("efficuts", description="separable-tree HyperCuts variant")
 class EffiCutsClassifier(BaselineClassifier):
     """Separable-tree variant of HyperCuts."""
 
@@ -68,28 +70,29 @@ class EffiCutsClassifier(BaselineClassifier):
         for signature, rules in sorted(partitions.items()):
             subset = RuleSet(rules, name=f"{self.ruleset.name}/{signature}")
             self._trees.append(
-                HyperCutsClassifier(subset, binth=self.binth, max_children=self.max_children)
+                HyperCutsClassifier.create(subset, binth=self.binth, max_children=self.max_children)
             )
             self._signatures.append(signature)
 
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """Walk every partition tree and keep the best-priority match."""
         best = None
         accesses = 0
         for tree in self._trees:
-            outcome = tree.classify(packet)
+            outcome = tree.match_packet(packet)
             accesses += outcome.memory_accesses
             if outcome.rule is not None and (best is None or outcome.rule.priority < best.priority):
                 best = outcome.rule
         return ClassificationOutcome(rule=best, memory_accesses=accesses)
 
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """Sum of the partition trees (each stores only its own rules)."""
         return sum(tree.memory_bits() for tree in self._trees)
 
     @property
     def partition_count(self) -> int:
         """Number of separable partitions (diagnostics / tests)."""
+        self.ensure_built()
         return len(self._trees)
 
     def replication_factor(self) -> float:

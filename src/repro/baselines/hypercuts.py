@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
@@ -80,6 +81,7 @@ class HyperCutsNode:
         return not self.cuts
 
 
+@register_classifier("hypercuts", description="decision tree with multi-dimensional cuts")
 class HyperCutsClassifier(BaselineClassifier):
     """Decision-tree classifier with multi-dimensional cuts."""
 
@@ -218,7 +220,7 @@ class HyperCutsClassifier(BaselineClassifier):
         return True
 
     # -- lookup ---------------------------------------------------------------------
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """Walk the tree, then scan the leaf bucket in priority order."""
         accesses = 0
         node = self.root
@@ -247,7 +249,7 @@ class HyperCutsClassifier(BaselineClassifier):
         return index
 
     # -- accounting -----------------------------------------------------------------
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """Node headers + child pointer arrays + leaf rule pointers + rule table."""
         node_header_bits = 64
         pointer_bits = 20
@@ -259,6 +261,7 @@ class HyperCutsClassifier(BaselineClassifier):
         return self.node_count * node_header_bits + child_pointer_bits + rule_pointer_bits + rule_table_bits
 
     def _iter_nodes(self):
+        self.ensure_built()
         stack = [self.root]
         while stack:
             node = stack.pop()
@@ -270,6 +273,7 @@ class HyperCutsClassifier(BaselineClassifier):
 
     def tree_depth(self) -> int:
         """Maximum depth of the decision tree (diagnostics / tests)."""
+        self.ensure_built()
 
         def depth(node: Optional[HyperCutsNode]) -> int:
             if node is None or node.is_leaf:

@@ -8,6 +8,7 @@ natural worst case for the memory-access metric of Table I.
 
 from __future__ import annotations
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.rules.packet import PacketHeader
 
@@ -18,6 +19,7 @@ __all__ = ["LinearSearchClassifier"]
 RULE_ENTRY_BITS = 2 * (32 + 6) + 2 * 32 + 9 + 16
 
 
+@register_classifier("linear_search", description="priority-ordered linear scan (ground truth)")
 class LinearSearchClassifier(BaselineClassifier):
     """Priority-ordered linear scan over the rule set."""
 
@@ -27,7 +29,7 @@ class LinearSearchClassifier(BaselineClassifier):
         """Materialise the priority-ordered rule list once."""
         self._ordered = self.ruleset.rules()
 
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """Scan rules until the first match; one memory access per rule visited."""
         accesses = 0
         for rule in self._ordered:
@@ -36,6 +38,6 @@ class LinearSearchClassifier(BaselineClassifier):
                 return ClassificationOutcome(rule=rule, memory_accesses=accesses)
         return ClassificationOutcome(rule=None, memory_accesses=accesses)
 
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """One flat table entry per rule."""
         return len(self._ordered) * RULE_ENTRY_BITS

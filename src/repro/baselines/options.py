@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.fields.base import SingleFieldEngine
 from repro.fields.multibit_trie import MultibitTrie
@@ -92,7 +93,7 @@ class SingleFieldCombinationClassifier(BaselineClassifier):
                 self._rules_by_tuple[key] = rule
 
     # -- lookup ---------------------------------------------------------------------
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """Per-field lookups followed by cross-product resolution."""
         accesses = 0
         field_matches: List[Tuple[Tuple[int, int], ...]] = []
@@ -121,7 +122,7 @@ class SingleFieldCombinationClassifier(BaselineClassifier):
         return ClassificationOutcome(rule=best, memory_accesses=accesses)
 
     # -- accounting -----------------------------------------------------------------
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """Field engines + label tables + the rule tuple table."""
         total = sum(engine.memory_bits() for engine in self.engines.values())
         total += sum(len(table) * 64 for table in self._labels.values())
@@ -148,6 +149,7 @@ def _port_trie_factory(levels: int) -> Callable[[], SingleFieldEngine]:
     return factory
 
 
+@register_classifier("option1", description="Option 1 single-field combination of Table I")
 class Option1Classifier(SingleFieldCombinationClassifier):
     """Option 1 of Table I: 5-level MBT (IP), 4-level segment trie (ports), protocol LUT."""
 
@@ -166,6 +168,7 @@ class Option1Classifier(SingleFieldCombinationClassifier):
         )
 
 
+@register_classifier("option2", description="Option 2 single-field combination of Table I")
 class Option2Classifier(SingleFieldCombinationClassifier):
     """Option 2 of Table I: 4-level MBT (IP), segment trie (ports), protocol LUT.
 

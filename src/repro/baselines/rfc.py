@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import register_classifier
 from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
@@ -153,6 +154,7 @@ class _CombinationTable:
         return self.input_sizes[0] * self.input_sizes[1]
 
 
+@register_classifier("rfc", description="recursive flow classification")
 class RfcClassifier(BaselineClassifier):
     """Recursive Flow Classification over 7 chunks and 3 recombination phases."""
 
@@ -246,7 +248,7 @@ class RfcClassifier(BaselineClassifier):
         return self._rules[position]
 
     # -- lookup ---------------------------------------------------------------------
-    def classify(self, packet: PacketHeader) -> ClassificationOutcome:
+    def _match(self, packet: PacketHeader) -> ClassificationOutcome:
         """Chunk the header, walk the phase tables, read the final rule."""
         accesses = 0
         eq: Dict[str, int] = {}
@@ -267,7 +269,7 @@ class RfcClassifier(BaselineClassifier):
         return ClassificationOutcome(rule=rule, memory_accesses=accesses)
 
     # -- accounting -----------------------------------------------------------------
-    def memory_bits(self) -> int:
+    def _memory_bits(self) -> int:
         """Dense-table memory: phase-0 arrays plus every recombination table."""
         total = sum(table.dense_entries() * self.EQ_ENTRY_BITS for table in self._phase0.values())
         total += sum(table.dense_entries() * self.EQ_ENTRY_BITS for table in self._phases)
@@ -276,6 +278,7 @@ class RfcClassifier(BaselineClassifier):
 
     def equivalence_class_counts(self) -> Dict[str, int]:
         """Number of equivalence classes per table (diagnostics / tests)."""
+        self.ensure_built()
         counts = {name: len(table.class_bitmaps) for name, table in self._phase0.items()}
         counts.update({name: len(table.class_bitmaps) for name, table in self._tables.items()})
         return counts

@@ -7,8 +7,11 @@ Provides one subcommand per experiment (``table1`` ... ``table7``, ``fig3`` ...
   directory (the programmatic equivalent of the benchmark harness's
   ``benchmarks/results/`` output);
 * ``generate`` — emit a synthetic ClassBench-style filter set to a file;
-* ``classify`` — build a classifier from a filter file (or a synthetic
-  workload) and classify a generated trace, printing the aggregate metrics.
+* ``classify`` — build any registered classifier from a filter file (or a
+  synthetic workload) and stream a generated trace through it via the unified
+  :mod:`repro.api` session, printing the aggregate metrics;
+* ``sweep`` — run several (default: all) registered classifiers over the same
+  workload and print one comparison row per engine.
 
 Usage::
 
@@ -16,6 +19,8 @@ Usage::
     python -m repro.cli all --output-dir results/
     python -m repro.cli generate --flavor fw --size 5000 --output fw5k.rules
     python -m repro.cli classify --size 1000 --packets 200 --ip-algorithm bst
+    python -m repro.cli classify --classifier hypercuts --size 1000
+    python -m repro.cli sweep --size 500 --packets 100 --classifiers hypercuts,rfc
 """
 
 from __future__ import annotations
@@ -25,9 +30,15 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis import format_kv, measure_lookups
-from repro.core.classifier import ConfigurableClassifier
-from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.analysis import format_kv, format_table
+from repro.api import (
+    ClassificationSession,
+    available_classifiers,
+    create_classifier,
+    validate_classifier_names,
+)
+from repro.core.config import CombinerMode, IpAlgorithm
+from repro.exceptions import ReproError
 from repro.experiments import (
     fig3_pipeline,
     fig4_update,
@@ -99,36 +110,75 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_workload(args: argparse.Namespace):
+    if getattr(args, "rules", None):
+        return load_classbench_file(args.rules)
+    return generate_ruleset(FilterFlavor(args.flavor), args.size, seed=args.seed)
+
+
+def _build_classifier(name: str, ruleset, args: argparse.Namespace):
+    options = {}
+    if name == "configurable":
+        options["ip_algorithm"] = args.ip_algorithm
+        options["combiner"] = args.combiner
+    return create_classifier(name, ruleset, **options)
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
-    if args.rules:
-        ruleset = load_classbench_file(args.rules)
-    else:
-        ruleset = generate_ruleset(FilterFlavor(args.flavor), args.size, seed=args.seed)
-    config = ClassifierConfig(
-        ip_algorithm=IpAlgorithm(args.ip_algorithm),
-        combiner_mode=CombinerMode(args.combiner),
-    )
-    classifier = ConfigurableClassifier.from_ruleset(ruleset, config)
+    ruleset = _load_workload(args)
+    classifier = _build_classifier(args.classifier, ruleset, args)
     trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
-    metrics = measure_lookups(classifier, trace)
-    report = classifier.report()
-    print(
-        format_kv(
-            {
-                "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
-                "IP algorithm": report.ip_algorithm.upper(),
-                "Combiner mode": report.combiner_mode,
-                "Packets classified": metrics.packets,
-                "Hit ratio": f"{metrics.hit_ratio:.3f}",
-                "Avg memory accesses / packet": f"{metrics.average_memory_accesses:.1f}",
-                "Avg latency (cycles)": f"{metrics.average_latency_cycles:.1f}",
-                "Model throughput (40B packets)": f"{report.throughput_gbps:.2f} Gbps",
-                "Rule capacity": report.rule_capacity,
-                "Provisioned memory": f"{report.memory_space_mbit:.2f} Mbit",
-            },
-            title="Classification run",
-        )
+    session = ClassificationSession(classifier, chunk_size=args.chunk_size)
+    stats = session.run(trace)
+    details = classifier.stats().details
+    report = {
+        "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
+        "Classifier": stats.classifier,
+        "Packets classified": stats.packets,
+        "Chunks streamed": stats.chunks,
+        "Hit ratio": f"{stats.hit_ratio:.3f}",
+        "Avg memory accesses / packet": f"{stats.average_memory_accesses:.1f}",
+        "Structure memory": f"{stats.memory_megabits:.2f} Mbit",
+    }
+    if stats.average_latency_cycles is not None:
+        report["Avg latency (cycles)"] = f"{stats.average_latency_cycles:.1f}"
+    if "ip_algorithm" in details:
+        report["IP algorithm"] = str(details["ip_algorithm"]).upper()
+        report["Combiner mode"] = details["combiner_mode"]
+        report["Model throughput (40B packets)"] = f"{details['throughput_gbps']:.2f} Gbps"
+        report["Rule capacity"] = details["rule_capacity"]
+    print(format_kv(report, title="Classification run"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    ruleset = _load_workload(args)
+    trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
+    names = (
+        [name.strip() for name in args.classifiers.split(",") if name.strip()]
+        if args.classifiers
+        else list(available_classifiers())
     )
+    # Fail fast on typos before the (potentially expensive) build loop.
+    validate_classifier_names(names)
+    rows = []
+    for name in names:
+        classifier = _build_classifier(name, ruleset, args)
+        stats = ClassificationSession(classifier, chunk_size=args.chunk_size).run(trace)
+        rows.append(
+            {
+                "Classifier": name,
+                "Avg accesses": stats.average_memory_accesses,
+                "Worst accesses": stats.worst_memory_accesses,
+                "Memory Mbit": stats.memory_megabits,
+                "Hit ratio": stats.hit_ratio,
+            }
+        )
+    title = (
+        f"Classifier sweep on {ruleset.name} "
+        f"({len(ruleset)} rules, {len(trace)} packets)"
+    )
+    print(format_table(rows, title=title))
     return 0
 
 
@@ -155,19 +205,42 @@ def build_parser() -> argparse.ArgumentParser:
     sub_generate.add_argument("--output", required=True)
     sub_generate.set_defaults(func=_cmd_generate)
 
-    sub_classify = subparsers.add_parser("classify", help="classify a trace with the architecture")
-    sub_classify.add_argument("--rules", default=None, help="ClassBench filter file (optional)")
-    sub_classify.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
-    sub_classify.add_argument("--size", type=int, default=1000)
-    sub_classify.add_argument("--seed", type=int, default=2014)
-    sub_classify.add_argument("--packets", type=int, default=200)
-    sub_classify.add_argument(
-        "--ip-algorithm", choices=[a.value for a in IpAlgorithm], default="mbt"
+    def add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--rules", default=None, help="ClassBench filter file (optional)")
+        sub.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
+        sub.add_argument("--size", type=int, default=1000)
+        sub.add_argument("--seed", type=int, default=2014)
+        sub.add_argument("--packets", type=int, default=200)
+        sub.add_argument("--chunk-size", type=int, default=256,
+                         help="streaming session chunk size")
+        sub.add_argument(
+            "--ip-algorithm", choices=[a.value for a in IpAlgorithm], default="mbt",
+            help="IPalg_s position (configurable classifier only)",
+        )
+        sub.add_argument(
+            "--combiner", choices=[m.value for m in CombinerMode], default="cross_product",
+            help="label combination mode (configurable classifier only)",
+        )
+
+    sub_classify = subparsers.add_parser(
+        "classify", help="classify a trace with any registered classifier"
     )
     sub_classify.add_argument(
-        "--combiner", choices=[m.value for m in CombinerMode], default="cross_product"
+        "--classifier", choices=available_classifiers(), default="configurable",
+        help="registered classification engine",
     )
+    add_workload_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)
+
+    sub_sweep = subparsers.add_parser(
+        "sweep", help="compare registered classifiers on one workload"
+    )
+    sub_sweep.add_argument(
+        "--classifiers", default=None,
+        help="comma-separated registry names (default: all registered)",
+    )
+    add_workload_arguments(sub_sweep)
+    sub_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 
@@ -175,7 +248,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro sweep | head`) closed the pipe.
+        return 0
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ rule set — the Infrastructure-layer box of the paper's Fig. 1.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -24,7 +25,7 @@ from repro.controller.openflow import (
 )
 from repro.core.classifier import ConfigurableClassifier
 from repro.core.config import ClassifierConfig
-from repro.core.result import LookupResult
+from repro.core.result import BatchResult, Classification, LookupResult
 from repro.exceptions import ControlPlaneError, ReproError
 from repro.rules.packet import PacketHeader
 
@@ -94,9 +95,9 @@ class Switch:
     def _handle_flow_mod(self, message: FlowMod) -> None:
         try:
             if message.command is FlowModCommand.ADD:
-                result = self.classifier.install_rule(message.rule)
+                result = self.classifier.install(message.rule)
             else:
-                result = self.classifier.remove_rule(message.target_rule_id)
+                result = self.classifier.remove(message.target_rule_id)
             self.stats.flow_mods_applied += 1
             reply = FlowModReply(
                 xid=message.xid,
@@ -138,17 +139,32 @@ class Switch:
         self.channel.send_to_controller(StatsReply(xid=message.xid, stats=stats))
 
     # -- data plane -----------------------------------------------------------------
-    def classify(self, packet: PacketHeader) -> LookupResult:
-        """Classify one data-plane packet with the installed rules."""
-        result = self.classifier.lookup(packet)
+    def classify(self, packet: PacketHeader) -> Classification:
+        """Classify one data-plane packet with the installed rules (unified API)."""
+        result = self.classifier.classify(packet)
         self.stats.packets_classified += 1
         if result.matched:
             self.stats.packets_matched += 1
         return result
 
+    def classify_batch(self, trace) -> BatchResult:
+        """Classify a whole packet trace (unified API)."""
+        return BatchResult(tuple(self.classify(packet) for packet in trace))
+
     def classify_trace(self, trace) -> List[LookupResult]:
-        """Classify a whole packet trace."""
-        return [self.classify(packet) for packet in trace]
+        """Deprecated shim for the pre-unified-API batch method.
+
+        .. deprecated:: 1.1
+           Use :meth:`classify_batch`.  Like the sibling shim on
+           :class:`ConfigurableClassifier`, this preserves the legacy
+           ``List[LookupResult]`` return shape for old callers.
+        """
+        warnings.warn(
+            "Switch.classify_trace() is deprecated; use classify_batch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [self.classify(packet).detail for packet in trace]
 
     def __repr__(self) -> str:
         return (

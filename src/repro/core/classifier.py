@@ -18,6 +18,7 @@ according to the cost model of section V rather than simulated at RTL level.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
@@ -28,7 +29,15 @@ from repro.core.dimensions import (
     packet_dimension_values,
 )
 from repro.core.label_combiner import LabelCombiner
-from repro.core.result import ClassifierReport, LookupResult, MatchedRule, UpdateResult
+from repro.core.result import (
+    BatchResult,
+    Classification,
+    ClassifierReport,
+    ClassifierStats,
+    LookupResult,
+    MatchedRule,
+    UpdateResult,
+)
 from repro.core.update_engine import UpdateEngine
 from repro.exceptions import ConfigurationError
 from repro.fields.base import SingleFieldEngine
@@ -56,7 +65,18 @@ FINAL_CYCLES = 2
 
 
 class ConfigurableClassifier:
-    """Behavioural model of the configurable SDN packet classifier."""
+    """Behavioural model of the configurable SDN packet classifier.
+
+    Satisfies the unified :class:`repro.api.PacketClassifier` protocol
+    directly: :meth:`classify` / :meth:`classify_batch` return the
+    engine-independent :class:`~repro.core.result.Classification` records
+    (the full :class:`~repro.core.result.LookupResult` breakdown rides along
+    as ``Classification.detail``), and :meth:`install` / :meth:`remove` drive
+    the incremental update path.
+    """
+
+    #: Registry name under the unified API.
+    name = "configurable"
 
     def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
@@ -122,13 +142,23 @@ class ConfigurableClassifier:
         return bank
 
     # ------------------------------------------------------------------ update API
-    def install_rule(self, rule: Rule) -> UpdateResult:
+    def install(self, rule: Rule) -> UpdateResult:
         """Install one rule through the incremental update path."""
         return self.update_engine.insert_rule(rule)
 
-    def remove_rule(self, rule_id: int) -> UpdateResult:
+    def remove(self, rule_id: int) -> UpdateResult:
         """Remove one installed rule through the incremental update path."""
         return self.update_engine.delete_rule(rule_id)
+
+    #: Historical aliases of :meth:`install` / :meth:`remove` (kept stable
+    #: because the control-plane literature says "install/remove a rule").
+    def install_rule(self, rule: Rule) -> UpdateResult:
+        """Alias of :meth:`install`."""
+        return self.install(rule)
+
+    def remove_rule(self, rule_id: int) -> UpdateResult:
+        """Alias of :meth:`remove`."""
+        return self.remove(rule_id)
 
     def install_ruleset(self, ruleset: Iterable[Rule]) -> List[UpdateResult]:
         """Install every rule of a rule set (priority order preserved)."""
@@ -140,7 +170,35 @@ class ConfigurableClassifier:
         return self.update_engine.installed_rules
 
     # ------------------------------------------------------------------ lookup API
+    def classify(self, packet: PacketHeader) -> Classification:
+        """Classify one packet header (unified API).
+
+        Returns the engine-independent :class:`Classification`; the full
+        :class:`LookupResult` (per-phase cycles, per-dimension accesses,
+        label lists) is available as ``.detail``.
+        """
+        return Classification.from_lookup(self._lookup(packet))
+
+    def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """Classify every packet of ``packets`` (unified API)."""
+        return BatchResult(tuple(self.classify(packet) for packet in packets))
+
     def lookup(self, packet: PacketHeader) -> LookupResult:
+        """Deprecated shim for the pre-unified-API method name.
+
+        .. deprecated:: 1.1
+           Use :meth:`classify`; the returned ``Classification.detail``
+           carries this method's :class:`LookupResult`.
+        """
+        warnings.warn(
+            "ConfigurableClassifier.lookup() is deprecated; use classify() "
+            "(LookupResult is available as Classification.detail)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._lookup(packet)
+
+    def _lookup(self, packet: PacketHeader) -> LookupResult:
         """Classify one packet header and return the HPMR with its cost."""
         values = packet_dimension_values(packet)
         cycles = CycleReport(operation="lookup", pipelined=self._fully_pipelined())
@@ -177,8 +235,17 @@ class ConfigurableClassifier:
         )
 
     def classify_trace(self, trace: Iterable[PacketHeader]) -> List[LookupResult]:
-        """Classify every header of a trace."""
-        return [self.lookup(packet) for packet in trace]
+        """Deprecated shim for the pre-unified-API batch method.
+
+        .. deprecated:: 1.1
+           Use :meth:`classify_batch`, which aggregates the batch metrics.
+        """
+        warnings.warn(
+            "ConfigurableClassifier.classify_trace() is deprecated; use classify_batch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [self._lookup(packet) for packet in trace]
 
     def _fully_pipelined(self) -> bool:
         return all(engine.pipelined for engine in self.engines.values())
@@ -233,6 +300,28 @@ class ConfigurableClassifier:
         """Line-rate throughput of the current configuration (Table VI/VII)."""
         return self.clock.throughput_gbps(
             self.occupancy_cycles(), packet_bytes or self.config.min_packet_bytes
+        )
+
+    def memory_bits(self) -> int:
+        """Total occupied memory in bits (unified API)."""
+        return sum(self.memory_bits_used().values())
+
+    def stats(self) -> ClassifierStats:
+        """Engine-independent snapshot (unified API)."""
+        report = self.report()
+        return ClassifierStats(
+            name=self.name,
+            rules=report.rules_installed,
+            memory_bits=report.total_memory_bits_used,
+            details={
+                "ip_algorithm": report.ip_algorithm,
+                "combiner_mode": report.combiner_mode,
+                "rule_capacity": report.rule_capacity,
+                "throughput_gbps": report.throughput_gbps,
+                "lookup_latency_cycles": report.lookup_latency_cycles,
+                "memory_bits_provisioned": report.total_memory_bits_provisioned,
+                "update_model": "incremental",
+            },
         )
 
     def memory_bits_used(self) -> Dict[str, int]:
@@ -354,3 +443,34 @@ class ConfigurableClassifier:
             f"ConfigurableClassifier(ip={self.config.ip_algorithm.value}, "
             f"combiner={self.config.combiner_mode.value}, rules={self.installed_rules})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Unified-API registration (import kept at module bottom: repro.api pulls in
+# the baseline package, which must not re-enter this module mid-definition).
+# ---------------------------------------------------------------------------
+from repro.api.registry import register_classifier  # noqa: E402
+
+
+@register_classifier(
+    "configurable",
+    description="the paper's configurable label-based architecture (Fig. 2)",
+)
+def _make_configurable(
+    ruleset: RuleSet,
+    config: Optional[ClassifierConfig] = None,
+    ip_algorithm: Optional[str] = None,
+    combiner: Optional[str] = None,
+) -> ConfigurableClassifier:
+    """Registry factory: build the architecture and install ``ruleset``.
+
+    ``config`` takes a full :class:`ClassifierConfig` (e.g. from
+    ``ClassifierConfig.builder()``); ``ip_algorithm``/``combiner`` are
+    string shortcuts layered on top of it.
+    """
+    builder = ClassifierConfig.builder(config)
+    if ip_algorithm is not None:
+        builder = builder.ip_algorithm(ip_algorithm)
+    if combiner is not None:
+        builder = builder.combiner(combiner)
+    return ConfigurableClassifier.from_ruleset(ruleset, builder.build())

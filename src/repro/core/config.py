@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.fields.multibit_trie import PAPER_SEGMENT_STRIDES
 from repro.hardware.hash_unit import LabelKeyLayout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.builder import ConfigBuilder
 
 __all__ = ["IpAlgorithm", "CombinerMode", "MemoryProvisioning", "ClassifierConfig"]
 
@@ -140,6 +143,18 @@ class ClassifierConfig:
             raise ConfigurationError("minimum packet size must be positive")
         if self.mbt_cycles_per_level <= 0:
             raise ConfigurationError("mbt_cycles_per_level must be positive")
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def builder(cls, base: Optional["ClassifierConfig"] = None) -> "ConfigBuilder":
+        """Fluent configuration: ``ClassifierConfig.builder().ip_algorithm("bst")...``.
+
+        Returns a :class:`repro.api.builder.ConfigBuilder` seeded with
+        ``base`` (or the paper's default prototype configuration).
+        """
+        from repro.api.builder import ConfigBuilder
+
+        return ConfigBuilder(base)
 
     # -- derived quantities -----------------------------------------------------
     def rule_capacity(self) -> int:

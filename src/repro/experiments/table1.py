@@ -3,9 +3,11 @@
 The paper's Table I (taken from the authors' earlier comparison study [17])
 reports, for five classification algorithms, the average number of memory
 accesses per lookup and the memory space in Mbit.  This driver rebuilds the
-same comparison from our own implementations: HyperCuts, RFC, DCFL and the
-two single-field "Option" combinations, evaluated on an ACL-flavoured
-workload, with the paper's quoted numbers carried alongside for reference.
+same comparison from our own implementations — swept entirely through the
+unified :mod:`repro.api` registry (``create_classifier`` + ``classify_batch``),
+so adding an algorithm to the survey is a registry entry, not new glue —
+evaluated on an ACL-flavoured workload, with the paper's quoted numbers
+carried alongside for reference.
 
 Absolute values depend strongly on the (unpublished) access-counting
 methodology of [17]; EXPERIMENTS.md discusses which ordering relations are and
@@ -15,27 +17,24 @@ are not preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional
 
 from repro.analysis.literature import TABLE_I_PAPER_VALUES
 from repro.analysis.reports import format_table
-from repro.baselines.base import BaselineClassifier, BaselineEvaluation, evaluate_baseline
-from repro.baselines.dcfl import DcflClassifier
-from repro.baselines.hypercuts import HyperCutsClassifier
-from repro.baselines.options import Option1Classifier, Option2Classifier
-from repro.baselines.rfc import RfcClassifier
+from repro.api import create_classifier
 from repro.experiments.common import workload_ruleset, workload_trace
 from repro.rules.classbench import FilterFlavor
 
-__all__ = ["Table1Row", "Table1Result", "run", "render"]
+__all__ = ["Table1Row", "Table1Result", "run", "render", "ALGORITHMS"]
 
-#: The algorithms of Table I, in the paper's row order.
-ALGORITHMS: Dict[str, Type[BaselineClassifier]] = {
-    "HyperCuts": HyperCutsClassifier,
-    "RFC": RfcClassifier,
-    "DCFL": DcflClassifier,
-    "Option1": Option1Classifier,
-    "Option2": Option2Classifier,
+#: The algorithms of Table I, in the paper's row order:
+#: registry name -> display name (the key into the paper's quoted values).
+ALGORITHMS: Dict[str, str] = {
+    "hypercuts": "HyperCuts",
+    "rfc": "RFC",
+    "dcfl": "DCFL",
+    "option1": "Option1",
+    "option2": "Option2",
 }
 
 
@@ -69,7 +68,7 @@ def run(
     trace_length: int = 500,
     flavor: FilterFlavor = FilterFlavor.ACL,
 ) -> Table1Result:
-    """Build every Table I algorithm on the workload and measure it.
+    """Build every Table I algorithm via the registry and measure it.
 
     The default workload is the 1K ACL set: the RFC cross-product tables make
     the 10K build two orders of magnitude slower without changing the
@@ -79,15 +78,15 @@ def run(
     ruleset = workload_ruleset(flavor, nominal_size)
     trace = workload_trace(flavor, nominal_size, count=trace_length)
     rows: List[Table1Row] = []
-    for name, classifier_type in ALGORITHMS.items():
-        classifier = classifier_type(ruleset)
-        evaluation: BaselineEvaluation = evaluate_baseline(classifier, trace)
-        paper = TABLE_I_PAPER_VALUES.get(name)
+    for name, display in ALGORITHMS.items():
+        classifier = create_classifier(name, ruleset)
+        batch = classifier.classify_batch(trace)
+        paper = TABLE_I_PAPER_VALUES.get(display)
         rows.append(
             Table1Row(
-                algorithm=name,
-                measured_memory_accesses=evaluation.average_memory_accesses,
-                measured_memory_mbit=evaluation.memory_megabits,
+                algorithm=display,
+                measured_memory_accesses=batch.average_memory_accesses,
+                measured_memory_mbit=classifier.memory_bits() / 1e6,
                 paper_memory_accesses=paper.lookup_memory_accesses if paper else None,
                 paper_memory_mbit=paper.memory_mbit if paper else None,
             )

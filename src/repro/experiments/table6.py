@@ -72,12 +72,18 @@ def run(
     trace = workload_trace(flavor, nominal_size, count=trace_length)
     rows: List[Table6Row] = []
     for algorithm in (IpAlgorithm.MBT, IpAlgorithm.BST):
-        config = ClassifierConfig(ip_algorithm=algorithm, combiner_mode=CombinerMode.CROSS_PRODUCT)
+        config = (
+            ClassifierConfig.builder()
+            .ip_algorithm(algorithm)
+            .combiner(CombinerMode.CROSS_PRODUCT)
+            .build()
+        )
         classifier = ConfigurableClassifier.from_ruleset(ruleset, config)
-        results = classifier.classify_trace(trace)
-        metrics = summarize_lookups(results)
+        batch = classifier.classify_batch(trace)
+        details = [result.detail for result in batch]
+        metrics = summarize_lookups(details)
         ip_accesses = [
-            sum(result.memory_accesses[name] for name in IP_DIMENSION_NAMES) for result in results
+            sum(detail.memory_accesses[name] for name in IP_DIMENSION_NAMES) for detail in details
         ]
         paper_key = "MBT" if algorithm is IpAlgorithm.MBT else "BST"
         rows.append(

@@ -32,29 +32,29 @@ ALL_BASELINES = [
 
 class TestLinearSearch:
     def test_returns_highest_priority_match(self, handcrafted_ruleset, web_packet):
-        classifier = LinearSearchClassifier(handcrafted_ruleset)
-        outcome = classifier.classify(web_packet)
+        classifier = LinearSearchClassifier.create(handcrafted_ruleset)
+        outcome = classifier.match_packet(web_packet)
         assert outcome.rule_id == 0
         assert outcome.matched
 
     def test_accesses_equal_rules_scanned(self, handcrafted_ruleset, web_packet, miss_packet):
-        classifier = LinearSearchClassifier(handcrafted_ruleset)
-        assert classifier.classify(web_packet).memory_accesses == 1
-        assert classifier.classify(miss_packet).memory_accesses == len(handcrafted_ruleset)
+        classifier = LinearSearchClassifier.create(handcrafted_ruleset)
+        assert classifier.match_packet(web_packet).memory_accesses == 1
+        assert classifier.match_packet(miss_packet).memory_accesses == len(handcrafted_ruleset)
 
     def test_miss_returns_none(self, handcrafted_ruleset, miss_packet):
         trimmed = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 4)
-        outcome = LinearSearchClassifier(trimmed).classify(miss_packet)
+        outcome = LinearSearchClassifier.create(trimmed).match_packet(miss_packet)
         assert outcome.rule is None and outcome.rule_id is None
 
     def test_memory_scales_with_rules(self, handcrafted_ruleset, small_acl_ruleset):
-        small = LinearSearchClassifier(handcrafted_ruleset).memory_bits()
-        large = LinearSearchClassifier(small_acl_ruleset).memory_bits()
+        small = LinearSearchClassifier.create(handcrafted_ruleset).memory_bits()
+        large = LinearSearchClassifier.create(small_acl_ruleset).memory_bits()
         assert large > small
-        assert LinearSearchClassifier(handcrafted_ruleset).memory_megabits() == small / 1e6
+        assert LinearSearchClassifier.create(handcrafted_ruleset).memory_megabits() == small / 1e6
 
     def test_describe(self, handcrafted_ruleset):
-        info = LinearSearchClassifier(handcrafted_ruleset).describe()
+        info = LinearSearchClassifier.create(handcrafted_ruleset).describe()
         assert info["algorithm"] == "LinearSearch"
         assert info["rules"] == len(handcrafted_ruleset)
 
@@ -62,32 +62,32 @@ class TestLinearSearch:
 @pytest.mark.parametrize("baseline_type", ALL_BASELINES)
 class TestBaselineCorrectness:
     def test_agrees_with_linear_search_on_acl(self, baseline_type, small_acl_ruleset, small_trace):
-        reference = LinearSearchClassifier(small_acl_ruleset)
-        classifier = baseline_type(small_acl_ruleset)
+        reference = LinearSearchClassifier.create(small_acl_ruleset)
+        classifier = baseline_type.create(small_acl_ruleset)
         for packet in small_trace[:80]:
-            assert classifier.classify(packet).rule_id == reference.classify(packet).rule_id
+            assert classifier.match_packet(packet).rule_id == reference.match_packet(packet).rule_id
 
     def test_agrees_with_linear_search_on_fw(self, baseline_type, small_fw_ruleset):
-        reference = LinearSearchClassifier(small_fw_ruleset)
-        classifier = baseline_type(small_fw_ruleset)
+        reference = LinearSearchClassifier.create(small_fw_ruleset)
+        classifier = baseline_type.create(small_fw_ruleset)
         trace = generate_trace(small_fw_ruleset, count=60, seed=21)
         for packet in trace:
-            assert classifier.classify(packet).rule_id == reference.classify(packet).rule_id
+            assert classifier.match_packet(packet).rule_id == reference.match_packet(packet).rule_id
 
     def test_handles_uniform_traffic(self, baseline_type, small_acl_ruleset):
-        reference = LinearSearchClassifier(small_acl_ruleset)
-        classifier = baseline_type(small_acl_ruleset)
+        reference = LinearSearchClassifier.create(small_acl_ruleset)
+        classifier = baseline_type.create(small_acl_ruleset)
         for packet in generate_uniform_trace(40, seed=22):
-            assert classifier.classify(packet).rule_id == reference.classify(packet).rule_id
+            assert classifier.match_packet(packet).rule_id == reference.match_packet(packet).rule_id
 
     def test_handcrafted_overlaps(self, baseline_type, handcrafted_ruleset, web_packet, dns_packet, miss_packet):
-        classifier = baseline_type(handcrafted_ruleset)
-        assert classifier.classify(web_packet).rule_id == 0
-        assert classifier.classify(dns_packet).rule_id == 2
-        assert classifier.classify(miss_packet).rule_id == 4
+        classifier = baseline_type.create(handcrafted_ruleset)
+        assert classifier.match_packet(web_packet).rule_id == 0
+        assert classifier.match_packet(dns_packet).rule_id == 2
+        assert classifier.match_packet(miss_packet).rule_id == 4
 
     def test_reports_positive_memory_and_accesses(self, baseline_type, small_acl_ruleset, small_trace):
-        classifier = baseline_type(small_acl_ruleset)
+        classifier = baseline_type.create(small_acl_ruleset)
         evaluation = evaluate_baseline(classifier, small_trace[:40])
         assert evaluation.average_memory_accesses > 0
         assert evaluation.memory_megabits > 0
@@ -97,49 +97,49 @@ class TestBaselineCorrectness:
 
 class TestHyperCutsStructure:
     def test_tree_respects_binth(self, small_acl_ruleset):
-        classifier = HyperCutsClassifier(small_acl_ruleset, binth=8)
+        classifier = HyperCutsClassifier.create(small_acl_ruleset, binth=8)
         for node in classifier._iter_nodes():
             if node.is_leaf:
                 assert len(node.rules) <= max(8, 1) or classifier.tree_depth() >= 32
 
     def test_more_cuts_reduce_leaf_scans(self, small_acl_ruleset, small_trace):
-        shallow = HyperCutsClassifier(small_acl_ruleset, binth=64)
-        deep = HyperCutsClassifier(small_acl_ruleset, binth=4)
+        shallow = HyperCutsClassifier.create(small_acl_ruleset, binth=64)
+        deep = HyperCutsClassifier.create(small_acl_ruleset, binth=4)
         shallow_eval = evaluate_baseline(shallow, small_trace[:40])
         deep_eval = evaluate_baseline(deep, small_trace[:40])
         assert deep.node_count >= shallow.node_count
         assert deep_eval.average_memory_accesses <= shallow_eval.average_memory_accesses * 1.5
 
     def test_tree_depth_positive(self, small_acl_ruleset):
-        assert HyperCutsClassifier(small_acl_ruleset).tree_depth() >= 1
+        assert HyperCutsClassifier.create(small_acl_ruleset).tree_depth() >= 1
 
     def test_single_rule_ruleset(self):
         ruleset = RuleSet([Rule.build(0, 0, src="10.0.0.0/8")], name="one")
-        classifier = HyperCutsClassifier(ruleset)
+        classifier = HyperCutsClassifier.create(ruleset)
         assert classifier.root.is_leaf
 
 
 class TestEffiCutsStructure:
     def test_partitions_by_largeness(self, small_fw_ruleset):
-        classifier = EffiCutsClassifier(small_fw_ruleset)
+        classifier = EffiCutsClassifier.create(small_fw_ruleset)
         assert classifier.partition_count > 1
 
     def test_replication_factor_not_worse_than_hypercuts(self, small_fw_ruleset):
-        efficuts = EffiCutsClassifier(small_fw_ruleset)
-        hypercuts = HyperCutsClassifier(small_fw_ruleset)
+        efficuts = EffiCutsClassifier.create(small_fw_ruleset)
+        hypercuts = HyperCutsClassifier.create(small_fw_ruleset)
         efficuts_pointers = sum(tree.rule_pointer_count for tree in efficuts._trees)
         assert efficuts_pointers <= hypercuts.rule_pointer_count * 1.2
 
     def test_memory_not_worse_than_hypercuts(self, small_fw_ruleset):
         assert (
-            EffiCutsClassifier(small_fw_ruleset).memory_bits()
-            <= HyperCutsClassifier(small_fw_ruleset).memory_bits() * 1.5
+            EffiCutsClassifier.create(small_fw_ruleset).memory_bits()
+            <= HyperCutsClassifier.create(small_fw_ruleset).memory_bits() * 1.5
         )
 
 
 class TestRfcStructure:
     def test_equivalence_classes_bounded_by_rules(self, small_acl_ruleset):
-        classifier = RfcClassifier(small_acl_ruleset)
+        classifier = RfcClassifier.create(small_acl_ruleset)
         counts = classifier.equivalence_class_counts()
         for name, count in counts.items():
             assert count >= 1, name
@@ -147,40 +147,40 @@ class TestRfcStructure:
         assert counts["protocol"] <= 4
 
     def test_memory_dominates_other_baselines(self, small_acl_ruleset):
-        rfc = RfcClassifier(small_acl_ruleset).memory_bits()
-        dcfl = DcflClassifier(small_acl_ruleset).memory_bits()
+        rfc = RfcClassifier.create(small_acl_ruleset).memory_bits()
+        dcfl = DcflClassifier.create(small_acl_ruleset).memory_bits()
         assert rfc > dcfl
 
     def test_constant_lookup_accesses(self, small_acl_ruleset, small_trace):
-        classifier = RfcClassifier(small_acl_ruleset)
-        accesses = {classifier.classify(packet).memory_accesses for packet in small_trace[:30]}
+        classifier = RfcClassifier.create(small_acl_ruleset)
+        accesses = {classifier.match_packet(packet).memory_accesses for packet in small_trace[:30]}
         assert accesses == {14}  # 7 chunks + 3 + 2 + 1 phases + 1 rule read
 
 
 class TestDcflStructure:
     def test_aggregation_sizes_bounded_by_rules(self, small_acl_ruleset):
-        classifier = DcflClassifier(small_acl_ruleset)
+        classifier = DcflClassifier.create(small_acl_ruleset)
         for size in classifier.aggregation_sizes():
             assert size <= len(small_acl_ruleset)
 
     def test_label_counts_match_unique_fields(self, small_acl_ruleset):
-        classifier = DcflClassifier(small_acl_ruleset)
+        classifier = DcflClassifier.create(small_acl_ruleset)
         assert len(classifier._labellers["src_ip"].labels) == small_acl_ruleset.unique_field_values("src_ip")
         assert len(classifier._labellers["protocol"].labels) == small_acl_ruleset.unique_field_values("protocol")
 
 
 class TestBitVectorStructure:
     def test_accesses_grow_with_ruleset_size(self, handcrafted_ruleset, small_acl_ruleset, web_packet):
-        small = BitVectorClassifier(handcrafted_ruleset).classify(web_packet).memory_accesses
+        small = BitVectorClassifier.create(handcrafted_ruleset).match_packet(web_packet).memory_accesses
         packet = generate_trace(small_acl_ruleset, count=1, seed=1)[0]
-        large = BitVectorClassifier(small_acl_ruleset).classify(packet).memory_accesses
+        large = BitVectorClassifier.create(small_acl_ruleset).match_packet(packet).memory_accesses
         assert large > small
 
 
 class TestOptionCombinations:
     def test_option1_and_option2_use_different_engines(self, handcrafted_ruleset):
-        option1 = Option1Classifier(handcrafted_ruleset)
-        option2 = Option2Classifier(handcrafted_ruleset)
+        option1 = Option1Classifier.create(handcrafted_ruleset)
+        option2 = Option2Classifier.create(handcrafted_ruleset)
         assert option1.engines["src_ip"].levels == 5
         assert option2.engines["src_ip"].levels == 4
 

@@ -16,9 +16,9 @@ from repro.rules.trace import generate_trace, generate_uniform_trace
 
 def _assert_agrees_with_reference(classifier, ruleset, trace):
     for packet in trace:
-        result = classifier.lookup(packet)
+        result = classifier.classify(packet)
         expected = ruleset.highest_priority_match(packet)
-        got_id = result.match.rule_id if result.match else None
+        got_id = result.rule_id
         expected_id = expected.rule_id if expected else None
         assert got_id == expected_id, f"{packet}: got {got_id}, expected {expected_id}"
 
@@ -63,23 +63,17 @@ class TestReconfigurationConsistency:
             small_acl_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
         )
         for packet in small_trace[:60]:
-            mbt_match = mbt.lookup(packet).match
-            bst_match = bst.lookup(packet).match
+            mbt_match = mbt.classify(packet).detail.match
+            bst_match = bst.classify(packet).detail.match
             assert (mbt_match.rule_id if mbt_match else None) == (
                 bst_match.rule_id if bst_match else None
             )
 
     def test_runtime_reconfiguration_preserves_results(self, small_acl_ruleset, small_trace):
         classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
-        before = [
-            result.match.rule_id if result.match else None
-            for result in classifier.classify_trace(small_trace[:40])
-        ]
+        before = [result.rule_id for result in classifier.classify_batch(small_trace[:40])]
         classifier.reconfigure(IpAlgorithm.BST)
-        after = [
-            result.match.rule_id if result.match else None
-            for result in classifier.classify_trace(small_trace[:40])
-        ]
+        after = [result.rule_id for result in classifier.classify_batch(small_trace[:40])]
         assert before == after
 
 
@@ -95,12 +89,12 @@ class TestCombinerModesOnRealWorkload:
             small_acl_ruleset, ClassifierConfig(combiner_mode=CombinerMode.FIRST_LABEL)
         )
         for packet in small_trace[:80]:
-            result = classifier.lookup(packet)
+            result = classifier.classify(packet)
             assert result.combiner_probes <= 1
             # Whatever the fast path returns must at least be a real installed
             # rule that genuinely matches the packet (no false matches).
-            if result.match is not None:
-                rule = small_acl_ruleset.get(result.match.rule_id)
+            if result.matched:
+                rule = small_acl_ruleset.get(result.rule_id)
                 assert rule.matches(packet)
 
 
@@ -108,7 +102,7 @@ class TestCostAccountingOnRealWorkload:
     def test_mbt_lookup_access_budget(self, small_acl_ruleset, small_trace):
         classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
         for packet in small_trace[:50]:
-            result = classifier.lookup(packet)
+            result = classifier.classify(packet).detail
             # 4 IP segment engines x <=3 levels + 2 port register reads +
             # 1 protocol read; the rule filter probing comes on top.
             field_accesses = sum(
@@ -121,7 +115,7 @@ class TestCostAccountingOnRealWorkload:
             small_acl_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
         )
         for packet in small_trace[:50]:
-            result = classifier.lookup(packet)
+            result = classifier.classify(packet).detail
             for dimension in ("src_ip_hi", "src_ip_lo", "dst_ip_hi", "dst_ip_lo"):
                 assert result.memory_accesses[dimension] <= 16
 
@@ -131,4 +125,4 @@ class TestCostAccountingOnRealWorkload:
             small_acl_ruleset, ClassifierConfig(ip_algorithm=IpAlgorithm.BST)
         )
         packet = small_trace[0]
-        assert mbt.lookup(packet).latency_cycles < bst.lookup(packet).latency_cycles
+        assert mbt.classify(packet).latency_cycles < bst.classify(packet).latency_cycles

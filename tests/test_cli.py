@@ -77,3 +77,29 @@ class TestWorkloadCommands:
         capsys.readouterr()
         assert main(["classify", "--rules", str(rules_file), "--packets", "20"]) == 0
         assert "Classification run" in capsys.readouterr().out
+
+    def test_classify_registered_baseline(self, capsys):
+        assert main(["classify", "--classifier", "hypercuts", "--size", "300",
+                     "--packets", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "hypercuts" in out
+        assert "Hit ratio" in out
+
+    def test_classify_unknown_classifier_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "--classifier", "tcam"])
+
+    def test_sweep_bogus_name_clean_error(self, capsys):
+        assert main(["sweep", "--size", "150", "--packets", "10",
+                     "--classifiers", "tcam"]) == 2
+        err = capsys.readouterr().err
+        assert "'tcam'" in err and "unknown classifier" in err
+        assert "registered:" in err
+
+    def test_sweep_selected_classifiers(self, capsys):
+        assert main(["sweep", "--size", "200", "--packets", "20",
+                     "--classifiers", "linear_search,hypercuts,configurable"]) == 0
+        out = capsys.readouterr().out
+        assert "Classifier sweep" in out
+        for name in ("linear_search", "hypercuts", "configurable"):
+            assert name in out

@@ -254,9 +254,7 @@ class TestSdnController:
         for packet in trace:
             result = switch.classify(packet)
             expected = small_acl_ruleset.highest_priority_match(packet)
-            assert (result.match.rule_id if result.match else None) == (
-                expected.rule_id if expected else None
-            )
+            assert result.rule_id == (expected.rule_id if expected else None)
 
     def test_channel_accessor(self):
         controller = SdnController()

@@ -45,25 +45,25 @@ class TestClassifierConstruction:
 class TestLookup:
     def test_lookup_returns_hpmr(self, handcrafted_ruleset, web_packet, dns_packet, miss_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        assert classifier.lookup(web_packet).match.rule_id == 0
-        assert classifier.lookup(dns_packet).match.rule_id == 2
-        assert classifier.lookup(miss_packet).match.rule_id == 4
+        assert classifier.classify(web_packet).rule_id == 0
+        assert classifier.classify(dns_packet).rule_id == 2
+        assert classifier.classify(miss_packet).rule_id == 4
 
     def test_lookup_miss_without_catch_all(self, handcrafted_ruleset, miss_packet):
         trimmed = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 4)
         classifier = ConfigurableClassifier.from_ruleset(trimmed)
-        result = classifier.lookup(miss_packet)
-        assert result.match is None and not result.matched
+        result = classifier.classify(miss_packet)
+        assert result.rule_id is None and not result.matched
 
     def test_lookup_reports_field_labels(self, handcrafted_ruleset, web_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        result = classifier.lookup(web_packet)
+        result = classifier.classify(web_packet).detail
         assert set(result.field_labels) == set(DIMENSIONS)
         assert result.field_labels["protocol"]
 
     def test_lookup_cycle_report_phases(self, handcrafted_ruleset, web_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        cycles = classifier.lookup(web_packet).cycles
+        cycles = classifier.classify(web_packet).detail.cycles
         assert cycles.phases["dispatch"] == DISPATCH_CYCLES
         assert cycles.phases["label_fetch"] == LABEL_FETCH_CYCLES
         assert cycles.phases["rule_fetch"] == FINAL_CYCLES
@@ -71,18 +71,19 @@ class TestLookup:
 
     def test_lookup_memory_access_breakdown(self, handcrafted_ruleset, web_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        result = classifier.lookup(web_packet)
+        result = classifier.classify(web_packet).detail
         assert set(result.memory_accesses) == set(DIMENSIONS) | {"rule_filter"}
         assert result.total_memory_accesses == sum(result.memory_accesses.values())
 
-    def test_classify_trace(self, handcrafted_ruleset, web_packet, dns_packet):
+    def test_classify_batch(self, handcrafted_ruleset, web_packet, dns_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        results = classifier.classify_trace([web_packet, dns_packet])
-        assert [result.match.rule_id for result in results] == [0, 2]
+        results = classifier.classify_batch([web_packet, dns_packet])
+        assert [result.rule_id for result in results] == [0, 2]
+        assert results.packets == 2 and results.hit_ratio == 1.0
 
     def test_action_returned_with_match(self, handcrafted_ruleset, dns_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        assert classifier.lookup(dns_packet).match.action == "redirect_group"
+        assert classifier.classify(dns_packet).action == "redirect_group"
 
 
 class TestConfigurability:
@@ -93,7 +94,7 @@ class TestConfigurability:
         moved = classifier.reconfigure(IpAlgorithm.BST)
         assert moved == len(handcrafted_ruleset)
         assert classifier.config.ip_algorithm is IpAlgorithm.BST
-        assert classifier.lookup(web_packet).match.rule_id == 0
+        assert classifier.classify(web_packet).rule_id == 0
 
     def test_reconfigure_to_same_algorithm_is_noop(self, handcrafted_ruleset):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)

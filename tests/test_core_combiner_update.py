@@ -148,16 +148,16 @@ class TestUpdateEngine:
     def test_delete_then_lookup_matches_reference(self, handcrafted_ruleset, web_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
         classifier.remove_rule(0)
-        result = classifier.lookup(web_packet)
+        result = classifier.classify(web_packet)
         remaining = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 0)
-        assert result.match.rule_id == remaining.highest_priority_match(web_packet).rule_id
+        assert result.rule_id == remaining.highest_priority_match(web_packet).rule_id
 
     def test_reinsert_after_delete(self, handcrafted_ruleset, web_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
         rule = handcrafted_ruleset.get(0)
         classifier.remove_rule(0)
         classifier.install_rule(rule)
-        assert classifier.lookup(web_packet).match.rule_id == 0
+        assert classifier.classify(web_packet).rule_id == 0
 
     def test_capacity_enforced(self, handcrafted_ruleset):
         tiny = ClassifierConfig()
@@ -217,4 +217,4 @@ class TestUpdateEngine:
         )
         classifier.remove_rule(0)
         classifier.install_rule(handcrafted_ruleset.get(0))
-        assert classifier.lookup(web_packet).match.rule_id == 0
+        assert classifier.classify(web_packet).rule_id == 0

@@ -119,4 +119,4 @@ class TestSwitchErrorHandling:
         controller.push_ruleset(1, handcrafted_ruleset)
         controller.push_ruleset(1, handcrafted_ruleset)  # all rejected as duplicates
         result = switch.classify(web_packet)
-        assert result.match.rule_id == 0
+        assert result.rule_id == 0

@@ -263,8 +263,8 @@ class TestClassifierProperties:
         classifier = ConfigurableClassifier.from_ruleset(ruleset)
         for packet in packet_list:
             expected = ruleset.highest_priority_match(packet)
-            result = classifier.lookup(packet)
-            got = result.match.rule_id if result.match else None
+            result = classifier.classify(packet)
+            got = result.rule_id
             want = expected.rule_id if expected else None
             assert got == want
 
@@ -276,8 +276,8 @@ class TestClassifierProperties:
         )
         for packet in packet_list:
             expected = ruleset.highest_priority_match(packet)
-            result = classifier.lookup(packet)
-            got = result.match.rule_id if result.match else None
+            result = classifier.classify(packet)
+            got = result.rule_id
             want = expected.rule_id if expected else None
             assert got == want
 
@@ -293,8 +293,8 @@ class TestClassifierProperties:
         survivors = ruleset.filter(lambda rule: rule.rule_id not in set(victims))
         for packet in packet_list:
             expected = survivors.highest_priority_match(packet)
-            result = classifier.lookup(packet)
-            got = result.match.rule_id if result.match else None
+            result = classifier.classify(packet)
+            got = result.rule_id
             want = expected.rule_id if expected else None
             assert got == want
 

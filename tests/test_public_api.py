@@ -19,7 +19,7 @@ class TestPackageExports:
 
     @pytest.mark.parametrize(
         "subpackage",
-        ["core", "fields", "labels", "hardware", "rules", "baselines", "controller", "analysis", "experiments"],
+        ["api", "core", "fields", "labels", "hardware", "rules", "baselines", "controller", "analysis", "experiments"],
     )
     def test_subpackage_all_exports_resolve(self, subpackage):
         import importlib
@@ -32,8 +32,9 @@ class TestPackageExports:
         rules = repro.generate_ruleset(nominal_size=200, seed=1)
         classifier = repro.ConfigurableClassifier.from_ruleset(rules)
         packet = repro.generate_trace(rules, count=1, seed=2)[0]
-        result = classifier.lookup(packet)
-        assert isinstance(result, repro.LookupResult)
+        result = classifier.classify(packet)
+        assert isinstance(result, repro.Classification)
+        assert isinstance(result.detail, repro.LookupResult)
 
 
 class TestResultDataclasses:
