@@ -239,7 +239,10 @@ class ClassBenchGenerator:
         target = PAPER_RULE_COUNTS.get(
             (self.flavor, nominal_size), max(1, int(round(nominal_size * self.profile.yield_ratio)))
         )
-        rng = random.Random((self.seed, self.flavor.value, nominal_size).__hash__())
+        # str seeds hash deterministically (SHA-512) regardless of
+        # PYTHONHASHSEED, unlike tuple.__hash__ which is randomized per
+        # process for the embedded flavour string.
+        rng = random.Random(f"{self.seed}-{self.flavor.value}-{nominal_size}")
         label = name or f"{self.flavor.value}1_{nominal_size // 1000}k"
 
         anchor = self.profile.anchor_for(nominal_size)
@@ -256,8 +259,14 @@ class ClassBenchGenerator:
                     * (1.0 - math.exp(-target / self.profile.dst_ip_knee))
                 ),
             )
-        src_prefixes = self._prefix_pool(rng, _coverage_corrected_pool(src_unique_target, target))
-        dst_prefixes = self._prefix_pool(rng, _coverage_corrected_pool(dst_unique_target, target))
+        # Wildcarded rules never draw from the prefix pools, so the effective
+        # number of pool draws is reduced by the wildcard fraction; without
+        # this correction the realised unique counts land systematically
+        # below the Table II anchors.
+        src_draws = max(1, int(round(target * (1.0 - self.profile.src_wildcard_fraction))))
+        dst_draws = max(1, int(round(target * (1.0 - self.profile.dst_wildcard_fraction))))
+        src_prefixes = self._prefix_pool(rng, _coverage_corrected_pool(src_unique_target, src_draws))
+        dst_prefixes = self._prefix_pool(rng, _coverage_corrected_pool(dst_unique_target, dst_draws))
         src_ports = self._port_pool(rng, self.profile.src_port_pool, exact_fraction=0.2)
         dst_ports = self._port_pool(
             rng, self.profile.dst_port_pool, exact_fraction=self.profile.dst_port_exact_fraction
