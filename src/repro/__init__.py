@@ -32,6 +32,9 @@ Underneath sit the paper-faithful layers:
   linear-search comparison classifiers;
 * :mod:`repro.controller` — the OpenFlow-lite SDN control plane driving the
   device;
+* :mod:`repro.perf` — the memoizing batch-lookup fast path
+  (``classifier.enable_fast_path()`` / ``create_classifier(..., fast=True)``)
+  and the multi-replica :class:`~repro.perf.ParallelSession`;
 * :mod:`repro.analysis` and :mod:`repro.experiments` — metrics, reporting and
   one driver per table/figure of the paper's evaluation.
 
@@ -64,6 +67,7 @@ from repro.api import (
     create_classifier,
     register_classifier,
 )
+from repro.perf import FastPathAccelerator, ParallelSession
 from repro.rules import (
     FilterFlavor,
     PacketHeader,
@@ -75,7 +79,7 @@ from repro.rules import (
     load_classbench_file,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -91,6 +95,8 @@ __all__ = [
     "ClassifierStats",
     "PacketClassifier",
     "ClassificationSession",
+    "FastPathAccelerator",
+    "ParallelSession",
     "create_classifier",
     "available_classifiers",
     "register_classifier",

@@ -16,7 +16,7 @@ baseline (or any future sharded/async engine) is a registry name change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.api.protocol import PacketClassifier
 from repro.core.result import BatchResult, Classification
@@ -39,6 +39,10 @@ class SessionStats:
     average_latency_cycles: Optional[float]
     worst_latency_cycles: Optional[int]
     memory_bits: int
+    #: Packets whose lookup was probe-budget truncated (see
+    #: :class:`~repro.core.label_combiner.CombinerOutcome`) — a non-zero value
+    #: warns that some classifications may be inexact.
+    truncated_lookups: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -49,6 +53,47 @@ class SessionStats:
     def memory_megabits(self) -> float:
         """Engine structure size in Mbit."""
         return self.memory_bits / 1e6
+
+    @classmethod
+    def merge(cls, parts: Sequence["SessionStats"]) -> "SessionStats":
+        """Aggregate the statistics of several (sharded) sessions into one.
+
+        Counts sum; averages are packet-weighted; worst cases take the
+        maximum; ``memory_bits`` sums, since a multi-pipeline deployment
+        replicates the search structures per worker.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ConfigurationError("cannot merge an empty list of session stats")
+        names = {part.classifier for part in parts}
+        name = names.pop() if len(names) == 1 else "+".join(sorted(names))
+        if len(parts) > 1:
+            name = f"{name}x{len(parts)}"
+        packets = sum(part.packets for part in parts)
+        latency_parts = [part for part in parts if part.average_latency_cycles is not None]
+        latency_packets = sum(part.packets for part in latency_parts)
+        return cls(
+            classifier=name,
+            packets=packets,
+            matched=sum(part.matched for part in parts),
+            chunks=sum(part.chunks for part in parts),
+            average_memory_accesses=(
+                sum(part.average_memory_accesses * part.packets for part in parts) / packets
+                if packets
+                else 0.0
+            ),
+            worst_memory_accesses=max(part.worst_memory_accesses for part in parts),
+            average_latency_cycles=(
+                sum(p.average_latency_cycles * p.packets for p in latency_parts) / latency_packets
+                if latency_packets
+                else None
+            ),
+            worst_latency_cycles=(
+                max(p.worst_latency_cycles for p in latency_parts) if latency_parts else None
+            ),
+            memory_bits=sum(part.memory_bits for part in parts),
+            truncated_lookups=sum(part.truncated_lookups for part in parts),
+        )
 
 
 class ClassificationSession:
@@ -76,6 +121,8 @@ class ClassificationSession:
         self._packets += 1
         if result.matched:
             self._matched += 1
+        if result.truncated:
+            self._truncated += 1
         self._access_sum += result.memory_accesses
         self._access_worst = max(self._access_worst, result.memory_accesses)
         if result.latency_cycles is not None:
@@ -121,6 +168,7 @@ class ClassificationSession:
         self._packets = 0
         self._matched = 0
         self._chunks = 0
+        self._truncated = 0
         self._access_sum = 0
         self._access_worst = 0
         self._latency_sum = 0
@@ -144,6 +192,7 @@ class ClassificationSession:
             ),
             worst_latency_cycles=self._latency_worst if self._latency_count else None,
             memory_bits=self.classifier.memory_bits(),
+            truncated_lookups=self._truncated,
         )
 
     def __repr__(self) -> str:

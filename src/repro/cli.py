@@ -20,6 +20,7 @@ Usage::
     python -m repro.cli generate --flavor fw --size 5000 --output fw5k.rules
     python -m repro.cli classify --size 1000 --packets 200 --ip-algorithm bst
     python -m repro.cli classify --classifier hypercuts --size 1000
+    python -m repro.cli classify --size 1000 --packets 10000 --fast --workers 4
     python -m repro.cli sweep --size 500 --packets 100 --classifiers hypercuts,rfc
 """
 
@@ -38,7 +39,7 @@ from repro.api import (
     validate_classifier_names,
 )
 from repro.core.config import CombinerMode, IpAlgorithm
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments import (
     fig3_pipeline,
     fig4_update,
@@ -121,16 +122,29 @@ def _build_classifier(name: str, ruleset, args: argparse.Namespace):
     if name == "configurable":
         options["ip_algorithm"] = args.ip_algorithm
         options["combiner"] = args.combiner
+        options["fast"] = getattr(args, "fast", False)
     return create_classifier(name, ruleset, **options)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ConfigurationError(f"worker count must be positive, got {args.workers}")
     ruleset = _load_workload(args)
-    classifier = _build_classifier(args.classifier, ruleset, args)
     trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
-    session = ClassificationSession(classifier, chunk_size=args.chunk_size)
+    if args.workers > 1:
+        from repro.perf import ParallelSession
+
+        session = ParallelSession.from_factory(
+            lambda: _build_classifier(args.classifier, ruleset, args),
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+        details = session.sessions[0].classifier.stats().details
+    else:
+        classifier = _build_classifier(args.classifier, ruleset, args)
+        session = ClassificationSession(classifier, chunk_size=args.chunk_size)
+        details = classifier.stats().details
     stats = session.run(trace)
-    details = classifier.stats().details
     report = {
         "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
         "Classifier": stats.classifier,
@@ -140,11 +154,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         "Avg memory accesses / packet": f"{stats.average_memory_accesses:.1f}",
         "Structure memory": f"{stats.memory_megabits:.2f} Mbit",
     }
+    if args.workers > 1:
+        report["Worker replicas"] = args.workers
     if stats.average_latency_cycles is not None:
         report["Avg latency (cycles)"] = f"{stats.average_latency_cycles:.1f}"
+    if stats.truncated_lookups:
+        report["Truncated lookups (!)"] = stats.truncated_lookups
     if "ip_algorithm" in details:
         report["IP algorithm"] = str(details["ip_algorithm"]).upper()
         report["Combiner mode"] = details["combiner_mode"]
+        report["Batch fast path"] = "on" if details.get("fast_path") else "off"
         report["Model throughput (40B packets)"] = f"{details['throughput_gbps']:.2f} Gbps"
         report["Rule capacity"] = details["rule_capacity"]
     print(format_kv(report, title="Classification run"))
@@ -214,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--chunk-size", type=int, default=256,
                          help="streaming session chunk size")
         sub.add_argument(
+            "--fast", action="store_true",
+            help="enable the repro.perf batch fast path (configurable classifier only)",
+        )
+        sub.add_argument(
             "--ip-algorithm", choices=[a.value for a in IpAlgorithm], default="mbt",
             help="IPalg_s position (configurable classifier only)",
         )
@@ -228,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub_classify.add_argument(
         "--classifier", choices=available_classifiers(), default="configurable",
         help="registered classification engine",
+    )
+    sub_classify.add_argument(
+        "--workers", type=int, default=1,
+        help="classifier replicas to shard the trace across (ParallelSession)",
     )
     add_workload_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)

@@ -80,6 +80,7 @@ class ConfigurableClassifier:
 
     def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
+        self._fast_path = None
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -180,8 +181,41 @@ class ConfigurableClassifier:
         return Classification.from_lookup(self._lookup(packet))
 
     def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
-        """Classify every packet of ``packets`` (unified API)."""
+        """Classify every packet of ``packets`` (unified API).
+
+        With the fast path enabled (:meth:`enable_fast_path`), the batch is
+        classified through the :mod:`repro.perf` memoizing accelerator —
+        identical :class:`Classification` results, far higher throughput on
+        traces with field-value redundancy.
+        """
+        if self._fast_path is not None:
+            return self._fast_path.classify_batch(packets)
         return BatchResult(tuple(self.classify(packet) for packet in packets))
+
+    # ------------------------------------------------------------------ fast path
+    def enable_fast_path(self) -> "FastPathAccelerator":
+        """Attach (and return) the batch-lookup accelerator of :mod:`repro.perf`.
+
+        Subsequent :meth:`classify_batch` calls run through per-dimension and
+        combiner-outcome caches that are invalidated automatically on rule
+        installs/removes.  Results are bit-exact with the per-packet path.
+        """
+        if self._fast_path is None:
+            from repro.perf.fastpath import FastPathAccelerator
+
+            self._fast_path = FastPathAccelerator(self)
+        return self._fast_path
+
+    def disable_fast_path(self) -> None:
+        """Detach the batch accelerator; classify_batch reverts to per-packet."""
+        if self._fast_path is not None:
+            self._fast_path.detach()
+            self._fast_path = None
+
+    @property
+    def fast_path_enabled(self) -> bool:
+        """True when classify_batch runs through the memoizing fast path."""
+        return self._fast_path is not None
 
     def lookup(self, packet: PacketHeader) -> LookupResult:
         """Deprecated shim for the pre-unified-API method name.
@@ -201,19 +235,26 @@ class ConfigurableClassifier:
     def _lookup(self, packet: PacketHeader) -> LookupResult:
         """Classify one packet header and return the HPMR with its cost."""
         values = packet_dimension_values(packet)
+        field_results = {name: self.engines[name].lookup(values[name]) for name in DIMENSIONS}
+        outcome = self.combiner.combine(
+            {name: result.matches for name, result in field_results.items()}
+        )
+        return self._assemble_lookup(field_results, outcome)
+
+    def _assemble_lookup(self, field_results, outcome) -> LookupResult:
+        """Build the :class:`LookupResult` of one lookup from its parts.
+
+        Shared by the per-packet path and the :mod:`repro.perf` fast path so
+        the cost-model accounting (per-phase cycles, per-dimension accesses)
+        is assembled by exactly one piece of code.
+        """
         cycles = CycleReport(operation="lookup", pipelined=self._fully_pipelined())
         cycles.add_phase("dispatch", DISPATCH_CYCLES)
-
-        field_results = {name: self.engines[name].lookup(values[name]) for name in DIMENSIONS}
         # Phase 2 runs every engine in parallel: its latency is the slowest
         # engine, and one extra cycle dereferences the label-list pointer.
         slowest = max(result.cycles for result in field_results.values())
         cycles.add_phase("field_lookup", slowest)
         cycles.add_phase("label_fetch", LABEL_FETCH_CYCLES)
-
-        outcome = self.combiner.combine(
-            {name: result.matches for name, result in field_results.items()}
-        )
         cycles.add_phase("label_combination", outcome.cycles)
         cycles.add_phase("rule_fetch", FINAL_CYCLES)
 
@@ -232,6 +273,7 @@ class ConfigurableClassifier:
             cycles=cycles,
             memory_accesses=accesses,
             combiner_probes=outcome.probes,
+            truncated=outcome.truncated,
         )
 
     def classify_trace(self, trace: Iterable[PacketHeader]) -> List[LookupResult]:
@@ -261,17 +303,29 @@ class ConfigurableClassifier:
         """
         if ip_algorithm is self.config.ip_algorithm:
             return 0
-        rules = [self.update_engine.rules[rule_id] for rule_id in self.update_engine.installed_rule_ids()]
+        # Replay in the original installation order — label values depend on
+        # insertion order, so replaying sorted by rule id would rebuild a
+        # *different* (though behaviourally equivalent) state and violate the
+        # install_ruleset "priority order preserved" contract.
+        rules = self.update_engine.installed_rules_in_order()
+        was_fast = self.fast_path_enabled
+        self.disable_fast_path()
         self.config = self.config.with_ip_algorithm(ip_algorithm)
         self._build()
         for rule in rules:
             self.install_rule(rule)
+        if was_fast:
+            # The accelerator hooked the *old* engines; rebind it to the new ones.
+            self.enable_fast_path()
         return len(rules)
 
     def set_combiner_mode(self, mode: CombinerMode) -> None:
         """Switch between the paper's first-label fast path and cross-product."""
         self.config = self.config.with_combiner(mode)
         self.combiner.mode = mode
+        if self._fast_path is not None:
+            # Memoized combiner outcomes belong to the previous mode.
+            self._fast_path.invalidate()
 
     # ------------------------------------------------------------------ reporting
     def occupancy_cycles(self) -> float:
@@ -321,6 +375,7 @@ class ConfigurableClassifier:
                 "lookup_latency_cycles": report.lookup_latency_cycles,
                 "memory_bits_provisioned": report.total_memory_bits_provisioned,
                 "update_model": "incremental",
+                "fast_path": self.fast_path_enabled,
             },
         )
 
@@ -461,16 +516,21 @@ def _make_configurable(
     config: Optional[ClassifierConfig] = None,
     ip_algorithm: Optional[str] = None,
     combiner: Optional[str] = None,
+    fast: bool = False,
 ) -> ConfigurableClassifier:
     """Registry factory: build the architecture and install ``ruleset``.
 
     ``config`` takes a full :class:`ClassifierConfig` (e.g. from
     ``ClassifierConfig.builder()``); ``ip_algorithm``/``combiner`` are
-    string shortcuts layered on top of it.
+    string shortcuts layered on top of it.  ``fast=True`` enables the
+    :mod:`repro.perf` batch-lookup fast path.
     """
     builder = ClassifierConfig.builder(config)
     if ip_algorithm is not None:
         builder = builder.ip_algorithm(ip_algorithm)
     if combiner is not None:
         builder = builder.combiner(combiner)
-    return ConfigurableClassifier.from_ruleset(ruleset, builder.build())
+    classifier = ConfigurableClassifier.from_ruleset(ruleset, builder.build())
+    if fast:
+        classifier.enable_fast_path()
+    return classifier

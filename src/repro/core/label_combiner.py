@@ -53,6 +53,10 @@ class CombinerOutcome:
     probes: int
     memory_accesses: int
     cycles: int
+    #: True when the cross-product walk hit ``probe_budget`` before every
+    #: candidate combination was probed — the returned entry may then not be
+    #: the true HPMR (or a real match may have been missed entirely).
+    truncated: bool = False
 
 
 class LabelCombiner:
@@ -114,10 +118,12 @@ class LabelCombiner:
         best: Optional[RuleFilterEntry] = None
         probes = 0
         accesses = 0
+        truncated = False
         ordered_lists = [
             tuple(sorted(entries, key=lambda pair: pair[1])) for entries in lists
         ]
-        for combination in itertools.product(*ordered_lists):
+        combinations = itertools.product(*ordered_lists)
+        for combination in combinations:
             lower_bound = max(priority for _, priority in combination)
             if best is not None and lower_bound >= best.priority:
                 # No rule reachable through this combination can beat the
@@ -132,10 +138,38 @@ class LabelCombiner:
             if lookup.entry is not None and (best is None or lookup.entry.priority < best.priority):
                 best = lookup.entry
             if probes >= self.probe_budget:
+                # Budget exhausted: the result is inexact only if some
+                # remaining combination would actually have been probed (the
+                # priority bound prunes most of the tail).  The caller must be
+                # able to tell (the flag feeds LookupResult and the
+                # SessionStats truncation counter).
+                truncated = self._tail_has_candidates(combinations, best)
                 break
         return CombinerOutcome(
             entry=best,
             probes=probes,
             memory_accesses=accesses,
             cycles=1 + probes,
+            truncated=truncated,
         )
+
+    def _tail_has_candidates(self, combinations, best: Optional[RuleFilterEntry]) -> bool:
+        """True when an unvisited combination would still have been probed.
+
+        Applies the same priority-bound prune test as the main walk — without
+        issuing any memory access — so an exhausted budget whose remaining
+        tail is entirely prunable is *not* reported as truncation (the result
+        is provably exact).  The scan is capped at ``probe_budget`` further
+        combinations: past that, truncation is reported conservatively rather
+        than walking a pathological cross product to its end.
+        """
+        if best is None:
+            # Nothing matched yet, so any remaining combination is a live
+            # candidate (the prune test never fires without a best entry).
+            return next(combinations, None) is not None
+        for scanned, combination in enumerate(combinations):
+            if scanned >= self.probe_budget:
+                return True
+            if max(priority for _, priority in combination) < best.priority:
+                return True
+        return False

@@ -54,6 +54,10 @@ class LookupResult:
     memory_accesses: Dict[str, int]
     #: Number of Rule Filter probes the label combiner issued.
     combiner_probes: int
+    #: True when the combiner's probe budget truncated the cross-product walk
+    #: before every candidate combination was visited — ``match`` may then be
+    #: wrong or missing (see :class:`~repro.core.label_combiner.CombinerOutcome`).
+    truncated: bool = False
 
     @property
     def matched(self) -> bool:
@@ -159,6 +163,9 @@ class Classification:
     latency_cycles: Optional[int] = None
     #: Rule Filter probes issued, when the engine uses the label method.
     combiner_probes: Optional[int] = None
+    #: True when a probe budget truncated the lookup, making the outcome
+    #: potentially inexact (always False for engines without a budget).
+    truncated: bool = False
     #: The engine-specific result (LookupResult / ClassificationOutcome).
     detail: object = field(default=None, compare=False, repr=False)
 
@@ -178,6 +185,7 @@ class Classification:
             memory_accesses=result.total_memory_accesses,
             latency_cycles=result.latency_cycles,
             combiner_probes=result.combiner_probes,
+            truncated=result.truncated,
             detail=result,
         )
 
@@ -223,6 +231,11 @@ class BatchResult:
     def hit_ratio(self) -> float:
         """Fraction of packets that hit a rule."""
         return self.matched / len(self.results) if self.results else 0.0
+
+    @property
+    def truncated_lookups(self) -> int:
+        """Number of packets whose lookup was probe-budget truncated."""
+        return sum(1 for result in self.results if result.truncated)
 
     @property
     def total_memory_accesses(self) -> int:

@@ -74,6 +74,15 @@ class UpdateEngine:
         """Ids of the installed rules, sorted."""
         return sorted(self.rules)
 
+    def installed_rules_in_order(self) -> List[Rule]:
+        """The installed rules in their original installation order.
+
+        Label values depend on insertion order, so replaying rules (e.g. on an
+        ``IPalg_s`` reconfiguration) must use this order — not sorted ids — to
+        rebuild a state identical to the one being replaced.
+        """
+        return list(self.rules.values())
+
     # -- insertion -----------------------------------------------------------------
     def insert_rule(self, rule: Rule) -> UpdateResult:
         """Install one rule, following the Fig. 4 pseudo-code per dimension."""
@@ -89,31 +98,42 @@ class UpdateEngine:
         structural: List[str] = []
         accesses: Dict[str, int] = {}
         cycles = CycleReport(operation=f"insert_rule_{rule.rule_id}")
-        for dimension in DIMENSIONS:
-            spec = specs[dimension]
-            table = self.label_tables[dimension]
-            engine = self.engines[dimension]
-            previous_best: Optional[int] = (
-                table.best_priority_of(table.label_of(spec)) if spec in table else None
-            )
-            outcome = table.insert(spec, rule.priority)
-            labels[dimension] = (outcome.label, outcome.created)
-            if outcome.created:
-                cost = engine.insert(spec, outcome.label, rule.priority)
-                structural.append(dimension)
-                accesses[dimension] = cost.memory_accesses + 1  # + label table write
-                cycles.add_phase(f"{dimension}_structural", max(1, cost.memory_accesses))
-            else:
-                accesses[dimension] = 1  # label table counter bump
-                cycles.add_phase(f"{dimension}_counter", 1)
-                if previous_best is not None and rule.priority < previous_best:
-                    # The new rule becomes the HPML owner for this value; the
-                    # engine's label list ordering must reflect it.
-                    self._reprioritize(engine, spec, outcome.label, rule.priority)
-            self._value_users[dimension].setdefault(spec, set()).add(rule.rule_id)
+        # Every per-dimension mutation is journalled so a failure anywhere in
+        # the insert (an engine refusing the value, the Rule Filter raising
+        # CapacityError) unwinds cleanly instead of leaving the label tables
+        # and engines corrupted: (dimension, spec, previous_best, engine_done).
+        applied: List[Tuple[str, Hashable, Optional[int], bool]] = []
+        try:
+            for dimension in DIMENSIONS:
+                spec = specs[dimension]
+                table = self.label_tables[dimension]
+                engine = self.engines[dimension]
+                previous_best: Optional[int] = (
+                    table.best_priority_of(table.label_of(spec)) if spec in table else None
+                )
+                outcome = table.insert(spec, rule.priority)
+                labels[dimension] = (outcome.label, outcome.created)
+                applied.append((dimension, spec, previous_best, False))
+                if outcome.created:
+                    cost = engine.insert(spec, outcome.label, rule.priority)
+                    applied[-1] = (dimension, spec, previous_best, True)
+                    structural.append(dimension)
+                    accesses[dimension] = cost.memory_accesses + 1  # + label table write
+                    cycles.add_phase(f"{dimension}_structural", max(1, cost.memory_accesses))
+                else:
+                    accesses[dimension] = 1  # label table counter bump
+                    cycles.add_phase(f"{dimension}_counter", 1)
+                    if previous_best is not None and rule.priority < previous_best:
+                        # The new rule becomes the HPML owner for this value; the
+                        # engine's label list ordering must reflect it.
+                        self._reprioritize(engine, spec, outcome.label, rule.priority)
+                self._value_users[dimension].setdefault(spec, set()).add(rule.rule_id)
 
-        key = self._pack_key(labels)
-        _, filter_accesses = self.rule_filter.insert(key, rule)
+            key = self._pack_key(labels)
+            _, filter_accesses = self.rule_filter.insert(key, rule)
+        except Exception:
+            self._rollback_insert(rule, labels, applied)
+            raise
         accesses["rule_filter"] = filter_accesses
         cycles.add_phase("rule_upload", RULE_UPLOAD_CYCLES)
         cycles.add_phase("hash", HASH_CYCLES)
@@ -128,6 +148,38 @@ class UpdateEngine:
             cycles=cycles,
             memory_accesses=accesses,
         )
+
+    def _rollback_insert(
+        self,
+        rule: Rule,
+        labels: Dict[str, Tuple[int, bool]],
+        applied: List[Tuple[str, Hashable, Optional[int], bool]],
+    ) -> None:
+        """Unwind the per-dimension state of a failed :meth:`insert_rule`.
+
+        Walks the journal backwards: drops the rule from ``_value_users``,
+        removes engine entries created for the rule, restores prior label-list
+        priority ordering, and rolls the label tables back — reference
+        counters, best priorities *and* update statistics end up exactly as
+        before the attempt, so a capacity-exhausted insert is a no-op.
+        """
+        for dimension, spec, previous_best, engine_done in reversed(applied):
+            table = self.label_tables[dimension]
+            engine = self.engines[dimension]
+            label, created = labels[dimension]
+            users = self._value_users[dimension].get(spec)
+            if users is not None:
+                users.discard(rule.rule_id)
+                if not users:
+                    del self._value_users[dimension][spec]
+            if created:
+                if engine_done:
+                    engine.remove(spec, label)
+                table.rollback_insert(spec, None)
+            else:
+                if previous_best is not None and rule.priority < previous_best:
+                    self._reprioritize(engine, spec, label, previous_best)
+                table.rollback_insert(spec, previous_best)
 
     # -- deletion ---------------------------------------------------------------------
     def delete_rule(self, rule_id: int) -> UpdateResult:

@@ -11,10 +11,12 @@ freely — which is exactly the configurability the paper is about.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass, field
-from typing import Hashable, List, Tuple
+from typing import Callable, Hashable, List, Tuple
 
 from repro.exceptions import FieldLookupError
+from repro.observers import MutationNotifier
 
 __all__ = ["FieldLookupResult", "UpdateCost", "SingleFieldEngine"]
 
@@ -66,16 +68,51 @@ class UpdateCost:
     rebuilt: bool = False
 
 
-class SingleFieldEngine(abc.ABC):
+#: Mutating engine methods that invalidate memoized lookup results.
+_MUTATORS = ("insert", "remove", "reprioritize")
+
+
+def _notifying(method: Callable) -> Callable:
+    """Wrap a mutator so registered mutation listeners fire after it."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        result = method(self, *args, **kwargs)
+        self.notify_mutation()
+        return result
+
+    wrapper.__mutation_notifying__ = True
+    return wrapper
+
+
+class SingleFieldEngine(MutationNotifier, abc.ABC):
     """Interface of a single-field lookup engine.
 
     An engine maps *field value specifications* (a prefix, a port range, a
     protocol match...) to labels, and answers point lookups with the labels of
     every specification matching the point.
+
+    Engines support *mutation listeners* (the cache-invalidation hook of the
+    :mod:`repro.perf` fast path, inherited from
+    :class:`~repro.observers.MutationNotifier`): every concrete ``insert``/
+    ``remove``/``reprioritize`` implementation is automatically wrapped so
+    that callbacks registered with ``add_mutation_listener`` fire after any
+    change to the stored specifications — memoized lookup results for this
+    engine must then be discarded.
     """
 
     #: Human-readable engine name (used in reports and memory block names).
     name: str = "engine"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for method_name in _MUTATORS:
+            method = cls.__dict__.get(method_name)
+            if method is None or getattr(method, "__isabstractmethod__", False):
+                continue
+            if getattr(method, "__mutation_notifying__", False):
+                continue
+            setattr(cls, method_name, _notifying(method))
 
     @property
     @abc.abstractmethod

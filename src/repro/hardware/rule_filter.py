@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.exceptions import CapacityError, MemoryModelError
 from repro.hardware.hash_unit import HashUnit
 from repro.hardware.memory import MemoryBlock
+from repro.observers import MutationNotifier
 from repro.rules.rule import Rule
 
 __all__ = ["RuleFilterEntry", "RuleFilterLookup", "RuleFilterMemory"]
@@ -44,8 +45,13 @@ class RuleFilterLookup:
     memory_accesses: int
 
 
-class RuleFilterMemory:
-    """Hash-addressed rule store shared by every algorithm combination."""
+class RuleFilterMemory(MutationNotifier):
+    """Hash-addressed rule store shared by every algorithm combination.
+
+    Carries the :class:`~repro.observers.MutationNotifier` surface: the
+    :mod:`repro.perf` fast path memoizes lookup outcomes against the filter
+    contents and registers listeners fired after every insert/delete.
+    """
 
     #: Width of one rule-filter word: 68-bit key + rule id + priority + action
     #: pointer; 96 bits keeps the arithmetic round and matches the scale of the
@@ -107,6 +113,7 @@ class RuleFilterMemory:
                 self.memory.write(slot, entry)
                 accesses += 1
                 self._stored += 1
+                self.notify_mutation()
                 return slot, accesses
         raise CapacityError(f"rule filter probing exhausted all {self.memory.depth} slots")
 
@@ -143,6 +150,7 @@ class RuleFilterMemory:
             rule_like = _entry_as_rule(occupant)
             _, extra = self.insert(occupant.label_key, rule_like)
             accesses += extra
+        self.notify_mutation()
         return True, accesses
 
     # -- lookup path --------------------------------------------------------------

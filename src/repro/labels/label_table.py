@@ -145,6 +145,35 @@ class LabelTable:
         self.structural_deletes += 1
         return RemoveOutcome(label=entry.label, deleted=True, counter=0)
 
+    def rollback_insert(self, value: Hashable, previous_best: Optional[int]) -> None:
+        """Undo the most recent :meth:`insert` of ``value``.
+
+        The update engine needs this when a rule insert fails *after* some
+        label tables were already touched (e.g. the Rule Filter is full): the
+        partial per-dimension state must be unwound without leaving a trace —
+        including the cheap-vs-structural statistics, which :meth:`remove`
+        would perturb.  ``previous_best`` is the value's best priority before
+        the insert, or None when the insert created the entry.
+        """
+        entry = self._entries.get(value)
+        if entry is None:
+            raise LabelError(
+                f"cannot roll back value {value!r}: not present in field {self.field_name!r}"
+            )
+        if previous_best is None:
+            if entry.counter != 1:
+                raise LabelError(
+                    f"cannot roll back creation of {value!r}: counter is {entry.counter}, not 1"
+                )
+            del self._entries[value]
+            del self._values_by_label[entry.label]
+            self.allocator.release(entry.label)
+            self.structural_inserts -= 1
+            return
+        entry.counter -= 1
+        entry.best_priority = previous_best
+        self.counter_only_inserts -= 1
+
     def refresh_best_priority(self, value: Hashable, priorities: List[int]) -> None:
         """Recompute the best priority of ``value`` from the surviving rules.
 

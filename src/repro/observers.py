@@ -1,0 +1,46 @@
+"""Mutation-listener plumbing shared by memoization-aware components.
+
+The :mod:`repro.perf` fast path memoizes lookup results against the state of
+the single-field engines and the Rule Filter; both therefore expose the same
+tiny observer surface — register a callback, fire it after every structural
+mutation.  :class:`MutationNotifier` is that surface, factored out so the
+semantics (ordering, lazy storage, deregistration) cannot diverge between
+the components that carry it.
+
+The listener list is created lazily on first registration: engines are plain
+classes whose subclasses do not reliably chain ``__init__``, so the mixin
+must not depend on construction-time setup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+__all__ = ["MutationNotifier"]
+
+
+class MutationNotifier:
+    """Mixin: after-mutation callbacks for cache invalidation."""
+
+    _mutation_listeners: List[Callable[[], None]]
+
+    def add_mutation_listener(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run after every structural mutation."""
+        listeners = getattr(self, "_mutation_listeners", None)
+        if listeners is None:
+            listeners = []
+            self._mutation_listeners = listeners
+        listeners.append(callback)
+
+    def remove_mutation_listener(self, callback: Callable[[], None]) -> None:
+        """Deregister a previously added mutation listener (no-op if absent)."""
+        listeners = getattr(self, "_mutation_listeners", None)
+        if listeners and callback in listeners:
+            listeners.remove(callback)
+
+    def notify_mutation(self) -> None:
+        """Fire every registered mutation listener."""
+        listeners = getattr(self, "_mutation_listeners", None)
+        if listeners:
+            for callback in listeners:
+                callback()

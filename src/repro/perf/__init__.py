@@ -1,0 +1,26 @@
+"""repro.perf — high-throughput batch classification.
+
+The behavioural model is bit-exact but pure Python, so classifying packets
+one at a time caps trace throughput far below the "as fast as the hardware
+allows" goal.  This package closes the gap by exploiting the massive
+field-value redundancy of real traces (ClassBench traffic reuses the same
+16-bit IP segments, ports and protocols constantly):
+
+* :class:`~repro.perf.fastpath.FastPathAccelerator` — memoizes per-dimension
+  engine lookups, combiner outcomes and whole-header classifications, with
+  automatic invalidation on rule installs/removes (the mutation-listener
+  hooks of :class:`~repro.fields.base.SingleFieldEngine` and
+  :class:`~repro.hardware.rule_filter.RuleFilterMemory`).  Attached via
+  :meth:`ConfigurableClassifier.enable_fast_path`, it accelerates
+  ``classify_batch`` while keeping results bit-exact with the per-packet
+  path.
+* :class:`~repro.perf.parallel.ParallelSession` — shards a trace across N
+  classifier replicas (a worker pool), modelling a multi-pipeline deployment,
+  and merges the per-replica statistics into one
+  :class:`~repro.api.session.SessionStats`.
+"""
+
+from repro.perf.fastpath import FastPathAccelerator
+from repro.perf.parallel import ParallelSession
+
+__all__ = ["FastPathAccelerator", "ParallelSession"]

@@ -1,0 +1,185 @@
+"""Memoizing batch-lookup fast path for the configurable classifier.
+
+Real traces are massively redundant: a ClassBench trace over a 10K-rule
+filter set contains only a few thousand unique 16-bit IP segment values, a
+handful of protocols and a modest set of port values.  The per-packet path
+recomputes every engine walk, every combiner cross-product and every result
+record from scratch for each packet; the fast path memoizes all three layers:
+
+1. **Field layer** — one cache per dimension mapping the packet's field value
+   to the engine's (immutable) :class:`~repro.fields.base.FieldLookupResult`.
+2. **Combiner layer** — a cache keyed by the packed tuple of per-dimension
+   label lists mapping to the (immutable)
+   :class:`~repro.core.label_combiner.CombinerOutcome`.  Distinct field
+   values that resolve to the same label lists share one entry, so this layer
+   hits even when the field layer misses.
+3. **Header layer** — a cache keyed by the full 5-tuple header mapping to the
+   finished :class:`~repro.core.result.Classification` (flow locality makes
+   repeated headers common in practice).
+
+Results are *bit-exact* with the per-packet path: every cached object is
+immutable and deterministic given the installed rules, and the final record
+is assembled by the very same
+:meth:`~repro.core.classifier.ConfigurableClassifier._assemble_lookup` the
+per-packet path uses — the cost-model accounting (per-phase cycles,
+per-dimension memory accesses, probe counts, truncation flags) is identical.
+
+Caches invalidate themselves: the accelerator registers mutation listeners
+on every single-field engine (label-list changes drop that dimension's field
+cache) and on the Rule Filter (content changes drop the combiner and header
+caches), so interleaved installs/removes and batch lookups stay correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.dimensions import DIMENSIONS, packet_dimension_values
+from repro.core.result import BatchResult, Classification
+from repro.exceptions import ConfigurationError
+from repro.rules.packet import PacketHeader
+
+__all__ = ["FastPathAccelerator"]
+
+#: Header-cache entries kept before the cache is wholesale cleared.  Bounds
+#: memory on endless streams of unique flows; 1M finished classifications is
+#: a few hundred MB at most and far beyond any realistic working set.
+DEFAULT_HEADER_CACHE_LIMIT = 1 << 20
+
+
+class FastPathAccelerator:
+    """Batch classification through value/label/header memoization.
+
+    Attach via :meth:`ConfigurableClassifier.enable_fast_path` (which wires
+    ``classify_batch`` through :meth:`classify_batch` here); detach via
+    :meth:`ConfigurableClassifier.disable_fast_path`.
+    """
+
+    def __init__(self, classifier, header_cache_limit: int = DEFAULT_HEADER_CACHE_LIMIT) -> None:
+        if header_cache_limit <= 0:
+            raise ConfigurationError(
+                f"header cache limit must be positive, got {header_cache_limit}"
+            )
+        self.classifier = classifier
+        self.header_cache_limit = header_cache_limit
+        self._field_caches: Dict[str, dict] = {name: {} for name in DIMENSIONS}
+        self._combiner_cache: Dict[Tuple, object] = {}
+        self._header_cache: Dict[PacketHeader, Classification] = {}
+        # Hit/miss counters per memoization layer (benchmark/report fodder).
+        self.header_hits = 0
+        self.field_hits = 0
+        self.field_misses = 0
+        self.combiner_hits = 0
+        self.combiner_misses = 0
+        self._hooks: List[Tuple[object, object]] = []
+        self._attach()
+
+    # -- wiring ---------------------------------------------------------------
+    def _attach(self) -> None:
+        """Register the cache-invalidation hooks on the classifier's parts."""
+        for name in DIMENSIONS:
+            engine = self.classifier.engines[name]
+            hook = self._dimension_invalidator(name)
+            engine.add_mutation_listener(hook)
+            self._hooks.append((engine, hook))
+        rule_filter = self.classifier.rule_filter
+        hook = self._invalidate_outcomes
+        rule_filter.add_mutation_listener(hook)
+        self._hooks.append((rule_filter, hook))
+
+    def detach(self) -> None:
+        """Deregister every invalidation hook and drop all cached state."""
+        for target, hook in self._hooks:
+            target.remove_mutation_listener(hook)
+        self._hooks.clear()
+        self.invalidate()
+
+    def _dimension_invalidator(self, dimension: str):
+        def invalidate() -> None:
+            self._field_caches[dimension].clear()
+            self._invalidate_outcomes()
+
+        return invalidate
+
+    def _invalidate_outcomes(self) -> None:
+        self._combiner_cache.clear()
+        self._header_cache.clear()
+
+    def invalidate(self) -> None:
+        """Drop every cached lookup (all three layers)."""
+        for cache in self._field_caches.values():
+            cache.clear()
+        self._invalidate_outcomes()
+
+    # -- classification -------------------------------------------------------
+    def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """Classify ``packets``, reusing memoized work across the batch."""
+        header_cache = self._header_cache
+        results = []
+        append = results.append
+        limit = self.header_cache_limit
+        for packet in packets:
+            cached = header_cache.get(packet)
+            if cached is None:
+                cached = self._classify_uncached(packet)
+                if len(header_cache) >= limit:
+                    header_cache.clear()
+                header_cache[packet] = cached
+            else:
+                self.header_hits += 1
+            append(cached)
+        return BatchResult(tuple(results))
+
+    def _classify_uncached(self, packet: PacketHeader) -> Classification:
+        """Classify one header through the field and combiner caches."""
+        classifier = self.classifier
+        engines = classifier.engines
+        values = packet_dimension_values(packet)
+        field_results = {}
+        outcome_key = []
+        for name in DIMENSIONS:
+            cache = self._field_caches[name]
+            value = values[name]
+            result = cache.get(value)
+            if result is None:
+                result = engines[name].lookup(value)
+                cache[value] = result
+                self.field_misses += 1
+            else:
+                self.field_hits += 1
+            field_results[name] = result
+            outcome_key.append(result.matches)
+        key = tuple(outcome_key)
+        outcome = self._combiner_cache.get(key)
+        if outcome is None:
+            outcome = classifier.combiner.combine(
+                {name: result.matches for name, result in field_results.items()}
+            )
+            self._combiner_cache[key] = outcome
+            self.combiner_misses += 1
+        else:
+            self.combiner_hits += 1
+        return Classification.from_lookup(
+            classifier._assemble_lookup(field_results, outcome)
+        )
+
+    # -- introspection --------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Sizes and hit/miss counters of the three memoization layers."""
+        return {
+            "header_entries": len(self._header_cache),
+            "header_hits": self.header_hits,
+            "field_entries": sum(len(cache) for cache in self._field_caches.values()),
+            "field_hits": self.field_hits,
+            "field_misses": self.field_misses,
+            "combiner_entries": len(self._combiner_cache),
+            "combiner_hits": self.combiner_hits,
+            "combiner_misses": self.combiner_misses,
+        }
+
+    def __repr__(self) -> str:
+        stats = self.cache_stats()
+        return (
+            f"FastPathAccelerator(headers={stats['header_entries']}, "
+            f"fields={stats['field_entries']}, combos={stats['combiner_entries']})"
+        )

@@ -1,0 +1,82 @@
+"""Multi-pipeline deployment model: trace sharding over classifier replicas.
+
+The paper's hardware sustains line rate because the pipeline accepts a new
+packet every cycle; a software deployment reaches for the same headroom by
+running several classifier *replicas* side by side behind a load balancer.
+:class:`ParallelSession` models exactly that: a worker pool of N independent
+replicas (each holding the full rule set), a round-robin shard of the input
+trace per replica, and one merged :class:`~repro.api.session.SessionStats`
+over the whole deployment.
+
+Replicas share nothing, so workers are free of cross-talk by construction;
+the pool uses threads (each replica classifies its own shard) and the merged
+statistics are exact — counts sum, averages are packet-weighted, worst cases
+take the maximum across replicas.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Sequence
+
+from repro.api.session import ClassificationSession, SessionStats
+from repro.exceptions import ConfigurationError
+from repro.rules.packet import PacketHeader
+
+__all__ = ["ParallelSession"]
+
+
+class ParallelSession:
+    """Shard traces across replica classifiers and merge their statistics."""
+
+    def __init__(self, replicas: Sequence, chunk_size: int = 256) -> None:
+        if not replicas:
+            raise ConfigurationError("a parallel session needs at least one replica")
+        self.sessions: List[ClassificationSession] = [
+            ClassificationSession(replica, chunk_size=chunk_size) for replica in replicas
+        ]
+
+    @classmethod
+    def from_factory(
+        cls, factory: Callable[[], object], workers: int, chunk_size: int = 256
+    ) -> "ParallelSession":
+        """Build ``workers`` replicas by calling ``factory`` once per worker."""
+        if workers <= 0:
+            raise ConfigurationError(f"worker count must be positive, got {workers}")
+        return cls([factory() for _ in range(workers)], chunk_size=chunk_size)
+
+    @property
+    def workers(self) -> int:
+        """Number of replica pipelines."""
+        return len(self.sessions)
+
+    # -- streaming -----------------------------------------------------------
+    def _shard(self, packets: Iterable[PacketHeader]) -> List[List[PacketHeader]]:
+        """Round-robin the trace over the replicas (a rotating load balancer)."""
+        trace = packets if isinstance(packets, list) else list(packets)
+        return [trace[index :: self.workers] for index in range(self.workers)]
+
+    def run(self, packets: Iterable[PacketHeader]) -> SessionStats:
+        """Shard one trace across the worker pool and return the merged stats."""
+        shards = self._shard(packets)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(session.run, shard)
+                for session, shard in zip(self.sessions, shards)
+            ]
+            for future in futures:
+                future.result()
+        return self.stats()
+
+    def reset(self) -> None:
+        """Zero every replica's aggregate counters."""
+        for session in self.sessions:
+            session.reset()
+
+    # -- aggregation ---------------------------------------------------------
+    def stats(self) -> SessionStats:
+        """Merged statistics over everything streamed through the pool."""
+        return SessionStats.merge([session.stats() for session in self.sessions])
+
+    def __repr__(self) -> str:
+        return f"ParallelSession(workers={self.workers})"

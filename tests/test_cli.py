@@ -89,6 +89,29 @@ class TestWorkloadCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["classify", "--classifier", "tcam"])
 
+    def test_classify_fast_path(self, capsys):
+        assert main(["classify", "--size", "300", "--packets", "40", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Batch fast path                : on" in out
+
+    def test_classify_parallel_workers(self, capsys):
+        assert main(["classify", "--size", "300", "--packets", "40", "--fast",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "configurablex2" in out
+        assert "Worker replicas" in out
+
+    def test_classify_invalid_worker_count(self, capsys):
+        assert main(["classify", "--size", "150", "--packets", "5",
+                     "--workers", "0"]) == 2
+        assert "worker count must be positive" in capsys.readouterr().err
+
+    def test_sweep_fast_flag(self, capsys):
+        assert main(["sweep", "--size", "150", "--packets", "10", "--fast",
+                     "--classifiers", "configurable,linear_search"]) == 0
+        out = capsys.readouterr().out
+        assert "configurable" in out and "linear_search" in out
+
     def test_sweep_bogus_name_clean_error(self, capsys):
         assert main(["sweep", "--size", "150", "--packets", "10",
                      "--classifiers", "tcam"]) == 2

@@ -100,6 +100,39 @@ class TestConfigurability:
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
         assert classifier.reconfigure(IpAlgorithm.MBT) == 0
 
+    def test_reconfigure_round_trip_preserves_install_order(self, handcrafted_ruleset):
+        """MBT -> BST -> MBT must rebuild a state identical to a fresh build.
+
+        Label values depend on installation order, so the replay must follow
+        the original (here deliberately non-sorted) install order; a replay
+        sorted by rule id would assign different labels and different Rule
+        Filter keys.
+        """
+        shuffled = [handcrafted_ruleset.get(rule_id) for rule_id in (4, 2, 0, 3, 1)]
+        round_tripped = ConfigurableClassifier()
+        fresh = ConfigurableClassifier()
+        for rule in shuffled:
+            round_tripped.install_rule(rule)
+            fresh.install_rule(rule)
+        round_tripped.reconfigure(IpAlgorithm.BST)
+        round_tripped.reconfigure(IpAlgorithm.MBT)
+        for dimension in DIMENSIONS:
+            expected = [
+                (value, entry.label, entry.counter, entry.best_priority)
+                for value, entry in fresh.label_tables[dimension].entries()
+            ]
+            actual = [
+                (value, entry.label, entry.counter, entry.best_priority)
+                for value, entry in round_tripped.label_tables[dimension].entries()
+            ]
+            assert actual == expected, dimension
+        assert {
+            (entry.label_key, entry.rule_id) for entry in round_tripped.rule_filter.entries()
+        } == {(entry.label_key, entry.rule_id) for entry in fresh.rule_filter.entries()}
+        assert [
+            rule.rule_id for rule in round_tripped.update_engine.installed_rules_in_order()
+        ] == [4, 2, 0, 3, 1]
+
     def test_set_combiner_mode(self, handcrafted_ruleset):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
         classifier.set_combiner_mode(CombinerMode.FIRST_LABEL)

@@ -72,6 +72,53 @@ class TestLabelCombiner:
         outcome = combiner.combine(matches)
         assert outcome.probes <= 5
 
+    def test_probe_budget_truncation_is_flagged(self):
+        combiner, _, _ = self.make_combiner(probe_budget=5)
+        matches = _matches(dst_port=tuple((label, 10 + label) for label in range(50)))
+        outcome = combiner.combine(matches)
+        assert outcome.truncated
+
+    def test_prunable_tail_after_budget_not_flagged(self):
+        # The budget is hit after three probes, but every remaining
+        # combination is pruned by the priority bound of the found rule:
+        # the result is provably exact, so no truncation warning.
+        combiner, layout, rule_filter = self.make_combiner(probe_budget=3)
+        rule_filter.insert(layout.pack((0, 0, 0, 0, 0, 10, 0)), Rule.build(3, 3))
+        matches = _matches(
+            dst_port=((10, 0), (11, 1), (12, 2), (13, 10), (14, 11), (15, 12))
+        )
+        outcome = combiner.combine(matches)
+        assert outcome.probes == 3
+        assert outcome.entry.rule_id == 3
+        assert not outcome.truncated
+
+    def test_candidate_tail_after_budget_is_flagged(self):
+        # Same walk, but one unvisited combination could still beat the best
+        # entry found: that is a real truncation.
+        combiner, layout, rule_filter = self.make_combiner(probe_budget=3)
+        rule_filter.insert(layout.pack((0, 0, 0, 0, 0, 10, 0)), Rule.build(5, 5))
+        matches = _matches(
+            dst_port=((10, 0), (11, 1), (12, 2), (13, 4), (14, 11), (15, 12))
+        )
+        outcome = combiner.combine(matches)
+        assert outcome.probes == 3
+        assert outcome.truncated
+
+    def test_exact_budget_exhaustion_not_flagged(self):
+        # Three combinations, budget of exactly three: every combination is
+        # probed, so the outcome is exact and must not carry the warning.
+        combiner, _, _ = self.make_combiner(probe_budget=3)
+        matches = _matches(dst_port=tuple((label, 10 + label) for label in range(3)))
+        outcome = combiner.combine(matches)
+        assert outcome.probes == 3
+        assert not outcome.truncated
+
+    def test_untruncated_walk_not_flagged(self):
+        combiner, layout, rule_filter = self.make_combiner()
+        rule_filter.insert(layout.pack((1, 0, 0, 0, 0, 0, 0)), Rule.build(1, 1))
+        outcome = combiner.combine(_matches(src_ip_hi=((1, 1),)))
+        assert not outcome.truncated
+
     def test_first_label_single_probe(self):
         combiner, layout, rule_filter = self.make_combiner(mode=CombinerMode.FIRST_LABEL)
         key = layout.pack((2, 0, 0, 0, 0, 0, 0))
@@ -218,3 +265,100 @@ class TestUpdateEngine:
         classifier.remove_rule(0)
         classifier.install_rule(handcrafted_ruleset.get(0))
         assert classifier.classify(web_packet).rule_id == 0
+
+
+class TestInsertAtomicity:
+    """A failed insert must leave the classifier exactly as it found it.
+
+    Regression tests for the Fig. 4 update path: a CapacityError out of the
+    Rule Filter (or an engine refusing a value mid-way through the seven
+    dimensions) used to leave the label tables, engines and reference sets
+    permanently corrupted.
+    """
+
+    def _snapshot(self, classifier, packets):
+        return {
+            "stats": classifier.stats(),
+            "update_stats": classifier.update_engine.update_statistics(),
+            "installed": classifier.update_engine.installed_rule_ids(),
+            "memory": classifier.memory_bits_used(),
+            "label_entries": {
+                dimension: [
+                    (value, entry.label, entry.counter, entry.best_priority)
+                    for value, entry in classifier.label_tables[dimension].entries()
+                ]
+                for dimension in DIMENSIONS
+            },
+            "value_users": {
+                dimension: {
+                    value: set(users)
+                    for value, users in classifier.update_engine._value_users[dimension].items()
+                }
+                for dimension in DIMENSIONS
+            },
+            "lookups": [classifier.classify(packet) for packet in packets],
+        }
+
+    def test_rule_filter_capacity_error_rolls_back(self, handcrafted_ruleset, web_packet):
+        from repro.exceptions import CapacityError
+
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        before = self._snapshot(classifier, [web_packet])
+
+        def full(key, rule):
+            raise CapacityError("rule filter probing exhausted (simulated)")
+
+        classifier.rule_filter.insert = full
+        probe = Rule.build(99, 0, src="10.9.0.0/16", dst="172.16.0.0/12",
+                           src_port="1000:2000", dst_port="443:443", protocol=6)
+        try:
+            with pytest.raises(CapacityError):
+                classifier.install_rule(probe)
+        finally:
+            del classifier.rule_filter.insert  # restore the real method
+        assert self._snapshot(classifier, [web_packet]) == before
+        # The classifier is still fully functional: the same rule installs
+        # cleanly once capacity is available again.
+        result = classifier.install_rule(probe)
+        assert result.rule_id == 99
+        assert classifier.installed_rules == len(handcrafted_ruleset) + 1
+
+    def test_rollback_restores_shared_value_priority(self, web_packet):
+        """A failed insert must undo the HPML reordering of shared values."""
+        from repro.core.dimensions import packet_dimension_values
+        from repro.exceptions import CapacityError
+
+        classifier = ConfigurableClassifier()
+        low = Rule.build(10, 10, src="10.0.0.0/8", protocol=6)
+        classifier.install_rule(low)
+        before = self._snapshot(classifier, [web_packet])
+        values = packet_dimension_values(web_packet)
+        engine_before = classifier.engines["src_ip_hi"].lookup(values["src_ip_hi"])
+
+        classifier.rule_filter.insert = lambda key, rule: (_ for _ in ()).throw(
+            CapacityError("simulated full filter")
+        )
+        better = Rule.build(1, 1, src="10.0.0.0/8", protocol=6, dst="1.2.3.0/24")
+        try:
+            with pytest.raises(CapacityError):
+                classifier.install_rule(better)
+        finally:
+            del classifier.rule_filter.insert
+        assert self._snapshot(classifier, [web_packet]) == before
+        assert classifier.engines["src_ip_hi"].lookup(values["src_ip_hi"]) == engine_before
+
+    def test_engine_failure_mid_insert_rolls_back(self, web_packet):
+        """Port register exhaustion on dimension six unwinds dimensions 1-5."""
+        from dataclasses import replace
+
+        from repro.exceptions import FieldLookupError
+
+        config = ClassifierConfig()
+        config = replace(config, provisioning=replace(config.provisioning, port_registers=1))
+        classifier = ConfigurableClassifier(config)
+        classifier.install_rule(Rule.build(0, 0, src="10.0.0.0/8", dst_port="80:80", protocol=6))
+        before = self._snapshot(classifier, [web_packet])
+        overflow = Rule.build(1, 1, src="10.2.0.0/16", dst_port="53:53", protocol=17)
+        with pytest.raises(FieldLookupError):
+            classifier.install_rule(overflow)
+        assert self._snapshot(classifier, [web_packet]) == before

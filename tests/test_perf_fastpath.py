@@ -1,0 +1,287 @@
+"""Tests for the repro.perf fast path and parallel sessions.
+
+The acceptance property of the fast path is *bit-exact equivalence*: for any
+workload, the memoizing batch path, the per-packet path and the linear-search
+ground truth must agree.  These tests sweep that property across ClassBench
+flavors and both combiner modes, and pin down the cache-invalidation
+behaviour on installs, removes, reconfiguration and combiner-mode switches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ClassificationSession, SessionStats, create_classifier
+from repro.core.classifier import ConfigurableClassifier
+from repro.core.config import CombinerMode, IpAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.perf import FastPathAccelerator, ParallelSession
+from repro.rules.classbench import ClassBenchGenerator, FilterFlavor
+from repro.rules.rule import Rule, RuleAction
+from repro.rules.trace import generate_trace
+
+
+@pytest.fixture(scope="module", params=["acl", "fw", "ipc"])
+def flavored_workload(request):
+    """A small ruleset + 1000-packet trace per ClassBench flavor."""
+    flavor = FilterFlavor(request.param)
+    ruleset = ClassBenchGenerator(flavor, seed=2014).generate(150)
+    trace = generate_trace(ruleset, count=1000, seed=4242, locality=0.2)
+    return ruleset, trace
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("combiner", [m.value for m in CombinerMode])
+    def test_fast_equals_slow_equals_ground_truth(self, flavored_workload, combiner):
+        """1000-packet sweep: fast path == per-packet path (== linear scan)."""
+        ruleset, trace = flavored_workload
+        classifier = create_classifier("configurable", ruleset, combiner=combiner)
+        slow = classifier.classify_batch(trace)
+        classifier.enable_fast_path()
+        fast_cold = classifier.classify_batch(trace)
+        fast_warm = classifier.classify_batch(trace)
+        assert list(fast_cold.results) == list(slow.results)
+        assert list(fast_warm.results) == list(slow.results)
+        if combiner == CombinerMode.CROSS_PRODUCT.value:
+            # Cross-product resolution is exact, so the linear scan agrees too
+            # (first-label is the paper's approximate hardware fast path).
+            truth = [
+                match.rule_id if (match := ruleset.highest_priority_match(p)) else None
+                for p in trace
+            ]
+            assert [result.rule_id for result in fast_cold] == truth
+
+    def test_bst_configuration(self, flavored_workload):
+        ruleset, trace = flavored_workload
+        classifier = create_classifier("configurable", ruleset, ip_algorithm="bst")
+        slow = classifier.classify_batch(trace[:400])
+        classifier.enable_fast_path()
+        assert list(classifier.classify_batch(trace[:400]).results) == list(slow.results)
+
+    def test_single_classify_unaffected(self, flavored_workload):
+        """classify() stays on the per-packet path even with the fast path on."""
+        ruleset, trace = flavored_workload
+        classifier = create_classifier("configurable", ruleset, fast=True)
+        batch = classifier.classify_batch(trace[:50])
+        assert [classifier.classify(p) for p in trace[:50]] == list(batch.results)
+
+
+class TestSessionAggregates:
+    def test_run_and_feed_match_direct_batch(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        batch = classifier.classify_batch(small_trace)
+
+        session = ClassificationSession(classifier, chunk_size=32)
+        stats = session.run(small_trace)
+        assert stats.packets == batch.packets
+        assert stats.matched == batch.matched
+        assert stats.truncated_lookups == batch.truncated_lookups
+        assert stats.average_memory_accesses == pytest.approx(batch.average_memory_accesses)
+        assert stats.worst_memory_accesses == batch.worst_memory_accesses
+        assert stats.average_latency_cycles == pytest.approx(batch.average_latency_cycles)
+
+        session.reset()
+        fed = session.feed(small_trace)
+        assert list(fed.results) == list(batch.results)
+        assert session.stats().packets == batch.packets
+
+
+class TestCacheInvalidation:
+    def _probe_rule(self):
+        return Rule.build(
+            9999, 0, src="10.0.0.0/8", dst="192.168.0.0/16", src_port="0:65535",
+            dst_port="80:80", protocol=6, action=RuleAction.REDIRECT_GROUP,
+        )
+
+    def test_install_and_remove_invalidate(self, handcrafted_ruleset, web_packet):
+        base = handcrafted_ruleset.filter(lambda rule: rule.rule_id != 0, name="trimmed")
+        classifier = create_classifier("configurable", base, fast=True)
+        assert classifier.classify_batch([web_packet])[0].rule_id == 1
+        classifier.install(self._probe_rule())
+        assert classifier.classify_batch([web_packet])[0].rule_id == 9999
+        classifier.remove(9999)
+        assert classifier.classify_batch([web_packet])[0].rule_id == 1
+
+    def test_batch_results_track_slow_path_after_updates(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        classifier.classify_batch(small_trace)  # warm every cache
+        classifier.install(self._probe_rule())
+        fast = classifier.classify_batch(small_trace)
+        classifier.disable_fast_path()
+        slow = classifier.classify_batch(small_trace)
+        assert list(fast.results) == list(slow.results)
+
+    def test_reconfigure_rebinds_fast_path(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        classifier.classify_batch(small_trace)
+        classifier.reconfigure(IpAlgorithm.BST)
+        assert classifier.fast_path_enabled
+        fast = classifier.classify_batch(small_trace)
+        reference = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, classifier.config
+        ).classify_batch(small_trace)
+        assert list(fast.results) == list(reference.results)
+
+    def test_set_combiner_mode_invalidates(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        cross = classifier.classify_batch(small_trace)
+        classifier.set_combiner_mode(CombinerMode.FIRST_LABEL)
+        first = classifier.classify_batch(small_trace)
+        classifier.disable_fast_path()
+        slow_first = classifier.classify_batch(small_trace)
+        assert list(first.results) == list(slow_first.results)
+        # The two modes genuinely differ on overlapping rule sets, so a stale
+        # cache would have been caught above.
+        assert cross.packets == first.packets
+
+    def test_disable_detaches_listeners(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        accelerator = classifier._fast_path
+        classifier.classify_batch(small_trace[:20])
+        classifier.disable_fast_path()
+        assert not classifier.fast_path_enabled
+        assert accelerator.cache_stats()["field_entries"] == 0
+        # Updates after detach must not fire stale hooks (would repopulate/clear).
+        classifier.install(self._probe_rule())
+        assert classifier.classify_batch(small_trace[:20]).packets == 20
+
+
+class TestAcceleratorInternals:
+    def test_header_cache_bounded(self, small_acl_ruleset, small_trace):
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        accelerator = FastPathAccelerator(classifier, header_cache_limit=8)
+        baseline = classifier.classify_batch(small_trace)
+        fast = accelerator.classify_batch(small_trace)
+        assert list(fast.results) == list(baseline.results)
+        assert accelerator.cache_stats()["header_entries"] <= 8
+
+    def test_invalid_header_limit(self, small_acl_ruleset):
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        with pytest.raises(ConfigurationError):
+            FastPathAccelerator(classifier, header_cache_limit=0)
+
+    def test_cache_stats_counters(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        classifier.classify_batch(small_trace)
+        stats = classifier._fast_path.cache_stats()
+        assert stats["field_misses"] > 0
+        assert stats["field_hits"] > 0  # traces reuse field values constantly
+        classifier.classify_batch(small_trace)
+        assert classifier._fast_path.cache_stats()["header_hits"] >= len(small_trace)
+
+
+class TestParallelSession:
+    def test_merged_stats_match_single_session(self, small_acl_ruleset, small_trace):
+        single = ClassificationSession(
+            create_classifier("configurable", small_acl_ruleset, fast=True), chunk_size=64
+        ).run(small_trace)
+        pool = ParallelSession.from_factory(
+            lambda: create_classifier("configurable", small_acl_ruleset, fast=True),
+            workers=3,
+            chunk_size=64,
+        )
+        merged = pool.run(small_trace)
+        assert merged.packets == single.packets
+        assert merged.matched == single.matched
+        assert merged.truncated_lookups == single.truncated_lookups
+        assert merged.worst_memory_accesses == single.worst_memory_accesses
+        assert merged.average_memory_accesses == pytest.approx(single.average_memory_accesses)
+        assert merged.average_latency_cycles == pytest.approx(single.average_latency_cycles)
+        # Replicated structures: the deployment's memory is per-worker memory summed.
+        assert merged.memory_bits == 3 * single.memory_bits
+        assert merged.classifier == "configurablex3"
+
+    def test_generator_input_and_reset(self, small_acl_ruleset, small_trace):
+        pool = ParallelSession.from_factory(
+            lambda: create_classifier("configurable", small_acl_ruleset), workers=2
+        )
+        stats = pool.run(packet for packet in small_trace)
+        assert stats.packets == len(small_trace)
+        pool.reset()
+        assert pool.stats().packets == 0
+
+    def test_invalid_worker_counts(self, small_acl_ruleset):
+        with pytest.raises(ConfigurationError):
+            ParallelSession.from_factory(lambda: None, workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelSession([])
+
+    def test_heterogeneous_replicas_allowed(self, small_acl_ruleset, small_trace):
+        pool = ParallelSession(
+            [
+                create_classifier("configurable", small_acl_ruleset),
+                create_classifier("linear_search", small_acl_ruleset),
+            ]
+        )
+        stats = pool.run(small_trace)
+        assert stats.packets == len(small_trace)
+        assert stats.classifier == "configurable+linear_searchx2"
+
+
+class TestSessionStatsMerge:
+    def test_weighted_merge(self):
+        a = SessionStats(
+            classifier="configurable", packets=10, matched=8, chunks=1,
+            average_memory_accesses=4.0, worst_memory_accesses=9,
+            average_latency_cycles=10.0, worst_latency_cycles=12,
+            memory_bits=100, truncated_lookups=1,
+        )
+        b = SessionStats(
+            classifier="configurable", packets=30, matched=15, chunks=2,
+            average_memory_accesses=8.0, worst_memory_accesses=7,
+            average_latency_cycles=20.0, worst_latency_cycles=25,
+            memory_bits=100, truncated_lookups=0,
+        )
+        merged = SessionStats.merge([a, b])
+        assert merged.packets == 40
+        assert merged.matched == 23
+        assert merged.chunks == 3
+        assert merged.average_memory_accesses == pytest.approx(7.0)
+        assert merged.worst_memory_accesses == 9
+        assert merged.average_latency_cycles == pytest.approx(17.5)
+        assert merged.worst_latency_cycles == 25
+        assert merged.memory_bits == 200
+        assert merged.truncated_lookups == 1
+
+    def test_latency_none_handling(self):
+        base = dict(
+            packets=5, matched=1, chunks=1, average_memory_accesses=1.0,
+            worst_memory_accesses=1, worst_latency_cycles=None, memory_bits=1,
+        )
+        a = SessionStats(classifier="x", average_latency_cycles=None, **base)
+        merged = SessionStats.merge([a, a])
+        assert merged.average_latency_cycles is None
+        assert merged.worst_latency_cycles is None
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionStats.merge([])
+
+
+class TestTruncationSignal:
+    def test_truncated_flag_reaches_session_stats(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        # web_packet matches rules 0, 1, 3 and 4: the cross product has more
+        # than one candidate combination, so a one-probe budget truncates.
+        classifier.combiner.probe_budget = 1
+        result = classifier.classify(web_packet)
+        assert result.truncated
+        assert result.detail.truncated
+        session = ClassificationSession(classifier)
+        stats = session.run([web_packet])
+        assert stats.truncated_lookups == 1
+
+    def test_fast_path_preserves_truncation(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        classifier.combiner.probe_budget = 1
+        slow = classifier.classify_batch([web_packet, web_packet])
+        classifier.enable_fast_path()
+        fast = classifier.classify_batch([web_packet, web_packet])
+        assert list(fast.results) == list(slow.results)
+        assert fast.truncated_lookups == slow.truncated_lookups == 2
+
+    def test_untruncated_lookup_flag_false(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        result = classifier.classify(web_packet)
+        assert not result.truncated
+        assert ClassificationSession(classifier).run([web_packet]).truncated_lookups == 0

@@ -19,7 +19,7 @@ class TestPackageExports:
 
     @pytest.mark.parametrize(
         "subpackage",
-        ["api", "core", "fields", "labels", "hardware", "rules", "baselines", "controller", "analysis", "experiments"],
+        ["api", "core", "fields", "labels", "hardware", "rules", "baselines", "controller", "analysis", "experiments", "perf"],
     )
     def test_subpackage_all_exports_resolve(self, subpackage):
         import importlib
