@@ -67,7 +67,7 @@ from repro.api import (
     create_classifier,
     register_classifier,
 )
-from repro.perf import FastPathAccelerator, ParallelSession
+from repro.perf import FastPathAccelerator, ParallelSession, ReplicaSpec
 from repro.rules import (
     FilterFlavor,
     PacketHeader,
@@ -97,6 +97,7 @@ __all__ = [
     "ClassificationSession",
     "FastPathAccelerator",
     "ParallelSession",
+    "ReplicaSpec",
     "create_classifier",
     "available_classifiers",
     "register_classifier",

@@ -16,14 +16,69 @@ baseline (or any future sharded/async engine) is a registry name change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
 from repro.api.protocol import PacketClassifier
 from repro.core.result import BatchResult, Classification
 from repro.exceptions import ConfigurationError
 from repro.rules.packet import PacketHeader
 
-__all__ = ["ClassificationSession", "SessionStats"]
+__all__ = ["ClassificationSession", "SessionStats", "BatchCounters", "measure_results"]
+
+
+class BatchCounters(NamedTuple):
+    """Statistics fold of one batch of classifications.
+
+    The single accounting definition shared by
+    :class:`ClassificationSession` and the :mod:`repro.perf.parallel`
+    workers (which ship these counters back across process boundaries), so
+    merged parallel statistics cannot drift from single-session statistics.
+    """
+
+    packets: int
+    matched: int
+    truncated: int
+    access_sum: int
+    access_worst: int
+    latency_sum: int
+    latency_count: int
+    latency_worst: int
+
+
+def measure_results(results: Sequence[Classification]) -> BatchCounters:
+    """Fold a batch's classifications into :class:`BatchCounters`."""
+    matched = 0
+    truncated = 0
+    access_sum = 0
+    access_worst = 0
+    latency_sum = 0
+    latency_count = 0
+    latency_worst = 0
+    for result in results:
+        if result.matched:
+            matched += 1
+        if result.truncated:
+            truncated += 1
+        accesses = result.memory_accesses
+        access_sum += accesses
+        if accesses > access_worst:
+            access_worst = accesses
+        latency = result.latency_cycles
+        if latency is not None:
+            latency_sum += latency
+            latency_count += 1
+            if latency > latency_worst:
+                latency_worst = latency
+    return BatchCounters(
+        packets=len(results),
+        matched=matched,
+        truncated=truncated,
+        access_sum=access_sum,
+        access_worst=access_worst,
+        latency_sum=latency_sum,
+        latency_count=latency_count,
+        latency_worst=latency_worst,
+    )
 
 
 @dataclass(frozen=True)
@@ -117,18 +172,15 @@ class ClassificationSession:
         if chunk:
             yield chunk
 
-    def _absorb(self, result: Classification) -> None:
-        self._packets += 1
-        if result.matched:
-            self._matched += 1
-        if result.truncated:
-            self._truncated += 1
-        self._access_sum += result.memory_accesses
-        self._access_worst = max(self._access_worst, result.memory_accesses)
-        if result.latency_cycles is not None:
-            self._latency_sum += result.latency_cycles
-            self._latency_count += 1
-            self._latency_worst = max(self._latency_worst, result.latency_cycles)
+    def _absorb(self, counters: BatchCounters) -> None:
+        self._packets += counters.packets
+        self._matched += counters.matched
+        self._truncated += counters.truncated
+        self._access_sum += counters.access_sum
+        self._access_worst = max(self._access_worst, counters.access_worst)
+        self._latency_sum += counters.latency_sum
+        self._latency_count += counters.latency_count
+        self._latency_worst = max(self._latency_worst, counters.latency_worst)
 
     def _consume(
         self, packets: Iterable[PacketHeader], retain: bool
@@ -136,8 +188,7 @@ class ClassificationSession:
         fed: Optional[List[Classification]] = [] if retain else None
         for chunk in self._iter_chunks(packets):
             batch = self.classifier.classify_batch(chunk)
-            for result in batch.results:
-                self._absorb(result)
+            self._absorb(measure_results(batch.results))
             if fed is not None:
                 fed.extend(batch.results)
             self._chunks += 1

@@ -21,6 +21,8 @@ Usage::
     python -m repro.cli classify --size 1000 --packets 200 --ip-algorithm bst
     python -m repro.cli classify --classifier hypercuts --size 1000
     python -m repro.cli classify --size 1000 --packets 10000 --fast --workers 4
+    python -m repro.cli classify --size 1000 --packets 10000 --vectorized \\
+        --workers 4 --backend process
     python -m repro.cli sweep --size 500 --packets 100 --classifiers hypercuts,rfc
 """
 
@@ -117,13 +119,42 @@ def _load_workload(args: argparse.Namespace):
     return generate_ruleset(FilterFlavor(args.flavor), args.size, seed=args.seed)
 
 
-def _build_classifier(name: str, ruleset, args: argparse.Namespace):
-    options = {}
+def _classifier_options(name: str, args: argparse.Namespace, strict_fast: bool) -> dict:
+    """Factory options for ``name``, policing the perf flags for baselines.
+
+    The :mod:`repro.perf` fast path only exists for the configurable
+    architecture.  ``--fast``/``--vectorized`` on a baseline is an error for
+    ``classify`` (``strict_fast``) and a stderr warning for ``sweep`` (where
+    the flag legitimately applies to the configurable entry of a mixed
+    sweep) — never a silent no-op.
+    """
+    fast = getattr(args, "fast", False)
+    vectorized = getattr(args, "vectorized", False)
     if name == "configurable":
-        options["ip_algorithm"] = args.ip_algorithm
-        options["combiner"] = args.combiner
-        options["fast"] = getattr(args, "fast", False)
-    return create_classifier(name, ruleset, **options)
+        return {
+            "ip_algorithm": args.ip_algorithm,
+            "combiner": args.combiner,
+            "fast": fast,
+            "vectorized": vectorized,
+        }
+    if fast or vectorized:
+        flags = "/".join(
+            flag for flag, on in (("--fast", fast), ("--vectorized", vectorized)) if on
+        )
+        message = (
+            f"{flags} is only supported by the 'configurable' classifier; "
+            f"{name!r} has no batch fast path"
+        )
+        if strict_fast:
+            raise ConfigurationError(message)
+        print(f"warning: {message} (running {name!r} without it)", file=sys.stderr)
+    return {}
+
+
+def _build_classifier(name: str, ruleset, args: argparse.Namespace, strict_fast: bool = True):
+    return create_classifier(
+        name, ruleset, **_classifier_options(name, args, strict_fast)
+    )
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -131,20 +162,25 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         raise ConfigurationError(f"worker count must be positive, got {args.workers}")
     ruleset = _load_workload(args)
     trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
-    if args.workers > 1:
-        from repro.perf import ParallelSession
+    details = {}
+    # A non-default backend is honoured even with one worker — never a
+    # silent no-op (a 1-worker process pool is a real isolation choice).
+    parallel = args.workers > 1 or args.backend != "thread"
+    if parallel:
+        from repro.perf import ParallelSession, ReplicaSpec
 
-        session = ParallelSession.from_factory(
-            lambda: _build_classifier(args.classifier, ruleset, args),
-            workers=args.workers,
-            chunk_size=args.chunk_size,
+        spec = ReplicaSpec(
+            args.classifier, ruleset, _classifier_options(args.classifier, args, True)
         )
-        details = session.sessions[0].classifier.stats().details
+        with ParallelSession.from_factory(
+            spec, workers=args.workers, chunk_size=args.chunk_size, backend=args.backend
+        ) as session:
+            stats = session.run(trace)
+            details = session.replica_details()
     else:
         classifier = _build_classifier(args.classifier, ruleset, args)
-        session = ClassificationSession(classifier, chunk_size=args.chunk_size)
         details = classifier.stats().details
-    stats = session.run(trace)
+        stats = ClassificationSession(classifier, chunk_size=args.chunk_size).run(trace)
     report = {
         "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
         "Classifier": stats.classifier,
@@ -154,8 +190,9 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         "Avg memory accesses / packet": f"{stats.average_memory_accesses:.1f}",
         "Structure memory": f"{stats.memory_megabits:.2f} Mbit",
     }
-    if args.workers > 1:
+    if parallel:
         report["Worker replicas"] = args.workers
+        report["Worker backend"] = args.backend
     if stats.average_latency_cycles is not None:
         report["Avg latency (cycles)"] = f"{stats.average_latency_cycles:.1f}"
     if stats.truncated_lookups:
@@ -163,7 +200,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if "ip_algorithm" in details:
         report["IP algorithm"] = str(details["ip_algorithm"]).upper()
         report["Combiner mode"] = details["combiner_mode"]
-        report["Batch fast path"] = "on" if details.get("fast_path") else "off"
+        fast_state = "off"
+        if details.get("fast_path"):
+            fast_state = "on (vectorized)" if details.get("fast_path_vectorized") else "on"
+        report["Batch fast path"] = fast_state
         report["Model throughput (40B packets)"] = f"{details['throughput_gbps']:.2f} Gbps"
         report["Rule capacity"] = details["rule_capacity"]
     print(format_kv(report, title="Classification run"))
@@ -182,7 +222,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     validate_classifier_names(names)
     rows = []
     for name in names:
-        classifier = _build_classifier(name, ruleset, args)
+        classifier = _build_classifier(name, ruleset, args, strict_fast=False)
         stats = ClassificationSession(classifier, chunk_size=args.chunk_size).run(trace)
         rows.append(
             {
@@ -237,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="enable the repro.perf batch fast path (configurable classifier only)",
         )
         sub.add_argument(
+            "--vectorized", action="store_true",
+            help="enable the vectorized cold path of the fast path "
+                 "(implies --fast; configurable classifier only)",
+        )
+        sub.add_argument(
             "--ip-algorithm", choices=[a.value for a in IpAlgorithm], default="mbt",
             help="IPalg_s position (configurable classifier only)",
         )
@@ -255,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub_classify.add_argument(
         "--workers", type=int, default=1,
         help="classifier replicas to shard the trace across (ParallelSession)",
+    )
+    sub_classify.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="ParallelSession worker backend: in-process threads (deployment "
+             "model) or worker processes (true CPU parallelism)",
     )
     add_workload_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)

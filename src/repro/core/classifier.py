@@ -193,17 +193,26 @@ class ConfigurableClassifier:
         return BatchResult(tuple(self.classify(packet) for packet in packets))
 
     # ------------------------------------------------------------------ fast path
-    def enable_fast_path(self) -> "FastPathAccelerator":
+    def enable_fast_path(self, vectorized: bool = False) -> "FastPathAccelerator":
         """Attach (and return) the batch-lookup accelerator of :mod:`repro.perf`.
 
         Subsequent :meth:`classify_batch` calls run through per-dimension and
         combiner-outcome caches that are invalidated automatically on rule
-        installs/removes.  Results are bit-exact with the per-packet path.
+        installs/removes.  ``vectorized=True`` additionally resolves cold
+        misses through the :mod:`repro.fields.vectorized` batch engine
+        walkers and the cached combiner walk (much faster first pass over a
+        trace).  Results are bit-exact with the per-packet path either way.
+
+        Re-enabling with a different ``vectorized`` setting swaps the
+        attached accelerator (dropping its caches); re-enabling with the same
+        setting returns the existing one untouched.
         """
+        if self._fast_path is not None and self._fast_path.vectorized != vectorized:
+            self.disable_fast_path()
         if self._fast_path is None:
             from repro.perf.fastpath import FastPathAccelerator
 
-            self._fast_path = FastPathAccelerator(self)
+            self._fast_path = FastPathAccelerator(self, vectorized=vectorized)
         return self._fast_path
 
     def disable_fast_path(self) -> None:
@@ -309,6 +318,7 @@ class ConfigurableClassifier:
         # install_ruleset "priority order preserved" contract.
         rules = self.update_engine.installed_rules_in_order()
         was_fast = self.fast_path_enabled
+        was_vectorized = was_fast and self._fast_path.vectorized
         self.disable_fast_path()
         self.config = self.config.with_ip_algorithm(ip_algorithm)
         self._build()
@@ -316,7 +326,7 @@ class ConfigurableClassifier:
             self.install_rule(rule)
         if was_fast:
             # The accelerator hooked the *old* engines; rebind it to the new ones.
-            self.enable_fast_path()
+            self.enable_fast_path(vectorized=was_vectorized)
         return len(rules)
 
     def set_combiner_mode(self, mode: CombinerMode) -> None:
@@ -376,6 +386,7 @@ class ConfigurableClassifier:
                 "memory_bits_provisioned": report.total_memory_bits_provisioned,
                 "update_model": "incremental",
                 "fast_path": self.fast_path_enabled,
+                "fast_path_vectorized": self.fast_path_enabled and self._fast_path.vectorized,
             },
         )
 
@@ -517,13 +528,15 @@ def _make_configurable(
     ip_algorithm: Optional[str] = None,
     combiner: Optional[str] = None,
     fast: bool = False,
+    vectorized: bool = False,
 ) -> ConfigurableClassifier:
     """Registry factory: build the architecture and install ``ruleset``.
 
     ``config`` takes a full :class:`ClassifierConfig` (e.g. from
     ``ClassifierConfig.builder()``); ``ip_algorithm``/``combiner`` are
     string shortcuts layered on top of it.  ``fast=True`` enables the
-    :mod:`repro.perf` batch-lookup fast path.
+    :mod:`repro.perf` batch-lookup fast path; ``vectorized=True`` enables the
+    fast path in its vectorized cold-path mode (and implies ``fast``).
     """
     builder = ClassifierConfig.builder(config)
     if ip_algorithm is not None:
@@ -531,6 +544,6 @@ def _make_configurable(
     if combiner is not None:
         builder = builder.combiner(combiner)
     classifier = ConfigurableClassifier.from_ruleset(ruleset, builder.build())
-    if fast:
-        classifier.enable_fast_path()
+    if fast or vectorized:
+        classifier.enable_fast_path(vectorized=vectorized)
     return classifier

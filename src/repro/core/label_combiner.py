@@ -23,6 +23,7 @@ pathological cross products.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -30,6 +31,11 @@ from repro.core.config import CombinerMode
 from repro.exceptions import ConfigurationError
 from repro.hardware.hash_unit import LabelKeyLayout
 from repro.hardware.rule_filter import RuleFilterEntry, RuleFilterMemory
+
+try:  # NumPy accelerates the cached cross-product staging; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 __all__ = ["CombinerOutcome", "LabelCombiner", "DIMENSIONS"]
 
@@ -62,6 +68,9 @@ class CombinerOutcome:
 class LabelCombiner:
     """Combines per-field label lists into the HPMR via the Rule Filter."""
 
+    #: Combinations packed/pre-resolved per block by :meth:`combine_with_cache`.
+    PROBE_BLOCK = 256
+
     def __init__(
         self,
         rule_filter: RuleFilterMemory,
@@ -75,6 +84,8 @@ class LabelCombiner:
         self.layout = layout
         self.mode = mode
         self.probe_budget = probe_budget
+        self._fast_pack = layout.make_packer()
+        self._key_shifts = layout.shifts()
 
     # -- public API ------------------------------------------------------------
     def combine(
@@ -91,6 +102,285 @@ class LabelCombiner:
         if self.mode is CombinerMode.FIRST_LABEL:
             return self._combine_first_label(lists)
         return self._combine_cross_product(lists)
+
+    def combine_with_cache(self, lists, probe_cache, sort_memo) -> CombinerOutcome:
+        """Exact :meth:`combine` over DIMENSIONS-ordered lists through shared caches.
+
+        The cold-path entry point of the :mod:`repro.perf` vectorized batch
+        engine.  ``lists`` is the tuple of per-dimension ``(label, priority)``
+        match tuples in :data:`DIMENSIONS` order (exactly the
+        ``FieldLookupResult.matches`` the engines produced); ``probe_cache``
+        memoizes :class:`~repro.hardware.rule_filter.RuleFilterLookup` results
+        per packed key and ``sort_memo`` memoizes the priority-sorted form of
+        each match list (both are :class:`~repro.perf.lru.BoundedCache`-style
+        objects: an exposed ``data`` dict for reads plus an eviction-enforcing
+        ``put``).
+
+        The returned :class:`CombinerOutcome` — entry, probe count, memory
+        accesses, cycles, truncation — is bit-identical to what
+        :meth:`combine` returns for the same lists: the walk visits the same
+        combinations in the same order with the same priority-bound pruning
+        and probe budget; only the per-probe work is restructured (keys are
+        packed and pre-resolved in blocks through
+        :meth:`~repro.hardware.rule_filter.RuleFilterMemory.lookup_batch`,
+        and repeated keys replay the cached lookup instead of re-reading the
+        memory).  Cached replays do not re-touch the rule-filter memory
+        counters — the same deviation every fast-path cache layer already
+        makes.
+        """
+        if any(not entries for entries in lists):
+            # Some field produced no matching label: no rule can match.
+            return CombinerOutcome(entry=None, probes=0, memory_accesses=0, cycles=1)
+        if self.mode is CombinerMode.FIRST_LABEL:
+            key = self._fast_pack([entries[0][0] for entries in lists])
+            hit = probe_cache.data.get(key)
+            if hit is None:
+                lookup = self.rule_filter.lookup(key)
+                hit = (lookup.entry, lookup.probes)
+                probe_cache.put(key, hit)
+            entry, probes = hit
+            # As in lookup(): every probe is one memory access.
+            return CombinerOutcome(
+                entry=entry, probes=1, memory_accesses=probes, cycles=1 + probes
+            )
+        return self._cross_product_cached(lists, probe_cache, sort_memo)
+
+    #: Cross products fully staged as arrays when their size is at most this;
+    #: larger ones stream through the block walk (tests may lower it to force
+    #: the fallback).
+    STAGE_CAP = 1 << 20
+
+    def _staging_record(self, dimension: int, entries, sort_memo):
+        """Memoized per-(dimension, match-list) staging data.
+
+        Always carries the priority-sorted list; with NumPy present it also
+        carries the per-entry priority array and the entry labels pre-shifted
+        into their packed-key position, split into low/high 64-bit limbs
+        (``hi`` is ``None`` for dimensions whose field never crosses bit 63).
+        """
+        memo_key = (dimension, entries)
+        record = sort_memo.data.get(memo_key)
+        if record is None:
+            ordered = tuple(sorted(entries, key=lambda pair: pair[1]))
+            if _np is not None:
+                count = len(ordered)
+                priorities = _np.fromiter(
+                    (priority for _, priority in ordered), dtype=_np.int64, count=count
+                )
+                labels = _np.fromiter(
+                    (label for label, _ in ordered), dtype=_np.uint64, count=count
+                )
+                shift = self._key_shifts[dimension]
+                width = self.layout.field_widths()[dimension]
+                if shift >= 64:
+                    # The whole field lives in the high limb; shifting a
+                    # uint64 by >= 64 is C-undefined, so never do it.
+                    low = _np.zeros(count, dtype=_np.uint64)
+                    high = labels << _np.uint64(shift - 64)
+                else:
+                    low = labels << _np.uint64(shift)  # wraps modulo 2**64
+                    high = (
+                        labels >> _np.uint64(64 - shift) if shift + width > 64 else None
+                    )
+                record = (ordered, priorities, low, high)
+            else:
+                record = (ordered, None, None, None)
+            sort_memo.put(memo_key, record)
+        return record
+
+    def _cross_product_cached(self, lists, probe_cache, sort_memo) -> CombinerOutcome:
+        """Cache-backed twin of :meth:`_combine_cross_product`.
+
+        Dispatches between the fully-staged array walk (NumPy, product size
+        within :attr:`STAGE_CAP`) and the streamed block walk; both visit the
+        identical combination order with identical accounting.
+        """
+        records = [
+            self._staging_record(dimension, entries, sort_memo)
+            for dimension, entries in enumerate(lists)
+        ]
+        ordered = [record[0] for record in records]
+        # The two-limb key staging represents keys up to 128 bits; anything
+        # wider (a custom LabelKeyLayout) streams through the block walk.
+        if _np is not None and self.layout.total_bits <= 128:
+            total = math.prod(len(one) for one in ordered)
+            if total <= self.STAGE_CAP:
+                return self._walk_fully_staged(records, ordered, probe_cache)
+        return self._walk_blocks(ordered, probe_cache)
+
+    def _walk_fully_staged(self, records, ordered, probe_cache) -> CombinerOutcome:
+        """Array-staged cross-product walk: bounds and key limbs via broadcasting."""
+        dims = len(records)
+        bounds = low = high = None
+        for dimension, (_, priorities, low_d, high_d) in enumerate(records):
+            shape = [1] * dims
+            shape[dimension] = len(priorities)
+            part = priorities.reshape(shape)
+            bounds = part if bounds is None else _np.maximum(bounds, part)
+            part = low_d.reshape(shape)
+            low = part if low is None else _np.bitwise_or(low, part)
+            if high_d is not None:
+                part = high_d.reshape(shape)
+                high = part if high is None else _np.bitwise_or(high, part)
+        bounds = _np.broadcast_to(bounds, low.shape) if bounds.shape != low.shape else bounds
+        bound_list = bounds.ravel().tolist()
+        low_list = low.ravel().tolist()
+        high_list = (
+            _np.broadcast_to(high, low.shape).ravel().tolist() if high is not None else None
+        )
+        total = len(bound_list)
+        probe_data = probe_cache.data
+        probe_get = probe_data.get
+        lookup_batch = self.rule_filter.lookup_batch
+        budget = self.probe_budget
+        block_size = self.PROBE_BLOCK
+        best: Optional[RuleFilterEntry] = None
+        best_priority = 0
+        probes = 0
+        accesses = 0
+        start = 0
+        while start < total:
+            end = min(start + block_size, total)
+            # Materialise this block's keys (pruned combinations excluded —
+            # pruning is monotone, see the block walk) and resolve misses in
+            # one batch.
+            block_keys = [0] * (end - start)
+            misses = []
+            miss = misses.append
+            unpruned = best is None
+            for offset, index in enumerate(range(start, end)):
+                if not unpruned and bound_list[index] >= best_priority:
+                    continue
+                key = low_list[index]
+                if high_list is not None:
+                    key |= high_list[index] << 64
+                block_keys[offset] = key
+                if key not in probe_data:
+                    miss(key)
+            if misses:
+                # Resolve no more than the cache can hold: the excess would
+                # evict keys resolved in this very batch before the walk
+                # reads them, re-reading (and re-counting) their probes.
+                # The remainder resolves one-by-one in the walk's fallback.
+                probe_cache.put_many(lookup_batch(misses[: probe_cache.limit]))
+            for offset, index in enumerate(range(start, end)):
+                if best is not None and bound_list[index] >= best_priority:
+                    continue
+                key = block_keys[offset]
+                hit = probe_get(key)
+                if hit is None:
+                    # Evicted mid-block under a tiny probe-cache limit.
+                    lookup = self.rule_filter.lookup(key)
+                    hit = (lookup.entry, lookup.probes)
+                    probe_cache.put(key, hit)
+                probes += 1
+                entry, cost = hit
+                accesses += cost
+                if entry is not None and (best is None or entry.priority < best_priority):
+                    best = entry
+                    best_priority = entry.priority
+                if probes >= budget:
+                    tail = itertools.islice(itertools.product(*ordered), index + 1, None)
+                    return CombinerOutcome(
+                        entry=best,
+                        probes=probes,
+                        memory_accesses=accesses,
+                        cycles=1 + probes,
+                        truncated=self._tail_has_candidates(tail, best),
+                    )
+            start = end
+        return CombinerOutcome(
+            entry=best, probes=probes, memory_accesses=accesses, cycles=1 + probes
+        )
+
+    def _walk_blocks(self, ordered, probe_cache) -> CombinerOutcome:
+        """Streamed block walk (no NumPy, or product beyond :attr:`STAGE_CAP`)."""
+        combinations = itertools.product(*ordered)
+        s0, s1, s2, s3, s4, s5, s6 = self._key_shifts
+        lookup_batch = self.rule_filter.lookup_batch
+        probe_data = probe_cache.data
+        probe_get = probe_data.get
+        budget = self.probe_budget
+        block_size = self.PROBE_BLOCK
+        best: Optional[RuleFilterEntry] = None
+        best_priority = 0
+        probes = 0
+        accesses = 0
+        while True:
+            block = list(itertools.islice(combinations, block_size))
+            if not block:
+                break
+            # Pack the whole block's keys, and pre-resolve the ones that are
+            # not already cached *and* not provably pruned by the current
+            # best (``best`` only improves, so a combination pruned now is
+            # also pruned when the walk below reaches it).
+            staged = []
+            stage = staged.append
+            misses = []
+            miss = misses.append
+            unpruned = best is None
+            for combo in block:
+                (l0, p0), (l1, p1), (l2, p2), (l3, p3), (l4, p4), (l5, p5), (l6, p6) = combo
+                bound = p0
+                if p1 > bound:
+                    bound = p1
+                if p2 > bound:
+                    bound = p2
+                if p3 > bound:
+                    bound = p3
+                if p4 > bound:
+                    bound = p4
+                if p5 > bound:
+                    bound = p5
+                if p6 > bound:
+                    bound = p6
+                if not unpruned and bound >= best_priority:
+                    # Provably pruned at walk time too (``best`` only
+                    # improves); the key is never needed.
+                    stage((bound, 0))
+                    continue
+                key = (
+                    (l0 << s0) | (l1 << s1) | (l2 << s2) | (l3 << s3)
+                    | (l4 << s4) | (l5 << s5) | (l6 << s6)
+                )
+                stage((bound, key))
+                if key not in probe_data:
+                    miss(key)
+            if misses:
+                # Resolve no more than the cache can hold: the excess would
+                # evict keys resolved in this very batch before the walk
+                # reads them, re-reading (and re-counting) their probes.
+                # The remainder resolves one-by-one in the walk's fallback.
+                probe_cache.put_many(lookup_batch(misses[: probe_cache.limit]))
+            # The walk itself: identical visit order, pruning, accounting and
+            # budget semantics as the uncached cross-product loop.
+            for index, (bound, key) in enumerate(staged):
+                if best is not None and bound >= best_priority:
+                    continue
+                hit = probe_get(key)
+                if hit is None:
+                    # Evicted mid-block under a tiny probe-cache limit.
+                    lookup = self.rule_filter.lookup(key)
+                    hit = (lookup.entry, lookup.probes)
+                    probe_cache.put(key, hit)
+                probes += 1
+                entry, cost = hit
+                accesses += cost
+                if entry is not None and (best is None or entry.priority < best_priority):
+                    best = entry
+                    best_priority = entry.priority
+                if probes >= budget:
+                    tail = itertools.chain(block[index + 1:], combinations)
+                    return CombinerOutcome(
+                        entry=best,
+                        probes=probes,
+                        memory_accesses=accesses,
+                        cycles=1 + probes,
+                        truncated=self._tail_has_candidates(tail, best),
+                    )
+        return CombinerOutcome(
+            entry=best, probes=probes, memory_accesses=accesses, cycles=1 + probes
+        )
 
     # -- modes --------------------------------------------------------------------
     def _combine_first_label(

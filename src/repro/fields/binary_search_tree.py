@@ -221,6 +221,18 @@ class BinarySearchTree(SingleFieldEngine):
             self._interval_lists.append(0)
         return len(self._boundaries) * 2 + sum(len(entry) for entry in self._list_pool)
 
+    def search_arrays(self):
+        """The rebuilt search structure, for batch walkers.
+
+        Returns ``(boundaries, interval_lists, list_pool)`` — the sorted
+        elementary-interval boundaries, the per-interval pointer into the
+        deduplicated list pool, and the pool of ``(label, priority)`` match
+        tuples.  Forces the lazy rebuild first, exactly like a lookup.  The
+        returned structures must not be mutated.
+        """
+        self._ensure_built()
+        return self._boundaries, self._interval_lists, self._list_pool
+
     def stored_prefixes(self) -> List[Tuple[int, int]]:
         """The prefixes currently stored (verification helper)."""
         return sorted(self._prefixes)

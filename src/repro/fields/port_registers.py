@@ -129,6 +129,20 @@ class PortRegisterFile(SingleFieldEngine):
         matches = tuple((register.label, register.priority) for register in matching)
         return FieldLookupResult(matches=matches, memory_accesses=1, cycles=self.lookup_cycles)
 
+    def result_ordered_registers(self) -> List[PortRegister]:
+        """Registers pre-sorted in :meth:`lookup` result order, for batch walkers.
+
+        :meth:`lookup` stable-sorts the *matching* registers by
+        ``(exact-first, tightest-span, low)``; filtering this pre-sorted full
+        bank by "matches the value" yields the same order (a stable sort
+        commutes with filtering), which is what lets a batch walker emit
+        bit-identical match tuples without re-sorting per value.
+        """
+        return sorted(
+            self._registers.values(),
+            key=lambda register: (0 if register.is_exact else register.span, register.low),
+        )
+
     # -- reporting -----------------------------------------------------------------
     def registers(self) -> List[PortRegister]:
         """Stored registers ordered by label (Table IV rendering helper)."""

@@ -16,9 +16,14 @@ steps are visible in the access counts, so collision cost is still modelled).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+
+try:  # NumPy accelerates hash_batch; the scalar path needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
 
 __all__ = ["LabelKeyLayout", "HashUnit", "DEFAULT_LABEL_LAYOUT"]
 
@@ -72,6 +77,40 @@ class LabelKeyLayout:
             key = (key << width) | label
         return key
 
+    def shifts(self) -> Tuple[int, ...]:
+        """Per-component left-shift amounts of :meth:`pack`, canonical order.
+
+        ``pack(labels) == OR(label << shift for label, shift in
+        zip(labels, shifts()))`` — the one derivation shared by the fast
+        packer and the combiner's staged walks.
+        """
+        amounts = []
+        total = 0
+        for width in reversed(self.field_widths()):
+            amounts.append(total)
+            total += width
+        return tuple(reversed(amounts))
+
+    def make_packer(self):
+        """Return a fast ``labels -> key`` closure equivalent to :meth:`pack`.
+
+        The closure precomputes the per-field shift amounts and skips the
+        range validation — callers feed it labels that already passed through
+        the label tables, so the checks :meth:`pack` performs for arbitrary
+        input are redundant on the lookup hot path.  ``pack(labels) ==
+        make_packer()(labels)`` for every valid label sequence.
+        """
+        s0, s1, s2, s3, s4, s5, s6 = self.shifts()
+
+        def fast_pack(labels, _s0=s0, _s1=s1, _s2=s2, _s3=s3, _s4=s4, _s5=s5, _s6=s6):
+            l0, l1, l2, l3, l4, l5, l6 = labels
+            return (
+                (l0 << _s0) | (l1 << _s1) | (l2 << _s2) | (l3 << _s3)
+                | (l4 << _s4) | (l5 << _s5) | (l6 << _s6)
+            )
+
+        return fast_pack
+
     def unpack(self, key: int) -> Tuple[int, ...]:
         """Inverse of :meth:`pack`."""
         widths = self.field_widths()
@@ -114,6 +153,28 @@ class HashUnit:
         value = (value * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
         value ^= value >> 32
         return value & (self.table_size - 1)
+
+    def hash_batch(self, keys: Sequence[int]) -> List[int]:
+        """Vectorized :meth:`hash` over many keys (bit-identical per key).
+
+        The splitmix-style mixing runs as NumPy ``uint64`` arithmetic (which
+        wraps modulo 2**64 exactly like the masked Python arithmetic) when
+        NumPy is available and the batch is big enough to amortise the array
+        round-trip; otherwise it falls back to per-key :meth:`hash`.  Callers
+        pass packed label keys, which are non-negative by construction.
+        """
+        if _np is None or len(keys) < 32:
+            return [self.hash(key) for key in keys]
+        mask64 = 0xFFFFFFFFFFFFFFFF
+        count = len(keys)
+        value = _np.fromiter((key & mask64 for key in keys), dtype=_np.uint64, count=count)
+        value ^= _np.fromiter((key >> 64 for key in keys), dtype=_np.uint64, count=count)
+        value *= _np.uint64(self._MULTIPLIER)
+        value ^= value >> _np.uint64(29)
+        value *= _np.uint64(0xBF58476D1CE4E5B9)
+        value ^= value >> _np.uint64(32)
+        value &= _np.uint64(self.table_size - 1)
+        return value.tolist()
 
     def probe_sequence(self, key: int, limit: int):
         """Yield the first ``limit`` linear-probing slots for ``key``.

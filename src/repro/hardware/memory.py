@@ -132,6 +132,23 @@ class MemoryBlock:
         self._check_address(address)
         return self._words.get(address)
 
+    def batch_reader(self):
+        """Uncounted raw read function for batch lookup engines.
+
+        Returns a ``payload = reader(address)`` callable (``None`` for empty
+        words) that skips the per-access bounds check and counter update of
+        :meth:`read` — the caller owns address validity and must account its
+        reads in one bulk :meth:`count_reads` call, keeping the block's
+        counters consistent with an equivalent sequence of :meth:`read` calls.
+        """
+        return self._words.get
+
+    def count_reads(self, count: int) -> None:
+        """Account ``count`` read accesses in one bulk update (batch ports)."""
+        if count < 0:
+            raise MemoryModelError(f"read count must be non-negative, got {count}")
+        self.counter.reads += count
+
     def items(self) -> Iterator[Tuple[int, Any]]:
         """Iterate ``(address, payload)`` pairs of occupied words (not counted)."""
         return iter(sorted(self._words.items()))

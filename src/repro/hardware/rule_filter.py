@@ -170,6 +170,44 @@ class RuleFilterMemory(MutationNotifier):
                     best = occupant
         return RuleFilterLookup(entry=best, probes=probes, memory_accesses=accesses)
 
+    def lookup_batch(self, label_keys) -> dict:
+        """Resolve many keys in one pass: ``{key: (entry, probes)}``.
+
+        The compact batch form of :meth:`lookup`: per key, ``entry`` and
+        ``probes`` are exactly what :meth:`lookup` would report, and — as in
+        :meth:`lookup`, where every probe is one memory access —
+        ``memory_accesses == probes``, so the pair carries the full
+        :class:`RuleFilterLookup` information without constructing one record
+        per key.  Duplicate keys are resolved once.  The memory's read
+        counter is updated in one bulk
+        :meth:`~repro.hardware.memory.MemoryBlock.count_reads` call instead
+        of per probe, which is what makes this the cold-path workhorse of the
+        :mod:`repro.perf` vectorized batch engine.
+        """
+        keys = label_keys if isinstance(label_keys, list) else list(label_keys)
+        reader = self.memory.batch_reader()
+        mask = self.hash_unit.table_size - 1
+        depth = self.memory.depth
+        results: dict = {}
+        total_reads = 0
+        for key, slot in zip(keys, self.hash_unit.hash_batch(keys)):
+            if key in results:
+                continue
+            probes = 0
+            best: Optional[RuleFilterEntry] = None
+            for _ in range(depth):
+                occupant = reader(slot)
+                probes += 1
+                if occupant is None:
+                    break
+                if occupant.label_key == key and (best is None or occupant.priority < best.priority):
+                    best = occupant
+                slot = (slot + 1) & mask
+            total_reads += probes
+            results[key] = (best, probes)
+        self.memory.count_reads(total_reads)
+        return results
+
     def entries(self) -> List[RuleFilterEntry]:
         """Every stored entry (verification helper, not access-counted)."""
         return [payload for _, payload in self.memory.items()]

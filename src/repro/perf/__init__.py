@@ -2,25 +2,37 @@
 
 The behavioural model is bit-exact but pure Python, so classifying packets
 one at a time caps trace throughput far below the "as fast as the hardware
-allows" goal.  This package closes the gap by exploiting the massive
-field-value redundancy of real traces (ClassBench traffic reuses the same
-16-bit IP segments, ports and protocols constantly):
+allows" goal.  This package closes the gap from two directions:
 
 * :class:`~repro.perf.fastpath.FastPathAccelerator` — memoizes per-dimension
-  engine lookups, combiner outcomes and whole-header classifications, with
-  automatic invalidation on rule installs/removes (the mutation-listener
-  hooks of :class:`~repro.fields.base.SingleFieldEngine` and
-  :class:`~repro.hardware.rule_filter.RuleFilterMemory`).  Attached via
+  engine lookups, combiner outcomes and whole-header classifications in
+  bounded LRU layers (:mod:`repro.perf.lru`), with automatic invalidation on
+  rule installs/removes (the mutation-listener hooks of
+  :class:`~repro.fields.base.SingleFieldEngine` and
+  :class:`~repro.hardware.rule_filter.RuleFilterMemory`).  Its *vectorized*
+  mode makes the cold path fast too: unique field values resolve through the
+  :mod:`repro.fields.vectorized` batch engine walkers and combiner misses
+  through an exact array-staged cross-product walk.  Attached via
   :meth:`ConfigurableClassifier.enable_fast_path`, it accelerates
   ``classify_batch`` while keeping results bit-exact with the per-packet
   path.
-* :class:`~repro.perf.parallel.ParallelSession` — shards a trace across N
-  classifier replicas (a worker pool), modelling a multi-pipeline deployment,
-  and merges the per-replica statistics into one
-  :class:`~repro.api.session.SessionStats`.
+* :class:`~repro.perf.parallel.ParallelSession` — shards a trace in bounded
+  round-robin chunks across N classifier replicas and merges the per-replica
+  statistics into one :class:`~repro.api.session.SessionStats`.  The thread
+  backend models the deployment in-process; the process backend
+  (``backend="process"``, replicas built from a picklable
+  :class:`~repro.perf.parallel.ReplicaSpec`) classifies with true CPU
+  parallelism.
 """
 
 from repro.perf.fastpath import FastPathAccelerator
-from repro.perf.parallel import ParallelSession
+from repro.perf.lru import BoundedCache, LRUCache
+from repro.perf.parallel import ParallelSession, ReplicaSpec
 
-__all__ = ["FastPathAccelerator", "ParallelSession"]
+__all__ = [
+    "FastPathAccelerator",
+    "ParallelSession",
+    "ReplicaSpec",
+    "LRUCache",
+    "BoundedCache",
+]

@@ -17,17 +17,33 @@ record from scratch for each packet; the fast path memoizes all three layers:
    finished :class:`~repro.core.result.Classification` (flow locality makes
    repeated headers common in practice).
 
-Results are *bit-exact* with the per-packet path: every cached object is
-immutable and deterministic given the installed rules, and the final record
-is assembled by the very same
+Every layer is a bounded :class:`~repro.perf.lru.LRUCache`: an adversarial
+stream of never-repeating flows evicts instead of growing without bound, and
+the eviction counts are reported by :meth:`FastPathAccelerator.cache_stats`.
+
+**Vectorized cold path** (``vectorized=True``): the expensive part of a cold
+batch is the first resolution of each unique value and label combination.  In
+vectorized mode the accelerator first sweeps the batch for unique *uncached*
+field values per dimension and resolves them in one pass through the
+:mod:`repro.fields.vectorized` batch walkers (NumPy when available), then
+resolves combiner misses through
+:meth:`~repro.core.label_combiner.LabelCombiner.combine_with_cache` — an
+exact cross-product walk that pre-packs keys in blocks and replays repeated
+rule-filter probes from a fourth, key-level **probe cache**.  The vectorized
+mode materialises its input batch (chunked callers — sessions — bound this).
+
+Results are *bit-exact* with the per-packet path in every mode: every cached
+object is immutable and deterministic given the installed rules, and the
+final record is assembled by the very same
 :meth:`~repro.core.classifier.ConfigurableClassifier._assemble_lookup` the
 per-packet path uses — the cost-model accounting (per-phase cycles,
 per-dimension memory accesses, probe counts, truncation flags) is identical.
 
 Caches invalidate themselves: the accelerator registers mutation listeners
 on every single-field engine (label-list changes drop that dimension's field
-cache) and on the Rule Filter (content changes drop the combiner and header
-caches), so interleaved installs/removes and batch lookups stay correct.
+cache) and on the Rule Filter (content changes drop the combiner, header and
+probe caches), so interleaved installs/removes and batch lookups stay
+correct.
 """
 
 from __future__ import annotations
@@ -36,15 +52,26 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.core.dimensions import DIMENSIONS, packet_dimension_values
 from repro.core.result import BatchResult, Classification
-from repro.exceptions import ConfigurationError
+from repro.perf.lru import BoundedCache, LRUCache
 from repro.rules.packet import PacketHeader
 
 __all__ = ["FastPathAccelerator"]
 
-#: Header-cache entries kept before the cache is wholesale cleared.  Bounds
-#: memory on endless streams of unique flows; 1M finished classifications is
-#: a few hundred MB at most and far beyond any realistic working set.
+#: Header-cache entries kept before the least recently used one is evicted.
+#: Bounds memory on endless streams of unique flows; 1M finished
+#: classifications is a few hundred MB at most and far beyond any realistic
+#: working set.
 DEFAULT_HEADER_CACHE_LIMIT = 1 << 20
+#: Per-dimension field-cache bound; a 16-bit dimension has at most 65536
+#: distinct values, so this never evicts for the IP/port engines in practice
+#: while still bounding custom wider engines.
+DEFAULT_FIELD_CACHE_LIMIT = 1 << 16
+#: Combiner-outcome cache bound (keys are label-list tuple combinations).
+DEFAULT_COMBINER_CACHE_LIMIT = 1 << 16
+#: Rule-filter probe cache bound (vectorized mode; keys are packed 68-bit keys).
+DEFAULT_PROBE_CACHE_LIMIT = 1 << 18
+#: Bound of the pure sort memo shared by the vectorized combiner walks.
+SORT_MEMO_LIMIT = 1 << 16
 
 
 class FastPathAccelerator:
@@ -52,26 +79,50 @@ class FastPathAccelerator:
 
     Attach via :meth:`ConfigurableClassifier.enable_fast_path` (which wires
     ``classify_batch`` through :meth:`classify_batch` here); detach via
-    :meth:`ConfigurableClassifier.disable_fast_path`.
+    :meth:`ConfigurableClassifier.disable_fast_path`.  ``vectorized=True``
+    additionally routes cold misses through the batch engine walkers and the
+    cached combiner walk (see the module docstring).
     """
 
-    def __init__(self, classifier, header_cache_limit: int = DEFAULT_HEADER_CACHE_LIMIT) -> None:
-        if header_cache_limit <= 0:
-            raise ConfigurationError(
-                f"header cache limit must be positive, got {header_cache_limit}"
-            )
+    def __init__(
+        self,
+        classifier,
+        header_cache_limit: int = DEFAULT_HEADER_CACHE_LIMIT,
+        field_cache_limit: int = DEFAULT_FIELD_CACHE_LIMIT,
+        combiner_cache_limit: int = DEFAULT_COMBINER_CACHE_LIMIT,
+        probe_cache_limit: int = DEFAULT_PROBE_CACHE_LIMIT,
+        vectorized: bool = False,
+    ) -> None:
         self.classifier = classifier
         self.header_cache_limit = header_cache_limit
-        self._field_caches: Dict[str, dict] = {name: {} for name in DIMENSIONS}
-        self._combiner_cache: Dict[Tuple, object] = {}
-        self._header_cache: Dict[PacketHeader, Classification] = {}
+        self.vectorized = vectorized
+        # LRUCache validates the limits (ConfigurationError on non-positive).
+        self._field_caches: Dict[str, LRUCache] = {
+            name: LRUCache(field_cache_limit) for name in DIMENSIONS
+        }
+        self._combiner_cache = LRUCache(combiner_cache_limit)
+        self._header_cache = LRUCache(header_cache_limit)
+        # FIFO-bounded: their hit paths are bare dict reads inside the
+        # vectorized combiner walk, far too hot for recency bookkeeping.
+        self._probe_cache = BoundedCache(probe_cache_limit)
+        self._sort_memo = BoundedCache(SORT_MEMO_LIMIT)
         # Hit/miss counters per memoization layer (benchmark/report fodder).
+        # In vectorized mode field misses are mostly counted by the batch
+        # pre-pass; the per-packet walk then counts hits (plus the misses of
+        # whatever exceeded a cache bound or was evicted meanwhile).
         self.header_hits = 0
         self.field_hits = 0
         self.field_misses = 0
         self.combiner_hits = 0
         self.combiner_misses = 0
         self._hooks: List[Tuple[object, object]] = []
+        self._walkers = {}
+        if vectorized:
+            from repro.fields.vectorized import batch_walker
+
+            self._walkers = {
+                name: batch_walker(classifier.engines[name]) for name in DIMENSIONS
+            }
         self._attach()
 
     # -- wiring ---------------------------------------------------------------
@@ -92,6 +143,9 @@ class FastPathAccelerator:
         for target, hook in self._hooks:
             target.remove_mutation_listener(hook)
         self._hooks.clear()
+        for walker in self._walkers.values():
+            walker.detach()
+        self._walkers = {}
         self.invalidate()
 
     def _dimension_invalidator(self, dimension: str):
@@ -104,31 +158,83 @@ class FastPathAccelerator:
     def _invalidate_outcomes(self) -> None:
         self._combiner_cache.clear()
         self._header_cache.clear()
+        self._probe_cache.clear()
 
     def invalidate(self) -> None:
-        """Drop every cached lookup (all three layers)."""
+        """Drop every cached lookup (all layers)."""
         for cache in self._field_caches.values():
             cache.clear()
+        self._sort_memo.clear()
         self._invalidate_outcomes()
 
     # -- classification -------------------------------------------------------
     def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
         """Classify ``packets``, reusing memoized work across the batch."""
+        if self.vectorized:
+            packets = packets if isinstance(packets, (list, tuple)) else list(packets)
+            self._prefetch_fields(packets)
         header_cache = self._header_cache
+        # Inlined LRU hit path (get + recency touch) — this loop is the warm
+        # fast path, well above a million packets per second.
+        header_data = header_cache.data
+        header_get = header_data.get
+        touch = header_data.move_to_end
+        classify = self._classify_uncached
+        put = header_cache.put
+        hits = 0
         results = []
         append = results.append
-        limit = self.header_cache_limit
         for packet in packets:
-            cached = header_cache.get(packet)
+            cached = header_get(packet)
             if cached is None:
-                cached = self._classify_uncached(packet)
-                if len(header_cache) >= limit:
-                    header_cache.clear()
-                header_cache[packet] = cached
+                cached = classify(packet)
+                put(packet, cached)
             else:
-                self.header_hits += 1
+                touch(packet)
+                hits += 1
             append(cached)
+        self.header_hits += hits
         return BatchResult(tuple(results))
+
+    def _prefetch_fields(self, packets) -> None:
+        """Resolve the batch's unique uncached field values in one pass each.
+
+        The vectorized cold-path pre-pass: sweep the batch for headers the
+        header cache cannot answer, collect each dimension's unique values
+        that the field caches do not hold, and resolve them through the
+        :mod:`repro.fields.vectorized` batch walkers, so the per-packet walk
+        that follows only replays cached immutable results.
+        """
+        header_data = self._header_cache.data
+        field_caches = self._field_caches
+        seen_headers = set()
+        seen_add = seen_headers.add
+        lanes = [
+            (name, [], set(), field_caches[name].data) for name in DIMENSIONS
+        ]
+        for packet in packets:
+            if packet in header_data or packet in seen_headers:
+                continue
+            seen_add(packet)
+            values = packet_dimension_values(packet)
+            for name, missing, staged, cached in lanes:
+                value = values[name]
+                if value in staged or value in cached:
+                    continue
+                staged.add(value)
+                missing.append(value)
+        for name, missing, _, _ in lanes:
+            if not missing:
+                continue
+            cache = field_caches[name]
+            # Never resolve more values than the cache can hold: the excess
+            # would evict earlier entries within this very pre-pass, wasting
+            # the walker work and double-counting misses.  The overflow
+            # simply misses per-packet below, exactly like the plain mode.
+            missing = missing[: cache.limit]
+            for value, result in zip(missing, self._walkers[name].resolve(missing)):
+                cache.put(value, result)
+            self.field_misses += len(missing)
 
     def _classify_uncached(self, packet: PacketHeader) -> Classification:
         """Classify one header through the field and combiner caches."""
@@ -140,22 +246,30 @@ class FastPathAccelerator:
         for name in DIMENSIONS:
             cache = self._field_caches[name]
             value = values[name]
-            result = cache.get(value)
+            # Inlined LRU hit path (see classify_batch).
+            data = cache.data
+            result = data.get(value)
             if result is None:
                 result = engines[name].lookup(value)
-                cache[value] = result
+                cache.put(value, result)
                 self.field_misses += 1
             else:
+                data.move_to_end(value)
                 self.field_hits += 1
             field_results[name] = result
             outcome_key.append(result.matches)
         key = tuple(outcome_key)
         outcome = self._combiner_cache.get(key)
         if outcome is None:
-            outcome = classifier.combiner.combine(
-                {name: result.matches for name, result in field_results.items()}
-            )
-            self._combiner_cache[key] = outcome
+            if self.vectorized:
+                outcome = classifier.combiner.combine_with_cache(
+                    key, self._probe_cache, self._sort_memo
+                )
+            else:
+                outcome = classifier.combiner.combine(
+                    {name: result.matches for name, result in field_results.items()}
+                )
+            self._combiner_cache.put(key, outcome)
             self.combiner_misses += 1
         else:
             self.combiner_hits += 1
@@ -165,21 +279,29 @@ class FastPathAccelerator:
 
     # -- introspection --------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
-        """Sizes and hit/miss counters of the three memoization layers."""
+        """Sizes, hit/miss and eviction counters of the memoization layers."""
         return {
             "header_entries": len(self._header_cache),
             "header_hits": self.header_hits,
+            "header_evictions": self._header_cache.evictions,
             "field_entries": sum(len(cache) for cache in self._field_caches.values()),
             "field_hits": self.field_hits,
             "field_misses": self.field_misses,
+            "field_evictions": sum(
+                cache.evictions for cache in self._field_caches.values()
+            ),
             "combiner_entries": len(self._combiner_cache),
             "combiner_hits": self.combiner_hits,
             "combiner_misses": self.combiner_misses,
+            "combiner_evictions": self._combiner_cache.evictions,
+            "probe_entries": len(self._probe_cache),
+            "probe_evictions": self._probe_cache.evictions,
         }
 
     def __repr__(self) -> str:
         stats = self.cache_stats()
         return (
             f"FastPathAccelerator(headers={stats['header_entries']}, "
-            f"fields={stats['field_entries']}, combos={stats['combiner_entries']})"
+            f"fields={stats['field_entries']}, combos={stats['combiner_entries']}, "
+            f"vectorized={self.vectorized})"
         )

@@ -3,80 +3,501 @@
 The paper's hardware sustains line rate because the pipeline accepts a new
 packet every cycle; a software deployment reaches for the same headroom by
 running several classifier *replicas* side by side behind a load balancer.
-:class:`ParallelSession` models exactly that: a worker pool of N independent
-replicas (each holding the full rule set), a round-robin shard of the input
-trace per replica, and one merged :class:`~repro.api.session.SessionStats`
-over the whole deployment.
+:class:`ParallelSession` models exactly that: a pool of N independent
+replicas (each holding the full rule set), bounded chunks of the input trace
+dispatched round-robin across them, and one merged
+:class:`~repro.api.session.SessionStats` over the whole deployment.
 
-Replicas share nothing, so workers are free of cross-talk by construction;
-the pool uses threads (each replica classifies its own shard) and the merged
-statistics are exact — counts sum, averages are packet-weighted, worst cases
-take the maximum across replicas.
+Two backends share the same dispatch loop:
+
+* ``backend="thread"`` — each replica lives in this process behind its own
+  single-lane thread.  Replicas share nothing, but the GIL serialises the
+  actual CPU work, so this backend *models* the deployment (and overlaps any
+  releases-the-GIL work) without real parallel speedup.
+* ``backend="process"`` — each replica lives in its own worker process,
+  built there from a **picklable** factory (see :class:`ReplicaSpec`); shard
+  chunks are pickled to the workers and compact per-chunk counters come
+  back.  This is true CPU parallelism: N cores classify N shards
+  concurrently.
+
+Streaming contract: the input trace is consumed incrementally — at most
+``workers x 2`` chunks are in flight plus the one being filled — so
+arbitrarily long streams run in constant memory, exactly like
+:meth:`ClassificationSession.run <repro.api.session.ClassificationSession.run>`
+(:meth:`ParallelSession.feed` is the exception: it returns every result, so
+it necessarily materialises them).
+
+Failure contract: statistics commit only when a run completes.  If any
+replica raises mid-run (a poisoned packet, a broken worker), outstanding
+chunks are cancelled, the original error propagates, and the session's
+committed counters remain exactly what they were before the failed
+:meth:`ParallelSession.run`/:meth:`ParallelSession.feed` call — a failed run
+contributes nothing to :meth:`ParallelSession.stats`.
+
+Merged statistics are exact — counts sum, averages are packet-weighted,
+worst cases take the maximum across replicas — and
+:meth:`ParallelSession.feed` returns classifications in input order that are
+bit-identical to a single replica classifying the whole trace.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence
+import pickle
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.api.session import ClassificationSession, SessionStats
+from repro.api.registry import create_classifier
+from repro.api.session import BatchCounters, SessionStats, measure_results
+from repro.core.result import BatchResult, Classification
 from repro.exceptions import ConfigurationError
 from repro.rules.packet import PacketHeader
+from repro.rules.ruleset import RuleSet
 
-__all__ = ["ParallelSession"]
+__all__ = ["ParallelSession", "ReplicaSpec"]
+
+#: Chunks allowed in flight per worker (dispatch back-pressure bound).
+PIPELINE_DEPTH = 2
+
+_BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Picklable recipe for building one classifier replica in a worker.
+
+    Process-backend workers cannot receive closures, so the replica factory
+    travels as data: the registry ``name``, the ``ruleset`` and the factory
+    ``options`` (e.g. ``{"fast": True, "vectorized": True}``).  Calling the
+    spec builds the replica via
+    :func:`~repro.api.registry.create_classifier`, so it doubles as a plain
+    factory for the thread backend too.
+    """
+
+    name: str
+    ruleset: RuleSet
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def __call__(self):
+        return create_classifier(self.name, self.ruleset, **self.options)
+
+
+class _ChunkOutcome(NamedTuple):
+    """Compact, picklable outcome of one classified chunk."""
+
+    counters: BatchCounters
+    results: Optional[Tuple[Classification, ...]]
+
+
+def _measure_chunk(batch: BatchResult, retain: bool) -> _ChunkOutcome:
+    """Fold one chunk's batch through the shared session accounting."""
+    return _ChunkOutcome(
+        counters=measure_results(batch.results),
+        results=batch.results if retain else None,
+    )
+
+
+class _Aggregate:
+    """Running counters of one worker (the process-side mirror of a session)."""
+
+    __slots__ = (
+        "packets", "matched", "truncated", "chunks", "access_sum",
+        "access_worst", "latency_sum", "latency_count", "latency_worst",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.matched = 0
+        self.truncated = 0
+        self.chunks = 0
+        self.access_sum = 0
+        self.access_worst = 0
+        self.latency_sum = 0
+        self.latency_count = 0
+        self.latency_worst = 0
+
+    def absorb(self, counters: BatchCounters) -> None:
+        self.packets += counters.packets
+        self.matched += counters.matched
+        self.truncated += counters.truncated
+        self.chunks += 1
+        self.access_sum += counters.access_sum
+        self.access_worst = max(self.access_worst, counters.access_worst)
+        self.latency_sum += counters.latency_sum
+        self.latency_count += counters.latency_count
+        self.latency_worst = max(self.latency_worst, counters.latency_worst)
+
+    def merge(self, other: "_Aggregate") -> None:
+        self.packets += other.packets
+        self.matched += other.matched
+        self.truncated += other.truncated
+        self.chunks += other.chunks
+        self.access_sum += other.access_sum
+        self.access_worst = max(self.access_worst, other.access_worst)
+        self.latency_sum += other.latency_sum
+        self.latency_count += other.latency_count
+        self.latency_worst = max(self.latency_worst, other.latency_worst)
+
+    def to_stats(self, name: str, memory_bits: int) -> SessionStats:
+        """Render as :class:`SessionStats` (same math as a session's ``stats``)."""
+        return SessionStats(
+            classifier=name,
+            packets=self.packets,
+            matched=self.matched,
+            chunks=self.chunks,
+            average_memory_accesses=(
+                self.access_sum / self.packets if self.packets else 0.0
+            ),
+            worst_memory_accesses=self.access_worst,
+            average_latency_cycles=(
+                self.latency_sum / self.latency_count if self.latency_count else None
+            ),
+            worst_latency_cycles=self.latency_worst if self.latency_count else None,
+            memory_bits=memory_bits,
+            truncated_lookups=self.truncated,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-backend worker plumbing (module-level: must be picklable by name).
+# ---------------------------------------------------------------------------
+
+_WORKER_REPLICA = None
+
+
+def _process_worker_initialize(factory) -> None:
+    """Build this worker process's replica once, at pool start."""
+    global _WORKER_REPLICA
+    _WORKER_REPLICA = factory()
+
+
+def _process_worker_info() -> Tuple[str, int]:
+    return _WORKER_REPLICA.name, _WORKER_REPLICA.memory_bits()
+
+
+def _process_worker_details() -> Dict[str, object]:
+    return dict(_WORKER_REPLICA.stats().details)
+
+
+def _process_worker_classify(chunk: List[PacketHeader], retain: bool) -> _ChunkOutcome:
+    return _measure_chunk(_WORKER_REPLICA.classify_batch(chunk), retain)
+
+
+class _ThreadWorker:
+    """One replica behind a single-lane thread (serial per-replica order)."""
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=1)
+
+    def prefetch_info(self) -> None:  # thread replicas answer synchronously
+        pass
+
+    def info(self) -> Tuple[str, int]:
+        return self.replica.name, self.replica.memory_bits()
+
+    def details(self) -> Dict[str, object]:
+        return dict(self.replica.stats().details)
+
+    def submit(self, chunk, retain):
+        return self._executor.submit(self._classify, chunk, retain)
+
+    def _classify(self, chunk, retain) -> _ChunkOutcome:
+        return _measure_chunk(self.replica.classify_batch(chunk), retain)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+class _ProcessWorker:
+    """One replica in its own worker process, built there from the factory."""
+
+    def __init__(self, factory) -> None:
+        self.factory = factory
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._info: Optional[Tuple[str, int]] = None
+        self._info_future = None
+
+    def start(self) -> None:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_process_worker_initialize,
+                initargs=(self.factory,),
+            )
+
+    def prefetch_info(self) -> None:
+        """Kick off worker bring-up + info without blocking.
+
+        Submitting the info task forces the process to spawn and build its
+        replica; prefetching on every worker before collecting any result is
+        what makes pool bring-up run in parallel instead of one replica
+        build after another.
+        """
+        if self._info is None and self._info_future is None:
+            self.start()
+            self._info_future = self._executor.submit(_process_worker_info)
+
+    def info(self) -> Tuple[str, int]:
+        if self._info is None:
+            self.prefetch_info()
+            self._info = self._info_future.result()
+            self._info_future = None
+        return self._info
+
+    def details(self) -> Dict[str, object]:
+        self.start()
+        return self._executor.submit(_process_worker_details).result()
+
+    def submit(self, chunk, retain):
+        return self._executor.submit(_process_worker_classify, chunk, retain)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._info_future = None
 
 
 class ParallelSession:
-    """Shard traces across replica classifiers and merge their statistics."""
+    """Shard traces across replica classifiers and merge their statistics.
 
-    def __init__(self, replicas: Sequence, chunk_size: int = 256) -> None:
-        if not replicas:
-            raise ConfigurationError("a parallel session needs at least one replica")
-        self.sessions: List[ClassificationSession] = [
-            ClassificationSession(replica, chunk_size=chunk_size) for replica in replicas
-        ]
+    ``ParallelSession(replicas)`` runs the given replica instances on the
+    thread backend; :meth:`from_factory` builds the replicas (``factory`` per
+    worker) and selects the backend.  The process backend requires a
+    picklable factory — use :class:`ReplicaSpec`.
+
+    Worker pools (threads or processes) start lazily on first use and stay
+    alive across runs; call :meth:`close` (or use the session as a context
+    manager) to release them.  See the module docstring for the streaming
+    and failure contracts.
+    """
+
+    def __init__(
+        self,
+        replicas: Optional[Sequence] = None,
+        chunk_size: int = 256,
+        *,
+        backend: str = "thread",
+        factory: Optional[Callable[[], object]] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown parallel backend {backend!r}; choose from {_BACKENDS}"
+            )
+        self.chunk_size = chunk_size
+        self.backend = backend
+        if backend == "thread":
+            if replicas is None:
+                if factory is None or workers is None:
+                    raise ConfigurationError(
+                        "thread backend needs replicas (or a factory with a worker count)"
+                    )
+                replicas = [factory() for _ in range(workers)]
+            replicas = list(replicas)
+            if not replicas:
+                raise ConfigurationError("a parallel session needs at least one replica")
+            #: The replica instances (thread backend only; the process
+            #: backend's replicas live in the worker processes).
+            self.replicas = replicas
+            self._workers: List = [_ThreadWorker(replica) for replica in replicas]
+        else:
+            if replicas is not None:
+                raise ConfigurationError(
+                    "process backend builds replicas inside the worker processes; "
+                    "pass a picklable factory (e.g. ReplicaSpec) via from_factory()"
+                )
+            if factory is None or workers is None:
+                raise ConfigurationError("process backend needs a factory and a worker count")
+            if workers <= 0:
+                raise ConfigurationError(f"worker count must be positive, got {workers}")
+            try:
+                pickle.dumps(factory)
+            except Exception as exc:
+                raise ConfigurationError(
+                    "process backend needs a picklable replica factory "
+                    f"(e.g. ReplicaSpec); {factory!r} is not: {exc}"
+                ) from exc
+            self.replicas = []
+            self._workers = [_ProcessWorker(factory) for _ in range(workers)]
+        self._committed = [_Aggregate() for _ in self._workers]
 
     @classmethod
     def from_factory(
-        cls, factory: Callable[[], object], workers: int, chunk_size: int = 256
+        cls,
+        factory: Callable[[], object],
+        workers: int,
+        chunk_size: int = 256,
+        backend: str = "thread",
     ) -> "ParallelSession":
-        """Build ``workers`` replicas by calling ``factory`` once per worker."""
+        """Build a ``workers``-replica session; ``factory`` makes one replica.
+
+        On the thread backend the factory is called here, once per worker; on
+        the process backend it is shipped (pickled) to each worker process
+        and called there, so it must be picklable — :class:`ReplicaSpec`
+        exists for exactly that.
+        """
         if workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
-        return cls([factory() for _ in range(workers)], chunk_size=chunk_size)
+        if backend == "thread":
+            return cls([factory() for _ in range(workers)], chunk_size=chunk_size)
+        return cls(
+            None, chunk_size=chunk_size, backend=backend, factory=factory, workers=workers
+        )
 
     @property
     def workers(self) -> int:
         """Number of replica pipelines."""
-        return len(self.sessions)
+        return len(self._workers)
 
     # -- streaming -----------------------------------------------------------
-    def _shard(self, packets: Iterable[PacketHeader]) -> List[List[PacketHeader]]:
-        """Round-robin the trace over the replicas (a rotating load balancer)."""
-        trace = packets if isinstance(packets, list) else list(packets)
-        return [trace[index :: self.workers] for index in range(self.workers)]
-
     def run(self, packets: Iterable[PacketHeader]) -> SessionStats:
-        """Shard one trace across the worker pool and return the merged stats."""
-        shards = self._shard(packets)
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                pool.submit(session.run, shard)
-                for session, shard in zip(self.sessions, shards)
-            ]
-            for future in futures:
-                future.result()
+        """Shard one trace across the worker pool and return the merged stats.
+
+        Consumes the trace incrementally (constant memory, any iterable) and
+        retains nothing per packet.  On a replica failure, cancels the
+        outstanding chunks, re-raises the replica's error and leaves the
+        committed counters untouched (see the module failure contract).
+        """
+        self._execute(packets, retain=False)
         return self.stats()
 
+    def feed(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """Shard one trace and return its classifications in input order.
+
+        The parallel twin of :meth:`ClassificationSession.feed
+        <repro.api.session.ClassificationSession.feed>`: results are
+        bit-identical to one replica classifying the trace alone (every
+        replica holds the same rules), re-assembled in input order.  Unlike
+        :meth:`run` this necessarily materialises the results.
+        """
+        return BatchResult(self._execute(packets, retain=True))
+
+    def _execute(self, packets, retain: bool):
+        for worker in self._workers:
+            worker.start()
+        worker_count = len(self._workers)
+        pending = [_Aggregate() for _ in self._workers]
+        retained: Optional[Dict[int, Tuple[Classification, ...]]] = {} if retain else None
+        inflight: deque = deque()
+        max_inflight = worker_count * PIPELINE_DEPTH
+        try:
+            chunk: List[PacketHeader] = []
+            chunk_index = 0
+            for packet in packets:
+                chunk.append(packet)
+                if len(chunk) >= self.chunk_size:
+                    self._dispatch(chunk, chunk_index, inflight, max_inflight, pending, retained)
+                    chunk_index += 1
+                    chunk = []
+            if chunk:
+                self._dispatch(chunk, chunk_index, inflight, max_inflight, pending, retained)
+            while inflight:
+                self._absorb_one(inflight, pending, retained)
+        except BaseException:
+            self._abort(inflight)
+            raise
+        # Only a fully successful run commits into the session counters.
+        for committed, fresh in zip(self._committed, pending):
+            committed.merge(fresh)
+        if retained is None:
+            return None
+        ordered: List[Classification] = []
+        for index in sorted(retained):
+            ordered.extend(retained[index])
+        return tuple(ordered)
+
+    def _dispatch(self, chunk, chunk_index, inflight, max_inflight, pending, retained) -> None:
+        """Submit one chunk round-robin, absorbing the oldest when saturated."""
+        if len(inflight) >= max_inflight:
+            self._absorb_one(inflight, pending, retained)
+        worker_index = chunk_index % len(self._workers)
+        future = self._workers[worker_index].submit(chunk, retained is not None)
+        inflight.append((future, worker_index, chunk_index))
+
+    def _absorb_one(self, inflight, pending, retained) -> None:
+        future, worker_index, chunk_index = inflight.popleft()
+        outcome = future.result()
+        pending[worker_index].absorb(outcome.counters)
+        if retained is not None:
+            retained[chunk_index] = outcome.results
+
+    def _abort(self, inflight) -> None:
+        """Cancel outstanding chunks and swallow their late errors."""
+        for future, _, _ in inflight:
+            future.cancel()
+        for future, _, _ in inflight:
+            if not future.cancelled():
+                try:
+                    future.result()
+                except BaseException:
+                    pass
+        inflight.clear()
+
     def reset(self) -> None:
-        """Zero every replica's aggregate counters."""
-        for session in self.sessions:
-            session.reset()
+        """Zero every replica's committed aggregate counters."""
+        for aggregate in self._committed:
+            aggregate.reset()
 
     # -- aggregation ---------------------------------------------------------
     def stats(self) -> SessionStats:
-        """Merged statistics over everything streamed through the pool."""
-        return SessionStats.merge([session.stats() for session in self.sessions])
+        """Merged statistics over everything successfully run through the pool.
+
+        On the process backend this may start the worker pool (the replica
+        name and memory footprint are reported by the workers; bring-up runs
+        in parallel across workers).
+        """
+        for worker in self._workers:
+            worker.prefetch_info()
+        parts = []
+        for worker, aggregate in zip(self._workers, self._committed):
+            name, memory_bits = worker.info()
+            parts.append(aggregate.to_stats(name, memory_bits))
+        return SessionStats.merge(parts)
+
+    def replica_details(self) -> Dict[str, object]:
+        """Engine-specific details of replica 0 (``ClassifierStats.details``).
+
+        Representative of the deployment whenever the replicas are
+        homogeneous (every :meth:`from_factory` pool); on the process
+        backend the worker reports them (starting it if needed).
+        """
+        return self._workers[0].details()
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pools down (processes exit; threads join).
+
+        Idempotent; a later :meth:`run` lazily restarts the pools (process
+        workers then rebuild their replicas).
+        """
+        for worker in self._workers:
+            worker.shutdown()
+
+    def __enter__(self) -> "ParallelSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __repr__(self) -> str:
-        return f"ParallelSession(workers={self.workers})"
+        return f"ParallelSession(workers={self.workers}, backend={self.backend})"

@@ -100,6 +100,43 @@ class TestWorkloadCommands:
         out = capsys.readouterr().out
         assert "configurablex2" in out
         assert "Worker replicas" in out
+        assert any(
+            line.startswith("Worker backend") and line.endswith("thread")
+            for line in out.splitlines()
+        )
+
+    def test_classify_vectorized(self, capsys):
+        assert main(["classify", "--size", "300", "--packets", "40",
+                     "--vectorized"]) == 0
+        assert "on (vectorized)" in capsys.readouterr().out
+
+    def test_classify_process_backend(self, capsys):
+        assert main(["classify", "--size", "200", "--packets", "30", "--fast",
+                     "--workers", "2", "--backend", "process"]) == 0
+        out = capsys.readouterr().out
+        assert "configurablex2" in out
+        assert any(
+            line.startswith("Worker backend") and line.endswith("process")
+            for line in out.splitlines()
+        )
+
+    def test_classify_fast_baseline_rejected(self, capsys):
+        assert main(["classify", "--classifier", "hypercuts", "--size", "200",
+                     "--packets", "10", "--fast"]) == 2
+        err = capsys.readouterr().err
+        assert "--fast is only supported by the 'configurable' classifier" in err
+
+    def test_classify_vectorized_baseline_rejected(self, capsys):
+        assert main(["classify", "--classifier", "linear_search", "--size", "150",
+                     "--packets", "5", "--vectorized"]) == 2
+        assert "--vectorized" in capsys.readouterr().err
+
+    def test_sweep_fast_baseline_warns(self, capsys):
+        assert main(["sweep", "--size", "150", "--packets", "10", "--fast",
+                     "--classifiers", "configurable,linear_search"]) == 0
+        captured = capsys.readouterr()
+        assert "linear_search" in captured.out
+        assert "warning: --fast is only supported" in captured.err
 
     def test_classify_invalid_worker_count(self, capsys):
         assert main(["classify", "--size", "150", "--packets", "5",

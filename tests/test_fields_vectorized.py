@@ -1,0 +1,242 @@
+"""Tests for the vectorized batch engine walks and their support layers.
+
+The acceptance property is *bit-exact equivalence*: for every engine and
+every input value, ``batch_walker(engine).resolve(values)`` must equal
+``[engine.lookup(v) for v in values]`` — matches, ordering, access counts
+and cycles — in both the NumPy and the pure-Python implementations.  Also
+covers walker invalidation on engine mutation, the batched hash/rule-filter
+primitives, and the bounded cache types.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import create_classifier
+from repro.core.dimensions import DIMENSIONS
+from repro.exceptions import ConfigurationError, FieldLookupError
+from repro.fields.vectorized import (
+    HAVE_NUMPY,
+    BstBatchWalker,
+    PortBatchWalker,
+    ScalarBatchWalker,
+    TrieBatchWalker,
+    batch_walker,
+)
+from repro.hardware.hash_unit import HashUnit
+from repro.perf.lru import BoundedCache, LRUCache
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+#: Both walker implementations; numpy is skipped if the import is missing.
+IMPLEMENTATIONS = [False] + ([True] if HAVE_NUMPY else [])
+
+
+def _sample_values(engine_name: str, rng: random.Random, count: int = 400):
+    top = 0xFF if engine_name == "protocol" else 0xFFFF
+    return [rng.randint(0, top) for _ in range(count)]
+
+
+@pytest.fixture(scope="module", params=["mbt", "bst"])
+def built_classifier(request, small_acl_ruleset):
+    return create_classifier(
+        "configurable", small_acl_ruleset, ip_algorithm=request.param
+    )
+
+
+class TestWalkerEquivalence:
+    @pytest.mark.parametrize("use_numpy", IMPLEMENTATIONS)
+    def test_every_dimension_bit_exact(self, built_classifier, use_numpy):
+        rng = random.Random(2014)
+        for name in DIMENSIONS:
+            engine = built_classifier.engines[name]
+            walker = batch_walker(engine, use_numpy=use_numpy)
+            values = _sample_values(name, rng)
+            assert walker.resolve(values) == [engine.lookup(v) for v in values]
+            walker.detach()
+
+    @pytest.mark.parametrize("use_numpy", IMPLEMENTATIONS)
+    def test_walker_types(self, built_classifier, use_numpy):
+        expected = {
+            "mbt": TrieBatchWalker,
+            "bst": BstBatchWalker,
+        }[built_classifier.config.ip_algorithm.value]
+        assert isinstance(
+            batch_walker(built_classifier.engines["src_ip_lo"], use_numpy=use_numpy),
+            expected,
+        )
+        assert isinstance(
+            batch_walker(built_classifier.engines["src_port"], use_numpy=use_numpy),
+            PortBatchWalker,
+        )
+        assert isinstance(
+            batch_walker(built_classifier.engines["protocol"], use_numpy=use_numpy),
+            ScalarBatchWalker,
+        )
+
+    @pytest.mark.parametrize("use_numpy", IMPLEMENTATIONS)
+    def test_invalidation_on_mutation(self, small_acl_ruleset, small_fw_ruleset, use_numpy):
+        classifier = create_classifier("configurable", small_acl_ruleset)
+        engine = classifier.engines["dst_ip_lo"]
+        walker = batch_walker(engine, use_numpy=use_numpy)
+        rng = random.Random(7)
+        values = _sample_values("dst_ip_lo", rng)
+        assert walker.resolve(values) == [engine.lookup(v) for v in values]
+        # Mutate the engine through the real update path and re-check: the
+        # walker must rebuild its flattened view, not replay the stale one.
+        import dataclasses
+
+        installed = 0
+        for rule in list(small_fw_ruleset):
+            try:
+                classifier.install(
+                    dataclasses.replace(rule, rule_id=10_000 + rule.rule_id)
+                )
+            except Exception:
+                continue
+            installed += 1
+            if installed >= 20:
+                break
+        assert installed > 0
+        assert walker.resolve(values) == [engine.lookup(v) for v in values]
+        walker.detach()
+
+    @pytest.mark.parametrize("use_numpy", IMPLEMENTATIONS)
+    def test_out_of_range_value_rejected(self, built_classifier, use_numpy):
+        for name, bad in (("src_ip_lo", 1 << 16), ("src_port", -1)):
+            walker = batch_walker(built_classifier.engines[name], use_numpy=use_numpy)
+            with pytest.raises(FieldLookupError):
+                walker.resolve([0, bad])
+            walker.detach()
+
+    def test_empty_batch(self, built_classifier):
+        walker = batch_walker(built_classifier.engines["src_ip_hi"])
+        assert walker.resolve([]) == []
+        walker.detach()
+
+
+class TestBatchedHashAndFilter:
+    def test_hash_batch_bit_exact(self):
+        unit = HashUnit(table_bits=14)
+        rng = random.Random(3)
+        keys = [rng.getrandbits(68) for _ in range(4000)] + list(range(40))
+        assert unit.hash_batch(keys) == [unit.hash(key) for key in keys]
+
+    def test_hash_batch_small_fallback(self):
+        unit = HashUnit(table_bits=10)
+        keys = [5, 6, 7]
+        assert unit.hash_batch(keys) == [unit.hash(key) for key in keys]
+
+    def test_lookup_batch_matches_lookup(self, small_acl_ruleset):
+        classifier = create_classifier("configurable", small_acl_ruleset)
+        rule_filter = classifier.rule_filter
+        stored_keys = [entry.label_key for entry in rule_filter.entries()][:200]
+        rng = random.Random(11)
+        keys = stored_keys + [rng.getrandbits(68) for _ in range(200)]
+        batch = rule_filter.lookup_batch(keys + keys)  # duplicates resolved once
+        assert set(batch) == set(keys)
+        for key in keys:
+            single = rule_filter.lookup(key)
+            entry, probes = batch[key]
+            assert entry == single.entry
+            assert probes == single.probes
+            # lookup() charges one memory access per probe; the compact pair
+            # preserves exactly that.
+            assert probes == single.memory_accesses
+
+    def test_lookup_batch_counts_reads_in_bulk(self, small_acl_ruleset):
+        classifier = create_classifier("configurable", small_acl_ruleset)
+        rule_filter = classifier.rule_filter
+        keys = [entry.label_key for entry in rule_filter.entries()][:64]
+        rule_filter.memory.reset_counters()
+        batch = rule_filter.lookup_batch(keys)
+        bulk_reads = rule_filter.memory.counter.reads
+        assert bulk_reads == sum(probes for _, probes in batch.values())
+
+
+class TestWideLayoutStaging:
+    def test_cached_walk_handles_shifts_past_bit_63(self):
+        """Custom layouts whose first field shifts >= 64 bits stay exact.
+
+        With ``ip_label_bits=17`` the packed key is 84 bits and the first
+        field's shift is 67 — the two-limb NumPy staging must place it
+        entirely in the high limb (shifting a uint64 by >= 64 is undefined),
+        and the result must match the uncached combine() walk.
+        """
+        import random
+
+        from repro.core.config import CombinerMode
+        from repro.core.label_combiner import DIMENSIONS, LabelCombiner
+        from repro.hardware.hash_unit import LabelKeyLayout
+        from repro.hardware.rule_filter import RuleFilterMemory
+        from repro.rules.rule import Rule, RuleAction
+
+        layout = LabelKeyLayout(ip_label_bits=17)
+        assert layout.total_bits == 84
+        rule_filter = RuleFilterMemory(capacity=1024)
+        combiner = LabelCombiner(rule_filter, layout, mode=CombinerMode.CROSS_PRODUCT)
+        rng = random.Random(12)
+        widths = layout.field_widths()
+        lists = tuple(
+            tuple(
+                (rng.randrange(1 << widths[dim]), rng.randrange(50))
+                for _ in range(3)
+            )
+            for dim in range(len(DIMENSIONS))
+        )
+        # Store rules under a handful of the reachable combinations.
+        for rule_id in range(12):
+            labels = [rng.choice(entries)[0] for entries in lists]
+            rule_filter.insert(
+                layout.pack(labels),
+                Rule.build(rule_id, rng.randrange(50), action=RuleAction.DROP),
+            )
+        reference = combiner.combine(dict(zip(DIMENSIONS, lists)))
+        cached = combiner.combine_with_cache(lists, BoundedCache(512), BoundedCache(64))
+        assert cached == reference
+
+
+class TestBoundedCaches:
+    def test_lru_eviction_order_and_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.evictions == 1  # clear() is invalidation, not eviction
+
+    def test_lru_put_refreshes_existing(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_bounded_cache_fifo(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # reads do not refresh: "a" stays oldest
+        cache.put("c", 3)
+        assert "a" not in cache and cache.evictions == 1
+
+    def test_bounded_cache_put_many(self):
+        cache = BoundedCache(3)
+        cache.put("a", 1)
+        cache.put_many({"b": 2, "c": 3, "d": 4})
+        assert len(cache) == 3
+        assert "a" not in cache  # oldest evicted first
+        assert cache.evictions == 1
+
+    @pytest.mark.parametrize("cache_type", [LRUCache, BoundedCache])
+    def test_non_positive_limit_rejected(self, cache_type):
+        with pytest.raises(ConfigurationError):
+            cache_type(0)

@@ -31,13 +31,14 @@ def flavored_workload(request):
 
 
 class TestFastPathEquivalence:
+    @pytest.mark.parametrize("vectorized", [False, True])
     @pytest.mark.parametrize("combiner", [m.value for m in CombinerMode])
-    def test_fast_equals_slow_equals_ground_truth(self, flavored_workload, combiner):
+    def test_fast_equals_slow_equals_ground_truth(self, flavored_workload, combiner, vectorized):
         """1000-packet sweep: fast path == per-packet path (== linear scan)."""
         ruleset, trace = flavored_workload
         classifier = create_classifier("configurable", ruleset, combiner=combiner)
         slow = classifier.classify_batch(trace)
-        classifier.enable_fast_path()
+        classifier.enable_fast_path(vectorized=vectorized)
         fast_cold = classifier.classify_batch(trace)
         fast_warm = classifier.classify_batch(trace)
         assert list(fast_cold.results) == list(slow.results)
@@ -146,6 +147,142 @@ class TestCacheInvalidation:
         assert classifier.classify_batch(small_trace[:20]).packets == 20
 
 
+class TestVectorizedMode:
+    def test_block_walk_fallback_bit_exact(self, small_acl_ruleset, small_trace, monkeypatch):
+        """Products beyond STAGE_CAP stream through the block walk, same results."""
+        from repro.core.label_combiner import LabelCombiner
+
+        baseline = create_classifier("configurable", small_acl_ruleset).classify_batch(
+            small_trace
+        )
+        monkeypatch.setattr(LabelCombiner, "STAGE_CAP", 0)
+        classifier = create_classifier("configurable", small_acl_ruleset, vectorized=True)
+        assert list(classifier.classify_batch(small_trace).results) == list(
+            baseline.results
+        )
+
+    def test_install_remove_invalidate(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, vectorized=True)
+        classifier.classify_batch(small_trace)  # warm every cache
+        probe = Rule.build(
+            9999, 0, src="10.0.0.0/8", dst="0.0.0.0/0", src_port="0:65535",
+            dst_port="0:65535", protocol=None, action=RuleAction.DROP,
+        )
+        classifier.install(probe)
+        fast = classifier.classify_batch(small_trace)
+        classifier.disable_fast_path()
+        slow = classifier.classify_batch(small_trace)
+        assert list(fast.results) == list(slow.results)
+
+    def test_truncation_preserved(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        classifier.combiner.probe_budget = 1
+        slow = classifier.classify_batch([web_packet, web_packet])
+        classifier.enable_fast_path(vectorized=True)
+        fast = classifier.classify_batch([web_packet, web_packet])
+        assert list(fast.results) == list(slow.results)
+        assert fast.truncated_lookups == slow.truncated_lookups == 2
+
+    def test_enable_switches_modes(self, small_acl_ruleset):
+        classifier = create_classifier("configurable", small_acl_ruleset, fast=True)
+        plain = classifier._fast_path
+        assert not plain.vectorized
+        assert classifier.enable_fast_path() is plain  # same mode: untouched
+        vectorized = classifier.enable_fast_path(vectorized=True)
+        assert vectorized is not plain and vectorized.vectorized
+        assert classifier.enable_fast_path(vectorized=True) is vectorized
+        assert classifier.stats().details["fast_path_vectorized"]
+
+    def test_reconfigure_preserves_vectorized_mode(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, vectorized=True)
+        classifier.classify_batch(small_trace)
+        classifier.reconfigure(IpAlgorithm.BST)
+        assert classifier.fast_path_enabled
+        assert classifier._fast_path.vectorized
+        reference = ConfigurableClassifier.from_ruleset(
+            small_acl_ruleset, classifier.config
+        ).classify_batch(small_trace)
+        assert list(classifier.classify_batch(small_trace).results) == list(
+            reference.results
+        )
+
+    def test_generator_input(self, small_acl_ruleset, small_trace):
+        classifier = create_classifier("configurable", small_acl_ruleset, vectorized=True)
+        batch = classifier.classify_batch(packet for packet in small_trace)
+        assert batch.packets == len(small_trace)
+
+
+def _unique_flow(index: int) -> "PacketHeader":
+    """An adversarial flow: every dimension value changes every packet."""
+    from repro.rules.packet import PacketHeader
+
+    segment = index & 0xFFFF
+    return PacketHeader(
+        src_ip=(segment << 16) | (0xFFFF - segment),
+        dst_ip=((0xFFFF - segment) << 16) | segment,
+        src_port=segment,
+        dst_port=0xFFFF - segment,
+        protocol=index % 251,
+    )
+
+
+class TestAdversarialStream:
+    """Satellite regression: all-unique-flow streams must hold memory flat."""
+
+    LIMITS = dict(
+        header_cache_limit=64,
+        field_cache_limit=48,
+        combiner_cache_limit=48,
+        probe_cache_limit=96,
+    )
+
+    @pytest.fixture(scope="class")
+    def adversarial_stream(self, small_acl_ruleset):
+        """Unique-flow stream that also exercises varied rule matches.
+
+        Ruleset-biased packets (so label combinations vary, pressuring the
+        combiner layer) plus synthetic never-repeating flows (so field and
+        header values never repeat either); every header is unique.
+        """
+        stream = []
+        seen = set()
+        for packet in generate_trace(small_acl_ruleset, count=4000, seed=5, locality=0.0):
+            if packet not in seen:
+                seen.add(packet)
+                stream.append(packet)
+        stream.extend(_unique_flow(index) for index in range(500))
+        assert len(stream) > 1000
+        return stream
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_caches_stay_bounded_and_exact(self, small_acl_ruleset, adversarial_stream, vectorized):
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        stream = adversarial_stream
+        baseline = classifier.classify_batch(stream)
+        accelerator = FastPathAccelerator(
+            classifier, vectorized=vectorized, **self.LIMITS
+        )
+        fast = accelerator.classify_batch(stream)
+        assert list(fast.results) == list(baseline.results)
+        stats = accelerator.cache_stats()
+        assert stats["header_entries"] <= self.LIMITS["header_cache_limit"]
+        assert stats["field_entries"] <= 7 * self.LIMITS["field_cache_limit"]
+        assert stats["combiner_entries"] <= self.LIMITS["combiner_cache_limit"]
+        assert stats["probe_entries"] <= self.LIMITS["probe_cache_limit"]
+        # The stream overflows every bound, so eviction must have happened —
+        # the unbounded-growth regression this test pins down.
+        assert stats["header_evictions"] > 0
+        assert stats["field_evictions"] > 0
+        assert stats["combiner_evictions"] > 0
+        accelerator.detach()
+
+    def test_unbounded_defaults_would_have_grown(self, small_acl_ruleset):
+        """Sanity check: the stream really is adversarial (all values unique)."""
+        stream = [_unique_flow(index) for index in range(200)]
+        assert len(set(stream)) == len(stream)
+        assert len({packet.src_ip >> 16 for packet in stream}) == len(stream)
+
+
 class TestAcceleratorInternals:
     def test_header_cache_bounded(self, small_acl_ruleset, small_trace):
         classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
@@ -154,6 +291,25 @@ class TestAcceleratorInternals:
         fast = accelerator.classify_batch(small_trace)
         assert list(fast.results) == list(baseline.results)
         assert accelerator.cache_stats()["header_entries"] <= 8
+
+    def test_header_cache_evicts_lru_not_wholesale(self, small_acl_ruleset, small_trace):
+        """The old limit behaviour cleared the whole cache; LRU keeps the hot set."""
+        classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
+        accelerator = FastPathAccelerator(classifier, header_cache_limit=8)
+        distinct = []
+        for packet in small_trace:
+            if packet not in distinct:
+                distinct.append(packet)
+            if len(distinct) == 9:
+                break
+        accelerator.classify_batch(distinct[:8])
+        accelerator.classify_batch([distinct[0]])  # refresh the oldest entry
+        accelerator.classify_batch([distinct[8]])  # evicts distinct[1], not everything
+        stats = accelerator.cache_stats()
+        assert stats["header_entries"] == 8
+        assert stats["header_evictions"] == 1
+        assert distinct[0] in accelerator._header_cache
+        assert distinct[1] not in accelerator._header_cache
 
     def test_invalid_header_limit(self, small_acl_ruleset):
         classifier = ConfigurableClassifier.from_ruleset(small_acl_ruleset)
