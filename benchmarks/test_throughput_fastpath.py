@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 
 from repro.api import ClassificationSession, create_classifier
-from repro.perf import ParallelSession, ReplicaSpec
+from repro.perf import ParallelSession, ReplicaSpec, shared_memory_available
 from repro.rules.trace import generate_trace
 
 #: Acceptance floor: fast-path cold-cache speedup over the per-packet path.
@@ -131,18 +131,42 @@ def test_fastpath_throughput_and_equivalence(acl1k_ruleset):
         thread_stats, thread_s = _timed(pool.run, trace)
     assert thread_stats.packets == count
 
-    with ParallelSession.from_factory(
-        spec, workers=POOL_WORKERS, chunk_size=512, backend="process"
-    ) as pool:
-        # stats() forces worker start (each process builds its replica), so
-        # the measured run is steady-state dispatch, not pool bring-up.
-        _, process_startup_s = _timed(pool.stats)
-        process_stats, process_s = _timed(pool.run, trace)
-        # Bit-exact classifications come back from the worker processes too.
-        slice_size = min(count, 1000)
-        pool_results = pool.feed(trace[:slice_size])
-        assert list(pool_results.results) == list(baseline.results)[:slice_size]
-    assert process_stats.packets == count
+    # The process backend is measured once per chunk transport: "pickle"
+    # ships object chunks, "packed" ships 104-bit header words through the
+    # shared-memory ring (skipped where the platform grants no segments).
+    transports = ["pickle"]
+    if shared_memory_available():
+        transports.insert(0, "packed")
+    process_rows = {}
+    for transport in transports:
+        with ParallelSession.from_factory(
+            spec, workers=POOL_WORKERS, chunk_size=512,
+            backend="process", transport=transport,
+        ) as pool:
+            assert pool.transport == transport
+            # stats() forces worker start (each process builds its replica),
+            # so the measured run is steady-state dispatch, not pool bring-up.
+            _, process_startup_s = _timed(pool.stats)
+            process_stats, process_s = _timed(pool.run, trace)
+            # Bit-exact classifications come back from the workers on both
+            # transports.
+            slice_size = min(count, 1000)
+            pool_results = pool.feed(trace[:slice_size])
+            assert list(pool_results.results) == list(baseline.results)[:slice_size]
+        assert process_stats.packets == count
+        process_rows[transport] = {
+            "workers": POOL_WORKERS,
+            "replicas": "fast+vectorized",
+            "transport": transport,
+            "startup_seconds": round(process_startup_s, 4),
+            "seconds": round(process_s, 4),
+            "packets_per_second": round(count / process_s),
+            "speedup_vs_thread": round(thread_s / process_s, 2),
+        }
+    if "packed" in process_rows:
+        process_rows["packed"]["speedup_vs_pickle"] = round(
+            process_rows["pickle"]["seconds"] / process_rows["packed"]["seconds"], 2
+        )
 
     single_stats = ClassificationSession(classifier, chunk_size=512).run(trace)
     assert thread_stats.matched == process_stats.matched == single_stats.matched
@@ -181,13 +205,9 @@ def test_fastpath_throughput_and_equivalence(acl1k_ruleset):
             "seconds": round(thread_s, 4),
             "packets_per_second": round(count / thread_s),
         },
-        "parallel_session_process": {
-            "workers": POOL_WORKERS,
-            "replicas": "fast+vectorized",
-            "startup_seconds": round(process_startup_s, 4),
-            "seconds": round(process_s, 4),
-            "packets_per_second": round(count / process_s),
-            "speedup_vs_thread": round(thread_s / process_s, 2),
+        **{
+            f"parallel_session_process_{transport}": row
+            for transport, row in process_rows.items()
         },
         "cache_stats": vectorized_classifier._fast_path.cache_stats(),
         "equivalence": {

@@ -23,7 +23,36 @@ from repro.core.result import BatchResult, Classification
 from repro.exceptions import ConfigurationError
 from repro.rules.packet import PacketHeader
 
-__all__ = ["ClassificationSession", "SessionStats", "BatchCounters", "measure_results"]
+__all__ = [
+    "ClassificationSession",
+    "SessionStats",
+    "BatchCounters",
+    "RunningCounters",
+    "iter_chunks",
+    "measure_results",
+]
+
+
+def iter_chunks(
+    packets: Iterable[PacketHeader], size: int
+) -> Iterator[List[PacketHeader]]:
+    """Lazily batch an iterable into ``size``-packet chunks (tail included).
+
+    The chunker behind every synchronous streaming runner
+    (:class:`ClassificationSession` and
+    :class:`~repro.perf.parallel.ParallelSession`).  The async dispatch path
+    mirrors this flush rule in ``_aiter_chunks``
+    (:mod:`repro.perf.parallel`) for async iterables — change the two in
+    lock-step.
+    """
+    chunk: List[PacketHeader] = []
+    for packet in packets:
+        chunk.append(packet)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 class BatchCounters(NamedTuple):
@@ -79,6 +108,79 @@ def measure_results(results: Sequence[Classification]) -> BatchCounters:
         latency_count=latency_count,
         latency_worst=latency_worst,
     )
+
+
+class RunningCounters:
+    """Mutable running fold of :class:`BatchCounters` chunks.
+
+    The one accounting accumulator behind every streaming runner:
+    :class:`ClassificationSession` folds its chunks into one instance, and
+    :class:`~repro.perf.parallel.ParallelSession` keeps one per worker and
+    merges them — so sharded, asynchronous and single-session statistics all
+    share the same arithmetic and cannot drift apart.
+    """
+
+    __slots__ = (
+        "packets", "matched", "truncated", "chunks", "access_sum",
+        "access_worst", "latency_sum", "latency_count", "latency_worst",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.matched = 0
+        self.truncated = 0
+        self.chunks = 0
+        self.access_sum = 0
+        self.access_worst = 0
+        self.latency_sum = 0
+        self.latency_count = 0
+        self.latency_worst = 0
+
+    def absorb(self, counters: BatchCounters) -> None:
+        """Fold one chunk's :class:`BatchCounters` in (counts one chunk)."""
+        self.packets += counters.packets
+        self.matched += counters.matched
+        self.truncated += counters.truncated
+        self.chunks += 1
+        self.access_sum += counters.access_sum
+        self.access_worst = max(self.access_worst, counters.access_worst)
+        self.latency_sum += counters.latency_sum
+        self.latency_count += counters.latency_count
+        self.latency_worst = max(self.latency_worst, counters.latency_worst)
+
+    def merge(self, other: "RunningCounters") -> None:
+        """Fold another accumulator in (sums counts, maxes worst cases)."""
+        self.packets += other.packets
+        self.matched += other.matched
+        self.truncated += other.truncated
+        self.chunks += other.chunks
+        self.access_sum += other.access_sum
+        self.access_worst = max(self.access_worst, other.access_worst)
+        self.latency_sum += other.latency_sum
+        self.latency_count += other.latency_count
+        self.latency_worst = max(self.latency_worst, other.latency_worst)
+
+    def to_stats(self, classifier: str, memory_bits: int) -> "SessionStats":
+        """Render the running counters as immutable :class:`SessionStats`."""
+        return SessionStats(
+            classifier=classifier,
+            packets=self.packets,
+            matched=self.matched,
+            chunks=self.chunks,
+            average_memory_accesses=(
+                self.access_sum / self.packets if self.packets else 0.0
+            ),
+            worst_memory_accesses=self.access_worst,
+            average_latency_cycles=(
+                self.latency_sum / self.latency_count if self.latency_count else None
+            ),
+            worst_latency_cycles=self.latency_worst if self.latency_count else None,
+            memory_bits=memory_bits,
+            truncated_lookups=self.truncated,
+        )
 
 
 @dataclass(frozen=True)
@@ -162,36 +264,15 @@ class ClassificationSession:
         self.reset()
 
     # -- streaming -----------------------------------------------------------
-    def _iter_chunks(self, packets: Iterable[PacketHeader]) -> Iterator[List[PacketHeader]]:
-        chunk: List[PacketHeader] = []
-        for packet in packets:
-            chunk.append(packet)
-            if len(chunk) >= self.chunk_size:
-                yield chunk
-                chunk = []
-        if chunk:
-            yield chunk
-
-    def _absorb(self, counters: BatchCounters) -> None:
-        self._packets += counters.packets
-        self._matched += counters.matched
-        self._truncated += counters.truncated
-        self._access_sum += counters.access_sum
-        self._access_worst = max(self._access_worst, counters.access_worst)
-        self._latency_sum += counters.latency_sum
-        self._latency_count += counters.latency_count
-        self._latency_worst = max(self._latency_worst, counters.latency_worst)
-
     def _consume(
         self, packets: Iterable[PacketHeader], retain: bool
     ) -> Optional[List[Classification]]:
         fed: Optional[List[Classification]] = [] if retain else None
-        for chunk in self._iter_chunks(packets):
+        for chunk in iter_chunks(packets, self.chunk_size):
             batch = self.classifier.classify_batch(chunk)
-            self._absorb(measure_results(batch.results))
+            self._counters.absorb(measure_results(batch.results))
             if fed is not None:
                 fed.extend(batch.results)
-            self._chunks += 1
         return fed
 
     def feed(self, packets: Iterable[PacketHeader]) -> BatchResult:
@@ -216,38 +297,17 @@ class ClassificationSession:
 
     def reset(self) -> None:
         """Zero the aggregate counters (the classifier keeps its rules)."""
-        self._packets = 0
-        self._matched = 0
-        self._chunks = 0
-        self._truncated = 0
-        self._access_sum = 0
-        self._access_worst = 0
-        self._latency_sum = 0
-        self._latency_count = 0
-        self._latency_worst = 0
+        self._counters = RunningCounters()
 
     # -- aggregation ---------------------------------------------------------
     def stats(self) -> SessionStats:
         """Aggregate statistics over everything streamed so far."""
-        return SessionStats(
-            classifier=self.classifier.name,
-            packets=self._packets,
-            matched=self._matched,
-            chunks=self._chunks,
-            average_memory_accesses=(
-                self._access_sum / self._packets if self._packets else 0.0
-            ),
-            worst_memory_accesses=self._access_worst,
-            average_latency_cycles=(
-                self._latency_sum / self._latency_count if self._latency_count else None
-            ),
-            worst_latency_cycles=self._latency_worst if self._latency_count else None,
-            memory_bits=self.classifier.memory_bits(),
-            truncated_lookups=self._truncated,
+        return self._counters.to_stats(
+            self.classifier.name, self.classifier.memory_bits()
         )
 
     def __repr__(self) -> str:
         return (
             f"ClassificationSession({self.classifier.name}, "
-            f"chunk_size={self.chunk_size}, packets={self._packets})"
+            f"chunk_size={self.chunk_size}, packets={self._counters.packets})"
         )

@@ -22,13 +22,16 @@ Usage::
     python -m repro.cli classify --classifier hypercuts --size 1000
     python -m repro.cli classify --size 1000 --packets 10000 --fast --workers 4
     python -m repro.cli classify --size 1000 --packets 10000 --vectorized \\
-        --workers 4 --backend process
+        --workers 4 --backend process --transport packed
+    python -m repro.cli classify --size 1000 --packets 5000 --fast \\
+        --workers 2 --async-feed
     python -m repro.cli sweep --size 500 --packets 100 --classifiers hypercuts,rfc
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -157,15 +160,31 @@ def _build_classifier(name: str, ruleset, args: argparse.Namespace, strict_fast:
     )
 
 
+async def _drive_async_feed(session, trace) -> object:
+    """Model a live capture: drive the pool through the asyncio front-end."""
+
+    async def live_source():
+        for packet in trace:
+            yield packet
+
+    return await session.arun(live_source())
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise ConfigurationError(f"worker count must be positive, got {args.workers}")
     ruleset = _load_workload(args)
     trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
     details = {}
-    # A non-default backend is honoured even with one worker — never a
-    # silent no-op (a 1-worker process pool is a real isolation choice).
-    parallel = args.workers > 1 or args.backend != "thread"
+    # A non-default backend/transport/feed mode is honoured even with one
+    # worker — never a silent no-op (a 1-worker process pool is a real
+    # isolation choice, and the async front-end only exists on the pool).
+    parallel = (
+        args.workers > 1
+        or args.backend != "thread"
+        or args.transport != "auto"
+        or args.async_feed
+    )
     if parallel:
         from repro.perf import ParallelSession, ReplicaSpec
 
@@ -173,10 +192,18 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             args.classifier, ruleset, _classifier_options(args.classifier, args, True)
         )
         with ParallelSession.from_factory(
-            spec, workers=args.workers, chunk_size=args.chunk_size, backend=args.backend
+            spec,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            backend=args.backend,
+            transport=args.transport,
         ) as session:
-            stats = session.run(trace)
+            if args.async_feed:
+                stats = asyncio.run(_drive_async_feed(session, trace))
+            else:
+                stats = session.run(trace)
             details = session.replica_details()
+            transport = session.transport
     else:
         classifier = _build_classifier(args.classifier, ruleset, args)
         details = classifier.stats().details
@@ -193,6 +220,9 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if parallel:
         report["Worker replicas"] = args.workers
         report["Worker backend"] = args.backend
+        report["Chunk transport"] = transport
+        if args.async_feed:
+            report["Feed mode"] = "async (ParallelSession.arun)"
     if stats.average_latency_cycles is not None:
         report["Avg latency (cycles)"] = f"{stats.average_latency_cycles:.1f}"
     if stats.truncated_lookups:
@@ -305,6 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["thread", "process"], default="thread",
         help="ParallelSession worker backend: in-process threads (deployment "
              "model) or worker processes (true CPU parallelism)",
+    )
+    sub_classify.add_argument(
+        "--transport", choices=["auto", "packed", "pickle"], default="auto",
+        help="process-backend chunk transport: packed 104-bit header words in "
+             "a shared-memory ring (zero-copy) or pickled object chunks; "
+             "auto prefers packed when shared memory is available",
+    )
+    sub_classify.add_argument(
+        "--async-feed", action="store_true", dest="async_feed",
+        help="drive the trace through the asyncio front-end "
+             "(ParallelSession.arun), modelling a live packet source",
     )
     add_workload_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)

@@ -22,12 +22,26 @@ allows" goal.  This package closes the gap from two directions:
   backend models the deployment in-process; the process backend
   (``backend="process"``, replicas built from a picklable
   :class:`~repro.perf.parallel.ReplicaSpec`) classifies with true CPU
-  parallelism.
+  parallelism.  Chunks reach process workers over the zero-copy packed
+  transport of :mod:`repro.perf.transport` (fixed-width 104-bit header words
+  in a shared-memory ring; ``transport="packed"``) when the platform grants
+  shared memory, falling back to pickled object chunks otherwise — and the
+  asyncio front-end (:meth:`~repro.perf.parallel.ParallelSession.afeed` /
+  :meth:`~repro.perf.parallel.ParallelSession.arun`) lets a live async
+  packet source drive the pool with bounded backpressure, yielding
+  input-order classifications without blocking the event loop.
 """
 
 from repro.perf.fastpath import FastPathAccelerator
 from repro.perf.lru import BoundedCache, LRUCache
 from repro.perf.parallel import ParallelSession, ReplicaSpec
+from repro.perf.transport import (
+    ChunkDescriptor,
+    SharedChunkRing,
+    pack_headers,
+    shared_memory_available,
+    unpack_headers,
+)
 
 __all__ = [
     "FastPathAccelerator",
@@ -35,4 +49,9 @@ __all__ = [
     "ReplicaSpec",
     "LRUCache",
     "BoundedCache",
+    "SharedChunkRing",
+    "ChunkDescriptor",
+    "pack_headers",
+    "unpack_headers",
+    "shared_memory_available",
 ]

@@ -15,10 +15,32 @@ Two backends share the same dispatch loop:
   actual CPU work, so this backend *models* the deployment (and overlaps any
   releases-the-GIL work) without real parallel speedup.
 * ``backend="process"`` — each replica lives in its own worker process,
-  built there from a **picklable** factory (see :class:`ReplicaSpec`); shard
-  chunks are pickled to the workers and compact per-chunk counters come
-  back.  This is true CPU parallelism: N cores classify N shards
-  concurrently.
+  built there from a **picklable** factory (see :class:`ReplicaSpec`).  This
+  is true CPU parallelism: N cores classify N shards concurrently.
+
+The process backend moves chunks over one of two **transports**:
+
+* ``transport="packed"`` — the zero-copy wire format of
+  :mod:`repro.perf.transport`: chunks are packed into fixed-width 104-bit
+  header words inside a shared-memory ring, and only a tiny
+  ``(segment, offset, count)`` descriptor crosses the process boundary.  No
+  :class:`~repro.rules.packet.PacketHeader` object is ever pickled.
+* ``transport="pickle"`` — the plain object transport: each chunk is pickled
+  into the worker as a list of headers.
+* ``transport="auto"`` (default) — packed when the platform grants shared
+  memory (:func:`~repro.perf.transport.shared_memory_available`), pickle
+  otherwise.  The resolved choice is exposed as
+  :attr:`ParallelSession.transport`.
+
+Compact per-chunk counters (and, for :meth:`ParallelSession.feed`, the
+classifications) come back pickled on both transports.
+
+Asynchronous front-end: :meth:`ParallelSession.afeed` accepts an async (or
+plain) iterable of packets — a live capture — and yields input-order
+:class:`~repro.core.result.Classification` records as head-of-line chunks
+complete, applying backpressure through the same bounded in-flight window as
+the synchronous dispatch; :meth:`ParallelSession.arun` is its stats-only
+twin.  Neither blocks the event loop while workers classify.
 
 Streaming contract: the input trace is consumed incrementally — at most
 ``workers x 2`` chunks are in flight plus the one being filled — so
@@ -29,10 +51,12 @@ it necessarily materialises them).
 
 Failure contract: statistics commit only when a run completes.  If any
 replica raises mid-run (a poisoned packet, a broken worker), outstanding
-chunks are cancelled, the original error propagates, and the session's
-committed counters remain exactly what they were before the failed
+chunks are cancelled, the shared-memory ring (if any) is released, the
+original error propagates, and the session's committed counters remain
+exactly what they were before the failed
 :meth:`ParallelSession.run`/:meth:`ParallelSession.feed` call — a failed run
-contributes nothing to :meth:`ParallelSession.stats`.
+contributes nothing to :meth:`ParallelSession.stats`.  Abandoning an
+:meth:`ParallelSession.afeed` generator mid-stream counts as a failed run.
 
 Merged statistics are exact — counts sum, averages are packet-weighted,
 worst cases take the maximum across replicas — and
@@ -42,16 +66,34 @@ bit-identical to a single replica classifying the whole trace.
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    AsyncIterator,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.api.registry import create_classifier
-from repro.api.session import BatchCounters, SessionStats, measure_results
+from repro.api.session import (
+    BatchCounters,
+    RunningCounters,
+    SessionStats,
+    iter_chunks,
+    measure_results,
+)
 from repro.core.result import BatchResult, Classification
 from repro.exceptions import ConfigurationError
+from repro.perf.transport import SharedChunkRing, read_chunk, shared_memory_available
 from repro.rules.packet import PacketHeader
 from repro.rules.ruleset import RuleSet
 
@@ -61,6 +103,7 @@ __all__ = ["ParallelSession", "ReplicaSpec"]
 PIPELINE_DEPTH = 2
 
 _BACKENDS = ("thread", "process")
+_TRANSPORTS = ("auto", "packed", "pickle")
 
 
 @dataclass(frozen=True)
@@ -98,68 +141,37 @@ def _measure_chunk(batch: BatchResult, retain: bool) -> _ChunkOutcome:
     )
 
 
-class _Aggregate:
-    """Running counters of one worker (the process-side mirror of a session)."""
+class _Inflight(NamedTuple):
+    """One dispatched chunk awaiting absorption."""
 
-    __slots__ = (
-        "packets", "matched", "truncated", "chunks", "access_sum",
-        "access_worst", "latency_sum", "latency_count", "latency_worst",
-    )
+    future: object
+    worker_index: int
+    chunk_index: int
+    #: Ring slot carrying the packed chunk, or None on the pickle/inline path.
+    slot: Optional[int]
 
-    def __init__(self) -> None:
-        self.reset()
 
-    def reset(self) -> None:
-        self.packets = 0
-        self.matched = 0
-        self.truncated = 0
-        self.chunks = 0
-        self.access_sum = 0
-        self.access_worst = 0
-        self.latency_sum = 0
-        self.latency_count = 0
-        self.latency_worst = 0
+async def _as_async_iterable(packets) -> AsyncIterator[PacketHeader]:
+    """Adapt a plain iterable to async iteration (async input passes through)."""
+    if hasattr(packets, "__aiter__"):
+        async for packet in packets:
+            yield packet
+    else:
+        for packet in packets:
+            yield packet
 
-    def absorb(self, counters: BatchCounters) -> None:
-        self.packets += counters.packets
-        self.matched += counters.matched
-        self.truncated += counters.truncated
-        self.chunks += 1
-        self.access_sum += counters.access_sum
-        self.access_worst = max(self.access_worst, counters.access_worst)
-        self.latency_sum += counters.latency_sum
-        self.latency_count += counters.latency_count
-        self.latency_worst = max(self.latency_worst, counters.latency_worst)
 
-    def merge(self, other: "_Aggregate") -> None:
-        self.packets += other.packets
-        self.matched += other.matched
-        self.truncated += other.truncated
-        self.chunks += other.chunks
-        self.access_sum += other.access_sum
-        self.access_worst = max(self.access_worst, other.access_worst)
-        self.latency_sum += other.latency_sum
-        self.latency_count += other.latency_count
-        self.latency_worst = max(self.latency_worst, other.latency_worst)
-
-    def to_stats(self, name: str, memory_bits: int) -> SessionStats:
-        """Render as :class:`SessionStats` (same math as a session's ``stats``)."""
-        return SessionStats(
-            classifier=name,
-            packets=self.packets,
-            matched=self.matched,
-            chunks=self.chunks,
-            average_memory_accesses=(
-                self.access_sum / self.packets if self.packets else 0.0
-            ),
-            worst_memory_accesses=self.access_worst,
-            average_latency_cycles=(
-                self.latency_sum / self.latency_count if self.latency_count else None
-            ),
-            worst_latency_cycles=self.latency_worst if self.latency_count else None,
-            memory_bits=memory_bits,
-            truncated_lookups=self.truncated,
-        )
+async def _aiter_chunks(packets, size: int):
+    """Async twin of :func:`~repro.api.session.iter_chunks` (plain iterables
+    adapted too) — keep its flush rule in lock-step with the sync chunker."""
+    chunk: List[PacketHeader] = []
+    async for packet in _as_async_iterable(packets):
+        chunk.append(packet)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 # ---------------------------------------------------------------------------
@@ -187,6 +199,14 @@ def _process_worker_classify(chunk: List[PacketHeader], retain: bool) -> _ChunkO
     return _measure_chunk(_WORKER_REPLICA.classify_batch(chunk), retain)
 
 
+def _process_worker_classify_packed(
+    segment: str, offset: int, count: int, retain: bool
+) -> _ChunkOutcome:
+    """Decode one packed chunk from the shared ring and classify it."""
+    headers = read_chunk(segment, offset, count)
+    return _measure_chunk(_WORKER_REPLICA.classify_batch(headers), retain)
+
+
 class _ThreadWorker:
     """One replica behind a single-lane thread (serial per-replica order)."""
 
@@ -203,6 +223,9 @@ class _ThreadWorker:
 
     def info(self) -> Tuple[str, int]:
         return self.replica.name, self.replica.memory_bits()
+
+    def cached_info(self) -> Optional[Tuple[str, int]]:
+        return self.info()  # always local, no pool needed
 
     def details(self) -> Dict[str, object]:
         return dict(self.replica.stats().details)
@@ -227,6 +250,9 @@ class _ProcessWorker:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._info: Optional[Tuple[str, int]] = None
         self._info_future = None
+        #: True once any task was submitted — the worker process is warm and
+        #: its replica built, so an info round-trip at shutdown is cheap.
+        self._used = False
 
     def start(self) -> None:
         if self._executor is None:
@@ -246,6 +272,7 @@ class _ProcessWorker:
         """
         if self._info is None and self._info_future is None:
             self.start()
+            self._used = True
             self._info_future = self._executor.submit(_process_worker_info)
 
     def info(self) -> Tuple[str, int]:
@@ -255,15 +282,42 @@ class _ProcessWorker:
             self._info_future = None
         return self._info
 
+    def cached_info(self) -> Optional[Tuple[str, int]]:
+        return self._info
+
     def details(self) -> Dict[str, object]:
         self.start()
+        self._used = True
         return self._executor.submit(_process_worker_details).result()
 
     def submit(self, chunk, retain):
+        self._used = True
         return self._executor.submit(_process_worker_classify, chunk, retain)
+
+    def submit_packed(self, descriptor, retain):
+        self._used = True
+        return self._executor.submit(
+            _process_worker_classify_packed,
+            descriptor.segment,
+            descriptor.offset,
+            descriptor.count,
+            retain,
+        )
 
     def shutdown(self) -> None:
         if self._executor is not None:
+            if self._info is None and self._used:
+                # Harvest the replica info while the worker still exists, so
+                # committed statistics stay readable after close() even when
+                # only feed()/afeed() ran (they never call info()).  A broken
+                # or poisoned worker simply leaves the info unknown.
+                try:
+                    future = self._info_future or self._executor.submit(
+                        _process_worker_info
+                    )
+                    self._info = future.result(timeout=30)
+                except Exception:
+                    pass
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
             self._info_future = None
@@ -274,13 +328,20 @@ class ParallelSession:
 
     ``ParallelSession(replicas)`` runs the given replica instances on the
     thread backend; :meth:`from_factory` builds the replicas (``factory`` per
-    worker) and selects the backend.  The process backend requires a
-    picklable factory — use :class:`ReplicaSpec`.
+    worker) and selects the backend and transport.  The process backend
+    requires a picklable factory — use :class:`ReplicaSpec`.
+
+    ``transport`` selects how the process backend ships chunks to workers
+    (``"auto"``/``"packed"``/``"pickle"``, see the module docstring); the
+    thread backend hands chunks over in-process and only accepts the default
+    ``"auto"`` (exposed as :attr:`transport` ``== "inline"``).
 
     Worker pools (threads or processes) start lazily on first use and stay
     alive across runs; call :meth:`close` (or use the session as a context
-    manager) to release them.  See the module docstring for the streaming
-    and failure contracts.
+    manager) to release them.  A closed session is terminal: further
+    :meth:`run`/:meth:`feed`/:meth:`arun`/:meth:`afeed` calls raise
+    :class:`~repro.exceptions.ConfigurationError`.  See the module docstring
+    for the streaming and failure contracts.
     """
 
     def __init__(
@@ -291,6 +352,7 @@ class ParallelSession:
         backend: str = "thread",
         factory: Optional[Callable[[], object]] = None,
         workers: Optional[int] = None,
+        transport: str = "auto",
     ) -> None:
         if chunk_size <= 0:
             raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
@@ -298,9 +360,26 @@ class ParallelSession:
             raise ConfigurationError(
                 f"unknown parallel backend {backend!r}; choose from {_BACKENDS}"
             )
+        if transport not in _TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown chunk transport {transport!r}; choose from {_TRANSPORTS}"
+            )
         self.chunk_size = chunk_size
         self.backend = backend
+        self._ring: Optional[SharedChunkRing] = None
+        #: True while a dispatch loop holds the cached ring (interleaved
+        #: loops then build private rings, see :meth:`_acquire_ring`).
+        self._ring_busy = False
+        self._closed = False
         if backend == "thread":
+            if transport != "auto":
+                raise ConfigurationError(
+                    "the thread backend hands chunks over in-process; "
+                    "transport='packed'/'pickle' only applies to backend='process'"
+                )
+            #: Resolved chunk transport: "inline" (thread backend), or
+            #: "packed"/"pickle" on the process backend.
+            self.transport = "inline"
             if replicas is None:
                 if factory is None or workers is None:
                     raise ConfigurationError(
@@ -331,9 +410,18 @@ class ParallelSession:
                     "process backend needs a picklable replica factory "
                     f"(e.g. ReplicaSpec); {factory!r} is not: {exc}"
                 ) from exc
+            if transport == "packed" and not shared_memory_available():
+                raise ConfigurationError(
+                    "transport='packed' needs multiprocessing.shared_memory, "
+                    "which this platform does not grant; use transport='auto' "
+                    "to fall back to pickle gracefully"
+                )
+            if transport == "auto":
+                transport = "packed" if shared_memory_available() else "pickle"
+            self.transport = transport
             self.replicas = []
             self._workers = [_ProcessWorker(factory) for _ in range(workers)]
-        self._committed = [_Aggregate() for _ in self._workers]
+        self._committed = [RunningCounters() for _ in self._workers]
 
     @classmethod
     def from_factory(
@@ -342,6 +430,7 @@ class ParallelSession:
         workers: int,
         chunk_size: int = 256,
         backend: str = "thread",
+        transport: str = "auto",
     ) -> "ParallelSession":
         """Build a ``workers``-replica session; ``factory`` makes one replica.
 
@@ -353,15 +442,35 @@ class ParallelSession:
         if workers <= 0:
             raise ConfigurationError(f"worker count must be positive, got {workers}")
         if backend == "thread":
-            return cls([factory() for _ in range(workers)], chunk_size=chunk_size)
+            return cls(
+                [factory() for _ in range(workers)],
+                chunk_size=chunk_size,
+                transport=transport,
+            )
         return cls(
-            None, chunk_size=chunk_size, backend=backend, factory=factory, workers=workers
+            None,
+            chunk_size=chunk_size,
+            backend=backend,
+            factory=factory,
+            workers=workers,
+            transport=transport,
         )
 
     @property
     def workers(self) -> int:
         """Number of replica pipelines."""
         return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called (the session is terminal)."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "parallel session is closed; create a new session to classify again"
+            )
 
     # -- streaming -----------------------------------------------------------
     def run(self, packets: Iterable[PacketHeader]) -> SessionStats:
@@ -386,30 +495,143 @@ class ParallelSession:
         """
         return BatchResult(self._execute(packets, retain=True))
 
+    async def afeed(
+        self, packets
+    ) -> AsyncIterator[Classification]:
+        """Asynchronously stream packets through the pool, yielding in order.
+
+        The asyncio front-end for live sources: ``packets`` is an async
+        iterable (a capture loop, a socket reader — plain iterables are
+        adapted too), and classifications are yielded in input order as
+        head-of-line chunks complete.  Backpressure is the same bounded
+        in-flight chunk window as the synchronous dispatch: when the window
+        is full, the producer is simply not pulled until the oldest chunk
+        has been absorbed — the event loop stays free while workers
+        classify.
+
+        Statistics commit into :meth:`stats` only when the stream is
+        consumed to the end; abandoning the generator (``break``/``aclose``)
+        or a replica failure aborts the run exactly like :meth:`run`.
+        """
+        stream = self._astream(packets, retain=True)
+        try:
+            async for chunk_results in stream:
+                for result in chunk_results:
+                    yield result
+        finally:
+            # Deterministic cleanup: closing this generator must abort the
+            # dispatch loop now (cancel chunks, release the ring), not
+            # whenever the garbage collector finalises the inner generator.
+            await stream.aclose()
+
+    async def arun(self, packets) -> SessionStats:
+        """Asynchronously shard one (async) iterable; return the merged stats.
+
+        The stats-only twin of :meth:`afeed`: retains nothing per packet, so
+        an arbitrarily long live feed runs in constant memory.
+        """
+        async for _ in self._astream(packets, retain=False):
+            pass
+        return self.stats()
+
+    # -- dispatch core -------------------------------------------------------
+    def _use_packed(self) -> bool:
+        return self.transport == "packed"
+
+    def _new_ring(self) -> SharedChunkRing:
+        return SharedChunkRing(
+            slots=len(self._workers) * PIPELINE_DEPTH,
+            headers_per_slot=self.chunk_size,
+        )
+
+    def _acquire_ring(self) -> Optional[SharedChunkRing]:
+        """Claim a ring for one dispatch loop (None on non-packed transports).
+
+        The session keeps one ring warm across sequential runs; when dispatch
+        loops interleave (a ``feed()`` issued while an ``afeed()`` is
+        suspended mid-stream), each extra loop gets its own private ring —
+        slot accounting is per loop, so loops never starve or unlink each
+        other's segments.
+        """
+        if not self._use_packed():
+            return None
+        if not self._ring_busy:
+            if self._ring is None or self._ring.closed:
+                self._ring = self._new_ring()
+            self._ring_busy = True
+            return self._ring
+        return self._new_ring()
+
+    def _return_ring(self, ring: Optional[SharedChunkRing], failed: bool) -> None:
+        """Give a dispatch loop's ring back (unlink it if private or poisoned)."""
+        if ring is None:
+            return
+        if ring is self._ring:
+            self._ring_busy = False
+            if failed:
+                self._release_ring()
+        else:
+            ring.close()
+
+    def _release_ring(self) -> None:
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
+        self._ring_busy = False
+
+    @staticmethod
+    def _release_slot(ring: Optional[SharedChunkRing], slot: Optional[int]) -> None:
+        if slot is not None and ring is not None and not ring.closed:
+            ring.release(slot)
+
+    def _submit(
+        self,
+        chunk,
+        chunk_index: int,
+        retain: bool,
+        ring: Optional[SharedChunkRing],
+    ) -> _Inflight:
+        """Submit one chunk round-robin over the configured transport."""
+        # Guards a dispatch loop resumed after close() (e.g. a suspended
+        # afeed() generator): the terminal-close contract promises a clean
+        # session-closed error, not an AttributeError from a dead executor.
+        self._check_open()
+        worker_index = chunk_index % len(self._workers)
+        worker = self._workers[worker_index]
+        slot = None
+        if ring is not None:
+            slot = ring.acquire()
+            if slot is None:  # unreachable under the bounded in-flight window
+                raise ConfigurationError(
+                    "shared-memory ring exhausted; in-flight window exceeded slot count"
+                )
+            future = worker.submit_packed(ring.write(slot, chunk), retain)
+        else:
+            future = worker.submit(chunk, retain)
+        return _Inflight(future, worker_index, chunk_index, slot)
+
     def _execute(self, packets, retain: bool):
+        self._check_open()
         for worker in self._workers:
             worker.start()
-        worker_count = len(self._workers)
-        pending = [_Aggregate() for _ in self._workers]
+        pending = [RunningCounters() for _ in self._workers]
         retained: Optional[Dict[int, Tuple[Classification, ...]]] = {} if retain else None
         inflight: deque = deque()
-        max_inflight = worker_count * PIPELINE_DEPTH
+        max_inflight = len(self._workers) * PIPELINE_DEPTH
+        ring = self._acquire_ring()
         try:
-            chunk: List[PacketHeader] = []
-            chunk_index = 0
-            for packet in packets:
-                chunk.append(packet)
-                if len(chunk) >= self.chunk_size:
-                    self._dispatch(chunk, chunk_index, inflight, max_inflight, pending, retained)
-                    chunk_index += 1
-                    chunk = []
-            if chunk:
-                self._dispatch(chunk, chunk_index, inflight, max_inflight, pending, retained)
+            for chunk_index, chunk in enumerate(
+                iter_chunks(packets, self.chunk_size)
+            ):
+                if len(inflight) >= max_inflight:
+                    self._absorb_one(inflight, pending, retained, ring)
+                inflight.append(self._submit(chunk, chunk_index, retain, ring))
             while inflight:
-                self._absorb_one(inflight, pending, retained)
+                self._absorb_one(inflight, pending, retained, ring)
         except BaseException:
-            self._abort(inflight)
+            self._abort(inflight, ring)
             raise
+        self._return_ring(ring, failed=False)
         # Only a fully successful run commits into the session counters.
         for committed, fresh in zip(self._committed, pending):
             committed.merge(fresh)
@@ -420,37 +642,96 @@ class ParallelSession:
             ordered.extend(retained[index])
         return tuple(ordered)
 
-    def _dispatch(self, chunk, chunk_index, inflight, max_inflight, pending, retained) -> None:
-        """Submit one chunk round-robin, absorbing the oldest when saturated."""
-        if len(inflight) >= max_inflight:
-            self._absorb_one(inflight, pending, retained)
-        worker_index = chunk_index % len(self._workers)
-        future = self._workers[worker_index].submit(chunk, retained is not None)
-        inflight.append((future, worker_index, chunk_index))
-
-    def _absorb_one(self, inflight, pending, retained) -> None:
-        future, worker_index, chunk_index = inflight.popleft()
-        outcome = future.result()
-        pending[worker_index].absorb(outcome.counters)
+    def _absorb_one(self, inflight, pending, retained, ring) -> None:
+        self._check_open()
+        entry = inflight.popleft()
+        try:
+            outcome = entry.future.result()
+        finally:
+            self._release_slot(ring, entry.slot)
+        pending[entry.worker_index].absorb(outcome.counters)
         if retained is not None:
-            retained[chunk_index] = outcome.results
+            retained[entry.chunk_index] = outcome.results
 
-    def _abort(self, inflight) -> None:
-        """Cancel outstanding chunks and swallow their late errors."""
-        for future, _, _ in inflight:
-            future.cancel()
-        for future, _, _ in inflight:
-            if not future.cancelled():
+    async def _astream(self, packets, retain: bool):
+        """Async dispatch loop: yields each absorbed chunk's results in order.
+
+        Chunks are dispatched exactly like :meth:`_execute`; absorption
+        awaits the head-of-line future (``asyncio.wrap_future``) instead of
+        blocking, so input order is preserved and the event loop keeps
+        running while workers classify.
+        """
+        self._check_open()
+        for worker in self._workers:
+            worker.start()
+        pending = [RunningCounters() for _ in self._workers]
+        inflight: deque = deque()
+        max_inflight = len(self._workers) * PIPELINE_DEPTH
+        ring = self._acquire_ring()
+        try:
+            chunk_index = 0
+            async for chunk in _aiter_chunks(packets, self.chunk_size):
+                if len(inflight) >= max_inflight:
+                    yield await self._aabsorb_one(inflight, pending, retain, ring)
+                inflight.append(self._submit(chunk, chunk_index, retain, ring))
+                chunk_index += 1
+            while inflight:
+                yield await self._aabsorb_one(inflight, pending, retain, ring)
+        except BaseException:
+            await self._aabort(inflight, ring)
+            raise
+        self._return_ring(ring, failed=False)
+        for committed, fresh in zip(self._committed, pending):
+            committed.merge(fresh)
+
+    async def _aabsorb_one(
+        self, inflight, pending, retain: bool, ring
+    ) -> Tuple[Classification, ...]:
+        self._check_open()  # closed mid-stream: fail clean, not CancelledError
+        entry = inflight.popleft()
+        try:
+            outcome = await asyncio.wrap_future(entry.future)
+        finally:
+            self._release_slot(ring, entry.slot)
+        pending[entry.worker_index].absorb(outcome.counters)
+        return outcome.results if retain else ()
+
+    def _abort(self, inflight, ring) -> None:
+        """Cancel outstanding chunks, swallow late errors, retire this ring."""
+        for entry in inflight:
+            entry.future.cancel()
+        for entry in inflight:
+            if not entry.future.cancelled():
                 try:
-                    future.result()
+                    entry.future.result()
                 except BaseException:
                     pass
         inflight.clear()
+        self._return_ring(ring, failed=True)
+
+    async def _aabort(self, inflight, ring) -> None:
+        """Async twin of :meth:`_abort`: drains without blocking the event loop.
+
+        An abandoned :meth:`afeed` or a replica failure must not stall every
+        other asyncio task while up to the in-flight window of chunks finishes
+        classifying, so the drain awaits the futures instead of blocking on
+        ``result()``.
+        """
+        for entry in inflight:
+            entry.future.cancel()
+        for entry in inflight:
+            if not entry.future.cancelled():
+                try:
+                    await asyncio.wrap_future(entry.future)
+                except BaseException:
+                    pass
+        inflight.clear()
+        self._return_ring(ring, failed=True)
 
     def reset(self) -> None:
         """Zero every replica's committed aggregate counters."""
-        for aggregate in self._committed:
-            aggregate.reset()
+        for counters in self._committed:
+            counters.reset()
 
     # -- aggregation ---------------------------------------------------------
     def stats(self) -> SessionStats:
@@ -458,14 +739,27 @@ class ParallelSession:
 
         On the process backend this may start the worker pool (the replica
         name and memory footprint are reported by the workers; bring-up runs
-        in parallel across workers).
+        in parallel across workers).  On a closed session the cached replica
+        info is used instead — stats of a closed process-backend session
+        that never ran are unavailable.
         """
+        if self._closed:
+            parts = []
+            for worker, counters in zip(self._workers, self._committed):
+                info = worker.cached_info()
+                if info is None:
+                    raise ConfigurationError(
+                        "parallel session is closed and never reported replica "
+                        "info; create a new session"
+                    )
+                parts.append(counters.to_stats(*info))
+            return SessionStats.merge(parts)
         for worker in self._workers:
             worker.prefetch_info()
         parts = []
-        for worker, aggregate in zip(self._workers, self._committed):
+        for worker, counters in zip(self._workers, self._committed):
             name, memory_bits = worker.info()
-            parts.append(aggregate.to_stats(name, memory_bits))
+            parts.append(counters.to_stats(name, memory_bits))
         return SessionStats.merge(parts)
 
     def replica_details(self) -> Dict[str, object]:
@@ -475,17 +769,24 @@ class ParallelSession:
         homogeneous (every :meth:`from_factory` pool); on the process
         backend the worker reports them (starting it if needed).
         """
+        self._check_open()
         return self._workers[0].details()
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pools down (processes exit; threads join).
+        """Shut the worker pools down and release the shared-memory ring.
 
-        Idempotent; a later :meth:`run` lazily restarts the pools (process
-        workers then rebuild their replicas).
+        Idempotent and terminal: processes exit, threads join, the packed
+        transport's segment is unlinked (nothing lingers in ``/dev/shm``),
+        and any later :meth:`run`/:meth:`feed`/:meth:`arun`/:meth:`afeed`
+        raises :class:`~repro.exceptions.ConfigurationError`.  Committed
+        statistics stay readable via :meth:`stats` where the replica info is
+        already known.
         """
+        self._closed = True
         for worker in self._workers:
             worker.shutdown()
+        self._release_ring()
 
     def __enter__(self) -> "ParallelSession":
         return self
@@ -500,4 +801,7 @@ class ParallelSession:
             pass
 
     def __repr__(self) -> str:
-        return f"ParallelSession(workers={self.workers}, backend={self.backend})"
+        return (
+            f"ParallelSession(workers={self.workers}, backend={self.backend}, "
+            f"transport={self.transport})"
+        )

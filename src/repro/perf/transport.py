@@ -1,0 +1,277 @@
+"""Packed-header zero-copy transport for the process-pool backend.
+
+The paper's pipeline is fed fixed-width header words, not Python objects, so
+the faithful (and fast) way to move a trace between processes is the same
+wire shape: each 5-tuple packs into one 104-bit big-endian word
+(:data:`~repro.rules.packet.HEADER_BITS`, field order and widths from
+:data:`~repro.rules.packet.FIVE_TUPLE_WIDTHS`), and whole chunks of them
+live in a shared-memory ring that worker processes read in place.  The
+dispatcher then ships a tiny ``(segment, offset, count)`` descriptor per
+chunk instead of a pickled list of :class:`~repro.rules.packet.PacketHeader`
+objects — no header is ever serialised.
+
+Three layers, all stdlib-only (``struct`` + ``multiprocessing.shared_memory``;
+the codec accepts any buffer-protocol object, including ``array.array`` and
+NumPy arrays):
+
+* **codec** — :func:`pack_headers` / :func:`unpack_headers` /
+  :func:`pack_into`, the bijection between header objects and the packed
+  wire layout.  The layout is frozen by a golden-bytes test; changing it is
+  a wire-format break.
+* **ring** — :class:`SharedChunkRing`, a fixed number of chunk-sized slots in
+  one :class:`~multiprocessing.shared_memory.SharedMemory` segment.  The
+  dispatcher owns slot accounting (acquire → write → release when the
+  chunk's result is absorbed); the bounded in-flight window of
+  :class:`~repro.perf.parallel.ParallelSession` guarantees a free slot at
+  every dispatch, so no cross-process synchronisation is needed.
+* **worker attach** — :func:`read_chunk`, used inside worker processes:
+  attaches to the ring segment once (cached per process, re-attached when
+  the ring changes) and decodes one chunk's headers from it.
+
+:func:`shared_memory_available` probes whether the platform actually grants
+shared-memory segments; :class:`~repro.perf.parallel.ParallelSession` uses it
+to fall back to the pickle transport gracefully (``transport="auto"``).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.rules.packet import FIVE_TUPLE_WIDTHS, HEADER_BITS, PacketHeader
+
+__all__ = [
+    "HEADER_BYTES",
+    "ChunkDescriptor",
+    "SharedChunkRing",
+    "pack_headers",
+    "pack_into",
+    "unpack_headers",
+    "read_chunk",
+    "shared_memory_available",
+]
+
+#: Bytes of one packed header word (104 bits -> 13 bytes).
+HEADER_BYTES = HEADER_BITS // 8
+
+#: Big-endian fixed-width layout: src_ip(32) dst_ip(32) src_port(16)
+#: dst_port(16) protocol(8), exactly the canonical field order and widths of
+#: :data:`repro.rules.packet.FIVE_TUPLE_WIDTHS`.
+_HEADER_STRUCT = struct.Struct(">IIHHB")
+
+# The wire layout must stay in lock-step with the canonical widths: if a
+# field width changes in rules/packet.py, this import-time check fails
+# instead of silently truncating values on the wire.
+if _HEADER_STRUCT.size != HEADER_BYTES or tuple(FIVE_TUPLE_WIDTHS.values()) != (
+    32, 32, 16, 16, 8
+):
+    raise ConfigurationError(
+        "packed transport layout out of sync with FIVE_TUPLE_WIDTHS"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+
+
+def pack_headers(headers: Iterable[PacketHeader]) -> bytes:
+    """Pack headers into a contiguous ``HEADER_BYTES``-per-header buffer."""
+    pack = _HEADER_STRUCT.pack
+    return b"".join(
+        pack(h.src_ip, h.dst_ip, h.src_port, h.dst_port, h.protocol)
+        for h in headers
+    )
+
+
+def pack_into(buffer, offset: int, headers: Sequence[PacketHeader]) -> int:
+    """Pack ``headers`` into ``buffer`` at ``offset``; returns bytes written.
+
+    ``buffer`` is any writable buffer-protocol object (``bytearray``,
+    ``memoryview``, ``array.array``, a NumPy array, shared memory...).
+    """
+    pack_one = _HEADER_STRUCT.pack_into
+    for header in headers:
+        pack_one(
+            buffer, offset,
+            header.src_ip, header.dst_ip,
+            header.src_port, header.dst_port, header.protocol,
+        )
+        offset += HEADER_BYTES
+    return len(headers) * HEADER_BYTES
+
+
+def unpack_headers(buffer, count: Optional[int] = None, offset: int = 0) -> List[PacketHeader]:
+    """Decode ``count`` headers from ``buffer`` starting at ``offset``.
+
+    The inverse of :func:`pack_headers` / :func:`pack_into`; ``buffer`` is
+    any buffer-protocol object.  ``count=None`` decodes to the end of the
+    buffer (which must then hold a whole number of header words).
+    """
+    if count is None:
+        # nbytes, not len(): a buffer of multi-byte items (array("I"), a
+        # uint32 NumPy array) reports its length in items.
+        remaining = memoryview(buffer).nbytes - offset
+        if remaining % HEADER_BYTES:
+            raise ConfigurationError(
+                f"buffer tail of {remaining} bytes is not a whole number of "
+                f"{HEADER_BYTES}-byte header words"
+            )
+        count = remaining // HEADER_BYTES
+    unpack_one = _HEADER_STRUCT.unpack_from
+    headers: List[PacketHeader] = []
+    for index in range(count):
+        src_ip, dst_ip, src_port, dst_port, protocol = unpack_one(
+            buffer, offset + index * HEADER_BYTES
+        )
+        headers.append(PacketHeader(src_ip, dst_ip, src_port, dst_port, protocol))
+    return headers
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory chunk ring
+# ---------------------------------------------------------------------------
+
+
+class ChunkDescriptor(NamedTuple):
+    """What actually crosses the process boundary per chunk: ~50 bytes."""
+
+    segment: str
+    offset: int
+    count: int
+
+
+def _import_shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """True when the platform grants ``multiprocessing.shared_memory`` segments.
+
+    Probes once per process by creating (and immediately unlinking) a
+    minimal segment; containers without ``/dev/shm`` or with a locked-down
+    tmpfs fail the probe and make ``transport="auto"`` fall back to pickle.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            probe = _import_shared_memory().SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+class SharedChunkRing:
+    """A ring of fixed-size packed-chunk slots in one shared-memory segment.
+
+    The dispatcher packs each outgoing chunk into a free slot
+    (:meth:`acquire` + :meth:`write`) and releases the slot once the chunk's
+    result has been absorbed; workers only ever read.  Slot accounting lives
+    entirely in the owning process — the in-flight window of the dispatcher
+    is never larger than the slot count, so a free slot always exists at
+    dispatch time and the ring needs no locks.
+    """
+
+    def __init__(self, slots: int, headers_per_slot: int) -> None:
+        if slots <= 0:
+            raise ConfigurationError(f"ring needs at least one slot, got {slots}")
+        if headers_per_slot <= 0:
+            raise ConfigurationError(
+                f"ring slots must hold at least one header, got {headers_per_slot}"
+            )
+        self.slots = slots
+        self.headers_per_slot = headers_per_slot
+        self.slot_bytes = headers_per_slot * HEADER_BYTES
+        self._shm = _import_shared_memory().SharedMemory(
+            create=True, size=slots * self.slot_bytes
+        )
+        self._free: Deque[int] = deque(range(slots))
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach to (:func:`read_chunk`)."""
+        return self._shm.name
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available for :meth:`acquire`."""
+        return len(self._free)
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def acquire(self) -> Optional[int]:
+        """Take a free slot index, or None when every slot is in flight."""
+        return self._free.popleft() if self._free else None
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (its chunk has been absorbed)."""
+        self._free.append(slot)
+
+    def write(self, slot: int, headers: Sequence[PacketHeader]) -> ChunkDescriptor:
+        """Pack one chunk into ``slot`` and return its wire descriptor."""
+        if len(headers) > self.headers_per_slot:
+            raise ConfigurationError(
+                f"chunk of {len(headers)} headers exceeds the ring slot "
+                f"capacity of {self.headers_per_slot}"
+            )
+        offset = slot * self.slot_bytes
+        pack_into(self._shm.buf, offset, headers)
+        return ChunkDescriptor(segment=self._shm.name, offset=offset, count=len(headers))
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent; frees ``/dev/shm``)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self._free.clear()
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else self._shm.name
+        return (
+            f"SharedChunkRing({state}, slots={self.slots}, "
+            f"slot_bytes={self.slot_bytes})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attach cache
+# ---------------------------------------------------------------------------
+
+#: This process's attachment to the dispatcher's current ring segment.  One
+#: entry suffices: a worker serves exactly one session ring at a time, and a
+#: new ring (new segment name) simply replaces the old attachment.
+_ATTACHED = None
+
+
+def read_chunk(segment: str, offset: int, count: int) -> List[PacketHeader]:
+    """Decode one chunk from the named ring segment (worker side).
+
+    Attaches on first use and caches the attachment for the life of the
+    worker process; when the dispatcher rebuilds its ring (a new segment
+    name), the stale attachment is closed and replaced.
+    """
+    global _ATTACHED
+    attached = _ATTACHED
+    if attached is None or attached.name != segment:
+        if attached is not None:
+            attached.close()
+        attached = _import_shared_memory().SharedMemory(name=segment)
+        _ATTACHED = attached
+    return unpack_headers(attached.buf, count, offset=offset)

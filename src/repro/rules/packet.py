@@ -15,9 +15,15 @@ from typing import Dict, Iterator, Tuple
 
 from repro.exceptions import RuleError
 from repro.fields.prefix import IPV4_WIDTH, format_ipv4, parse_ipv4
-from repro.fields.range_utils import PORT_MAX
+from repro.fields.range_utils import PORT_MAX, PORT_WIDTH
 
-__all__ = ["PacketHeader", "FIVE_TUPLE_FIELDS"]
+__all__ = [
+    "PacketHeader",
+    "FIVE_TUPLE_FIELDS",
+    "FIVE_TUPLE_WIDTHS",
+    "PROTOCOL_WIDTH",
+    "HEADER_BITS",
+]
 
 #: Canonical field ordering used across the library (rule fields, label
 #: tuples, memory images and reports all follow this order).
@@ -29,8 +35,27 @@ FIVE_TUPLE_FIELDS: Tuple[str, ...] = (
     "protocol",
 )
 
+#: Width of the IP protocol field in bits.
+PROTOCOL_WIDTH = 8
+
+#: Canonical bit width of every 5-tuple field, in :data:`FIVE_TUPLE_FIELDS`
+#: order.  This is the single source of truth for the header's fixed-width
+#: wire layout (:mod:`repro.perf.transport` packs headers field by field in
+#: exactly this order and at exactly these widths).
+FIVE_TUPLE_WIDTHS: Dict[str, int] = {
+    "src_ip": IPV4_WIDTH,
+    "dst_ip": IPV4_WIDTH,
+    "src_port": PORT_WIDTH,
+    "dst_port": PORT_WIDTH,
+    "protocol": PROTOCOL_WIDTH,
+}
+
+#: Total width of one packed 5-tuple header word (104 bits in the paper's
+#: pipeline: 32 + 32 + 16 + 16 + 8).
+HEADER_BITS = sum(FIVE_TUPLE_WIDTHS.values())
+
 _IP_MAX = (1 << IPV4_WIDTH) - 1
-_PROTO_MAX = 255
+_PROTO_MAX = (1 << PROTOCOL_WIDTH) - 1
 
 
 @dataclass(frozen=True)

@@ -6,13 +6,42 @@ exercise behaviour and invariants, not scale — scale lives in ``benchmarks/``.
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 import pytest
 
+from diff_scenarios import DIFFERENTIAL_SEED, build_scenario_trace
 from repro.rules.classbench import ClassBenchGenerator, FilterFlavor
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule, RuleAction
 from repro.rules.ruleset import RuleSet
 from repro.rules.trace import generate_trace
+
+
+@pytest.fixture(scope="session")
+def differential_scenario():
+    """Session-cached (ruleset, trace) factory for the differential battery.
+
+    ``build(flavor, shape)`` returns a deterministic scenario workload keyed
+    by ClassBench flavor and trace shape; repeated calls share one build.
+    """
+    cache = {}
+
+    def build(
+        flavor: str, shape: str, *, rules: int = 120, packets: int = 160
+    ) -> Tuple[RuleSet, List[PacketHeader]]:
+        key = (flavor, shape, rules, packets)
+        if key not in cache:
+            ruleset = ClassBenchGenerator(
+                FilterFlavor(flavor), seed=DIFFERENTIAL_SEED
+            ).generate(rules)
+            trace = build_scenario_trace(
+                ruleset, shape, count=packets, seed=DIFFERENTIAL_SEED + 1
+            )
+            cache[key] = (ruleset, trace)
+        return cache[key]
+
+    return build
 
 
 @pytest.fixture(scope="session")

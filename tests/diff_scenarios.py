@@ -1,0 +1,60 @@
+"""Shared scenario generator for the differential test battery.
+
+Lives in its own module (not ``conftest.py``) so that
+``tests/test_differential_scenarios.py`` can import it by name: pytest loads
+both ``tests/conftest.py`` and ``benchmarks/conftest.py`` under the module
+name ``conftest``, so ``from conftest import ...`` resolves to whichever one
+happened to load first.  A uniquely-named helper module has no such clash.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Tuple
+
+from repro.rules.packet import PacketHeader
+from repro.rules.ruleset import RuleSet
+from repro.rules.trace import generate_trace, generate_uniform_trace
+
+#: Battery seed — override with REPRO_DIFF_SEED to reproduce a CI failure
+#: locally (the CI differential job echoes the seed it ran with).
+DIFFERENTIAL_SEED = int(os.environ.get("REPRO_DIFF_SEED", "20140730"))
+
+#: Trace shapes the battery sweeps: the biased ClassBench mix, an
+#: adversarial all-unique-flows stream (every header distinct — worst case
+#: for every memoization layer), and a heavy-duplicate stream (few flows
+#: repeated — worst case for cache-correctness after the first packet).
+TRACE_SHAPES: Tuple[str, ...] = ("mixed", "all_unique", "heavy_duplicate")
+
+
+def build_scenario_trace(
+    ruleset: RuleSet, shape: str, count: int, seed: int
+) -> List[PacketHeader]:
+    """Deterministically generate one trace of the requested shape."""
+    if shape == "mixed":
+        return generate_trace(ruleset, count=count, seed=seed)
+    if shape == "all_unique":
+        # Draw hit-biased headers, keep first occurrences only, and top up
+        # from the uniform header space (always fresh) if the rule
+        # hyper-rectangles are too small to yield enough distinct headers.
+        seen = set()
+        unique: List[PacketHeader] = []
+        draw_seed = seed
+        while len(unique) < count:
+            biased = generate_trace(ruleset, count=2 * count, seed=draw_seed)
+            for packet in biased + generate_uniform_trace(2 * count, seed=draw_seed + 1):
+                if packet not in seen:
+                    seen.add(packet)
+                    unique.append(packet)
+                    if len(unique) == count:
+                        break
+            draw_seed += 2
+        return unique
+    if shape == "heavy_duplicate":
+        # A handful of distinct flows, re-played in random interleaving:
+        # almost every packet after the warm-up is a cache hit.
+        distinct = generate_trace(ruleset, count=max(4, count // 16), seed=seed)
+        rng = random.Random(seed + 1)
+        return [rng.choice(distinct) for _ in range(count)]
+    raise ValueError(f"unknown trace shape {shape!r}; choose from {TRACE_SHAPES}")

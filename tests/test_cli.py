@@ -120,6 +120,44 @@ class TestWorkloadCommands:
             for line in out.splitlines()
         )
 
+    def test_classify_packed_transport(self, capsys):
+        from repro.perf import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("platform grants no shared memory")
+        assert main(["classify", "--size", "200", "--packets", "30", "--fast",
+                     "--workers", "2", "--backend", "process",
+                     "--transport", "packed"]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.startswith("Chunk transport") and line.endswith("packed")
+            for line in out.splitlines()
+        )
+
+    def test_classify_pickle_transport_honoured_with_one_worker(self, capsys):
+        # An explicit transport is never a silent no-op: one worker still
+        # runs through a process pool over the requested transport.
+        assert main(["classify", "--size", "200", "--packets", "30", "--fast",
+                     "--workers", "1", "--backend", "process",
+                     "--transport", "pickle"]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.startswith("Chunk transport") and line.endswith("pickle")
+            for line in out.splitlines()
+        )
+
+    def test_classify_transport_rejected_on_thread_backend(self, capsys):
+        assert main(["classify", "--size", "200", "--packets", "30", "--fast",
+                     "--workers", "2", "--transport", "packed"]) == 2
+        assert "in-process" in capsys.readouterr().err
+
+    def test_classify_async_feed(self, capsys):
+        assert main(["classify", "--size", "300", "--packets", "40", "--fast",
+                     "--workers", "2", "--async-feed"]) == 0
+        out = capsys.readouterr().out
+        assert "Feed mode" in out
+        assert "async" in out
+
     def test_classify_fast_baseline_rejected(self, capsys):
         assert main(["classify", "--classifier", "hypercuts", "--size", "200",
                      "--packets", "10", "--fast"]) == 2

@@ -1,0 +1,192 @@
+"""Differential scenario battery: every lookup path against every other.
+
+The repo now ships seven ways to classify the same trace — per-packet, fast
+path, vectorized fast path, thread pool, process pool over the pickle and
+packed transports, and the asyncio front-end — each claiming bit-exactness.
+Instead of per-PR spot checks, this battery sweeps seeded-random scenarios
+(ClassBench flavor x combiner mode x trace shape, including the adversarial
+all-unique-flows and heavy-duplicate shapes) and asserts that **all** paths
+return identical classifications, with the linear-search scan as ground
+truth wherever the combiner is exact (cross-product mode).
+
+Scenario workloads come from the shared generator in ``tests/conftest.py``
+(:func:`build_scenario_trace` / the ``differential_scenario`` fixture),
+seeded by ``REPRO_DIFF_SEED`` (default 20140730) so any CI failure is
+reproducible by exporting the seed echoed in the job log.
+
+Everything here is marked ``differential`` so CI can run the battery as its
+own job; it is also part of the default (tier-1) suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import pytest
+
+from repro.api import create_classifier
+from repro.core.config import CombinerMode
+from repro.perf import ParallelSession, ReplicaSpec, shared_memory_available
+from repro.rules.ruleset import RuleSet
+
+from diff_scenarios import DIFFERENTIAL_SEED, TRACE_SHAPES
+
+pytestmark = pytest.mark.differential
+
+FLAVORS = ("acl", "fw", "ipc")
+COMBINERS = tuple(mode.value for mode in CombinerMode)
+
+#: The full in-process battery: 3 flavors x 2 combiners x 3 shapes.
+SCENARIOS = [
+    (flavor, combiner, shape)
+    for flavor in FLAVORS
+    for combiner in COMBINERS
+    for shape in TRACE_SHAPES
+]
+
+#: Process pools fork a worker pair per session, so the cross-process paths
+#: sweep a representative diagonal instead of the full cube: every flavor,
+#: both combiners and every trace shape appear at least once.
+PROCESS_SCENARIOS = [
+    ("acl", "cross_product", "mixed"),
+    ("fw", "cross_product", "all_unique"),
+    ("ipc", "cross_product", "heavy_duplicate"),
+    ("acl", "first_label", "all_unique"),
+]
+
+ASYNC_SCENARIOS = [
+    ("acl", "cross_product", "mixed"),
+    ("fw", "first_label", "heavy_duplicate"),
+]
+
+
+@dataclass
+class ScenarioReference:
+    """Everything one scenario's comparisons need, built once and cached."""
+
+    ruleset: RuleSet
+    trace: list
+    #: Ground truth rule ids from the linear scan (exact resolution).
+    truth: List[Optional[int]]
+    #: Per-packet path classifications (the behavioural model's reference).
+    per_packet: list
+    #: Fast-path batch classifications (what every other path must equal).
+    fast: list
+    options: dict = field(default_factory=dict)
+
+
+@pytest.fixture(scope="module")
+def scenario_reference(differential_scenario):
+    """Cached per-scenario reference results shared across the battery."""
+    cache = {}
+
+    def build(flavor: str, combiner: str, shape: str) -> ScenarioReference:
+        key = (flavor, combiner, shape)
+        if key not in cache:
+            ruleset, trace = differential_scenario(flavor, shape)
+            options = {"combiner": combiner}
+            base = create_classifier("configurable", ruleset, **options)
+            per_packet = [base.classify(packet) for packet in trace]
+            fast = create_classifier("configurable", ruleset, fast=True, **options)
+            fast_results = list(fast.classify_batch(trace).results)
+            truth = [
+                match.rule_id if (match := ruleset.highest_priority_match(p)) else None
+                for p in trace
+            ]
+            cache[key] = ScenarioReference(
+                ruleset=ruleset,
+                trace=trace,
+                truth=truth,
+                per_packet=per_packet,
+                fast=fast_results,
+                options=options,
+            )
+        return cache[key]
+
+    return build
+
+
+def _scenario_id(scenario) -> str:
+    return "-".join(scenario)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def echo_differential_seed():
+    """Echo the battery seed so any failure is reproducible from the log."""
+    print(f"\n[differential battery] REPRO_DIFF_SEED={DIFFERENTIAL_SEED}")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=_scenario_id)
+def test_inprocess_paths_agree(scenario, scenario_reference):
+    """per-packet == fast == vectorized == thread pool (== linear truth)."""
+    flavor, combiner, shape = scenario
+    ref = scenario_reference(flavor, combiner, shape)
+
+    # Fast path against the per-packet behavioural model: bit-exact.
+    assert ref.fast == ref.per_packet
+
+    # Vectorized cold path: a separate classifier so its caches start cold.
+    vectorized = create_classifier(
+        "configurable", ref.ruleset, vectorized=True, **ref.options
+    )
+    assert list(vectorized.classify_batch(ref.trace).results) == ref.per_packet
+
+    # Thread-pool sharding over heterogeneous (fast + vectorized) replicas:
+    # input-order reassembly must reproduce the single-replica batch.
+    fast_replica = create_classifier(
+        "configurable", ref.ruleset, fast=True, **ref.options
+    )
+    with ParallelSession([fast_replica, vectorized], chunk_size=32) as pool:
+        fed = pool.feed(ref.trace)
+    assert list(fed.results) == ref.per_packet
+
+    if combiner == CombinerMode.CROSS_PRODUCT.value:
+        # Cross-product resolution is exact, so the linear scan agrees
+        # (first-label is the paper's approximate hardware fast path).
+        assert [result.rule_id for result in ref.per_packet] == ref.truth
+        assert not any(result.truncated for result in ref.per_packet)
+
+
+@pytest.mark.parametrize("transport", ["pickle", "packed"])
+@pytest.mark.parametrize("scenario", PROCESS_SCENARIOS, ids=_scenario_id)
+def test_process_pool_transports_agree(scenario, transport, scenario_reference):
+    """Process-pool results are bit-exact over both chunk transports."""
+    if transport == "packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+    flavor, combiner, shape = scenario
+    ref = scenario_reference(flavor, combiner, shape)
+    spec = ReplicaSpec(
+        "configurable", ref.ruleset, {"fast": True, **ref.options}
+    )
+    with ParallelSession.from_factory(
+        spec, workers=2, chunk_size=32, backend="process", transport=transport
+    ) as pool:
+        assert pool.transport == transport
+        fed = pool.feed(ref.trace)
+        stats = pool.stats()
+    assert list(fed.results) == ref.fast
+    assert stats.packets == len(ref.trace)
+    assert stats.matched == sum(1 for r in ref.fast if r.matched)
+
+
+@pytest.mark.parametrize("scenario", ASYNC_SCENARIOS, ids=_scenario_id)
+def test_async_feed_agrees(scenario, scenario_reference):
+    """The asyncio front-end yields the same classifications, in input order."""
+    flavor, combiner, shape = scenario
+    ref = scenario_reference(flavor, combiner, shape)
+
+    async def drive():
+        async def live_source():
+            for packet in ref.trace:
+                yield packet
+
+        replicas = [
+            create_classifier("configurable", ref.ruleset, fast=True, **ref.options)
+            for _ in range(2)
+        ]
+        with ParallelSession(replicas, chunk_size=32) as pool:
+            return [result async for result in pool.afeed(live_source())]
+
+    assert asyncio.run(drive()) == ref.fast
