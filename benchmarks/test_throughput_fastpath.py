@@ -15,9 +15,11 @@ throughput, and proves the acceptance criteria:
 
 The measured numbers are recorded in ``BENCH_throughput.json`` at the repo
 root (uploaded as a CI artifact by the benchmark smoke job), including the
-cold-path and process-pool rows.  Set ``REPRO_BENCH_QUICK=1`` to run a
-shortened trace (CI smoke mode: equivalence still checked, wall-clock gates
-skipped).
+cold-path, process-pool and **update-under-load** (``update_churn``) rows —
+the latter replays the trace with transactional control-plane commits
+interleaved between segments and asserts bit-exactness afterwards.  Set
+``REPRO_BENCH_QUICK=1`` to run a shortened trace (CI smoke mode:
+equivalence still checked, wall-clock gates skipped).
 """
 
 from __future__ import annotations
@@ -171,6 +173,37 @@ def test_fastpath_throughput_and_equivalence(acl1k_ruleset):
     single_stats = ClassificationSession(classifier, chunk_size=512).run(trace)
     assert thread_stats.matched == process_stats.matched == single_stats.matched
 
+    # Update-under-load: replay the trace through a fast-path classifier with
+    # a transactional remove+reinsert commit (2 control-plane ops) between
+    # consecutive segments.  The rule set is identical before and after every
+    # commit, so the classifications must still match the baseline bit-exactly
+    # while the caches absorb one epoch invalidation per commit.
+    churn_updates = 8 if quick else 32
+    churn_classifier = create_classifier("configurable", acl1k_ruleset, fast=True)
+    plane = churn_classifier.control
+    churn_rules = acl1k_ruleset.rules()
+    churn_runner = ClassificationSession(churn_classifier, chunk_size=512)
+    segment = max(1, count // (churn_updates + 1))
+    updates_applied = 0
+    position = 0
+    churn_start = time.perf_counter()
+    for index in range(churn_updates + 1):
+        end = position + segment if index < churn_updates else count
+        churn_runner.run(trace[position:end])
+        position = end
+        if index < churn_updates:
+            rule = churn_rules[index % len(churn_rules)]
+            plane.begin().remove(rule.rule_id).insert(rule).commit()
+            updates_applied += 1
+    churn_s = time.perf_counter() - churn_start
+    assert churn_runner.stats().packets == count
+    assert plane.version == updates_applied
+    slice_size = min(count, 1000)
+    churn_check = churn_classifier.classify_batch(trace[:slice_size])
+    assert [r.rule_id for r in churn_check] == [
+        r.rule_id for r in list(baseline.results)[:slice_size]
+    ]
+
     artifact = {
         "workload": {
             "ruleset": acl1k_ruleset.name,
@@ -209,11 +242,20 @@ def test_fastpath_throughput_and_equivalence(acl1k_ruleset):
             f"parallel_session_process_{transport}": row
             for transport, row in process_rows.items()
         },
+        "update_churn": {
+            "updates": updates_applied,
+            "ops_per_update": 2,
+            "seconds": round(churn_s, 4),
+            "packets_per_second": round(count / churn_s),
+            "updates_per_second": round(updates_applied / churn_s, 1),
+            "slowdown_vs_fast_cold": round(churn_s / fast_cold_s, 2),
+        },
         "cache_stats": vectorized_classifier._fast_path.cache_stats(),
         "equivalence": {
             "identical_to_per_packet": True,
             "identical_to_linear_search": True,
             "process_pool_identical": True,
+            "identical_under_churn": True,
             "speedup_floor": SPEEDUP_FLOOR,
             "vectorized_floor": VECTORIZED_FLOOR,
         },

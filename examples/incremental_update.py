@@ -11,9 +11,11 @@ This example:
 
 1. installs an initial ACL rule set;
 2. classifies traffic to establish a baseline;
-3. inserts a batch of new rules (most of which reuse existing field values)
-   and deletes a batch of old ones, printing the measured cost of every kind
-   of update;
+3. commits a batch of new rules (most of which reuse existing field values)
+   and a batch of deletions through the **transactional control plane**
+   (``classifier.control.begin() ... commit()`` — each batch lands
+   all-or-nothing as one versioned program commit), printing the measured
+   cost of every kind of update;
 4. shows that classification results stay consistent with the linear-scan
    ground truth throughout the churn.
 
@@ -53,37 +55,46 @@ def main() -> None:
 
     verify("before churn", initial)
 
-    # -- insert the remaining rules incrementally --------------------------------
-    insert_results = [classifier.install_rule(rule) for rule in pending]
-    insert_metrics = summarize_updates(insert_results)
+    # -- insert the remaining rules as one transactional commit -------------------
+    plane = classifier.control
+    txn = plane.begin()
+    for rule in pending:
+        txn.insert(rule)
+    insert_commit = txn.commit()  # all-or-nothing, epoch-stamped
+    insert_metrics = summarize_updates(list(insert_commit.results))
     print()
     print(
         format_kv(
             {
                 "Rules inserted": insert_metrics.operations,
+                "Program version": insert_commit.version,
                 "Counter-only fraction": f"{insert_metrics.counter_only_fraction * 100:.1f}%",
                 "Average cycles per insert": f"{insert_metrics.average_cycles:.1f}",
                 "Average memory accesses per insert": f"{insert_metrics.average_memory_accesses:.1f}",
             },
-            title="Incremental insertion",
+            title="Incremental insertion (one Txn)",
         )
     )
     verify("after inserts", rules)
 
-    # -- delete a quarter of the rules again ----------------------------------------
+    # -- delete a quarter of the rules again, as a second commit -------------------
     victims = [rule.rule_id for rule in ordered[:250]]
-    delete_results = [classifier.remove_rule(rule_id) for rule_id in victims]
-    delete_metrics = summarize_updates(delete_results)
+    txn = plane.begin()
+    for rule_id in victims:
+        txn.remove(rule_id)
+    delete_commit = txn.commit()
+    delete_metrics = summarize_updates(list(delete_commit.results))
     survivors = RuleSet((rule for rule in ordered if rule.rule_id not in set(victims)), name="survivors")
     print()
     print(
         format_kv(
             {
                 "Rules deleted": delete_metrics.operations,
+                "Program version": delete_commit.version,
                 "Counter-only fraction": f"{delete_metrics.counter_only_fraction * 100:.1f}%",
                 "Average cycles per delete": f"{delete_metrics.average_cycles:.1f}",
             },
-            title="Incremental deletion",
+            title="Incremental deletion (one Txn)",
         )
     )
     verify("after deletes", survivors)

@@ -14,8 +14,18 @@ One uniform classification surface over every engine in the library::
 Building blocks:
 
 * :class:`~repro.api.protocol.PacketClassifier` — the structural protocol
-  (``classify``, ``classify_batch``, ``install``, ``remove``, ``memory_bits``,
+  (``classify``, ``classify_batch``, ``control``, ``memory_bits``,
   ``stats``) every engine satisfies;
+* :mod:`repro.api.control` — the transactional control plane: every engine
+  exposes ``.control`` (a :class:`~repro.api.control.ControlPlane`), live
+  mutations are staged as :class:`~repro.api.control.Txn` transactions and
+  committed all-or-nothing into versioned
+  :class:`~repro.api.control.RuleProgram` snapshots::
+
+      txn = classifier.control.begin()
+      txn.insert(rule).remove(17).reconfigure(ip_algorithm="bst")
+      commit = txn.commit()          # -> CommitResult (version, epoch, inverse)
+
 * :func:`~repro.api.registry.create_classifier` /
   :func:`~repro.api.registry.available_classifiers` /
   :func:`~repro.api.registry.register_classifier` — the name-keyed registry;
@@ -27,6 +37,16 @@ Building blocks:
 
 from repro.api.adapters import BaselineAdapter
 from repro.api.builder import ConfigBuilder
+from repro.api.control import (
+    CommitResult,
+    ControlPlane,
+    Delta,
+    RuleProgram,
+    Txn,
+    TxnOp,
+    load_delta_file,
+    parse_delta_lines,
+)
 from repro.api.protocol import (
     BatchResult,
     Classification,
@@ -52,6 +72,14 @@ __all__ = [
     "ConfigBuilder",
     "ClassificationSession",
     "SessionStats",
+    "ControlPlane",
+    "Txn",
+    "TxnOp",
+    "Delta",
+    "RuleProgram",
+    "CommitResult",
+    "parse_delta_lines",
+    "load_delta_file",
     "register_classifier",
     "create_classifier",
     "available_classifiers",

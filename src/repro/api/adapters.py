@@ -5,16 +5,20 @@ The baselines keep their research-faithful
 :class:`BaselineAdapter` lifts any of them into the
 :class:`~repro.api.protocol.PacketClassifier` protocol — unified
 :class:`~repro.core.result.Classification` results, batch classification and
-rule install/remove via structure rebuild (the baselines are build-once
-algorithms: the paper's section V.A update-cost comparison is exactly that a
-rule change forces them to reconstruct, while the configurable architecture
-updates incrementally).
+transactional mutation through the :mod:`repro.api.control` surface: the
+adapter's :attr:`~BaselineAdapter.control` is a
+:class:`~repro.api.control.RebuildControl`, so a committed transaction
+stages the target rule set and rebuilds the structure exactly once (the
+baselines are build-once algorithms: the paper's section V.A update-cost
+comparison is exactly that a rule change forces them to reconstruct, while
+the configurable architecture updates incrementally).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from repro.api.control import RebuildControl
 from repro.baselines.base import BaselineClassifier
 from repro.core.result import BatchResult, Classification, ClassifierStats
 from repro.rules.packet import PacketHeader
@@ -43,7 +47,20 @@ class BaselineAdapter:
         self._rebuild_factory = rebuild or (
             lambda ruleset: type(self.engine).create(ruleset, **self.engine._create_options)
         )
+        self._control: Optional[RebuildControl] = None
         engine.ensure_built()
+
+    @property
+    def control(self) -> RebuildControl:
+        """The transactional mutation surface of this baseline.
+
+        The sole supported mutation path (see :mod:`repro.api.control`):
+        commits rebuild the wrapped structure exactly once per transaction,
+        all-or-nothing.
+        """
+        if self._control is None:
+            self._control = RebuildControl(self)
+        return self._control
 
     # -- classification ------------------------------------------------------
     def classify(self, packet: PacketHeader) -> Classification:
@@ -55,22 +72,21 @@ class BaselineAdapter:
         return BatchResult(tuple(self.classify(packet) for packet in packets))
 
     # -- updates (rebuild path) ----------------------------------------------
-    def _rebuild(self, ruleset: RuleSet) -> None:
-        self.engine = self._rebuild_factory(ruleset)
-        self.engine.ensure_built()
-
     def install(self, rule: Rule) -> int:
-        """Install one rule by rebuilding the structure (returns the rule id)."""
-        ruleset = RuleSet(self.engine.ruleset.rules(), name=self.engine.ruleset.name)
-        ruleset.add(rule)
-        self._rebuild(ruleset)
+        """Install one rule (single-op commit; returns the rule id).
+
+        Internal/bootstrap primitive; multi-op mutations should stage one
+        transaction through :attr:`control` so the structure rebuilds once.
+        """
+        self.control.begin().insert(rule).commit()
         return rule.rule_id
 
     def remove(self, rule_id: int) -> int:
-        """Remove one rule by rebuilding the structure (returns the rule id)."""
-        ruleset = RuleSet(self.engine.ruleset.rules(), name=self.engine.ruleset.name)
-        ruleset.remove(rule_id)
-        self._rebuild(ruleset)
+        """Remove one rule (single-op commit; returns the rule id).
+
+        Internal/bootstrap primitive; see :meth:`install`.
+        """
+        self.control.begin().remove(rule_id).commit()
         return rule_id
 
     # -- introspection -------------------------------------------------------

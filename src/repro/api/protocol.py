@@ -4,10 +4,11 @@ Every classification engine in the package — the paper's configurable
 architecture and all the baseline algorithms — satisfies the structural
 :class:`PacketClassifier` protocol: one packet in, one engine-independent
 :class:`~repro.core.result.Classification` out, plus batch classification,
-incremental rule installation where supported, and uniform memory/stats
-introspection.  Experiments, the CLI and the streaming
-:class:`~repro.api.session.ClassificationSession` are all written against
-this protocol, so a new engine only needs a registry entry
+a transactional :attr:`~PacketClassifier.control` plane
+(:class:`~repro.api.control.ControlPlane` — the sole supported mutation
+path), and uniform memory/stats introspection.  Experiments, the CLI and
+the streaming :class:`~repro.api.session.ClassificationSession` are all
+written against this protocol, so a new engine only needs a registry entry
 (:func:`~repro.api.registry.register_classifier`) to join every sweep.
 """
 
@@ -15,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro.api.control import ControlPlane
 from repro.core.result import BatchResult, Classification, ClassifierStats
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
@@ -35,11 +37,15 @@ class PacketClassifier(Protocol):
     def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
         """Classify every packet of ``packets`` and return the batch record."""
 
+    @property
+    def control(self) -> ControlPlane:
+        """The transactional mutation surface (begin()/commit() transactions)."""
+
     def install(self, rule: Rule) -> object:
-        """Install one rule into the running classifier."""
+        """Install one rule (internal bootstrap primitive; prefer ``control``)."""
 
     def remove(self, rule_id: int) -> object:
-        """Remove one installed rule by id."""
+        """Remove one installed rule by id (internal; prefer ``control``)."""
 
     def memory_bits(self) -> int:
         """Total size of the search structures in bits."""

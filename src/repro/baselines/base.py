@@ -24,10 +24,10 @@ from __future__ import annotations
 import abc
 import functools
 import inspect
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from repro.exceptions import RemovedApiError
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
@@ -141,20 +141,17 @@ class BaselineClassifier(abc.ABC):
         return self._match(packet)
 
     def classify(self, packet: PacketHeader) -> ClassificationOutcome:
-        """Deprecated shim for the pre-unified-API method name.
+        """Removed pre-unified-API entry point (error stub).
 
-        .. deprecated:: 1.1
+        .. deprecated:: 1.1 (removed in 1.3)
            Use :meth:`match_packet` for the raw outcome, or go through
            :func:`repro.api.create_classifier` for the unified
            ``classify() -> Classification`` protocol.
         """
-        warnings.warn(
-            f"{type(self).__name__}.classify() is deprecated; use match_packet() "
-            "or the unified repro.api classification protocol",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            f"{type(self).__name__}.classify() was removed; use match_packet() "
+            "for the raw outcome or the unified repro.api classification protocol"
         )
-        return self.match_packet(packet)
 
     @abc.abstractmethod
     def _memory_bits(self) -> int:

@@ -9,9 +9,13 @@ Provides one subcommand per experiment (``table1`` ... ``table7``, ``fig3`` ...
 * ``generate`` — emit a synthetic ClassBench-style filter set to a file;
 * ``classify`` — build any registered classifier from a filter file (or a
   synthetic workload) and stream a generated trace through it via the unified
-  :mod:`repro.api` session, printing the aggregate metrics;
+  :mod:`repro.api` session, printing the aggregate metrics; ``--churn N``
+  interleaves N transactional rule updates into the run (update-under-load);
 * ``sweep`` — run several (default: all) registered classifiers over the same
-  workload and print one comparison row per engine.
+  workload and print one comparison row per engine;
+* ``update`` — apply a rule-delta file to a built classifier through the
+  transactional control plane (:mod:`repro.api.control`) and report the
+  commit (version, epoch, per-op outcomes).
 
 Usage::
 
@@ -25,7 +29,10 @@ Usage::
         --workers 4 --backend process --transport packed
     python -m repro.cli classify --size 1000 --packets 5000 --fast \\
         --workers 2 --async-feed
+    python -m repro.cli classify --size 1000 --packets 10000 --fast \\
+        --workers 4 --churn 32
     python -m repro.cli sweep --size 500 --packets 100 --classifiers hypercuts,rfc
+    python -m repro.cli update --size 1000 --delta changes.delta --packets 500
 """
 
 from __future__ import annotations
@@ -170,11 +177,41 @@ async def _drive_async_feed(session, trace) -> object:
     return await session.arun(live_source())
 
 
+def _split_segments(trace: Sequence, parts: int) -> List[Sequence]:
+    """Split a trace into ``parts`` contiguous, near-even, non-empty slices."""
+    parts = max(1, min(parts, len(trace)))
+    size, extra = divmod(len(trace), parts)
+    segments, start = [], 0
+    for index in range(parts):
+        end = start + size + (1 if index < extra else 0)
+        segments.append(trace[start:end])
+        start = end
+    return segments
+
+
+def _churn_delta(ruleset, step: int):
+    """One synthetic churn transaction: remove + reinsert one installed rule."""
+    from repro.api.control import Txn
+
+    rules = ruleset.rules()
+    if not rules:
+        raise ConfigurationError("cannot churn an empty rule set")
+    rule = rules[step % len(rules)]
+    return Txn().remove(rule.rule_id).insert(rule).delta()
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise ConfigurationError(f"worker count must be positive, got {args.workers}")
+    if args.churn < 0:
+        raise ConfigurationError(f"churn count must be non-negative, got {args.churn}")
     ruleset = _load_workload(args)
     trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
+    # With churn the trace is cut into churn+1 segments and one transactional
+    # update (remove + reinsert of an installed rule) commits between
+    # consecutive segments — classification under live rule churn.
+    segments = _split_segments(trace, args.churn + 1) if args.churn else [trace]
+    updates_applied = 0
     details = {}
     # A non-default backend/transport/feed mode is honoured even with one
     # worker — never a silent no-op (a 1-worker process pool is a real
@@ -198,16 +235,25 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             backend=args.backend,
             transport=args.transport,
         ) as session:
-            if args.async_feed:
-                stats = asyncio.run(_drive_async_feed(session, trace))
-            else:
-                stats = session.run(trace)
+            for index, segment in enumerate(segments):
+                if args.async_feed:
+                    stats = asyncio.run(_drive_async_feed(session, segment))
+                else:
+                    stats = session.run(segment)
+                if index < len(segments) - 1:
+                    session.apply(_churn_delta(ruleset, index))
+                    updates_applied += 1
             details = session.replica_details()
             transport = session.transport
     else:
         classifier = _build_classifier(args.classifier, ruleset, args)
+        runner = ClassificationSession(classifier, chunk_size=args.chunk_size)
+        for index, segment in enumerate(segments):
+            stats = runner.run(segment)
+            if index < len(segments) - 1:
+                classifier.control.begin().extend(_churn_delta(ruleset, index)).commit()
+                updates_applied += 1
         details = classifier.stats().details
-        stats = ClassificationSession(classifier, chunk_size=args.chunk_size).run(trace)
     report = {
         "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
         "Classifier": stats.classifier,
@@ -223,6 +269,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         report["Chunk transport"] = transport
         if args.async_feed:
             report["Feed mode"] = "async (ParallelSession.arun)"
+    if updates_applied:
+        report["Churn updates applied"] = updates_applied
     if stats.average_latency_cycles is not None:
         report["Avg latency (cycles)"] = f"{stats.average_latency_cycles:.1f}"
     if stats.truncated_lookups:
@@ -237,6 +285,50 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         report["Model throughput (40B packets)"] = f"{details['throughput_gbps']:.2f} Gbps"
         report["Rule capacity"] = details["rule_capacity"]
     print(format_kv(report, title="Classification run"))
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Apply a rule-delta file through the transactional control plane."""
+    from repro.api.control import load_delta_file
+
+    ruleset = _load_workload(args)
+    classifier = _build_classifier(args.classifier, ruleset, args)
+    plane = classifier.control
+    before = plane.program()
+    delta = load_delta_file(args.delta, before)
+    if not delta.ops:
+        print(f"{args.delta}: no operations staged; nothing to commit.")
+        return 0
+    commit = plane.begin().extend(delta).commit()
+    after = plane.program()
+    report = {
+        "Rule set": f"{ruleset.name} ({len(before.rules)} rules before)",
+        "Delta file": args.delta,
+        "Ops committed": len(commit.delta),
+        "Program version": f"{before.version} -> {after.version}",
+        "Commit epoch": commit.epoch,
+        "Structural update": "yes" if commit.structural else "no",
+        "Update cycles": commit.update_cycles,
+        "Rules installed": len(after.rules),
+    }
+    print(format_kv(report, title="Control-plane commit (all-or-nothing)"))
+    for line in commit.delta.describe():
+        print(f"  * {line}")
+    if args.packets:
+        trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
+        stats = ClassificationSession(classifier, chunk_size=args.chunk_size).run(trace)
+        print()
+        print(
+            format_kv(
+                {
+                    "Packets classified": stats.packets,
+                    "Hit ratio": f"{stats.hit_ratio:.3f}",
+                    "Avg memory accesses / packet": f"{stats.average_memory_accesses:.1f}",
+                },
+                title="Post-commit classification",
+            )
+        )
     return 0
 
 
@@ -347,8 +439,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the trace through the asyncio front-end "
              "(ParallelSession.arun), modelling a live packet source",
     )
+    sub_classify.add_argument(
+        "--churn", type=int, default=0,
+        help="interleave N transactional rule updates (remove + reinsert) "
+             "into the run, spread evenly across the trace — classification "
+             "under live rule churn",
+    )
     add_workload_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)
+
+    sub_update = subparsers.add_parser(
+        "update",
+        help="apply a rule-delta file through the transactional control plane",
+    )
+    sub_update.add_argument(
+        "--classifier", choices=available_classifiers(), default="configurable",
+        help="registered classification engine to build and update",
+    )
+    sub_update.add_argument(
+        "--delta", required=True,
+        help="rule-delta file: '- <rule_id>' removes, '+ @<classbench line>' "
+             "inserts, '! ip_algorithm=<mbt|bst>' / '! combiner=<mode>' "
+             "reconfigures; the whole file commits as one transaction",
+    )
+    add_workload_arguments(sub_update)
+    sub_update.set_defaults(func=_cmd_update)
 
     sub_sweep = subparsers.add_parser(
         "sweep", help="compare registered classifiers on one workload"

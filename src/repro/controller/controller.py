@@ -224,6 +224,52 @@ class SdnController:
                     report.errors.append(reply.error)
         return report
 
+    def sync_ruleset(self, datapath_id: int, target: RuleSet) -> PushReport:
+        """Converge one switch onto ``target`` with the minimal FlowMod delta.
+
+        Snapshots the device's versioned :class:`~repro.api.control.RuleProgram`,
+        diffs it against the target rule set
+        (:meth:`~repro.api.control.RuleProgram.diff`) and pushes only the
+        resulting removals and insertions — the control-plane twin of a full
+        re-push, at incremental-update cost.  Rules already installed and
+        unchanged generate no traffic at all.
+        """
+        from repro.api.control import RuleProgram
+
+        switch = self.switch(datapath_id)
+        channel = self._channels[datapath_id]
+        current = switch.classifier.control.program()
+        desired = RuleProgram(
+            version=current.version,
+            rules=tuple(target.rules()),
+            config=current.config,  # sync moves rules, not the datapath config
+        )
+        report = PushReport(datapath_id=datapath_id)
+        for op in current.diff(desired).ops:
+            if op.kind == "remove":
+                channel.send_to_switch(
+                    FlowMod(command=FlowModCommand.DELETE, rule_id=op.rule_id, xid=self._xid())
+                )
+            elif op.kind == "insert":
+                channel.send_to_switch(
+                    FlowMod(command=FlowModCommand.ADD, rule=op.rule, xid=self._xid())
+                )
+            report.requested += 1
+        switch.process_control_messages()
+        for reply in channel.drain_from_switch():
+            if not isinstance(reply, FlowModReply):
+                raise ControlPlaneError(f"unexpected reply during sync: {reply!r}")
+            if reply.success:
+                report.accepted += 1
+                report.total_update_cycles += reply.cycles
+                if reply.structural:
+                    report.structural_updates += 1
+            else:
+                report.rejected += 1
+                if reply.error:
+                    report.errors.append(reply.error)
+        return report
+
     def remove_rule(self, datapath_id: int, rule_id: int) -> FlowModReply:
         """Delete one rule from a switch."""
         switch = self.switch(datapath_id)

@@ -4,11 +4,16 @@ The switch owns one :class:`~repro.core.classifier.ConfigurableClassifier`
 instance, consumes control messages from its channel (FlowMod, ConfigMod,
 Barrier, StatsRequest) and classifies data-plane packets with the installed
 rule set — the Infrastructure-layer box of the paper's Fig. 1.
+
+Control messages land through the classifier's transactional control plane
+(:mod:`repro.api.control`): each FlowMod/ConfigMod becomes a single-op
+transaction committed all-or-nothing, so the device's rule program advances
+in epoch-stamped versions and a rejected message leaves it bit-exact where
+it was.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -26,7 +31,7 @@ from repro.controller.openflow import (
 from repro.core.classifier import ConfigurableClassifier
 from repro.core.config import ClassifierConfig
 from repro.core.result import BatchResult, Classification, LookupResult
-from repro.exceptions import ControlPlaneError, ReproError
+from repro.exceptions import ControlPlaneError, RemovedApiError, ReproError
 from repro.rules.packet import PacketHeader
 
 __all__ = ["SwitchStats", "Switch"]
@@ -94,17 +99,19 @@ class Switch:
 
     def _handle_flow_mod(self, message: FlowMod) -> None:
         try:
+            txn = self.classifier.control.begin()
             if message.command is FlowModCommand.ADD:
-                result = self.classifier.install(message.rule)
+                txn.insert(message.rule)
             else:
-                result = self.classifier.remove(message.target_rule_id)
+                txn.remove(message.target_rule_id)
+            commit = txn.commit()
             self.stats.flow_mods_applied += 1
             reply = FlowModReply(
                 xid=message.xid,
                 rule_id=message.target_rule_id,
                 success=True,
-                structural=result.structural,
-                cycles=result.cycles.latency_cycles,
+                structural=commit.structural,
+                cycles=commit.update_cycles,
             )
         except ReproError as exc:
             self.stats.flow_mods_failed += 1
@@ -117,11 +124,13 @@ class Switch:
         self.channel.send_to_controller(reply)
 
     def _handle_config_mod(self, message: ConfigMod) -> None:
-        if message.ip_algorithm is not None:
-            self.classifier.reconfigure(message.ip_algorithm)
-            self.stats.reconfigurations += 1
-        if message.combiner_mode is not None:
-            self.classifier.set_combiner_mode(message.combiner_mode)
+        if message.ip_algorithm is not None or message.combiner_mode is not None:
+            txn = self.classifier.control.begin().reconfigure(
+                ip_algorithm=message.ip_algorithm, combiner=message.combiner_mode
+            )
+            txn.commit()
+            if message.ip_algorithm is not None:
+                self.stats.reconfigurations += 1
         self.channel.send_to_controller(BarrierReply(xid=message.xid))
 
     def _handle_stats_request(self, message: StatsRequest) -> None:
@@ -135,6 +144,8 @@ class Switch:
             "memory_bits_used": report.total_memory_bits_used,
             "packets_classified": self.stats.packets_classified,
             "match_ratio": self.stats.match_ratio,
+            "program_version": self.classifier.control.version,
+            "program_epoch": self.classifier.control.epoch,
         }
         self.channel.send_to_controller(StatsReply(xid=message.xid, stats=stats))
 
@@ -152,19 +163,15 @@ class Switch:
         return BatchResult(tuple(self.classify(packet) for packet in trace))
 
     def classify_trace(self, trace) -> List[LookupResult]:
-        """Deprecated shim for the pre-unified-API batch method.
+        """Removed pre-unified-API batch entry point (error stub).
 
-        .. deprecated:: 1.1
-           Use :meth:`classify_batch`.  Like the sibling shim on
-           :class:`ConfigurableClassifier`, this preserves the legacy
-           ``List[LookupResult]`` return shape for old callers.
+        .. deprecated:: 1.1 (removed in 1.3)
+           Use :meth:`classify_batch`.
         """
-        warnings.warn(
-            "Switch.classify_trace() is deprecated; use classify_batch()",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            "Switch.classify_trace() was removed; use classify_batch() "
+            "(per-packet LookupResults ride along as Classification.detail)"
         )
-        return [self.classify(packet).detail for packet in trace]
 
     def __repr__(self) -> str:
         return (

@@ -18,7 +18,6 @@ according to the cost model of section V rather than simulated at RTL level.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
@@ -39,7 +38,7 @@ from repro.core.result import (
     UpdateResult,
 )
 from repro.core.update_engine import UpdateEngine
-from repro.exceptions import ConfigurationError
+from repro.exceptions import RemovedApiError
 from repro.fields.base import SingleFieldEngine
 from repro.fields.binary_search_tree import BinarySearchTree
 from repro.fields.multibit_trie import MultibitTrie
@@ -81,6 +80,7 @@ class ConfigurableClassifier:
     def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
         self._fast_path = None
+        self._control = None
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -142,13 +142,39 @@ class ConfigurableClassifier:
             bank.select("bst_nodes")
         return bank
 
-    # ------------------------------------------------------------------ update API
+    # ------------------------------------------------------------------ control plane
+    @property
+    def control(self) -> "ClassifierControl":
+        """The transactional mutation surface of this classifier.
+
+        The **sole supported mutation path**: open a transaction with
+        ``classifier.control.begin()``, stage ``insert``/``remove``/
+        ``reconfigure`` ops and ``commit()`` — the ops land all-or-nothing
+        and the commit is epoch-stamped (see :mod:`repro.api.control`).  The
+        ``install``/``remove`` methods below are the internal bootstrap
+        primitives single-op commits are built from.
+        """
+        if self._control is None:
+            from repro.api.control import ClassifierControl
+
+            self._control = ClassifierControl(self)
+        return self._control
+
+    # ------------------------------------------------------------------ update internals
     def install(self, rule: Rule) -> UpdateResult:
-        """Install one rule through the incremental update path."""
+        """Install one rule through the incremental update path.
+
+        Internal/bootstrap primitive (used by the factories to load the
+        initial rule set); live mutations should go through :attr:`control`.
+        """
         return self.update_engine.insert_rule(rule)
 
     def remove(self, rule_id: int) -> UpdateResult:
-        """Remove one installed rule through the incremental update path."""
+        """Remove one installed rule through the incremental update path.
+
+        Internal/bootstrap primitive; live mutations should go through
+        :attr:`control`.
+        """
         return self.update_engine.delete_rule(rule_id)
 
     #: Historical aliases of :meth:`install` / :meth:`remove` (kept stable
@@ -227,19 +253,16 @@ class ConfigurableClassifier:
         return self._fast_path is not None
 
     def lookup(self, packet: PacketHeader) -> LookupResult:
-        """Deprecated shim for the pre-unified-API method name.
+        """Removed pre-unified-API entry point (error stub).
 
-        .. deprecated:: 1.1
+        .. deprecated:: 1.1 (removed in 1.3)
            Use :meth:`classify`; the returned ``Classification.detail``
            carries this method's :class:`LookupResult`.
         """
-        warnings.warn(
-            "ConfigurableClassifier.lookup() is deprecated; use classify() "
-            "(LookupResult is available as Classification.detail)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            "ConfigurableClassifier.lookup() was removed; use classify() "
+            "(the LookupResult is available as Classification.detail)"
         )
-        return self._lookup(packet)
 
     def _lookup(self, packet: PacketHeader) -> LookupResult:
         """Classify one packet header and return the HPMR with its cost."""
@@ -286,17 +309,16 @@ class ConfigurableClassifier:
         )
 
     def classify_trace(self, trace: Iterable[PacketHeader]) -> List[LookupResult]:
-        """Deprecated shim for the pre-unified-API batch method.
+        """Removed pre-unified-API batch entry point (error stub).
 
-        .. deprecated:: 1.1
+        .. deprecated:: 1.1 (removed in 1.3)
            Use :meth:`classify_batch`, which aggregates the batch metrics.
         """
-        warnings.warn(
-            "ConfigurableClassifier.classify_trace() is deprecated; use classify_batch()",
-            DeprecationWarning,
-            stacklevel=2,
+        raise RemovedApiError(
+            "ConfigurableClassifier.classify_trace() was removed; use "
+            "classify_batch() (per-packet LookupResults ride along as "
+            "Classification.detail)"
         )
-        return [self._lookup(packet) for packet in trace]
 
     def _fully_pipelined(self) -> bool:
         return all(engine.pipelined for engine in self.engines.values())

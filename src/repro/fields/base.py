@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, List, Tuple
 
 from repro.exceptions import FieldLookupError
-from repro.observers import MutationNotifier
+from repro.observers import MutationEpoch
 
 __all__ = ["FieldLookupResult", "UpdateCost", "SingleFieldEngine"]
 
@@ -73,32 +73,32 @@ _MUTATORS = ("insert", "remove", "reprioritize")
 
 
 def _notifying(method: Callable) -> Callable:
-    """Wrap a mutator so registered mutation listeners fire after it."""
+    """Wrap a mutator so the engine's mutation epoch is bumped after it."""
 
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
         result = method(self, *args, **kwargs)
-        self.notify_mutation()
+        self.bump_mutation_epoch()
         return result
 
     wrapper.__mutation_notifying__ = True
     return wrapper
 
 
-class SingleFieldEngine(MutationNotifier, abc.ABC):
+class SingleFieldEngine(MutationEpoch, abc.ABC):
     """Interface of a single-field lookup engine.
 
     An engine maps *field value specifications* (a prefix, a port range, a
     protocol match...) to labels, and answers point lookups with the labels of
     every specification matching the point.
 
-    Engines support *mutation listeners* (the cache-invalidation hook of the
+    Engines carry a *mutation epoch* (the cache-invalidation surface of the
     :mod:`repro.perf` fast path, inherited from
-    :class:`~repro.observers.MutationNotifier`): every concrete ``insert``/
+    :class:`~repro.observers.MutationEpoch`): every concrete ``insert``/
     ``remove``/``reprioritize`` implementation is automatically wrapped so
-    that callbacks registered with ``add_mutation_listener`` fire after any
-    change to the stored specifications — memoized lookup results for this
-    engine must then be discarded.
+    the epoch is bumped after any change to the stored specifications —
+    memoized lookup results stamped with an older epoch must be discarded
+    before reuse.
     """
 
     #: Human-readable engine name (used in reports and memory block names).

@@ -21,8 +21,10 @@ array-based views of the engine structures:
 Every walker is **bit-exact** with the engine's own ``lookup()``: same match
 tuples in the same order, same ``memory_accesses``, same ``cycles`` — the
 walkers only restructure *how* the identical walk is executed.  Walkers watch
-their engine through the mutation-listener surface and rebuild their
-flattened view lazily after any insert/remove/reprioritize.
+their engine through the mutation-epoch surface
+(:class:`~repro.observers.MutationEpoch`): every ``resolve()`` compares the
+engine's epoch with the one the flattened view was built at and rebuilds
+lazily after any insert/remove/reprioritize.
 
 NumPy is used when importable (:data:`HAVE_NUMPY`); every walker also carries
 a pure-Python flat-array fallback so the module works on a bare interpreter.
@@ -61,37 +63,35 @@ __all__ = [
 
 
 class BatchWalker:
-    """Base class: lazy flattened engine view with mutation invalidation.
+    """Base class: lazy flattened engine view with epoch-based invalidation.
 
     Subclasses implement :meth:`_rebuild` (derive the flat view from the
     engine) and :meth:`_resolve` (answer a batch of values against it).
     :meth:`resolve` takes a sequence of values — deduplication is the
     caller's job — and returns one :class:`FieldLookupResult` per value, in
-    input order, bit-exact with ``engine.lookup(value)``.
+    input order, bit-exact with ``engine.lookup(value)``.  The flat view is
+    stamped with the engine's mutation epoch when built and rebuilt whenever
+    the epoch has advanced since.
     """
 
     def __init__(self, engine: SingleFieldEngine, use_numpy: Optional[bool] = None) -> None:
         self.engine = engine
         self.use_numpy = HAVE_NUMPY if use_numpy is None else (use_numpy and HAVE_NUMPY)
-        self._dirty = True
-        self._listener = self._mark_dirty
-        engine.add_mutation_listener(self._listener)
+        #: Engine epoch the flat view was built at (None: never built).
+        self._built_epoch: Optional[int] = None
 
     def detach(self) -> None:
-        """Deregister the engine mutation listener and drop the flat view."""
-        self.engine.remove_mutation_listener(self._listener)
-        self._dirty = True
-
-    def _mark_dirty(self) -> None:
-        self._dirty = True
+        """Drop the flat view (the next resolve rebuilds from the engine)."""
+        self._built_epoch = None
 
     def resolve(self, values: Sequence[int]) -> List[FieldLookupResult]:
         """Resolve every value in one batch walk (input order preserved)."""
         if not values:
             return []
-        if self._dirty:
+        epoch = self.engine.mutation_epoch
+        if self._built_epoch != epoch:
             self._rebuild()
-            self._dirty = False
+            self._built_epoch = epoch
         return self._resolve(values)
 
     def _rebuild(self) -> None:

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 from repro.exceptions import CapacityError, MemoryModelError
 from repro.hardware.hash_unit import HashUnit
 from repro.hardware.memory import MemoryBlock
-from repro.observers import MutationNotifier
+from repro.observers import MutationEpoch
 from repro.rules.rule import Rule
 
 __all__ = ["RuleFilterEntry", "RuleFilterLookup", "RuleFilterMemory"]
@@ -45,12 +45,13 @@ class RuleFilterLookup:
     memory_accesses: int
 
 
-class RuleFilterMemory(MutationNotifier):
+class RuleFilterMemory(MutationEpoch):
     """Hash-addressed rule store shared by every algorithm combination.
 
-    Carries the :class:`~repro.observers.MutationNotifier` surface: the
+    Carries the :class:`~repro.observers.MutationEpoch` surface: the
     :mod:`repro.perf` fast path memoizes lookup outcomes against the filter
-    contents and registers listeners fired after every insert/delete.
+    contents and drops them when the epoch advances past the one the memo
+    was stamped with (every insert/delete bumps it).
     """
 
     #: Width of one rule-filter word: 68-bit key + rule id + priority + action
@@ -113,7 +114,7 @@ class RuleFilterMemory(MutationNotifier):
                 self.memory.write(slot, entry)
                 accesses += 1
                 self._stored += 1
-                self.notify_mutation()
+                self.bump_mutation_epoch()
                 return slot, accesses
         raise CapacityError(f"rule filter probing exhausted all {self.memory.depth} slots")
 
@@ -150,7 +151,7 @@ class RuleFilterMemory(MutationNotifier):
             rule_like = _entry_as_rule(occupant)
             _, extra = self.insert(occupant.label_key, rule_like)
             accesses += extra
-        self.notify_mutation()
+        self.bump_mutation_epoch()
         return True, accesses
 
     # -- lookup path --------------------------------------------------------------

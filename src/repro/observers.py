@@ -1,46 +1,45 @@
-"""Mutation-listener plumbing shared by memoization-aware components.
+"""Mutation-epoch plumbing shared by memoization-aware components.
 
 The :mod:`repro.perf` fast path memoizes lookup results against the state of
-the single-field engines and the Rule Filter; both therefore expose the same
-tiny observer surface — register a callback, fire it after every structural
-mutation.  :class:`MutationNotifier` is that surface, factored out so the
-semantics (ordering, lazy storage, deregistration) cannot diverge between
-the components that carry it.
+the single-field engines and the Rule Filter.  Both therefore carry the same
+tiny surface — a monotonically increasing **mutation epoch**, bumped after
+every structural mutation.  A cache records the epoch it was filled at and
+compares on the next read: a mismatch means the memoized results belong to a
+previous rule program and must be dropped.
 
-The listener list is created lazily on first registration: engines are plain
-classes whose subclasses do not reliably chain ``__init__``, so the mixin
-must not depend on construction-time setup.
+Epoch comparison replaced the old mutation-*listener* callbacks when the
+transactional control plane (:mod:`repro.api.control`) landed: commits are
+epoch-stamped, consumers invalidate by comparing numbers instead of being
+called back, and — unlike callback registration — the scheme survives
+pickling across process boundaries (a replica rebuilt in a worker process
+starts at epoch 0 with cold caches, which is exactly right).
+
+The epoch is stored lazily on first bump: engines are plain classes whose
+subclasses do not reliably chain ``__init__``, so the mixin must not depend
+on construction-time setup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
-
-__all__ = ["MutationNotifier"]
+__all__ = ["MutationEpoch"]
 
 
-class MutationNotifier:
-    """Mixin: after-mutation callbacks for cache invalidation."""
+class MutationEpoch:
+    """Mixin: a monotonically increasing counter of structural mutations.
 
-    _mutation_listeners: List[Callable[[], None]]
+    Consumers (the :mod:`repro.perf` caches, the vectorized batch walkers)
+    snapshot :attr:`mutation_epoch` when they memoize and compare it before
+    reusing memoized state; mutators call :meth:`bump_mutation_epoch` after
+    any structural change.
+    """
 
-    def add_mutation_listener(self, callback: Callable[[], None]) -> None:
-        """Register ``callback`` to run after every structural mutation."""
-        listeners = getattr(self, "_mutation_listeners", None)
-        if listeners is None:
-            listeners = []
-            self._mutation_listeners = listeners
-        listeners.append(callback)
+    _mutation_epoch: int
 
-    def remove_mutation_listener(self, callback: Callable[[], None]) -> None:
-        """Deregister a previously added mutation listener (no-op if absent)."""
-        listeners = getattr(self, "_mutation_listeners", None)
-        if listeners and callback in listeners:
-            listeners.remove(callback)
+    @property
+    def mutation_epoch(self) -> int:
+        """Number of structural mutations applied to this component so far."""
+        return getattr(self, "_mutation_epoch", 0)
 
-    def notify_mutation(self) -> None:
-        """Fire every registered mutation listener."""
-        listeners = getattr(self, "_mutation_listeners", None)
-        if listeners:
-            for callback in listeners:
-                callback()
+    def bump_mutation_epoch(self) -> None:
+        """Record one structural mutation (invalidates epoch-stamped caches)."""
+        self._mutation_epoch = self.mutation_epoch + 1

@@ -5,12 +5,14 @@ one at a time caps trace throughput far below the "as fast as the hardware
 allows" goal.  This package closes the gap from two directions:
 
 * :class:`~repro.perf.fastpath.FastPathAccelerator` — memoizes per-dimension
-  engine lookups, combiner outcomes and whole-header classifications in
-  bounded LRU layers (:mod:`repro.perf.lru`), with automatic invalidation on
-  rule installs/removes (the mutation-listener hooks of
+  engine lookups, combiner outcomes, assembled results and whole-header
+  classifications in bounded LRU layers (:mod:`repro.perf.lru`), with
+  automatic invalidation on rule installs/removes by epoch comparison (the
+  :class:`~repro.observers.MutationEpoch` counters of
   :class:`~repro.fields.base.SingleFieldEngine` and
-  :class:`~repro.hardware.rule_filter.RuleFilterMemory`).  Its *vectorized*
-  mode makes the cold path fast too: unique field values resolve through the
+  :class:`~repro.hardware.rule_filter.RuleFilterMemory`, bumped by every
+  control-plane commit).  Its *vectorized* mode makes the cold path fast
+  too: unique field values resolve through the
   :mod:`repro.fields.vectorized` batch engine walkers and combiner misses
   through an exact array-staged cross-product walk.  Attached via
   :meth:`ConfigurableClassifier.enable_fast_path`, it accelerates
@@ -29,7 +31,10 @@ allows" goal.  This package closes the gap from two directions:
   asyncio front-end (:meth:`~repro.perf.parallel.ParallelSession.afeed` /
   :meth:`~repro.perf.parallel.ParallelSession.arun`) lets a live async
   packet source drive the pool with bounded backpressure, yielding
-  input-order classifications without blocking the event loop.
+  input-order classifications without blocking the event loop.  The pool is
+  itself a :class:`~repro.api.control.ControlPlane`: committed transactions
+  broadcast to every replica between chunks, all-or-nothing session-wide
+  (see :meth:`~repro.perf.parallel.ParallelSession.apply`).
 """
 
 from repro.perf.fastpath import FastPathAccelerator

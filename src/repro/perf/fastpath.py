@@ -4,7 +4,7 @@ Real traces are massively redundant: a ClassBench trace over a 10K-rule
 filter set contains only a few thousand unique 16-bit IP segment values, a
 handful of protocols and a modest set of port values.  The per-packet path
 recomputes every engine walk, every combiner cross-product and every result
-record from scratch for each packet; the fast path memoizes all three layers:
+record from scratch for each packet; the fast path memoizes four layers:
 
 1. **Field layer** — one cache per dimension mapping the packet's field value
    to the engine's (immutable) :class:`~repro.fields.base.FieldLookupResult`.
@@ -13,7 +13,14 @@ record from scratch for each packet; the fast path memoizes all three layers:
    :class:`~repro.core.label_combiner.CombinerOutcome`.  Distinct field
    values that resolve to the same label lists share one entry, so this layer
    hits even when the field layer misses.
-3. **Header layer** — a cache keyed by the full 5-tuple header mapping to the
+3. **Result layer** — a cache keyed by the tuple of per-dimension field
+   results (the label tuple together with its cost vector) mapping to the
+   finished :class:`~repro.core.result.Classification`.  Distinct headers
+   that resolve to the same per-dimension results share one finished record,
+   so the assembly step (cycle report, access accounting, record
+   construction) — the residue left after the field and combiner layers hit —
+   runs once per distinct result tuple instead of once per distinct header.
+4. **Header layer** — a cache keyed by the full 5-tuple header mapping to the
    finished :class:`~repro.core.result.Classification` (flow locality makes
    repeated headers common in practice).
 
@@ -29,7 +36,7 @@ field values per dimension and resolves them in one pass through the
 resolves combiner misses through
 :meth:`~repro.core.label_combiner.LabelCombiner.combine_with_cache` — an
 exact cross-product walk that pre-packs keys in blocks and replays repeated
-rule-filter probes from a fourth, key-level **probe cache**.  The vectorized
+rule-filter probes from a fifth, key-level **probe cache**.  The vectorized
 mode materialises its input batch (chunked callers — sessions — bound this).
 
 Results are *bit-exact* with the per-packet path in every mode: every cached
@@ -39,16 +46,22 @@ final record is assembled by the very same
 per-packet path uses — the cost-model accounting (per-phase cycles,
 per-dimension memory accesses, probe counts, truncation flags) is identical.
 
-Caches invalidate themselves: the accelerator registers mutation listeners
-on every single-field engine (label-list changes drop that dimension's field
-cache) and on the Rule Filter (content changes drop the combiner, header and
-probe caches), so interleaved installs/removes and batch lookups stay
-correct.
+Caches invalidate by **epoch comparison**: every single-field engine and the
+Rule Filter carry a :class:`~repro.observers.MutationEpoch` counter bumped
+after each structural mutation (every control-plane commit lands as such
+mutations), and the accelerator snapshots those epochs when it fills a cache.
+At the start of every batch the snapshots are compared against the live
+epochs — a dimension whose engine moved drops that dimension's field cache
+(plus the derived layers), a Rule Filter that moved drops the combiner,
+result, header and probe caches.  Interleaved transactional updates and
+batch lookups therefore stay correct without any callback registration, and
+the scheme survives process boundaries (a replica rebuilt in a worker starts
+cold at epoch 0).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.dimensions import DIMENSIONS, packet_dimension_values
 from repro.core.result import BatchResult, Classification
@@ -68,6 +81,8 @@ DEFAULT_HEADER_CACHE_LIMIT = 1 << 20
 DEFAULT_FIELD_CACHE_LIMIT = 1 << 16
 #: Combiner-outcome cache bound (keys are label-list tuple combinations).
 DEFAULT_COMBINER_CACHE_LIMIT = 1 << 16
+#: Result-memo bound (keys are per-dimension field-result tuples).
+DEFAULT_RESULT_CACHE_LIMIT = 1 << 17
 #: Rule-filter probe cache bound (vectorized mode; keys are packed 68-bit keys).
 DEFAULT_PROBE_CACHE_LIMIT = 1 << 18
 #: Bound of the pure sort memo shared by the vectorized combiner walks.
@@ -75,7 +90,7 @@ SORT_MEMO_LIMIT = 1 << 16
 
 
 class FastPathAccelerator:
-    """Batch classification through value/label/header memoization.
+    """Batch classification through value/label/result/header memoization.
 
     Attach via :meth:`ConfigurableClassifier.enable_fast_path` (which wires
     ``classify_batch`` through :meth:`classify_batch` here); detach via
@@ -90,6 +105,7 @@ class FastPathAccelerator:
         header_cache_limit: int = DEFAULT_HEADER_CACHE_LIMIT,
         field_cache_limit: int = DEFAULT_FIELD_CACHE_LIMIT,
         combiner_cache_limit: int = DEFAULT_COMBINER_CACHE_LIMIT,
+        result_cache_limit: int = DEFAULT_RESULT_CACHE_LIMIT,
         probe_cache_limit: int = DEFAULT_PROBE_CACHE_LIMIT,
         vectorized: bool = False,
     ) -> None:
@@ -101,11 +117,19 @@ class FastPathAccelerator:
             name: LRUCache(field_cache_limit) for name in DIMENSIONS
         }
         self._combiner_cache = LRUCache(combiner_cache_limit)
+        self._result_cache = LRUCache(result_cache_limit)
         self._header_cache = LRUCache(header_cache_limit)
         # FIFO-bounded: their hit paths are bare dict reads inside the
         # vectorized combiner walk, far too hot for recency bookkeeping.
         self._probe_cache = BoundedCache(probe_cache_limit)
         self._sort_memo = BoundedCache(SORT_MEMO_LIMIT)
+        # Epoch snapshots the caches were last validated against: per
+        # dimension (engine identity, engine epoch), plus the Rule Filter's.
+        # The engine object rides along so a wholesale engine swap (an
+        # IPalg_s reconfiguration rebuilding the datapath) invalidates even
+        # if the fresh engine's counter happens to match the old one.
+        self._engine_marks: Dict[str, Tuple[object, int]] = {}
+        self._filter_mark: Optional[Tuple[object, int]] = None
         # Hit/miss counters per memoization layer (benchmark/report fodder).
         # In vectorized mode field misses are mostly counted by the batch
         # pre-pass; the per-packet walk then counts hits (plus the misses of
@@ -115,7 +139,7 @@ class FastPathAccelerator:
         self.field_misses = 0
         self.combiner_hits = 0
         self.combiner_misses = 0
-        self._hooks: List[Tuple[object, object]] = []
+        self.result_hits = 0
         self._walkers = {}
         if vectorized:
             from repro.fields.vectorized import batch_walker
@@ -123,40 +147,44 @@ class FastPathAccelerator:
             self._walkers = {
                 name: batch_walker(classifier.engines[name]) for name in DIMENSIONS
             }
-        self._attach()
+        self._validate_epochs()
 
-    # -- wiring ---------------------------------------------------------------
-    def _attach(self) -> None:
-        """Register the cache-invalidation hooks on the classifier's parts."""
+    # -- invalidation ---------------------------------------------------------
+    def _validate_epochs(self) -> None:
+        """Drop whatever the live mutation epochs say is stale.
+
+        Runs at the head of every batch: compares each engine's and the Rule
+        Filter's :class:`~repro.observers.MutationEpoch` counter against the
+        snapshot taken when the caches were last validated.  A moved engine
+        drops its dimension's field cache and every derived layer; a moved
+        Rule Filter drops the derived layers only.
+        """
+        derived_stale = False
         for name in DIMENSIONS:
             engine = self.classifier.engines[name]
-            hook = self._dimension_invalidator(name)
-            engine.add_mutation_listener(hook)
-            self._hooks.append((engine, hook))
+            mark = (engine, engine.mutation_epoch)
+            if self._engine_marks.get(name) != mark:
+                self._field_caches[name].clear()
+                self._engine_marks[name] = mark
+                derived_stale = True
         rule_filter = self.classifier.rule_filter
-        hook = self._invalidate_outcomes
-        rule_filter.add_mutation_listener(hook)
-        self._hooks.append((rule_filter, hook))
+        filter_mark = (rule_filter, rule_filter.mutation_epoch)
+        if self._filter_mark != filter_mark:
+            self._filter_mark = filter_mark
+            derived_stale = True
+        if derived_stale:
+            self._invalidate_outcomes()
 
     def detach(self) -> None:
-        """Deregister every invalidation hook and drop all cached state."""
-        for target, hook in self._hooks:
-            target.remove_mutation_listener(hook)
-        self._hooks.clear()
+        """Drop all cached state (the accelerator is being discarded)."""
         for walker in self._walkers.values():
             walker.detach()
         self._walkers = {}
         self.invalidate()
 
-    def _dimension_invalidator(self, dimension: str):
-        def invalidate() -> None:
-            self._field_caches[dimension].clear()
-            self._invalidate_outcomes()
-
-        return invalidate
-
     def _invalidate_outcomes(self) -> None:
         self._combiner_cache.clear()
+        self._result_cache.clear()
         self._header_cache.clear()
         self._probe_cache.clear()
 
@@ -165,11 +193,14 @@ class FastPathAccelerator:
         for cache in self._field_caches.values():
             cache.clear()
         self._sort_memo.clear()
+        self._engine_marks.clear()
+        self._filter_mark = None
         self._invalidate_outcomes()
 
     # -- classification -------------------------------------------------------
     def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
         """Classify ``packets``, reusing memoized work across the batch."""
+        self._validate_epochs()
         if self.vectorized:
             packets = packets if isinstance(packets, (list, tuple)) else list(packets)
             self._prefetch_fields(packets)
@@ -237,12 +268,12 @@ class FastPathAccelerator:
             self.field_misses += len(missing)
 
     def _classify_uncached(self, packet: PacketHeader) -> Classification:
-        """Classify one header through the field and combiner caches."""
+        """Classify one header through the field, result and combiner caches."""
         classifier = self.classifier
         engines = classifier.engines
         values = packet_dimension_values(packet)
         field_results = {}
-        outcome_key = []
+        result_key = []
         for name in DIMENSIONS:
             cache = self._field_caches[name]
             value = values[name]
@@ -257,8 +288,17 @@ class FastPathAccelerator:
                 data.move_to_end(value)
                 self.field_hits += 1
             field_results[name] = result
-            outcome_key.append(result.matches)
-        key = tuple(outcome_key)
+            result_key.append(result)
+        # Result layer: the finished record is a pure function of the
+        # per-dimension field results, so headers sharing them (a different
+        # 5-tuple hitting the same values, or distinct values with identical
+        # walks) share one assembled Classification.
+        result_key = tuple(result_key)
+        record = self._result_cache.get(result_key)
+        if record is not None:
+            self.result_hits += 1
+            return record
+        key = tuple(result.matches for result in result_key)
         outcome = self._combiner_cache.get(key)
         if outcome is None:
             if self.vectorized:
@@ -273,9 +313,11 @@ class FastPathAccelerator:
             self.combiner_misses += 1
         else:
             self.combiner_hits += 1
-        return Classification.from_lookup(
+        record = Classification.from_lookup(
             classifier._assemble_lookup(field_results, outcome)
         )
+        self._result_cache.put(result_key, record)
+        return record
 
     # -- introspection --------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
@@ -294,6 +336,9 @@ class FastPathAccelerator:
             "combiner_hits": self.combiner_hits,
             "combiner_misses": self.combiner_misses,
             "combiner_evictions": self._combiner_cache.evictions,
+            "result_entries": len(self._result_cache),
+            "result_hits": self.result_hits,
+            "result_evictions": self._result_cache.evictions,
             "probe_entries": len(self._probe_cache),
             "probe_evictions": self._probe_cache.evictions,
         }

@@ -32,8 +32,21 @@ The process backend moves chunks over one of two **transports**:
   otherwise.  The resolved choice is exposed as
   :attr:`ParallelSession.transport`.
 
-Compact per-chunk counters (and, for :meth:`ParallelSession.feed`, the
-classifications) come back pickled on both transports.
+Compact per-chunk counters come back pickled on both transports; for
+:meth:`ParallelSession.feed` the classifications return in the compact
+palette-plus-indices wire form (no ``detail`` record, one entry per distinct
+classification) and rehydrate through a parent-side interning memo.
+
+**Live updates**: the pool carries the transactional control plane of
+:mod:`repro.api.control` — :meth:`ParallelSession.begin` opens a transaction
+whose commit broadcasts the delta to every replica, and
+:meth:`ParallelSession.apply` re-broadcasts a delta/commit staged elsewhere.
+On the thread backend the delta applies directly on each replica between
+that replica's chunks (under the dispatch lock); on the process backend it
+crosses as a message over the existing executor transport alongside the
+chunk descriptors.  A replica that fails a delta triggers a session-wide
+rollback (each committed replica replays the inverse delta), so the pool
+never serves divergent rule programs.
 
 Asynchronous front-end: :meth:`ParallelSession.afeed` accepts an async (or
 plain) iterable of packets — a live capture — and yields input-order
@@ -67,7 +80,10 @@ bit-identical to a single replica classifying the whole trace.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import pickle
+import threading
+from array import array
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -83,6 +99,7 @@ from typing import (
     Tuple,
 )
 
+from repro.api.control import CommitResult, ControlPlane, Delta, RuleProgram, Txn, TxnOp
 from repro.api.registry import create_classifier
 from repro.api.session import (
     BatchCounters,
@@ -92,12 +109,17 @@ from repro.api.session import (
     measure_results,
 )
 from repro.core.result import BatchResult, Classification
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UpdateError
+from repro.perf.lru import BoundedCache
 from repro.perf.transport import SharedChunkRing, read_chunk, shared_memory_available
 from repro.rules.packet import PacketHeader
 from repro.rules.ruleset import RuleSet
 
 __all__ = ["ParallelSession", "ReplicaSpec"]
+
+#: Bound of the parent-side Classification interning memo used to rehydrate
+#: compact process-backend feed() results (see :class:`_CompactChunk`).
+RESULT_MEMO_LIMIT = 1 << 20
 
 #: Chunks allowed in flight per worker (dispatch back-pressure bound).
 PIPELINE_DEPTH = 2
@@ -130,15 +152,55 @@ class _ChunkOutcome(NamedTuple):
     """Compact, picklable outcome of one classified chunk."""
 
     counters: BatchCounters
-    results: Optional[Tuple[Classification, ...]]
+    results: Optional[object]  # Tuple[Classification, ...] or _CompactChunk
 
 
-def _measure_chunk(batch: BatchResult, retain: bool) -> _ChunkOutcome:
+class _CompactChunk(NamedTuple):
+    """Wire form of one chunk's classifications on the process backend.
+
+    Traces are dominated by repeated flows, so a chunk's classifications
+    collapse to a small *palette* of distinct records (``detail`` stripped —
+    it is excluded from :class:`~repro.core.result.Classification` equality
+    and would drag the whole per-packet ``LookupResult``/``CycleReport``
+    graph through pickle) plus one palette index per packet.  The parent
+    rehydrates through its session-wide interning memo, so records repeated
+    across chunks and workers share one parent-side object.
+    """
+
+    palette: Tuple[Classification, ...]
+    indices: array  # array("L"): one palette index per packet
+
+
+def _compact_results(results: Tuple[Classification, ...]) -> _CompactChunk:
+    """Fold a chunk's classifications into their palette + indices wire form.
+
+    ``Classification`` is a frozen dataclass whose equality and hash span
+    exactly the classification substance (``detail`` carries
+    ``compare=False``), so the records themselves key the palette — two
+    records equal sans detail share one palette slot.
+    """
+    palette: List[Classification] = []
+    slots: Dict[Classification, int] = {}
+    indices = array("L")
+    append_index = indices.append
+    for record in results:
+        slot = slots.get(record)
+        if slot is None:
+            slot = len(palette)
+            slots[record] = slot
+            palette.append(
+                record if record.detail is None else dataclasses.replace(record, detail=None)
+            )
+        append_index(slot)
+    return _CompactChunk(palette=tuple(palette), indices=indices)
+
+
+def _measure_chunk(batch: BatchResult, retain: bool, compact: bool = False) -> _ChunkOutcome:
     """Fold one chunk's batch through the shared session accounting."""
-    return _ChunkOutcome(
-        counters=measure_results(batch.results),
-        results=batch.results if retain else None,
-    )
+    results: Optional[object] = None
+    if retain:
+        results = _compact_results(batch.results) if compact else batch.results
+    return _ChunkOutcome(counters=measure_results(batch.results), results=results)
 
 
 class _Inflight(NamedTuple):
@@ -196,7 +258,7 @@ def _process_worker_details() -> Dict[str, object]:
 
 
 def _process_worker_classify(chunk: List[PacketHeader], retain: bool) -> _ChunkOutcome:
-    return _measure_chunk(_WORKER_REPLICA.classify_batch(chunk), retain)
+    return _measure_chunk(_WORKER_REPLICA.classify_batch(chunk), retain, compact=True)
 
 
 def _process_worker_classify_packed(
@@ -204,7 +266,16 @@ def _process_worker_classify_packed(
 ) -> _ChunkOutcome:
     """Decode one packed chunk from the shared ring and classify it."""
     headers = read_chunk(segment, offset, count)
-    return _measure_chunk(_WORKER_REPLICA.classify_batch(headers), retain)
+    return _measure_chunk(_WORKER_REPLICA.classify_batch(headers), retain, compact=True)
+
+
+def _process_worker_apply_delta(delta: Delta) -> CommitResult:
+    """Apply one control-plane delta to this worker's replica (all-or-nothing)."""
+    return _WORKER_REPLICA.control.apply_delta(delta)
+
+
+def _process_worker_program() -> RuleProgram:
+    return _WORKER_REPLICA.control.program()
 
 
 class _ThreadWorker:
@@ -232,6 +303,18 @@ class _ThreadWorker:
 
     def submit(self, chunk, retain):
         return self._executor.submit(self._classify, chunk, retain)
+
+    def submit_delta(self, delta: Delta):
+        """Enqueue a control-plane delta behind this replica's pending chunks.
+
+        The single-lane executor *is* the dispatch serialisation: the delta
+        applies after every chunk already submitted to this replica and
+        before any chunk submitted later — a direct apply between chunks.
+        """
+        return self._executor.submit(self.replica.control.apply_delta, delta)
+
+    def program(self) -> RuleProgram:
+        return self.replica.control.program()
 
     def _classify(self, chunk, retain) -> _ChunkOutcome:
         return _measure_chunk(self.replica.classify_batch(chunk), retain)
@@ -304,6 +387,21 @@ class _ProcessWorker:
             retain,
         )
 
+    def submit_delta(self, delta: Delta):
+        """Ship a control-plane delta to the worker process.
+
+        The delta message travels over the executor's task channel alongside
+        the chunk descriptors; the worker's single lane applies it after the
+        chunks already queued and before anything submitted later.
+        """
+        self._used = True
+        return self._executor.submit(_process_worker_apply_delta, delta)
+
+    def program(self) -> RuleProgram:
+        self.start()
+        self._used = True
+        return self._executor.submit(_process_worker_program).result()
+
     def shutdown(self) -> None:
         if self._executor is not None:
             if self._info is None and self._used:
@@ -321,6 +419,35 @@ class _ProcessWorker:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
             self._info_future = None
+
+
+class _SessionControl(ControlPlane):
+    """Control plane of a replica pool: commits broadcast to every replica.
+
+    Obtained as :attr:`ParallelSession.control`; a transaction committed
+    against it lands on **all** replicas with all-or-nothing semantics
+    session-wide — if any replica rejects the delta, the replicas that
+    already committed replay the inverse delta (the journalled rollback each
+    per-replica commit reports), so the pool never serves divergent rule
+    programs.
+    """
+
+    def __init__(self, session: "ParallelSession") -> None:
+        super().__init__()
+        self._session = session
+
+    def program(self) -> RuleProgram:
+        """Snapshot of replica 0's rule program, stamped with the pool version.
+
+        Replicas are kept rule-identical by the broadcast commit path, so any
+        replica's program is representative; on the process backend the
+        worker reports it (starting the pool if needed).
+        """
+        program = self._session._replica_program()
+        return dataclasses.replace(program, version=self._version)
+
+    def _apply(self, delta: Delta) -> Tuple[List[object], List[TxnOp]]:
+        return self._session._broadcast_delta(delta)
 
 
 class ParallelSession:
@@ -371,6 +498,13 @@ class ParallelSession:
         #: loops then build private rings, see :meth:`_acquire_ring`).
         self._ring_busy = False
         self._closed = False
+        #: Serialises chunk submission against control-plane delta broadcast
+        #: so a delta lands at one consistent point of the dispatch sequence.
+        self._dispatch_lock = threading.Lock()
+        #: Parent-side interning memo rehydrating compact process-backend
+        #: feed() results (records repeated across chunks share one object).
+        self._result_memo = BoundedCache(RESULT_MEMO_LIMIT)
+        self._control: Optional[_SessionControl] = None
         if backend == "thread":
             if transport != "auto":
                 raise ConfigurationError(
@@ -599,15 +733,19 @@ class ParallelSession:
         worker_index = chunk_index % len(self._workers)
         worker = self._workers[worker_index]
         slot = None
-        if ring is not None:
-            slot = ring.acquire()
-            if slot is None:  # unreachable under the bounded in-flight window
-                raise ConfigurationError(
-                    "shared-memory ring exhausted; in-flight window exceeded slot count"
-                )
-            future = worker.submit_packed(ring.write(slot, chunk), retain)
-        else:
-            future = worker.submit(chunk, retain)
+        # The dispatch lock orders this submission against any concurrent
+        # control-plane broadcast (see apply()): a delta either precedes or
+        # follows this chunk on every replica lane, never splits it.
+        with self._dispatch_lock:
+            if ring is not None:
+                slot = ring.acquire()
+                if slot is None:  # unreachable under the bounded in-flight window
+                    raise ConfigurationError(
+                        "shared-memory ring exhausted; in-flight window exceeded slot count"
+                    )
+                future = worker.submit_packed(ring.write(slot, chunk), retain)
+            else:
+                future = worker.submit(chunk, retain)
         return _Inflight(future, worker_index, chunk_index, slot)
 
     def _execute(self, packets, retain: bool):
@@ -642,6 +780,25 @@ class ParallelSession:
             ordered.extend(retained[index])
         return tuple(ordered)
 
+    def _rehydrate(self, results) -> Optional[Tuple[Classification, ...]]:
+        """Expand a compact wire chunk back into Classification records.
+
+        Palette entries intern through the session-wide memo, so a record
+        repeated across chunks (or workers) rehydrates to one shared object;
+        thread-backend results pass through untouched.
+        """
+        if not isinstance(results, _CompactChunk):
+            return results
+        memo = self._result_memo
+        interned = []
+        for record in results.palette:
+            known = memo.get(record)
+            if known is None:
+                memo.put(record, record)
+                known = record
+            interned.append(known)
+        return tuple(interned[index] for index in results.indices)
+
     def _absorb_one(self, inflight, pending, retained, ring) -> None:
         self._check_open()
         entry = inflight.popleft()
@@ -651,7 +808,7 @@ class ParallelSession:
             self._release_slot(ring, entry.slot)
         pending[entry.worker_index].absorb(outcome.counters)
         if retained is not None:
-            retained[entry.chunk_index] = outcome.results
+            retained[entry.chunk_index] = self._rehydrate(outcome.results)
 
     async def _astream(self, packets, retain: bool):
         """Async dispatch loop: yields each absorbed chunk's results in order.
@@ -694,7 +851,7 @@ class ParallelSession:
         finally:
             self._release_slot(ring, entry.slot)
         pending[entry.worker_index].absorb(outcome.counters)
-        return outcome.results if retain else ()
+        return self._rehydrate(outcome.results) if retain else ()
 
     def _abort(self, inflight, ring) -> None:
         """Cancel outstanding chunks, swallow late errors, retire this ring."""
@@ -727,6 +884,121 @@ class ParallelSession:
                     pass
         inflight.clear()
         self._return_ring(ring, failed=True)
+
+    # -- control plane -------------------------------------------------------
+    @property
+    def control(self) -> _SessionControl:
+        """The pool's transactional control plane (commits broadcast)."""
+        if self._control is None:
+            self._control = _SessionControl(self)
+        return self._control
+
+    def begin(self) -> Txn:
+        """Open a transaction whose commit broadcasts to every replica."""
+        self._check_open()
+        return self.control.begin()
+
+    def apply(self, source) -> CommitResult:
+        """Apply a transaction/delta to every live replica, all-or-nothing.
+
+        ``source`` may be an open :class:`~repro.api.control.Txn` (a
+        free-standing one, or one opened via :meth:`begin`), a bare
+        :class:`~repro.api.control.Delta`, or the
+        :class:`~repro.api.control.CommitResult` of a commit made on a
+        primary classifier (its delta is re-broadcast, which is how an
+        updated primary propagates to a serving pool).
+
+        Thread backend: the delta applies directly on each replica between
+        that replica's chunks (the single-lane executor serialises it under
+        the dispatch lock).  Process backend: the delta crosses as a message
+        over the existing executor transport, alongside any in-flight chunk
+        descriptors.  Either way a replica that fails the delta triggers a
+        session-wide rollback — every replica that already committed replays
+        the inverse delta — and the error propagates with nothing committed
+        (see :meth:`_broadcast_delta` for the dispatch-window and
+        label-numbering fine print).
+        """
+        self._check_open()
+        if isinstance(source, Txn):
+            if source._plane is self.control:
+                return source.commit()
+            if source._plane is not None:
+                raise ConfigurationError(
+                    "transaction belongs to another control plane; commit it "
+                    "there and pass the CommitResult (or its delta) to apply()"
+                )
+            # A free-standing Txn stays the caller's: snapshot its staged ops
+            # so the same transaction can roll out to several pools.
+            source = source.delta()
+        if isinstance(source, CommitResult):
+            source = source.delta
+        if not isinstance(source, Delta):
+            raise ConfigurationError(
+                f"apply() takes a Txn, Delta or CommitResult, got {type(source).__name__}"
+            )
+        return self.control.apply_delta(source)
+
+    def _replica_program(self) -> RuleProgram:
+        # Only replica 0 answers a program snapshot; no need to cold-start
+        # the whole pool (a broadcast starts every worker itself).
+        self._check_open()
+        self._workers[0].start()
+        return self._workers[0].program()
+
+    def _broadcast_delta(self, delta: Delta) -> Tuple[List[object], List[TxnOp]]:
+        """Ship one delta to every replica; roll back session-wide on failure.
+
+        The dispatch lock is held for the **whole** broadcast — submission,
+        result collection and any rollback — so every chunk of a concurrent
+        run is classified either entirely before the delta or entirely after
+        the broadcast resolved (committed everywhere or rolled back
+        everywhere); no chunk can be dispatched into the uncertainty window.
+        Workers drain their lanes without the lock, so waiting on the delta
+        futures here cannot deadlock.
+
+        After a rolled-back failure the pool's *rule programs* are identical
+        again (nothing committed); the rolled-back replicas' internal label
+        numbering may differ from before, exactly as after any
+        remove-then-reinsert sequence (see
+        :class:`~repro.api.control.ClassifierControl`).
+        """
+        self._check_open()  # a pre-close Txn must not resurrect worker pools
+        for worker in self._workers:
+            worker.start()
+        with self._dispatch_lock:
+            futures = [worker.submit_delta(delta) for worker in self._workers]
+            commits: List[Tuple[int, CommitResult]] = []
+            failures: List[Tuple[int, BaseException]] = []
+            for index, future in enumerate(futures):
+                try:
+                    commits.append((index, future.result()))
+                except BaseException as exc:
+                    failures.append((index, exc))
+            if not failures:
+                first = commits[0][1]
+                return list(first.results), list(first.inverse.ops)
+            # All-or-nothing session-wide: undo the replicas that committed.
+            rollback_errors: List[int] = []
+            undo = [
+                (index, self._workers[index].submit_delta(commit.inverse))
+                for index, commit in commits
+            ]
+            for index, future in undo:
+                try:
+                    future.result()
+                except BaseException:
+                    rollback_errors.append(index)
+        failed_index, error = failures[0]
+        if rollback_errors:
+            raise UpdateError(
+                f"replica {failed_index} rejected the delta and replica(s) "
+                f"{rollback_errors} failed the rollback; the pool may serve "
+                "divergent rule programs — close the session"
+            ) from error
+        raise UpdateError(
+            f"replica {failed_index} rejected the delta; every replica rolled "
+            "back, nothing committed"
+        ) from error
 
     def reset(self) -> None:
         """Zero every replica's committed aggregate counters."""

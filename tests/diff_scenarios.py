@@ -14,6 +14,7 @@ import random
 from typing import List, Tuple
 
 from repro.rules.packet import PacketHeader
+from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.rules.trace import generate_trace, generate_uniform_trace
 
@@ -58,3 +59,43 @@ def build_scenario_trace(
         rng = random.Random(seed + 1)
         return [rng.choice(distinct) for _ in range(count)]
     raise ValueError(f"unknown trace shape {shape!r}; choose from {TRACE_SHAPES}")
+
+
+def build_mutation_schedule(
+    ruleset: RuleSet, boundaries: int, seed: int
+) -> Tuple[List[Rule], List[List[Tuple[str, object]]]]:
+    """Deterministic update schedule for the mutation-interleaved battery.
+
+    Returns ``(initial_rules, schedule)``: the rules installed before any
+    traffic flows, and one op-list per chunk boundary.  Each op is a plain
+    ``(kind, payload)`` tuple — ``("insert", Rule)`` for a held-back rule,
+    ``("remove", rule_id)`` for a currently installed one, or
+    ``("reconfigure", "mbt"|"bst")`` toggling ``IPalg_s`` — so the same
+    schedule replays identically against any execution path *and* against
+    the linear-search oracle.  The schedule never removes the last rule and
+    only inserts rules it held back, keeping every replay valid.
+    """
+    rng = random.Random(seed)
+    ordered = ruleset.rules()
+    holdback = max(2, len(ordered) // 4)
+    initial = ordered[:-holdback]
+    pending = list(ordered[-holdback:])
+    installed = [rule.rule_id for rule in initial]
+    algorithm = "mbt"
+    schedule: List[List[Tuple[str, object]]] = []
+    for _ in range(boundaries):
+        ops: List[Tuple[str, object]] = []
+        for _ in range(rng.randint(1, 2)):
+            roll = rng.random()
+            if roll < 0.45 and pending:
+                rule = pending.pop(0)
+                installed.append(rule.rule_id)
+                ops.append(("insert", rule))
+            elif roll < 0.85 and len(installed) > 1:
+                victim = installed.pop(rng.randrange(len(installed)))
+                ops.append(("remove", victim))
+            else:
+                algorithm = "bst" if algorithm == "mbt" else "mbt"
+                ops.append(("reconfigure", algorithm))
+        schedule.append(ops)
+    return initial, schedule

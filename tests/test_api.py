@@ -28,7 +28,7 @@ from repro.baselines.base import BaselineClassifier, ClassificationOutcome
 from repro.baselines.linear_search import LinearSearchClassifier
 from repro.core.classifier import ConfigurableClassifier
 from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, RemovedApiError
 from repro.rules.rule import Rule, RuleAction
 from repro.rules.trace import generate_trace
 
@@ -233,36 +233,38 @@ class TestClassificationSession:
             ClassificationSession(classifier, chunk_size=0)
 
 
-class TestDeprecationShims:
-    def test_configurable_lookup_warns(self, handcrafted_ruleset, web_packet):
-        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        with pytest.warns(DeprecationWarning, match="lookup"):
-            result = classifier.lookup(web_packet)
-        assert result.match.rule_id == 0
+class TestRemovedApiStubs:
+    """The PR 1 DeprecationWarning shims are now one-release error stubs."""
 
-    def test_configurable_classify_trace_warns(self, handcrafted_ruleset, web_packet):
+    def test_configurable_lookup_removed(self, handcrafted_ruleset, web_packet):
         classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
-        with pytest.warns(DeprecationWarning, match="classify_trace"):
-            results = classifier.classify_trace([web_packet])
-        assert results[0].match.rule_id == 0
+        with pytest.raises(RemovedApiError, match="classify\\(\\)"):
+            classifier.lookup(web_packet)
+        # The replacement carries the same information.
+        assert classifier.classify(web_packet).detail.match.rule_id == 0
 
-    def test_baseline_classify_warns(self, handcrafted_ruleset, web_packet):
+    def test_configurable_classify_trace_removed(self, handcrafted_ruleset, web_packet):
+        classifier = ConfigurableClassifier.from_ruleset(handcrafted_ruleset)
+        with pytest.raises(RemovedApiError, match="classify_batch"):
+            classifier.classify_trace([web_packet])
+        assert classifier.classify_batch([web_packet])[0].rule_id == 0
+
+    def test_baseline_classify_removed(self, handcrafted_ruleset, web_packet):
         classifier = LinearSearchClassifier(handcrafted_ruleset)
-        with pytest.warns(DeprecationWarning, match="classify"):
-            outcome = classifier.classify(web_packet)
-        assert outcome.rule_id == 0
+        with pytest.raises(RemovedApiError, match="match_packet"):
+            classifier.classify(web_packet)
+        assert classifier.match_packet(web_packet).rule_id == 0
 
-    def test_switch_classify_trace_warns(self, handcrafted_ruleset, web_packet):
+    def test_switch_classify_trace_removed(self, handcrafted_ruleset, web_packet):
         from repro.controller.channel import ControlChannel
         from repro.controller.switch import Switch
 
         switch = Switch(datapath_id=1, channel=ControlChannel("test-channel"))
         for rule in handcrafted_ruleset:
             switch.classifier.install(rule)
-        with pytest.warns(DeprecationWarning, match="classify_trace"):
-            results = switch.classify_trace([web_packet])
-        # legacy return shape preserved: List[LookupResult]
-        assert results[0].match.rule_id == 0
+        with pytest.raises(RemovedApiError, match="classify_batch"):
+            switch.classify_trace([web_packet])
+        assert switch.classify_batch([web_packet])[0].rule_id == 0
 
 
 class TestBaselineFactoryPath:

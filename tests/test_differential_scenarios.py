@@ -27,11 +27,16 @@ from typing import List, Optional
 import pytest
 
 from repro.api import create_classifier
+from repro.api.control import Txn
 from repro.core.config import CombinerMode
 from repro.perf import ParallelSession, ReplicaSpec, shared_memory_available
 from repro.rules.ruleset import RuleSet
 
-from diff_scenarios import DIFFERENTIAL_SEED, TRACE_SHAPES
+from diff_scenarios import (
+    DIFFERENTIAL_SEED,
+    TRACE_SHAPES,
+    build_mutation_schedule,
+)
 
 pytestmark = pytest.mark.differential
 
@@ -169,6 +174,155 @@ def test_process_pool_transports_agree(scenario, transport, scenario_reference):
     assert list(fed.results) == ref.fast
     assert stats.packets == len(ref.trace)
     assert stats.matched == sum(1 for r in ref.fast if r.matched)
+
+
+# ---------------------------------------------------------------------------
+# Mutation-interleaved battery: update-under-load on every execution path.
+# ---------------------------------------------------------------------------
+
+#: Chunk size of the mutation replay (transactions commit between chunks).
+MUTATION_CHUNK = 32
+
+#: Every execution path the schedule replays against.  The process paths fork
+#: a two-worker pool per run, so they sweep the same single scenario as the
+#: in-process paths rather than a larger grid.
+MUTATION_PATHS = [
+    "per_packet",
+    "fast",
+    "vectorized",
+    "thread",
+    "process-pickle",
+    "process-packed",
+]
+
+
+def _schedule_delta(ops) -> "Txn":
+    """Stage one boundary's schedule ops as a control-plane delta."""
+    txn = Txn()
+    for kind, payload in ops:
+        if kind == "insert":
+            txn.insert(payload)
+        elif kind == "remove":
+            txn.remove(payload)
+        else:
+            txn.reconfigure(ip_algorithm=payload)
+    return txn.delta()
+
+
+@pytest.fixture(scope="module")
+def mutation_scenario(differential_scenario):
+    """One shared mutation workload: chunks, schedule, oracle and reference.
+
+    The linear-search oracle replays the identical schedule over a plain
+    rule dict; the per-packet reference replays it through the control plane
+    of a cache-free classifier.  Both are computed once and every execution
+    path is asserted against them.
+    """
+    ruleset, trace = differential_scenario("acl", "mixed")
+    chunks = [trace[i : i + MUTATION_CHUNK] for i in range(0, len(trace), MUTATION_CHUNK)]
+    initial, schedule = build_mutation_schedule(
+        ruleset, boundaries=len(chunks) - 1, seed=DIFFERENTIAL_SEED + 9
+    )
+    initial_set = RuleSet(initial, name="mutation-initial")
+
+    # Linear-search oracle, replayed with the same schedule.
+    current = {rule.rule_id: rule for rule in initial}
+    oracle: List[Optional[int]] = []
+    for index, chunk in enumerate(chunks):
+        ordered = sorted(current.values(), key=lambda rule: rule.priority)
+        for packet in chunk:
+            hit = next((rule for rule in ordered if rule.matches(packet)), None)
+            oracle.append(hit.rule_id if hit else None)
+        if index < len(schedule):
+            for kind, payload in schedule[index]:
+                if kind == "insert":
+                    current[payload.rule_id] = payload
+                elif kind == "remove":
+                    del current[payload]
+
+    # Per-packet behavioural reference (full Classification records).
+    classifier = create_classifier("configurable", initial_set)
+    reference = []
+    for index, chunk in enumerate(chunks):
+        reference.extend(classifier.classify(packet) for packet in chunk)
+        if index < len(schedule):
+            classifier.control.begin().extend(_schedule_delta(schedule[index])).commit()
+    assert [record.rule_id for record in reference] == oracle
+
+    return initial_set, chunks, schedule, oracle, reference
+
+
+@pytest.mark.mutation
+@pytest.mark.parametrize("path", MUTATION_PATHS)
+def test_mutation_interleaved_paths_agree(path, mutation_scenario):
+    """Every path under the same update schedule matches the linear oracle."""
+    initial_set, chunks, schedule, oracle, reference = mutation_scenario
+    if path == "process-packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+
+    observed = []
+    if path in ("per_packet", "fast", "vectorized"):
+        options = {"fast": path == "fast", "vectorized": path == "vectorized"}
+        classifier = create_classifier("configurable", initial_set, **options)
+        for index, chunk in enumerate(chunks):
+            observed.extend(classifier.classify_batch(chunk).results)
+            if index < len(schedule):
+                classifier.control.begin().extend(
+                    _schedule_delta(schedule[index])
+                ).commit()
+    else:
+        if path == "thread":
+            # Heterogeneous replicas: the broadcast must keep a plain fast
+            # replica and a vectorized one in lock-step.
+            replicas = [
+                create_classifier("configurable", initial_set, fast=True),
+                create_classifier("configurable", initial_set, vectorized=True),
+            ]
+            session = ParallelSession(replicas, chunk_size=8)
+        else:
+            transport = path.split("-", 1)[1]
+            spec = ReplicaSpec("configurable", initial_set, {"fast": True})
+            session = ParallelSession.from_factory(
+                spec, workers=2, chunk_size=8, backend="process", transport=transport
+            )
+        with session:
+            for index, chunk in enumerate(chunks):
+                observed.extend(session.feed(chunk).results)
+                if index < len(schedule):
+                    session.apply(_schedule_delta(schedule[index]))
+
+    assert [record.rule_id for record in observed] == oracle
+    # Full-record equivalence with the per-packet reference (equality spans
+    # accesses, latency, probes and truncation; `detail` is excluded, which
+    # is exactly what the compact process-backend wire form strips).
+    assert list(observed) == list(reference)
+
+
+@pytest.mark.mutation
+def test_mutation_failed_delta_rolls_back_session_wide(mutation_scenario):
+    """A replica rejecting a delta leaves the whole pool uncommitted."""
+    from repro.exceptions import UpdateError
+
+    initial_set, chunks, schedule, oracle, reference = mutation_scenario
+    replicas = [
+        create_classifier("configurable", initial_set, fast=True),
+        create_classifier("configurable", initial_set, fast=True),
+    ]
+    victim = initial_set.rules()[0]
+    with ParallelSession(replicas, chunk_size=8) as session:
+        before = session.feed(chunks[0]).results
+        # Make replica 1 divergent behind the session's back, then broadcast
+        # a delta only replica 0 can apply.
+        replicas[1].control.begin().remove(victim.rule_id).commit()
+        with pytest.raises(UpdateError, match="rolled back"):
+            session.apply(Txn().remove(victim.rule_id))
+        # Replica 0 rolled its copy back: the rule is still installed there.
+        assert victim.rule_id in {
+            rule.rule_id for rule in replicas[0].control.program().rules
+        }
+        # Restore replica 1 and verify the pool still serves identically.
+        replicas[1].control.begin().insert(victim).commit()
+        assert session.feed(chunks[0]).results == before
 
 
 @pytest.mark.parametrize("scenario", ASYNC_SCENARIOS, ids=_scenario_id)
