@@ -17,7 +17,10 @@ The measured numbers are recorded in ``BENCH_throughput.json`` at the repo
 root (uploaded as a CI artifact by the benchmark smoke job), including the
 cold-path, process-pool and **update-under-load** (``update_churn``) rows —
 the latter replays the trace with transactional control-plane commits
-interleaved between segments and asserts bit-exactness afterwards.  Set
+interleaved between segments and asserts bit-exactness afterwards.  The
+flow-cache tier adds its own rows: ``flowcache_zipf`` (prewarmed exact-match
+serving pass >= 3x over the uncached vectorized cold pass on a Zipf
+flow-churn trace) and ``flowcache_sweep`` (hit rate x cache capacity).  Set
 ``REPRO_BENCH_QUICK=1`` to run a shortened trace (CI smoke mode:
 equivalence still checked, wall-clock gates skipped).
 """
@@ -32,7 +35,7 @@ from pathlib import Path
 
 from repro.api import ClassificationSession, create_classifier
 from repro.perf import ParallelSession, ReplicaSpec, shared_memory_available
-from repro.rules.trace import generate_trace
+from repro.rules.trace import generate_flow_churn_trace, generate_trace
 
 #: Acceptance floor: fast-path cold-cache speedup over the per-packet path.
 SPEEDUP_FLOOR = 3.0
@@ -169,6 +172,18 @@ def test_fastpath_throughput_and_equivalence(acl1k_ruleset):
         process_rows["packed"]["speedup_vs_pickle"] = round(
             process_rows["pickle"]["seconds"] / process_rows["packed"]["seconds"], 2
         )
+    if not quick and (os.cpu_count() or 1) > 1:
+        # With real spare cores the process pool must at least match the
+        # GIL-bound thread pool on its best transport.  Single-core runners
+        # (and the quick smoke run) skip the gate: there the fork overhead
+        # legitimately dominates and the row is recorded without asserting.
+        best_pool_speedup = max(
+            row["speedup_vs_thread"] for row in process_rows.values()
+        )
+        assert best_pool_speedup >= 1.0, (
+            f"process pool best speedup over the thread pool is "
+            f"{best_pool_speedup:.2f}x on a {os.cpu_count()}-core host"
+        )
 
     single_stats = ClassificationSession(classifier, chunk_size=512).run(trace)
     assert thread_stats.matched == process_stats.matched == single_stats.matched
@@ -265,4 +280,123 @@ def test_fastpath_throughput_and_equivalence(acl1k_ruleset):
             "cpu_count": os.cpu_count(),
         },
     }
+    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+
+
+#: Acceptance floor: prewarmed flow-cache serving pass over the uncached
+#: vectorized cold pass on the Zipf churn workload.
+FLOWCACHE_FLOOR = 3.0
+
+#: Capacity sweep recorded as ``flowcache_sweep`` artifact rows.
+FLOWCACHE_SWEEP = (64, 256, 1024, 4096)
+
+
+def test_flowcache_throughput_and_equivalence(acl1k_ruleset):
+    """Flow-cache tier: >= 3x over the uncached vectorized cold path on a
+    Zipf flow-churn trace, bit-identical to the linear-search ground truth,
+    plus a hit-rate x cache-size sweep."""
+    count = _trace_length()
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    flows = 64 if quick else 256
+    trace = generate_flow_churn_trace(
+        acl1k_ruleset, count=count, seed=TRACE_SEED,
+        flows=flows, popularity="zipf", churn=0.02,
+    )
+
+    truth = [
+        match.rule_id if (match := acl1k_ruleset.highest_priority_match(p)) else None
+        for p in trace
+    ]
+
+    # Uncached vectorized cold pass: the comparison baseline.
+    uncached = create_classifier("configurable", acl1k_ruleset, vectorized=True)
+    vec_cold, vec_cold_s = _timed(uncached.classify_batch, trace)
+    assert [result.rule_id for result in vec_cold] == truth
+
+    # Flow-cached vectorized classifier, prewarmed so the measured pass is
+    # the steady serving state (every resident flow a hit).  Timeouts are
+    # sized past the trace length: nothing expires mid-measurement.
+    cached = create_classifier("configurable", acl1k_ruleset, vectorized=True)
+    cache = cached.enable_flow_cache(
+        capacity=max(FLOWCACHE_SWEEP), policy="idle",
+        idle_timeout=4 * count, hard_timeout=8 * count,
+    )
+    cache.prewarm(trace, cached._classify_batch_uncached)
+    flow_serving, flow_serving_s = _timed(cached.classify_batch, trace)
+    assert list(flow_serving) == list(vec_cold.results)
+    hit_rate = cache.stats()["hit_rate"]
+    assert hit_rate > 0
+
+    flow_speedup = vec_cold_s / flow_serving_s
+    if not quick and flow_speedup < FLOWCACHE_FLOOR:
+        # Same noise policy as the fast-path gates: one clean re-measurement
+        # (entries are still resident) separates a scheduler spike from a
+        # real regression.
+        retry, retry_s = _timed(cached.classify_batch, trace)
+        assert list(retry) == list(vec_cold.results)
+        flow_serving_s = min(flow_serving_s, retry_s)
+        flow_speedup = vec_cold_s / flow_serving_s
+    if not quick:
+        assert flow_speedup >= FLOWCACHE_FLOOR, (
+            f"flow-cache serving speedup {flow_speedup:.2f}x over the "
+            f"uncached vectorized cold pass is below the "
+            f"{FLOWCACHE_FLOOR}x acceptance floor"
+        )
+
+    # Hit-rate x cache-size sweep: one vectorized classifier (its fast path
+    # stays warm as the constant resolution backend), a fresh cold flow
+    # cache per capacity, the trace replayed in 512-packet chunks.  Chunking
+    # matters: flows repeated inside a single batch are served from the
+    # pending-install set regardless of capacity, so only cross-batch reuse
+    # exposes the capacity/hit-rate trade-off.
+    sweep_chunk = 512
+    sweep_rows = []
+    for capacity in FLOWCACHE_SWEEP:
+        sweep_cache = cached.enable_flow_cache(
+            capacity=capacity, policy="idle",
+            idle_timeout=4 * count, hard_timeout=8 * count,
+        )
+        sweep_results = []
+        sweep_start = time.perf_counter()
+        for offset in range(0, count, sweep_chunk):
+            sweep_results.extend(
+                cached.classify_batch(trace[offset : offset + sweep_chunk]).results
+            )
+        sweep_s = time.perf_counter() - sweep_start
+        assert [result.rule_id for result in sweep_results] == truth
+        stats = sweep_cache.stats()
+        sweep_rows.append(
+            {
+                "capacity": capacity,
+                "hit_rate": stats["hit_rate"],
+                "entries": stats["entries"],
+                "capacity_evictions": stats["capacity_evictions"],
+                "seconds": round(sweep_s, 4),
+                "packets_per_second": round(count / sweep_s),
+            }
+        )
+    # More capacity never hurts: the sweep's hit rate is non-decreasing.
+    rates = [row["hit_rate"] for row in sweep_rows]
+    assert rates == sorted(rates)
+
+    artifact = (
+        json.loads(ARTIFACT_PATH.read_text(encoding="utf-8"))
+        if ARTIFACT_PATH.exists()
+        else {}
+    )
+    artifact["flowcache_zipf"] = {
+        "flows": flows,
+        "popularity": "zipf",
+        "churn": 0.02,
+        "policy": "idle",
+        "capacity": max(FLOWCACHE_SWEEP),
+        "hit_rate": hit_rate,
+        "uncached_vectorized_seconds": round(vec_cold_s, 4),
+        "serving_seconds": round(flow_serving_s, 4),
+        "packets_per_second": round(count / flow_serving_s),
+        "speedup_vs_vectorized_cold": round(flow_speedup, 2),
+        "speedup_floor": FLOWCACHE_FLOOR,
+        "identical_to_linear_search": True,
+    }
+    artifact["flowcache_sweep"] = sweep_rows
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")

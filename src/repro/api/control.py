@@ -487,6 +487,13 @@ class ClassifierControl(ControlPlane):
                     f"inconsistent: {rollback_error}"
                 ) from rollback_error
             raise
+        # Committed: let an attached flow cache invalidate surgically (only
+        # entries the delta affects) instead of tripping its wholesale epoch
+        # flush at the next batch.  Rollbacks skip this on purpose — their
+        # epoch bumps trigger the conservative flush, which is always safe.
+        flow_cache = getattr(self.classifier, "flow_cache", None)
+        if flow_cache is not None:
+            flow_cache.note_commit(delta)
         return results, list(reversed(undo))
 
 

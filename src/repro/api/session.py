@@ -16,7 +16,7 @@ baseline (or any future sharded/async engine) is a registry name change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence
+from typing import Iterable, Iterator, List, Mapping, NamedTuple, Optional, Sequence
 
 from repro.api.protocol import PacketClassifier
 from repro.core.result import BatchResult, Classification
@@ -163,8 +163,19 @@ class RunningCounters:
         self.latency_count += other.latency_count
         self.latency_worst = max(self.latency_worst, other.latency_worst)
 
-    def to_stats(self, classifier: str, memory_bits: int) -> "SessionStats":
-        """Render the running counters as immutable :class:`SessionStats`."""
+    def to_stats(
+        self,
+        classifier: str,
+        memory_bits: int,
+        flow: Optional[Mapping[str, int]] = None,
+    ) -> "SessionStats":
+        """Render the running counters as immutable :class:`SessionStats`.
+
+        ``flow`` optionally carries a flow-cache counter snapshot (the
+        ``lookups`` / ``hits`` / ``evictions`` keys of
+        :meth:`repro.perf.flowcache.FlowCache.stats`).
+        """
+        flow = flow or {}
         return SessionStats(
             classifier=classifier,
             packets=self.packets,
@@ -180,6 +191,9 @@ class RunningCounters:
             worst_latency_cycles=self.latency_worst if self.latency_count else None,
             memory_bits=memory_bits,
             truncated_lookups=self.truncated,
+            flow_lookups=int(flow.get("lookups", 0)),
+            flow_hits=int(flow.get("hits", 0)),
+            flow_evictions=int(flow.get("evictions", 0)),
         )
 
 
@@ -200,11 +214,22 @@ class SessionStats:
     #: :class:`~repro.core.label_combiner.CombinerOutcome`) — a non-zero value
     #: warns that some classifications may be inexact.
     truncated_lookups: int = 0
+    #: Flow-cache serving counters (all zero when no flow cache is attached):
+    #: lookups served by the tier, exact-match hits, and entries evicted
+    #: (timeout + capacity).
+    flow_lookups: int = 0
+    flow_hits: int = 0
+    flow_evictions: int = 0
 
     @property
     def hit_ratio(self) -> float:
         """Fraction of streamed packets that hit a rule."""
         return self.matched / self.packets if self.packets else 0.0
+
+    @property
+    def flow_hit_rate(self) -> float:
+        """Fraction of flow-cache lookups served from the exact-match tier."""
+        return self.flow_hits / self.flow_lookups if self.flow_lookups else 0.0
 
     @property
     def memory_megabits(self) -> float:
@@ -250,6 +275,9 @@ class SessionStats:
             ),
             memory_bits=sum(part.memory_bits for part in parts),
             truncated_lookups=sum(part.truncated_lookups for part in parts),
+            flow_lookups=sum(part.flow_lookups for part in parts),
+            flow_hits=sum(part.flow_hits for part in parts),
+            flow_evictions=sum(part.flow_evictions for part in parts),
         )
 
 
@@ -301,9 +329,17 @@ class ClassificationSession:
 
     # -- aggregation ---------------------------------------------------------
     def stats(self) -> SessionStats:
-        """Aggregate statistics over everything streamed so far."""
+        """Aggregate statistics over everything streamed so far.
+
+        When the classifier carries a flow cache its serving counters ride
+        along (``flow_lookups`` / ``flow_hits`` / ``flow_evictions`` and the
+        derived :attr:`SessionStats.flow_hit_rate`).
+        """
+        flow_cache = getattr(self.classifier, "flow_cache", None)
         return self._counters.to_stats(
-            self.classifier.name, self.classifier.memory_bits()
+            self.classifier.name,
+            self.classifier.memory_bits(),
+            flow=flow_cache.stats() if flow_cache is not None else None,
         )
 
     def __repr__(self) -> str:

@@ -52,6 +52,7 @@ from repro.api import (
 )
 from repro.core.config import CombinerMode, IpAlgorithm
 from repro.exceptions import ConfigurationError, ReproError
+from repro.perf.flowcache import DEFAULT_FLOW_CAPACITY, FLOW_POLICIES
 from repro.experiments import (
     fig3_pipeline,
     fig4_update,
@@ -68,7 +69,7 @@ from repro.experiments import (
 )
 from repro.rules.classbench import FilterFlavor, generate_ruleset
 from repro.rules.parser import dump_classbench_file, load_classbench_file
-from repro.rules.trace import generate_trace
+from repro.rules.trace import generate_flow_churn_trace, generate_trace
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -140,20 +141,35 @@ def _classifier_options(name: str, args: argparse.Namespace, strict_fast: bool) 
     """
     fast = getattr(args, "fast", False)
     vectorized = getattr(args, "vectorized", False)
+    flow_cache = getattr(args, "flow_cache", False)
     if name == "configurable":
-        return {
+        options = {
             "ip_algorithm": args.ip_algorithm,
             "combiner": args.combiner,
             "fast": fast,
             "vectorized": vectorized,
         }
-    if fast or vectorized:
+        if flow_cache:
+            options["flow_cache"] = True
+            options["flow_policy"] = getattr(args, "flow_policy", "idle")
+            capacity = getattr(args, "flow_capacity", None)
+            if capacity is not None:
+                options["flow_capacity"] = capacity
+            predictor = getattr(args, "flow_predictor", None)
+            if predictor is not None:
+                options["flow_predictor"] = predictor
+        return options
+    if fast or vectorized or flow_cache:
         flags = "/".join(
-            flag for flag, on in (("--fast", fast), ("--vectorized", vectorized)) if on
+            flag for flag, on in (
+                ("--fast", fast),
+                ("--vectorized", vectorized),
+                ("--flow-cache", flow_cache),
+            ) if on
         )
         message = (
             f"{flags} is only supported by the 'configurable' classifier; "
-            f"{name!r} has no batch fast path"
+            f"{name!r} has no batch fast path or flow cache"
         )
         if strict_fast:
             raise ConfigurationError(message)
@@ -206,7 +222,20 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if args.churn < 0:
         raise ConfigurationError(f"churn count must be non-negative, got {args.churn}")
     ruleset = _load_workload(args)
-    trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
+    if args.flows:
+        # A flow-structured trace (repeating 5-tuples, Zipf or uniform
+        # popularity with flow churn) — the workload the exact-match flow
+        # cache serves.
+        trace = generate_flow_churn_trace(
+            ruleset,
+            count=args.packets,
+            seed=args.seed + 1,
+            flows=args.flows,
+            popularity=args.flow_popularity,
+            churn=args.flow_churn_rate,
+        )
+    else:
+        trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
     # With churn the trace is cut into churn+1 segments and one transactional
     # update (remove + reinsert of an installed rule) commits between
     # consecutive segments — classification under live rule churn.
@@ -271,6 +300,15 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             report["Feed mode"] = "async (ParallelSession.arun)"
     if updates_applied:
         report["Churn updates applied"] = updates_applied
+    if args.flows:
+        report["Flow trace"] = (
+            f"{args.flows} flows, {args.flow_popularity} popularity, "
+            f"churn {args.flow_churn_rate:g}"
+        )
+    if stats.flow_lookups:
+        report["Flow cache hit rate"] = f"{stats.flow_hit_rate:.3f}"
+        if stats.flow_evictions:
+            report["Flow cache evictions"] = stats.flow_evictions
     if stats.average_latency_cycles is not None:
         report["Avg latency (cycles)"] = f"{stats.average_latency_cycles:.1f}"
     if stats.truncated_lookups:
@@ -282,6 +320,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         if details.get("fast_path"):
             fast_state = "on (vectorized)" if details.get("fast_path_vectorized") else "on"
         report["Batch fast path"] = fast_state
+        if details.get("flow_cache"):
+            report["Flow cache"] = f"on ({details['flow_cache_policy']} policy)"
         report["Model throughput (40B packets)"] = f"{details['throughput_gbps']:.2f} Gbps"
         report["Rule capacity"] = details["rule_capacity"]
     print(format_kv(report, title="Classification run"))
@@ -444,6 +484,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="interleave N transactional rule updates (remove + reinsert) "
              "into the run, spread evenly across the trace — classification "
              "under live rule churn",
+    )
+    sub_classify.add_argument(
+        "--flow-cache", action="store_true", dest="flow_cache",
+        help="front the lookup path with the exact-match flow cache "
+             "(repro.perf.flowcache; configurable classifier only)",
+    )
+    sub_classify.add_argument(
+        "--flow-policy", choices=list(FLOW_POLICIES), default="idle",
+        help="flow-cache eviction policy: idle / hard timeout or the "
+             "HQTimer-style hybrid timer scheme",
+    )
+    sub_classify.add_argument(
+        "--flow-capacity", type=int, default=None,
+        help="flow-cache capacity in entries (default %d)" % DEFAULT_FLOW_CAPACITY,
+    )
+    sub_classify.add_argument(
+        "--flow-predictor", choices=["frequency", "recency"], default=None,
+        help="predictor scoring which entries stay resident under capacity "
+             "pressure (default: plain LRU)",
+    )
+    sub_classify.add_argument(
+        "--flows", type=int, default=0,
+        help="generate a flow-structured trace of N repeating flows instead "
+             "of independent headers (the workload a flow cache serves)",
+    )
+    sub_classify.add_argument(
+        "--flow-popularity", choices=["zipf", "uniform"], default="zipf",
+        help="flow popularity distribution of the --flows trace",
+    )
+    sub_classify.add_argument(
+        "--flow-churn-rate", type=float, default=0.0,
+        help="per-packet probability that one live flow of the --flows "
+             "trace dies and a fresh flow replaces it",
     )
     add_workload_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)

@@ -38,7 +38,7 @@ from repro.core.result import (
     UpdateResult,
 )
 from repro.core.update_engine import UpdateEngine
-from repro.exceptions import RemovedApiError
+from repro.exceptions import ConfigurationError, RemovedApiError
 from repro.fields.base import SingleFieldEngine
 from repro.fields.binary_search_tree import BinarySearchTree
 from repro.fields.multibit_trie import MultibitTrie
@@ -80,6 +80,7 @@ class ConfigurableClassifier:
     def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
         self.config = config or ClassifierConfig()
         self._fast_path = None
+        self._flow_cache = None
         self._control = None
         self._build()
 
@@ -212,14 +213,28 @@ class ConfigurableClassifier:
         With the fast path enabled (:meth:`enable_fast_path`), the batch is
         classified through the :mod:`repro.perf` memoizing accelerator —
         identical :class:`Classification` results, far higher throughput on
-        traces with field-value redundancy.
+        traces with field-value redundancy.  With a flow cache enabled
+        (:meth:`enable_flow_cache`), an exact-match flow tier serves
+        repeating 5-tuples first and only cache-miss traffic reaches the
+        lookup path.
         """
+        flow_cache = self._flow_cache
+        if flow_cache is not None:
+            if not isinstance(packets, (list, tuple)):
+                packets = list(packets)
+            return flow_cache.classify_batch(packets, self._classify_batch_uncached)
+        return self._classify_batch_uncached(packets)
+
+    def _classify_batch_uncached(self, packets: Iterable[PacketHeader]) -> BatchResult:
+        """The batch path below the flow-cache tier (fast path or per-packet)."""
         if self._fast_path is not None:
             return self._fast_path.classify_batch(packets)
         return BatchResult(tuple(self.classify(packet) for packet in packets))
 
     # ------------------------------------------------------------------ fast path
-    def enable_fast_path(self, vectorized: bool = False) -> "FastPathAccelerator":
+    def enable_fast_path(
+        self, vectorized: bool = False, flow_cache=None
+    ) -> "FastPathAccelerator":
         """Attach (and return) the batch-lookup accelerator of :mod:`repro.perf`.
 
         Subsequent :meth:`classify_batch` calls run through per-dimension and
@@ -228,6 +243,10 @@ class ConfigurableClassifier:
         misses through the :mod:`repro.fields.vectorized` batch engine
         walkers and the cached combiner walk (much faster first pass over a
         trace).  Results are bit-exact with the per-packet path either way.
+
+        ``flow_cache`` optionally stacks the exact-match flow tier on top:
+        ``True`` attaches a default :class:`~repro.perf.flowcache.FlowCache`,
+        or pass a configured instance (see :meth:`enable_flow_cache`).
 
         Re-enabling with a different ``vectorized`` setting swaps the
         attached accelerator (dropping its caches); re-enabling with the same
@@ -239,6 +258,8 @@ class ConfigurableClassifier:
             from repro.perf.fastpath import FastPathAccelerator
 
             self._fast_path = FastPathAccelerator(self, vectorized=vectorized)
+        if flow_cache is not None:
+            self.enable_flow_cache(None if flow_cache is True else flow_cache)
         return self._fast_path
 
     def disable_fast_path(self) -> None:
@@ -251,6 +272,43 @@ class ConfigurableClassifier:
     def fast_path_enabled(self) -> bool:
         """True when classify_batch runs through the memoizing fast path."""
         return self._fast_path is not None
+
+    # ------------------------------------------------------------------ flow cache
+    def enable_flow_cache(self, cache=None, **options) -> "FlowCache":
+        """Attach (and return) an exact-match flow tier in front of lookups.
+
+        Pass a pre-built :class:`~repro.perf.flowcache.FlowCache` as
+        ``cache``, or construction keywords (``capacity``, ``policy``,
+        ``idle_timeout``, ``hard_timeout``, ``predictor``) to build one.
+        The tier fronts whatever batch path is active — per-packet, fast
+        path, or vectorized — and is invalidated surgically by control-plane
+        commits (wholesale on untracked mutations).  Replaces any previously
+        attached flow cache.
+        """
+        from repro.perf.flowcache import FlowCache
+
+        if cache is None:
+            cache = FlowCache(**options)
+        elif options:
+            raise ConfigurationError(
+                "pass either a FlowCache instance or construction options, not both"
+            )
+        if self._flow_cache is not None:
+            self._flow_cache.unbind()
+        cache.bind(self)
+        self._flow_cache = cache
+        return cache
+
+    def disable_flow_cache(self) -> None:
+        """Detach the flow tier; classify_batch reverts to the lookup path."""
+        if self._flow_cache is not None:
+            self._flow_cache.unbind()
+            self._flow_cache = None
+
+    @property
+    def flow_cache(self) -> Optional["FlowCache"]:
+        """The attached flow cache, or None."""
+        return self._flow_cache
 
     def lookup(self, packet: PacketHeader) -> LookupResult:
         """Removed pre-unified-API entry point (error stub).
@@ -358,6 +416,10 @@ class ConfigurableClassifier:
         if self._fast_path is not None:
             # Memoized combiner outcomes belong to the previous mode.
             self._fast_path.invalidate()
+        if self._flow_cache is not None:
+            # Cached flow decisions belong to the previous mode too — and a
+            # combiner swap bumps no engine epoch, so flush explicitly.
+            self._flow_cache.invalidate()
 
     # ------------------------------------------------------------------ reporting
     def occupancy_cycles(self) -> float:
@@ -409,6 +471,10 @@ class ConfigurableClassifier:
                 "update_model": "incremental",
                 "fast_path": self.fast_path_enabled,
                 "fast_path_vectorized": self.fast_path_enabled and self._fast_path.vectorized,
+                "flow_cache": self._flow_cache is not None,
+                "flow_cache_policy": (
+                    self._flow_cache.policy if self._flow_cache is not None else None
+                ),
             },
         )
 
@@ -551,6 +617,12 @@ def _make_configurable(
     combiner: Optional[str] = None,
     fast: bool = False,
     vectorized: bool = False,
+    flow_cache: bool = False,
+    flow_policy: str = "idle",
+    flow_capacity: Optional[int] = None,
+    flow_predictor: Optional[str] = None,
+    flow_idle_timeout: Optional[int] = None,
+    flow_hard_timeout: Optional[int] = None,
 ) -> ConfigurableClassifier:
     """Registry factory: build the architecture and install ``ruleset``.
 
@@ -559,6 +631,10 @@ def _make_configurable(
     string shortcuts layered on top of it.  ``fast=True`` enables the
     :mod:`repro.perf` batch-lookup fast path; ``vectorized=True`` enables the
     fast path in its vectorized cold-path mode (and implies ``fast``).
+    ``flow_cache=True`` stacks the exact-match flow tier on top, configured
+    by the remaining ``flow_*`` knobs (all plain picklable values, so a
+    :class:`~repro.perf.parallel.ReplicaSpec` can carry them into process
+    workers).
     """
     builder = ClassifierConfig.builder(config)
     if ip_algorithm is not None:
@@ -568,4 +644,15 @@ def _make_configurable(
     classifier = ConfigurableClassifier.from_ruleset(ruleset, builder.build())
     if fast or vectorized:
         classifier.enable_fast_path(vectorized=vectorized)
+    if flow_cache:
+        options: Dict[str, object] = {"policy": flow_policy}
+        if flow_capacity is not None:
+            options["capacity"] = flow_capacity
+        if flow_predictor is not None:
+            options["predictor"] = flow_predictor
+        if flow_idle_timeout is not None:
+            options["idle_timeout"] = flow_idle_timeout
+        if flow_hard_timeout is not None:
+            options["hard_timeout"] = flow_hard_timeout
+        classifier.enable_flow_cache(**options)
     return classifier

@@ -18,6 +18,14 @@ allows" goal.  This package closes the gap from two directions:
   :meth:`ConfigurableClassifier.enable_fast_path`, it accelerates
   ``classify_batch`` while keeping results bit-exact with the per-packet
   path.
+* :class:`~repro.perf.flowcache.FlowCache` — an exact-match flow tier in
+  front of whatever batch path is enabled: entries are keyed by the packed
+  104-bit header word, managed by idle / hard / HQTimer-style hybrid
+  timeout policies on a deterministic packets-observed virtual clock, and
+  evicted under capacity pressure by a pluggable :class:`Predictor`
+  (frequency / recency).  Control-plane commits invalidate affected entries
+  surgically; untracked mutations flush wholesale via the same mutation
+  epochs the fast path watches.
 * :class:`~repro.perf.parallel.ParallelSession` — shards a trace in bounded
   round-robin chunks across N classifier replicas and merges the per-replica
   statistics into one :class:`~repro.api.session.SessionStats`.  The thread
@@ -38,11 +46,18 @@ allows" goal.  This package closes the gap from two directions:
 """
 
 from repro.perf.fastpath import FastPathAccelerator
+from repro.perf.flowcache import (
+    FlowCache,
+    FrequencyPredictor,
+    Predictor,
+    RecencyPredictor,
+)
 from repro.perf.lru import BoundedCache, LRUCache
 from repro.perf.parallel import ParallelSession, ReplicaSpec
 from repro.perf.transport import (
     ChunkDescriptor,
     SharedChunkRing,
+    pack_header,
     pack_headers,
     shared_memory_available,
     unpack_headers,
@@ -50,12 +65,17 @@ from repro.perf.transport import (
 
 __all__ = [
     "FastPathAccelerator",
+    "FlowCache",
+    "Predictor",
+    "FrequencyPredictor",
+    "RecencyPredictor",
     "ParallelSession",
     "ReplicaSpec",
     "LRUCache",
     "BoundedCache",
     "SharedChunkRing",
     "ChunkDescriptor",
+    "pack_header",
     "pack_headers",
     "unpack_headers",
     "shared_memory_available",

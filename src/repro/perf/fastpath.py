@@ -135,11 +135,13 @@ class FastPathAccelerator:
         # pre-pass; the per-packet walk then counts hits (plus the misses of
         # whatever exceeded a cache bound or was evicted meanwhile).
         self.header_hits = 0
+        self.header_misses = 0
         self.field_hits = 0
         self.field_misses = 0
         self.combiner_hits = 0
         self.combiner_misses = 0
         self.result_hits = 0
+        self.result_misses = 0
         self._walkers = {}
         if vectorized:
             from repro.fields.vectorized import batch_walker
@@ -213,6 +215,7 @@ class FastPathAccelerator:
         classify = self._classify_uncached
         put = header_cache.put
         hits = 0
+        misses = 0
         results = []
         append = results.append
         for packet in packets:
@@ -220,11 +223,13 @@ class FastPathAccelerator:
             if cached is None:
                 cached = classify(packet)
                 put(packet, cached)
+                misses += 1
             else:
                 touch(packet)
                 hits += 1
             append(cached)
         self.header_hits += hits
+        self.header_misses += misses
         return BatchResult(tuple(results))
 
     def _prefetch_fields(self, packets) -> None:
@@ -298,6 +303,7 @@ class FastPathAccelerator:
         if record is not None:
             self.result_hits += 1
             return record
+        self.result_misses += 1
         key = tuple(result.matches for result in result_key)
         outcome = self._combiner_cache.get(key)
         if outcome is None:
@@ -320,24 +326,35 @@ class FastPathAccelerator:
         return record
 
     # -- introspection --------------------------------------------------------
-    def cache_stats(self) -> Dict[str, int]:
-        """Sizes, hit/miss and eviction counters of the memoization layers."""
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Sizes, hit/miss/eviction counters and derived per-layer hit rates."""
         return {
             "header_entries": len(self._header_cache),
             "header_hits": self.header_hits,
+            "header_misses": self.header_misses,
+            "header_hit_rate": self._hit_rate(self.header_hits, self.header_misses),
             "header_evictions": self._header_cache.evictions,
             "field_entries": sum(len(cache) for cache in self._field_caches.values()),
             "field_hits": self.field_hits,
             "field_misses": self.field_misses,
+            "field_hit_rate": self._hit_rate(self.field_hits, self.field_misses),
             "field_evictions": sum(
                 cache.evictions for cache in self._field_caches.values()
             ),
             "combiner_entries": len(self._combiner_cache),
             "combiner_hits": self.combiner_hits,
             "combiner_misses": self.combiner_misses,
+            "combiner_hit_rate": self._hit_rate(self.combiner_hits, self.combiner_misses),
             "combiner_evictions": self._combiner_cache.evictions,
             "result_entries": len(self._result_cache),
             "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "result_hit_rate": self._hit_rate(self.result_hits, self.result_misses),
             "result_evictions": self._result_cache.evictions,
             "probe_entries": len(self._probe_cache),
             "probe_evictions": self._probe_cache.evictions,

@@ -274,6 +274,12 @@ def _process_worker_apply_delta(delta: Delta) -> CommitResult:
     return _WORKER_REPLICA.control.apply_delta(delta)
 
 
+def _process_worker_flow_stats() -> Optional[Dict[str, object]]:
+    """This replica's flow-cache counter snapshot (None without a cache)."""
+    cache = getattr(_WORKER_REPLICA, "flow_cache", None)
+    return cache.stats() if cache is not None else None
+
+
 def _process_worker_program() -> RuleProgram:
     return _WORKER_REPLICA.control.program()
 
@@ -300,6 +306,10 @@ class _ThreadWorker:
 
     def details(self) -> Dict[str, object]:
         return dict(self.replica.stats().details)
+
+    def flow_stats(self) -> Optional[Dict[str, object]]:
+        cache = getattr(self.replica, "flow_cache", None)
+        return cache.stats() if cache is not None else None
 
     def submit(self, chunk, retain):
         return self._executor.submit(self._classify, chunk, retain)
@@ -401,6 +411,11 @@ class _ProcessWorker:
         self.start()
         self._used = True
         return self._executor.submit(_process_worker_program).result()
+
+    def flow_stats(self) -> Optional[Dict[str, object]]:
+        self.start()
+        self._used = True
+        return self._executor.submit(_process_worker_flow_stats).result()
 
     def shutdown(self) -> None:
         if self._executor is not None:
@@ -1031,8 +1046,38 @@ class ParallelSession:
         parts = []
         for worker, counters in zip(self._workers, self._committed):
             name, memory_bits = worker.info()
-            parts.append(counters.to_stats(name, memory_bits))
+            parts.append(counters.to_stats(name, memory_bits, flow=worker.flow_stats()))
         return SessionStats.merge(parts)
+
+    def flow_cache_stats(self) -> Optional[Dict[str, object]]:
+        """Merged flow-cache statistics across every replica.
+
+        Counters (lookups / hits / misses / insertions / evictions /
+        surgical drops / invalidations) and resident entries sum over the
+        replicas; configuration fields (policy, per-replica capacity,
+        timeouts, predictor) come from replica 0, since :meth:`from_factory`
+        pools are homogeneous.  The merged ``hit_rate`` is re-derived from
+        the summed counters.  Returns ``None`` when the replicas carry no
+        flow cache.
+        """
+        self._check_open()
+        parts = [worker.flow_stats() for worker in self._workers]
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return None
+        merged = dict(parts[0])
+        summed = (
+            "entries", "lookups", "hits", "misses", "insertions",
+            "timeout_evictions", "capacity_evictions", "evictions",
+            "surgical_drops", "invalidations",
+        )
+        for key in summed:
+            merged[key] = sum(part[key] for part in parts)
+        merged["hit_rate"] = (
+            merged["hits"] / merged["lookups"] if merged["lookups"] else 0.0
+        )
+        merged["replicas"] = len(parts)
+        return merged
 
     def replica_details(self) -> Dict[str, object]:
         """Engine-specific details of replica 0 (``ClassifierStats.details``).

@@ -46,6 +46,7 @@ __all__ = [
     "HEADER_BYTES",
     "ChunkDescriptor",
     "SharedChunkRing",
+    "pack_header",
     "pack_headers",
     "pack_into",
     "unpack_headers",
@@ -75,6 +76,18 @@ if _HEADER_STRUCT.size != HEADER_BYTES or tuple(FIVE_TUPLE_WIDTHS.values()) != (
 # ---------------------------------------------------------------------------
 # Codec
 # ---------------------------------------------------------------------------
+
+
+def pack_header(header: PacketHeader) -> bytes:
+    """Pack one header into its ``HEADER_BYTES`` wire word.
+
+    The single-header form of :func:`pack_headers`; the flow cache uses it
+    as the exact-match key so a cache entry and a wire word are the same
+    13 bytes.
+    """
+    return _HEADER_STRUCT.pack(
+        header.src_ip, header.dst_ip, header.src_port, header.dst_port, header.protocol
+    )
 
 
 def pack_headers(headers: Iterable[PacketHeader]) -> bytes:

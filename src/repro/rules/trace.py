@@ -10,6 +10,9 @@ module reproduces that behaviour:
   ``hit_ratio`` and uniformly at random otherwise);
 * :func:`generate_uniform_trace` draws headers uniformly from the full header
   space (almost every packet misses — useful for default-rule stress tests);
+* :func:`generate_flow_churn_trace` draws packets from a churning population
+  of live *flows* with Zipf or uniform popularity — the repeating-5-tuple
+  workload an exact-match flow cache (:mod:`repro.perf.flowcache`) exploits;
 * :class:`TraceStats` summarises the hit structure of a generated trace.
 
 All generation is deterministic given ``seed``.
@@ -17,6 +20,7 @@ All generation is deterministic given ``seed``.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -27,7 +31,13 @@ from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 
-__all__ = ["generate_trace", "generate_uniform_trace", "TraceStats", "trace_stats"]
+__all__ = [
+    "generate_trace",
+    "generate_uniform_trace",
+    "generate_flow_churn_trace",
+    "TraceStats",
+    "trace_stats",
+]
 
 _COMMON_PROTOCOLS: Sequence[int] = (6, 17, 1, 47, 50)
 
@@ -119,6 +129,73 @@ def generate_trace(
             header = _random_header(rng)
         trace.append(header)
         previous = header
+    return trace
+
+
+def generate_flow_churn_trace(
+    ruleset: RuleSet,
+    count: int,
+    seed: int = 99,
+    flows: int = 64,
+    popularity: str = "zipf",
+    zipf_exponent: float = 1.2,
+    churn: float = 0.0,
+    hit_ratio: float = 0.9,
+) -> List[PacketHeader]:
+    """Generate a trace of repeating *flows* with churn — the flow-cache workload.
+
+    Unlike :func:`generate_trace` (independent headers, near-zero repeats),
+    every packet here belongs to one of ``flows`` live flows, drawn by
+    popularity:
+
+    * ``popularity="zipf"`` — flow ``k`` (1-based rank) is picked with
+      probability proportional to ``1 / k**zipf_exponent``: a few elephant
+      flows dominate, a long tail of mice trickles.  This is the canonical
+      Internet traffic shape an exact-match flow cache exploits.
+    * ``popularity="uniform"`` — all live flows equally likely; the
+      adversarial shape where caching only helps once ``flows`` fits.
+
+    ``churn`` is the per-packet probability that one live flow dies and a
+    fresh flow takes over its popularity rank (flow arrival/death), forcing
+    compulsory misses and exercising timeout eviction.  Flow headers are
+    hit-biased like :func:`generate_trace` (``hit_ratio``).  Deterministic
+    given ``seed``.
+    """
+    if count < 0:
+        raise ExperimentError(f"trace length must be non-negative, got {count}")
+    if flows <= 0:
+        raise ExperimentError(f"flow count must be positive, got {flows}")
+    if popularity not in ("zipf", "uniform"):
+        raise ExperimentError(
+            f"unknown flow popularity {popularity!r}; choose 'zipf' or 'uniform'"
+        )
+    if zipf_exponent <= 0.0:
+        raise ExperimentError(f"zipf_exponent must be positive, got {zipf_exponent}")
+    if not 0.0 <= churn < 1.0:
+        raise ExperimentError(f"churn must be in [0, 1), got {churn}")
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ExperimentError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+    rules = ruleset.rules()
+    if hit_ratio > 0.0 and not rules:
+        raise ExperimentError("cannot generate a hit-biased trace from an empty rule set")
+    rng = random.Random(seed)
+
+    def fresh_flow() -> PacketHeader:
+        if rules and rng.random() < hit_ratio:
+            return _random_point_in_rule(rng, rng.choice(rules))
+        return _random_header(rng)
+
+    live = [fresh_flow() for _ in range(flows)]
+    if popularity == "zipf":
+        weights = [1.0 / (rank ** zipf_exponent) for rank in range(1, flows + 1)]
+    else:
+        weights = [1.0] * flows
+    cum_weights = list(itertools.accumulate(weights))
+    trace: List[PacketHeader] = []
+    for _ in range(count):
+        if churn and rng.random() < churn:
+            live[rng.randrange(flows)] = fresh_flow()
+        trace.append(rng.choices(live, cum_weights=cum_weights)[0])
     return trace
 
 

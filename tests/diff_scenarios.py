@@ -16,7 +16,11 @@ from typing import List, Tuple
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
-from repro.rules.trace import generate_trace, generate_uniform_trace
+from repro.rules.trace import (
+    generate_flow_churn_trace,
+    generate_trace,
+    generate_uniform_trace,
+)
 
 #: Battery seed — override with REPRO_DIFF_SEED to reproduce a CI failure
 #: locally (the CI differential job echoes the seed it ran with).
@@ -25,8 +29,10 @@ DIFFERENTIAL_SEED = int(os.environ.get("REPRO_DIFF_SEED", "20140730"))
 #: Trace shapes the battery sweeps: the biased ClassBench mix, an
 #: adversarial all-unique-flows stream (every header distinct — worst case
 #: for every memoization layer), and a heavy-duplicate stream (few flows
-#: repeated — worst case for cache-correctness after the first packet).
-TRACE_SHAPES: Tuple[str, ...] = ("mixed", "all_unique", "heavy_duplicate")
+#: repeated — worst case for cache-correctness after the first packet), and a
+#: Zipf-popularity flow-churn stream (skewed repeats with flow arrivals and
+#: deaths — the flow-cache tier's reference workload).
+TRACE_SHAPES: Tuple[str, ...] = ("mixed", "all_unique", "heavy_duplicate", "zipf_churn")
 
 
 def build_scenario_trace(
@@ -58,6 +64,17 @@ def build_scenario_trace(
         distinct = generate_trace(ruleset, count=max(4, count // 16), seed=seed)
         rng = random.Random(seed + 1)
         return [rng.choice(distinct) for _ in range(count)]
+    if shape == "zipf_churn":
+        # Skewed flow popularity with 5% per-packet churn: exercises every
+        # flow-cache code path (hits, misses, evictions, dead flows).
+        return generate_flow_churn_trace(
+            ruleset,
+            count=count,
+            seed=seed,
+            flows=max(8, count // 10),
+            popularity="zipf",
+            churn=0.05,
+        )
     raise ValueError(f"unknown trace shape {shape!r}; choose from {TRACE_SHAPES}")
 
 

@@ -209,19 +209,18 @@ def _schedule_delta(ops) -> "Txn":
     return txn.delta()
 
 
-@pytest.fixture(scope="module")
-def mutation_scenario(differential_scenario):
-    """One shared mutation workload: chunks, schedule, oracle and reference.
+def _build_mutation_workload(differential_scenario, shape: str, seed: int):
+    """One mutation workload: chunks, schedule, oracle and reference.
 
     The linear-search oracle replays the identical schedule over a plain
     rule dict; the per-packet reference replays it through the control plane
     of a cache-free classifier.  Both are computed once and every execution
     path is asserted against them.
     """
-    ruleset, trace = differential_scenario("acl", "mixed")
+    ruleset, trace = differential_scenario("acl", shape)
     chunks = [trace[i : i + MUTATION_CHUNK] for i in range(0, len(trace), MUTATION_CHUNK)]
     initial, schedule = build_mutation_schedule(
-        ruleset, boundaries=len(chunks) - 1, seed=DIFFERENTIAL_SEED + 9
+        ruleset, boundaries=len(chunks) - 1, seed=seed
     )
     initial_set = RuleSet(initial, name="mutation-initial")
 
@@ -250,6 +249,23 @@ def mutation_scenario(differential_scenario):
     assert [record.rule_id for record in reference] == oracle
 
     return initial_set, chunks, schedule, oracle, reference
+
+
+@pytest.fixture(scope="module")
+def mutation_scenario(differential_scenario):
+    """The shared mutation workload over the biased ClassBench mix."""
+    return _build_mutation_workload(
+        differential_scenario, "mixed", DIFFERENTIAL_SEED + 9
+    )
+
+
+@pytest.fixture(scope="module")
+def flowcache_mutation_scenario(differential_scenario):
+    """Mutation workload over a zipf-churn trace, so the flow cache is hot
+    (repeated flows) when each commit lands."""
+    return _build_mutation_workload(
+        differential_scenario, "zipf_churn", DIFFERENTIAL_SEED + 13
+    )
 
 
 @pytest.mark.mutation
@@ -323,6 +339,181 @@ def test_mutation_failed_delta_rolls_back_session_wide(mutation_scenario):
         # Restore replica 1 and verify the pool still serves identically.
         replicas[1].control.begin().insert(victim).commit()
         assert session.feed(chunks[0]).results == before
+
+
+# ---------------------------------------------------------------------------
+# Flow-cache column: every execution path again, with the exact-match flow
+# cache fronting the classifier.  Tight capacities and timeouts force hits,
+# idle/hard/hybrid expirations and capacity evictions mid-trace, and the
+# chunked replay makes the virtual clock advance across batch boundaries.
+# ---------------------------------------------------------------------------
+
+#: Cache geometry chosen to guarantee eviction pressure on battery traces:
+#: the churn shapes carry well over 8 distinct flows for any seed.
+FLOWCACHE_OPTIONS = {"flow_capacity": 8, "flow_idle_timeout": 48, "flow_hard_timeout": 96}
+
+FLOWCACHE_POLICIES = ("idle", "hard", "hybrid")
+
+FLOWCACHE_SCENARIOS = [
+    ("acl", "cross_product", "zipf_churn"),
+    ("fw", "cross_product", "heavy_duplicate"),
+    ("ipc", "cross_product", "zipf_churn"),
+    ("acl", "first_label", "zipf_churn"),
+    ("fw", "first_label", "heavy_duplicate"),
+]
+
+FLOWCACHE_CHUNK = 40
+
+
+def _flow_options(policy: str) -> dict:
+    return {"flow_cache": True, "flow_policy": policy, **FLOWCACHE_OPTIONS}
+
+
+@pytest.mark.flowcache
+@pytest.mark.parametrize("policy", FLOWCACHE_POLICIES)
+@pytest.mark.parametrize("scenario", FLOWCACHE_SCENARIOS, ids=_scenario_id)
+def test_flowcache_inprocess_paths_agree(scenario, policy, scenario_reference):
+    """Flow-cached fast/vectorized/per-packet paths replay bit-exact records."""
+    flavor, combiner, shape = scenario
+    ref = scenario_reference(flavor, combiner, shape)
+    chunks = [
+        ref.trace[i : i + FLOWCACHE_CHUNK]
+        for i in range(0, len(ref.trace), FLOWCACHE_CHUNK)
+    ]
+    for path_options in ({}, {"fast": True}, {"vectorized": True}):
+        classifier = create_classifier(
+            "configurable", ref.ruleset,
+            **path_options, **_flow_options(policy), **ref.options,
+        )
+        observed = []
+        for chunk in chunks:
+            observed.extend(classifier.classify_batch(chunk).results)
+        assert list(observed) == ref.per_packet
+        cache = classifier.flow_cache
+        assert cache.hits > 0  # the cache actually served traffic
+        if shape == "zipf_churn":
+            # More distinct flows than capacity: real eviction pressure.
+            assert cache.timeout_evictions + cache.capacity_evictions > 0
+        if combiner == CombinerMode.CROSS_PRODUCT.value:
+            assert [record.rule_id for record in observed] == ref.truth
+
+
+@pytest.mark.flowcache
+def test_flowcache_thread_pool_agrees(scenario_reference):
+    """Heterogeneous thread replicas, each with a private flow cache."""
+    ref = scenario_reference("acl", "cross_product", "zipf_churn")
+    replicas = [
+        create_classifier(
+            "configurable", ref.ruleset, fast=True, **_flow_options("idle")
+        ),
+        create_classifier(
+            "configurable", ref.ruleset, vectorized=True, **_flow_options("hybrid")
+        ),
+    ]
+    with ParallelSession(replicas, chunk_size=32) as pool:
+        fed = pool.feed(ref.trace)
+        merged = pool.flow_cache_stats()
+    assert list(fed.results) == ref.per_packet
+    assert merged is not None and merged["replicas"] == 2
+    assert merged["lookups"] == len(ref.trace)
+
+
+@pytest.mark.flowcache
+@pytest.mark.parametrize("transport", ["pickle", "packed"])
+def test_flowcache_process_pool_agrees(transport, scenario_reference):
+    """Flow caches inside forked workers stay bit-exact over both transports."""
+    if transport == "packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+    ref = scenario_reference("acl", "cross_product", "zipf_churn")
+    spec = ReplicaSpec(
+        "configurable", ref.ruleset, {"fast": True, **_flow_options("idle"), **ref.options}
+    )
+    with ParallelSession.from_factory(
+        spec, workers=2, chunk_size=32, backend="process", transport=transport
+    ) as pool:
+        fed = pool.feed(ref.trace)
+        merged = pool.flow_cache_stats()
+    assert list(fed.results) == ref.per_packet
+    assert merged is not None and merged["lookups"] == len(ref.trace)
+    assert merged["hits"] > 0
+
+
+@pytest.mark.flowcache
+def test_flowcache_async_feed_agrees(scenario_reference):
+    """The asyncio front-end over flow-cached replicas keeps input order."""
+    ref = scenario_reference("fw", "cross_product", "heavy_duplicate")
+
+    async def drive():
+        async def live_source():
+            for packet in ref.trace:
+                yield packet
+
+        replicas = [
+            create_classifier(
+                "configurable", ref.ruleset, fast=True,
+                **_flow_options("hybrid"), **ref.options,
+            )
+            for _ in range(2)
+        ]
+        with ParallelSession(replicas, chunk_size=32) as pool:
+            return [result async for result in pool.afeed(live_source())]
+
+    assert asyncio.run(drive()) == ref.per_packet
+
+
+@pytest.mark.flowcache
+@pytest.mark.parametrize("path", MUTATION_PATHS)
+def test_flowcache_mutation_interleaved_paths_agree(path, flowcache_mutation_scenario):
+    """The mutation schedule with the flow cache on: commits must invalidate
+    exactly enough for every path to keep matching the linear oracle."""
+    initial_set, chunks, schedule, oracle, reference = flowcache_mutation_scenario
+    if path == "process-packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+    flow = _flow_options("idle")
+
+    observed = []
+    if path in ("per_packet", "fast", "vectorized"):
+        options = {"fast": path == "fast", "vectorized": path == "vectorized"}
+        classifier = create_classifier("configurable", initial_set, **options, **flow)
+        for index, chunk in enumerate(chunks):
+            observed.extend(classifier.classify_batch(chunk).results)
+            if index < len(schedule):
+                classifier.control.begin().extend(
+                    _schedule_delta(schedule[index])
+                ).commit()
+        cache = classifier.flow_cache
+        # The zipf trace repeats flows, so the cache was hot when commits
+        # landed; whether a given commit touches a cached decision is
+        # seed-dependent, so the invalidation *behaviours* are pinned by the
+        # deterministic unit battery instead of asserted here.
+        assert cache.hits > 0
+    else:
+        if path == "thread":
+            replicas = [
+                create_classifier("configurable", initial_set, fast=True, **flow),
+                create_classifier("configurable", initial_set, vectorized=True, **flow),
+            ]
+            session = ParallelSession(replicas, chunk_size=8)
+        else:
+            transport = path.split("-", 1)[1]
+            spec = ReplicaSpec("configurable", initial_set, {"fast": True, **flow})
+            session = ParallelSession.from_factory(
+                spec, workers=2, chunk_size=8, backend="process", transport=transport
+            )
+        with session:
+            for index, chunk in enumerate(chunks):
+                observed.extend(session.feed(chunk).results)
+                if index < len(schedule):
+                    session.apply(_schedule_delta(schedule[index]))
+
+    assert [record.rule_id for record in observed] == oracle
+    # Decisions (rule, priority, action, truncation) are bit-exact against
+    # the cache-free reference.  Cost metadata is deliberately excluded: a
+    # surgically-kept entry replays its installation-time access/latency
+    # counts, while a fresh classification recounts them against the
+    # post-commit engine — the whole point of the cache is not recomputing.
+    semantic = lambda r: (r.rule_id, r.priority, r.action, r.truncated)
+    assert [semantic(r) for r in observed] == [semantic(r) for r in reference]
 
 
 @pytest.mark.parametrize("scenario", ASYNC_SCENARIOS, ids=_scenario_id)
