@@ -1,6 +1,19 @@
 """Analysis helpers: metrics aggregation, uniqueness statistics, literature
-constants and plain-text report rendering."""
+constants, plain-text report rendering, and the static ruleset analyzer
+(overlap/dependency index plus shadowing / conflict / reachability lint)."""
 
+from repro.analysis.depindex import (
+    ANALYSIS_DIMENSIONS,
+    DependencyIndex,
+    rule_bounds,
+    rule_covers,
+)
+from repro.analysis.lint import (
+    LINT_CATEGORIES,
+    AnalysisReport,
+    LintFinding,
+    analyze_ruleset,
+)
 from repro.analysis.literature import (
     LiteratureEntry,
     TABLE_I_PAPER_VALUES,
@@ -25,6 +38,14 @@ from repro.analysis.uniqueness import (
 )
 
 __all__ = [
+    "ANALYSIS_DIMENSIONS",
+    "DependencyIndex",
+    "rule_bounds",
+    "rule_covers",
+    "LINT_CATEGORIES",
+    "AnalysisReport",
+    "LintFinding",
+    "analyze_ruleset",
     "LookupMetrics",
     "UpdateMetrics",
     "measure_lookups",

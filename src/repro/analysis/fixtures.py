@@ -1,0 +1,261 @@
+"""Lint fixtures: known-clean and seeded-defect ClassBench rule sets.
+
+The ``ruleset-lint`` CI job needs two deterministic inputs:
+
+* a **clean** rule set on which ``repro lint`` must report *zero* findings
+  (the false-positive guard), and
+* a **seeded** rule set with known planted defects that the linter must find
+  *all* of (the detection guard), listed in a JSON manifest.
+
+Both start from the synthetic ClassBench generator.  The clean set is
+produced by iteratively stripping every flagged rule until the analyzer is
+silent; the seeded set then plants defects of every category into the clean
+set by construction:
+
+* **shadowed** — an identical-box rule with a *different* action inserted
+  immediately above the victim;
+* **redundant** — an identical-box rule with the *same* action inserted
+  immediately above the victim;
+* **conflict** — a partner above the victim that is strictly broader in one
+  dimension and strictly narrower in another (so neither covers the other)
+  with a different action;
+* **unreachable** — two rules above the victim that split the victim's box
+  in half along one dimension: together they cover it, alone they do not.
+
+Rule ids and priorities are renumbered to the final line order so a round
+trip through the ClassBench text format (where both equal the line index)
+reproduces the set exactly; actions survive via the ``action=`` extension
+column.  Generation is self-checking: it re-runs the analyzer and refuses to
+emit a seeded set whose planted defects are not all detected.
+
+Run as a module to write the fixture files::
+
+    python -m repro.analysis.fixtures OUTDIR [--size N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.lint import analyze_ruleset
+from repro.fields.prefix import IPV4_WIDTH, Prefix
+from repro.fields.range_utils import PortRange
+from repro.rules.classbench import FilterFlavor, generate_ruleset
+from repro.rules.parser import dump_classbench_file
+from repro.rules.rule import ProtocolMatch, Rule, RuleAction
+from repro.rules.ruleset import RuleSet
+
+__all__ = ["clean_ruleset", "seeded_ruleset", "write_fixtures", "DEFAULT_FIXTURE_SEED"]
+
+DEFAULT_FIXTURE_SEED = 20140814
+
+#: Planted defects per category in the seeded fixture.
+DEFECTS_PER_CATEGORY = 3
+
+
+def _renumbered(rules: List[Rule], name: str) -> RuleSet:
+    """Rebuild a rule set with ``rule_id == priority == position``."""
+    return RuleSet(
+        (replace(rule, rule_id=position, priority=position) for position, rule in enumerate(rules)),
+        name=name,
+    )
+
+
+def clean_ruleset(
+    size: int = 300,
+    flavor: FilterFlavor = FilterFlavor.ACL,
+    seed: int = DEFAULT_FIXTURE_SEED,
+) -> RuleSet:
+    """Generate a ClassBench workload and strip it until the linter is silent."""
+    ruleset = generate_ruleset(flavor, size, seed=seed)
+    while True:
+        report = analyze_ruleset(ruleset)
+        flagged = {finding.rule_id for finding in report.findings}
+        if not flagged:
+            break
+        ruleset = ruleset.filter(lambda rule: rule.rule_id not in flagged)
+    return _renumbered(ruleset.rules(), name=f"{flavor.value}-clean")
+
+
+def _other_action(action: RuleAction) -> RuleAction:
+    return RuleAction.DROP if action is not RuleAction.DROP else RuleAction.FORWARD
+
+
+def _broadened(rule: Rule) -> Optional[Tuple[str, Rule]]:
+    """A copy of ``rule`` strictly broader in exactly one dimension."""
+    if rule.src_prefix.length > 0:
+        shorter = Prefix(rule.src_prefix.value, rule.src_prefix.length - 1)
+        return "src_ip", replace(rule, src_prefix=shorter)
+    if not rule.src_port.is_wildcard:
+        return "src_port", replace(rule, src_port=PortRange.wildcard())
+    if not rule.protocol.wildcard:
+        return "protocol", replace(rule, protocol=ProtocolMatch.any())
+    return None
+
+
+def _narrowed(rule: Rule, avoid: str) -> Optional[Rule]:
+    """A copy of ``rule`` strictly narrower in one dimension other than ``avoid``."""
+    if avoid != "dst_ip" and rule.dst_prefix.length < IPV4_WIDTH:
+        longer = Prefix(rule.dst_prefix.value, rule.dst_prefix.length + 1)
+        return replace(rule, dst_prefix=longer)
+    if avoid != "dst_port" and rule.dst_port.span > 1:
+        mid = (rule.dst_port.low + rule.dst_port.high) // 2
+        return replace(rule, dst_port=PortRange(rule.dst_port.low, mid))
+    if avoid != "protocol" and rule.protocol.wildcard:
+        return replace(rule, protocol=ProtocolMatch.exact(6))
+    return None
+
+
+def _split_halves(rule: Rule) -> Optional[Tuple[Rule, Rule]]:
+    """Two copies of ``rule`` splitting its box in half along one dimension."""
+    if rule.src_port.span > 1:
+        mid = (rule.src_port.low + rule.src_port.high) // 2
+        return (
+            replace(rule, src_port=PortRange(rule.src_port.low, mid)),
+            replace(rule, src_port=PortRange(mid + 1, rule.src_port.high)),
+        )
+    if rule.dst_port.span > 1:
+        mid = (rule.dst_port.low + rule.dst_port.high) // 2
+        return (
+            replace(rule, dst_port=PortRange(rule.dst_port.low, mid)),
+            replace(rule, dst_port=PortRange(mid + 1, rule.dst_port.high)),
+        )
+    for attr in ("src_prefix", "dst_prefix"):
+        prefix: Prefix = getattr(rule, attr)
+        if prefix.length < IPV4_WIDTH:
+            child_length = prefix.length + 1
+            high_bit = 1 << (IPV4_WIDTH - child_length)
+            return (
+                replace(rule, **{attr: Prefix(prefix.value, child_length)}),
+                replace(rule, **{attr: Prefix(prefix.value | high_bit, child_length)}),
+            )
+    return None
+
+
+def _planted_rules(category: str, victim: Rule) -> Optional[List[Rule]]:
+    """The rule(s) to insert above ``victim`` to plant one defect, or None."""
+    if category == "shadowed":
+        return [replace(victim, action=_other_action(victim.action))]
+    if category == "redundant":
+        return [replace(victim)]
+    if category == "conflict":
+        broadened = _broadened(victim)
+        if broadened is None:
+            return None
+        dimension, partner = broadened
+        partner = _narrowed(partner, avoid=dimension)
+        if partner is None:
+            return None
+        return [replace(partner, action=_other_action(victim.action))]
+    if category == "unreachable":
+        halves = _split_halves(victim)
+        return None if halves is None else list(halves)
+    raise ValueError(f"unknown defect category {category!r}")
+
+
+def seeded_ruleset(
+    clean: RuleSet,
+    seed: int = DEFAULT_FIXTURE_SEED,
+    per_category: int = DEFECTS_PER_CATEGORY,
+) -> Tuple[RuleSet, Dict[str, List[int]]]:
+    """Plant ``per_category`` defects of every category into a clean set.
+
+    Returns the seeded set plus the manifest ``{category: [rule ids the
+    linter must flag]}``.  Raises :class:`RuntimeError` when a planted defect
+    is not detected by the analyzer (which would make the fixture useless as
+    a CI guard).
+    """
+    rng = random.Random(seed)
+    # Each entry is (rule, victim-category or None); planted rules and their
+    # victims keep their tuples stable while insertions shift positions.
+    entries: List[List[object]] = [[rule, None] for rule in clean.rules()]
+    categories = ("shadowed", "redundant", "conflict", "unreachable")
+    for category in categories:
+        planted = 0
+        candidates = [entry for entry in entries if entry[1] is None]
+        rng.shuffle(candidates)
+        for entry in candidates:
+            if planted >= per_category:
+                break
+            additions = _planted_rules(category, entry[0])  # type: ignore[arg-type]
+            if additions is None:
+                continue
+            position = entries.index(entry)
+            entries[position:position] = [[rule, None] for rule in additions]
+            entry[1] = category
+            planted += 1
+        if planted < per_category:
+            raise RuntimeError(
+                f"could only plant {planted}/{per_category} {category} defects"
+            )
+    seeded = _renumbered([entry[0] for entry in entries], name=f"{clean.name}-seeded")  # type: ignore[misc]
+    manifest: Dict[str, List[int]] = {category: [] for category in categories}
+    for position, entry in enumerate(entries):
+        if entry[1] is not None:
+            manifest[entry[1]].append(position)  # type: ignore[index]
+    report = analyze_ruleset(seeded)
+    for category in categories:
+        found = {f.rule_id for f in report.findings_by_category(category)}
+        missed = [rule_id for rule_id in manifest[category] if rule_id not in found]
+        if missed:
+            raise RuntimeError(f"planted {category} defects not detected: {missed}")
+    return seeded, manifest
+
+
+def write_fixtures(
+    outdir: Path,
+    size: int = 300,
+    flavor: FilterFlavor = FilterFlavor.ACL,
+    seed: int = DEFAULT_FIXTURE_SEED,
+    per_category: int = DEFECTS_PER_CATEGORY,
+) -> Dict[str, object]:
+    """Write ``clean.rules``, ``seeded.rules`` and the manifest to ``outdir``."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    clean = clean_ruleset(size=size, flavor=flavor, seed=seed)
+    seeded, manifest = seeded_ruleset(clean, seed=seed, per_category=per_category)
+    clean_path = outdir / "clean.rules"
+    seeded_path = outdir / "seeded.rules"
+    manifest_path = outdir / "seeded.manifest.json"
+    dump_classbench_file(clean, clean_path, include_action=True)
+    dump_classbench_file(seeded, seeded_path, include_action=True)
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    return {
+        "clean": str(clean_path),
+        "seeded": str(seeded_path),
+        "manifest": str(manifest_path),
+        "clean_rules": len(clean),
+        "seeded_rules": len(seeded),
+        "planted": {category: len(ids) for category, ids in manifest.items()},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.fixtures",
+        description="write the clean / seeded-defect lint fixture rule sets",
+    )
+    parser.add_argument("outdir", help="directory for clean.rules / seeded.rules / manifest")
+    parser.add_argument("--size", type=int, default=300, help="nominal ClassBench size")
+    parser.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
+    parser.add_argument("--seed", type=int, default=DEFAULT_FIXTURE_SEED)
+    parser.add_argument("--per-category", type=int, default=DEFECTS_PER_CATEGORY)
+    args = parser.parse_args(argv)
+    summary = write_fixtures(
+        Path(args.outdir),
+        size=args.size,
+        flavor=FilterFlavor(args.flavor),
+        seed=args.seed,
+        per_category=args.per_category,
+    )
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

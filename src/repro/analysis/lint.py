@@ -1,0 +1,356 @@
+"""Static ruleset analysis: shadowing / redundancy / conflict / reachability lint.
+
+Classic filter-set defects are all statements about the overlap structure of
+the rule list, so every pass here runs off the
+:class:`~repro.analysis.depindex.DependencyIndex`:
+
+* **shadowed** — a single higher-priority rule covers the rule's entire match
+  box and attaches a *different* action: the rule can never fire and its
+  intended action is silently replaced.
+* **redundant** — a single higher-priority rule covers the rule with the
+  *same* action: removing the rule changes nothing.
+* **conflict** — a higher-priority rule partially overlaps the rule (neither
+  covers the other) with a different action: which action wins depends on the
+  rule order inside the overlap region, a classic policy-composition hazard.
+* **unreachable** — no single rule covers it, but the *union* of its
+  higher-priority overlaps does, so no packet ever reaches it.  Decided by
+  corner-witness enumeration (see :func:`_union_covered`), which is exact;
+  rules whose witness grid exceeds ``max_witnesses`` are skipped and counted,
+  never guessed — the pass under-reports rather than false-positives.
+
+When a covering rule exists the verdict between shadowed and redundant is
+taken from the *highest-priority* cover, the rule that actually wins every
+packet in the region unless a partial overlap intervenes.
+
+:func:`analyze_ruleset` bundles the findings with per-dimension coverage /
+wildcard statistics and overlap-degree aggregates into an
+:class:`AnalysisReport` that renders as text or JSON (the ``repro lint``
+subcommand's two output modes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.depindex import (
+    ANALYSIS_DIMENSIONS,
+    DependencyIndex,
+    rule_bounds,
+)
+from repro.analysis.reports import format_kv, format_table
+from repro.fields.range_utils import PORT_MAX
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+__all__ = [
+    "LINT_CATEGORIES",
+    "LintFinding",
+    "AnalysisReport",
+    "analyze_ruleset",
+]
+
+#: All lint categories, in report order.
+LINT_CATEGORIES = ("shadowed", "redundant", "conflict", "unreachable")
+
+#: Upper bound of each dimension's value space, in bounds order.
+_DIMENSION_MAX = ((1 << 32) - 1, (1 << 32) - 1, PORT_MAX, PORT_MAX, 255)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint verdict, anchored on the rule that is defective."""
+
+    category: str
+    rule_id: int
+    #: Higher-priority rules responsible for the verdict.
+    related: Tuple[int, ...]
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "category": self.category,
+            "rule_id": self.rule_id,
+            "related": list(self.related),
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Everything ``repro lint`` reports about one rule set."""
+
+    ruleset: str
+    rule_count: int
+    findings: List[LintFinding] = field(default_factory=list)
+    #: Per dimension: fraction of rules wildcarding it entirely.
+    wildcard_fractions: Dict[str, float] = field(default_factory=dict)
+    #: Per dimension: fraction of the value space covered by the union of all
+    #: rule intervals.
+    space_coverage: Dict[str, float] = field(default_factory=dict)
+    #: Per dimension: number of distinct match specifications.
+    unique_field_counts: Dict[str, int] = field(default_factory=dict)
+    max_overlap_degree: int = 0
+    mean_overlap_degree: float = 0.0
+    #: Rules overlapping no other rule at all.
+    isolated_rules: int = 0
+    #: Rules whose unreachability check was skipped (witness grid too large).
+    unreachable_checks_skipped: int = 0
+
+    # -- aggregation ---------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """``{category: finding count}`` over all categories (zeroes included)."""
+        counts = {category: 0 for category in LINT_CATEGORIES}
+        for finding in self.findings:
+            counts[finding.category] += 1
+        return counts
+
+    def findings_by_category(self, category: str) -> List[LintFinding]:
+        """The findings of one category, in rule order."""
+        return [finding for finding in self.findings if finding.category == category]
+
+    @property
+    def clean(self) -> bool:
+        """True when no lint finding was raised."""
+        return not self.findings
+
+    # -- rendering -----------------------------------------------------------
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise the full report as JSON."""
+        payload: Dict[str, object] = {
+            "ruleset": self.ruleset,
+            "rules": self.rule_count,
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "coverage": {
+                "wildcard_fraction": self.wildcard_fractions,
+                "space_coverage": self.space_coverage,
+                "unique_field_counts": self.unique_field_counts,
+            },
+            "overlap": {
+                "max_degree": self.max_overlap_degree,
+                "mean_degree": self.mean_overlap_degree,
+                "isolated_rules": self.isolated_rules,
+            },
+            "unreachable_checks_skipped": self.unreachable_checks_skipped,
+        }
+        return json.dumps(payload, indent=indent)
+
+    def render_text(self) -> str:
+        """Render the human-readable report."""
+        counts = self.counts()
+        summary: Dict[str, object] = {
+            "Rule set": f"{self.ruleset} ({self.rule_count} rules)",
+            "Findings": len(self.findings),
+        }
+        for category in LINT_CATEGORIES:
+            summary[f"  {category}"] = counts[category]
+        summary["Max overlap degree"] = self.max_overlap_degree
+        summary["Mean overlap degree"] = f"{self.mean_overlap_degree:.2f}"
+        summary["Isolated rules"] = self.isolated_rules
+        if self.unreachable_checks_skipped:
+            summary["Unreachable checks skipped"] = self.unreachable_checks_skipped
+        parts = [format_kv(summary, title="Ruleset lint")]
+        if self.findings:
+            rows = [
+                {
+                    "Category": finding.category,
+                    "Rule": finding.rule_id,
+                    "Related": ",".join(str(rid) for rid in finding.related),
+                    "Detail": finding.message,
+                }
+                for finding in self.findings
+            ]
+            parts.append(format_table(rows, title="Findings"))
+        coverage_rows = [
+            {
+                "Dimension": name,
+                "Wildcard %": 100.0 * self.wildcard_fractions.get(name, 0.0),
+                "Space covered %": 100.0 * self.space_coverage.get(name, 0.0),
+                "Unique specs": self.unique_field_counts.get(name, 0),
+            }
+            for name in ANALYSIS_DIMENSIONS
+        ]
+        parts.append(format_table(coverage_rows, title="Per-dimension coverage"))
+        return "\n\n".join(parts)
+
+
+# -- geometric helpers --------------------------------------------------------
+def _box(rule: Rule) -> Tuple[Tuple[int, int], ...]:
+    bounds = rule_bounds(rule)
+    return tuple((bounds[2 * d], bounds[2 * d + 1]) for d in range(5))
+
+
+def _covers_box(outer: Tuple[Tuple[int, int], ...], inner: Tuple[Tuple[int, int], ...]) -> bool:
+    return all(o[0] <= i[0] and i[1] <= o[1] for o, i in zip(outer, inner))
+
+
+def _union_covered(
+    box: Tuple[Tuple[int, int], ...],
+    covers: Sequence[Tuple[Tuple[int, int], ...]],
+    max_witnesses: int,
+) -> Optional[bool]:
+    """Exact union-cover decision by corner-witness enumeration.
+
+    If ``box`` minus the union of ``covers`` is non-empty, the uncovered
+    region contains a point whose every coordinate is either the box's lower
+    bound or one-past some cover's upper bound (push any uncovered point
+    down one dimension at a time: the push stops at the box edge or right
+    above the cover that would swallow it).  Checking that candidate grid is
+    therefore a complete emptiness test.  Returns True / False, or None when
+    the grid exceeds ``max_witnesses`` (caller must treat as "unknown").
+    """
+    witness_axes: List[List[int]] = []
+    for d, (low, high) in enumerate(box):
+        candidates = {low}
+        for cover in covers:
+            above = cover[d][1] + 1
+            if low < above <= high:
+                candidates.add(above)
+        witness_axes.append(sorted(candidates))
+    total = 1
+    for axis in witness_axes:
+        total *= len(axis)
+        if total > max_witnesses:
+            return None
+    for witness in itertools.product(*witness_axes):
+        if not any(
+            all(c[d][0] <= witness[d] <= c[d][1] for d in range(5)) for c in covers
+        ):
+            return False
+    return True
+
+
+def _merged_span(intervals: List[Tuple[int, int]]) -> int:
+    """Total length of the union of inclusive integer intervals."""
+    if not intervals:
+        return 0
+    intervals.sort()
+    covered = 0
+    current_low, current_high = intervals[0]
+    for low, high in intervals[1:]:
+        if low > current_high + 1:
+            covered += current_high - current_low + 1
+            current_low, current_high = low, high
+        else:
+            current_high = max(current_high, high)
+    return covered + current_high - current_low + 1
+
+
+# -- the analyzer -------------------------------------------------------------
+def analyze_ruleset(
+    ruleset: RuleSet,
+    max_witnesses: int = 4096,
+    index: Optional[DependencyIndex] = None,
+) -> AnalysisReport:
+    """Run every lint pass and coverage statistic over one rule set."""
+    rules = ruleset.rules()
+    if index is None:
+        index = DependencyIndex(rules)
+    report = AnalysisReport(ruleset=ruleset.name, rule_count=len(rules))
+
+    boxes = {rule.rule_id: _box(rule) for rule in rules}
+    degrees: List[int] = []
+    for rule in rules:
+        overlap_ids = index.overlapping(rule)
+        degrees.append(len(overlap_ids))
+        higher = [
+            index.rule(rid) for rid in overlap_ids if index.rule(rid).priority < rule.priority
+        ]
+        box = boxes[rule.rule_id]
+        single_covers = [h for h in higher if _covers_box(boxes[h.rule_id], box)]
+        if single_covers:
+            winner = min(single_covers, key=lambda h: h.priority)
+            if winner.action == rule.action:
+                report.findings.append(
+                    LintFinding(
+                        category="redundant",
+                        rule_id=rule.rule_id,
+                        related=(winner.rule_id,),
+                        message=(
+                            f"covered by higher-priority rule #{winner.rule_id} "
+                            f"with the same action ({rule.action.value})"
+                        ),
+                    )
+                )
+            else:
+                report.findings.append(
+                    LintFinding(
+                        category="shadowed",
+                        rule_id=rule.rule_id,
+                        related=(winner.rule_id,),
+                        message=(
+                            f"covered by higher-priority rule #{winner.rule_id} "
+                            f"({winner.action.value}), so its {rule.action.value} "
+                            f"action never applies"
+                        ),
+                    )
+                )
+        elif higher:
+            # Not singly covered: the union of higher-priority overlaps may
+            # still bury the rule.
+            verdict = _union_covered(box, [boxes[h.rule_id] for h in higher], max_witnesses)
+            if verdict is None:
+                report.unreachable_checks_skipped += 1
+            elif verdict:
+                report.findings.append(
+                    LintFinding(
+                        category="unreachable",
+                        rule_id=rule.rule_id,
+                        related=tuple(sorted(h.rule_id for h in higher)),
+                        message=(
+                            f"jointly covered by {len(higher)} higher-priority "
+                            f"rules; no packet can reach it"
+                        ),
+                    )
+                )
+        partial = [
+            h
+            for h in higher
+            if h.action != rule.action
+            and not _covers_box(boxes[h.rule_id], box)
+            and not _covers_box(box, boxes[h.rule_id])
+        ]
+        if partial:
+            partners = tuple(sorted(h.rule_id for h in partial))
+            report.findings.append(
+                LintFinding(
+                    category="conflict",
+                    rule_id=rule.rule_id,
+                    related=partners,
+                    message=(
+                        f"partially overlaps higher-priority rule"
+                        f"{'s' if len(partners) > 1 else ''} "
+                        f"{', '.join('#%d' % rid for rid in partners)} "
+                        f"with a different action"
+                    ),
+                )
+            )
+
+    # -- coverage / overlap statistics ------------------------------------
+    if rules:
+        wildcards = {
+            "src_ip": sum(1 for r in rules if r.src_prefix.is_wildcard),
+            "dst_ip": sum(1 for r in rules if r.dst_prefix.is_wildcard),
+            "src_port": sum(1 for r in rules if r.src_port.is_wildcard),
+            "dst_port": sum(1 for r in rules if r.dst_port.is_wildcard),
+            "protocol": sum(1 for r in rules if r.protocol.wildcard),
+        }
+        report.wildcard_fractions = {
+            name: wildcards[name] / len(rules) for name in ANALYSIS_DIMENSIONS
+        }
+        for d, name in enumerate(ANALYSIS_DIMENSIONS):
+            intervals = [
+                (boxes[rule.rule_id][d][0], boxes[rule.rule_id][d][1]) for rule in rules
+            ]
+            report.space_coverage[name] = _merged_span(intervals) / (_DIMENSION_MAX[d] + 1)
+        report.unique_field_counts = {
+            name: ruleset.unique_field_values(name) for name in ANALYSIS_DIMENSIONS
+        }
+        report.max_overlap_degree = max(degrees)
+        report.mean_overlap_degree = sum(degrees) / len(degrees)
+        report.isolated_rules = sum(1 for degree in degrees if degree == 0)
+    return report

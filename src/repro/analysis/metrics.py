@@ -9,7 +9,7 @@ returns into those summary numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.core.classifier import ConfigurableClassifier
 from repro.core.result import LookupResult, UpdateResult

@@ -8,7 +8,7 @@ key/value blocks such as Table V.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_kv", "format_number"]
 

@@ -45,7 +45,9 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.config import CombinerMode, IpAlgorithm
+from repro.core.dimensions import rule_dimension_specs, spec_interval
 from repro.exceptions import UpdateError
+from repro.core.invalidation import FILTER_MARK, InvalidationScope
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 
@@ -416,6 +418,24 @@ class ClassifierControl(ControlPlane):
     def __init__(self, classifier) -> None:
         super().__init__()
         self.classifier = classifier
+        self._dependency_index = None
+
+    @property
+    def dependency_index(self):
+        """The plane's rule-overlap index, built lazily and kept incremental.
+
+        First access builds a :class:`~repro.analysis.depindex.DependencyIndex`
+        over the installed rules; every subsequent commit maintains it
+        incrementally, so repeated queries (flow-cache narrowing, ``repro
+        lint`` on a live plane) never pay the full rebuild again.
+        """
+        if self._dependency_index is None:
+            from repro.analysis.depindex import DependencyIndex
+
+            self._dependency_index = DependencyIndex(
+                self.classifier.update_engine.installed_rules_in_order()
+            )
+        return self._dependency_index
 
     def program(self) -> RuleProgram:
         classifier = self.classifier
@@ -466,14 +486,68 @@ class ClassifierControl(ControlPlane):
             return result, inverse
         raise UpdateError(f"unknown transaction op kind {op.kind!r}")
 
+    def _snapshot_marks(self) -> dict:
+        """Per-engine and Rule Filter ``(identity, mutation epoch)`` marks."""
+        classifier = self.classifier
+        marks = {
+            name: (engine, engine.mutation_epoch)
+            for name, engine in classifier.engines.items()
+        }
+        rule_filter = classifier.rule_filter
+        marks[FILTER_MARK] = (rule_filter, rule_filter.mutation_epoch)
+        return marks
+
+    def _build_scope(self, pre_marks: dict, applied: List[tuple]) -> InvalidationScope:
+        """Bound the committed delta's blast radius (see :mod:`repro.core.invalidation`).
+
+        ``applied`` holds ``(op, engine result, subject rule)`` triples in
+        application order.  Structural dimensions contribute the engine's own
+        :meth:`~repro.fields.base.SingleFieldEngine.invalidation_span`;
+        reprioritized dimensions contribute the spec's exact value interval.
+        A reconfigure op, or any engine that cannot localise its update,
+        degrades the whole scope to wholesale.
+        """
+        scope = InvalidationScope(pre_marks=pre_marks)
+        engines = self.classifier.engines
+        for op, result, rule in applied:
+            if op.kind == "reconfigure":
+                scope.wholesale = True
+                break
+            specs = rule_dimension_specs(rule)
+            for dimension in result.structural_dimensions:
+                span = engines[dimension].invalidation_span(specs[dimension])
+                if span is None:
+                    scope.wholesale = True
+                    break
+                scope.add_span(dimension, span)
+            if scope.wholesale:
+                break
+            for dimension in result.reprioritized_dimensions:
+                scope.add_span(dimension, spec_interval(dimension, specs[dimension]))
+        keys, occupancy_changed = self.classifier.rule_filter.drain_dirty()
+        scope.filter_keys = keys
+        scope.filter_wholesale = occupancy_changed
+        scope.post_marks = self._snapshot_marks()
+        return scope
+
     def _apply(self, delta: Delta) -> Tuple[List[object], List[TxnOp]]:
+        rule_filter = self.classifier.rule_filter
+        pre_marks = self._snapshot_marks()
+        # Discard dirty-slot runs left by mutations outside this plane; the
+        # epoch handoff would reject a scope built on them anyway, they would
+        # only bloat this commit's.
+        rule_filter.drain_dirty()
         results: List[object] = []
         undo: List[TxnOp] = []
+        applied: List[tuple] = []
         try:
             for op in delta.ops:
                 result, inverse = self._apply_op(op)
                 results.append(result)
                 undo.append(inverse)
+                # The subject rule (a remove's comes back on the inverse op)
+                # keys the per-dimension spans of the invalidation scope.
+                applied.append((op, result, op.rule if op.kind == "insert" else inverse.rule))
         except Exception:
             # Unwind the applied prefix in reverse order.  The inverse ops
             # replay through the same primitives; if one of *those* fails the
@@ -486,14 +560,28 @@ class ClassifierControl(ControlPlane):
                     "transaction rollback failed; classifier state may be "
                     f"inconsistent: {rollback_error}"
                 ) from rollback_error
+            rule_filter.drain_dirty()
             raise
-        # Committed: let an attached flow cache invalidate surgically (only
-        # entries the delta affects) instead of tripping its wholesale epoch
+        # Committed: hand every attached cache the exact blast radius so it
+        # can invalidate surgically instead of tripping its wholesale epoch
         # flush at the next batch.  Rollbacks skip this on purpose — their
         # epoch bumps trigger the conservative flush, which is always safe.
+        scope = self._build_scope(pre_marks, applied)
         flow_cache = getattr(self.classifier, "flow_cache", None)
         if flow_cache is not None:
-            flow_cache.note_commit(delta)
+            flow_cache.note_commit(delta, self._dependency_index)
+        if self._dependency_index is not None:
+            # Maintained after the flow-cache notification: cached entries
+            # were decided by pre-commit rules, so narrowing queries must run
+            # against the pre-commit index.
+            for op in delta.ops:
+                if op.kind == "insert":
+                    self._dependency_index.add_rule(op.rule)
+                elif op.kind == "remove":
+                    self._dependency_index.remove_rule(op.rule_id)
+        fast_path = getattr(self.classifier, "_fast_path", None)
+        if fast_path is not None:
+            fast_path.note_commit(scope)
         return results, list(reversed(undo))
 
 

@@ -23,7 +23,7 @@ corner of the package the caller imported first.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, NamedTuple, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.rules.ruleset import RuleSet

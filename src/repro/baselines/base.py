@@ -25,7 +25,7 @@ import abc
 import functools
 import inspect
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.exceptions import RemovedApiError
 from repro.rules.packet import PacketHeader

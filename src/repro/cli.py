@@ -15,7 +15,12 @@ Provides one subcommand per experiment (``table1`` ... ``table7``, ``fig3`` ...
   workload and print one comparison row per engine;
 * ``update`` — apply a rule-delta file to a built classifier through the
   transactional control plane (:mod:`repro.api.control`) and report the
-  commit (version, epoch, per-op outcomes).
+  commit (version, epoch, per-op outcomes);
+* ``lint`` — run the static ruleset analyzer (:mod:`repro.analysis.lint`)
+  over a filter file or synthetic workload and report shadowed / redundant /
+  conflicting / unreachable rules plus coverage statistics; ``--json`` emits
+  the machine-readable report and the exit code is CI-friendly (0 clean,
+  1 findings, 2 error).
 
 Usage::
 
@@ -33,6 +38,8 @@ Usage::
         --workers 4 --churn 32
     python -m repro.cli sweep --size 500 --packets 100 --classifiers hypercuts,rfc
     python -m repro.cli update --size 1000 --delta changes.delta --packets 500
+    python -m repro.cli lint --rules acl1k.rules --json
+    python -m repro.cli lint --size 1000 --fail-on shadowed,conflict
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import argparse
 import asyncio
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import format_kv, format_table
 from repro.api import (
@@ -66,6 +73,7 @@ from repro.experiments import (
     table6,
     table7,
     update_cost,
+    update_depth,
 )
 from repro.rules.classbench import FilterFlavor, generate_ruleset
 from repro.rules.parser import dump_classbench_file, load_classbench_file
@@ -87,6 +95,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig5": (fig5_memory_sharing, "Fig. 5 - memory sharing"),
     "update-cost": (update_cost, "Section V.A - update cost"),
     "latency": (lookup_latency, "Section V.B - per-field latencies"),
+    "update-depth": (update_depth, "Commit cost vs dependency depth"),
 }
 
 
@@ -372,6 +381,27 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static ruleset analyzer; exit 0 clean / 1 findings / 2 error."""
+    from repro.analysis.lint import LINT_CATEGORIES, analyze_ruleset
+
+    if args.fail_on:
+        fail_on = {name.strip() for name in args.fail_on.split(",") if name.strip()}
+        unknown = fail_on - set(LINT_CATEGORIES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown lint categories: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(LINT_CATEGORIES)})"
+            )
+    else:
+        fail_on = set(LINT_CATEGORIES)
+    ruleset = _load_workload(args)
+    report = analyze_ruleset(ruleset, max_witnesses=args.max_witnesses)
+    print(report.to_json() if args.json else report.render_text())
+    failing = sum(1 for finding in report.findings if finding.category in fail_on)
+    return 1 if failing else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     ruleset = _load_workload(args)
     trace = generate_trace(ruleset, count=args.packets, seed=args.seed + 1)
@@ -537,6 +567,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload_arguments(sub_update)
     sub_update.set_defaults(func=_cmd_update)
+
+    sub_lint = subparsers.add_parser(
+        "lint",
+        help="statically analyze a rule set: shadowed / redundant / "
+             "conflicting / unreachable rules and coverage statistics",
+    )
+    sub_lint.add_argument("--rules", default=None, help="ClassBench filter file (optional)")
+    sub_lint.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
+    sub_lint.add_argument("--size", type=int, default=1000)
+    sub_lint.add_argument("--seed", type=int, default=2014)
+    sub_lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    sub_lint.add_argument(
+        "--fail-on", default=None, dest="fail_on",
+        help="comma-separated categories that fail the run with exit code 1 "
+             "(default: all of shadowed,redundant,conflict,unreachable)",
+    )
+    sub_lint.add_argument(
+        "--max-witnesses", type=int, default=4096, dest="max_witnesses",
+        help="witness-grid budget of the exact unreachability check; rules "
+             "exceeding it are skipped (reported, never guessed)",
+    )
+    sub_lint.set_defaults(func=_cmd_lint)
 
     sub_sweep = subparsers.add_parser(
         "sweep", help="compare registered classifiers on one workload"

@@ -10,8 +10,8 @@ per-direction statistics.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from dataclasses import dataclass
+from typing import Deque, List
 
 from repro.controller.openflow import decode_message, encode_message
 from repro.exceptions import ControlPlaneError

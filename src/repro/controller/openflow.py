@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.config import CombinerMode, IpAlgorithm

@@ -13,11 +13,19 @@ from __future__ import annotations
 from typing import Dict, Hashable, Tuple
 
 from repro.core.label_combiner import DIMENSIONS
-from repro.fields.prefix import split_prefix_segments
+from repro.fields.prefix import prefix_range, split_prefix_segments
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
 
-__all__ = ["DIMENSIONS", "IP_DIMENSIONS", "PORT_DIMENSIONS", "rule_dimension_specs", "packet_dimension_values", "dimension_label_width"]
+__all__ = [
+    "DIMENSIONS",
+    "IP_DIMENSIONS",
+    "PORT_DIMENSIONS",
+    "rule_dimension_specs",
+    "packet_dimension_values",
+    "dimension_label_width",
+    "spec_interval",
+]
 
 #: The four IP-segment dimensions (13-bit labels).
 IP_DIMENSIONS: Tuple[str, ...] = ("src_ip_hi", "src_ip_lo", "dst_ip_hi", "dst_ip_lo")
@@ -58,6 +66,27 @@ def packet_dimension_values(packet: PacketHeader) -> Dict[str, int]:
         "dst_port": packet.dst_port,
         "protocol": packet.protocol,
     }
+
+
+def spec_interval(dimension: str, spec: Hashable) -> Tuple[int, int]:
+    """Inclusive interval of lookup values a dimension spec matches.
+
+    This is the *exact* set of points whose lookup result lists the spec's
+    label: IP segments expand their 16-bit prefix, ports are already ranges
+    and the protocol is either the full 8-bit space (wildcard) or one value.
+    The scoped-invalidation path uses it as the blast radius of a label
+    reprioritization, which changes lookup results exactly on this interval.
+    """
+    if dimension in IP_DIMENSIONS:
+        value, length = spec  # type: ignore[misc]
+        return prefix_range(int(value), int(length), 16)
+    if dimension in PORT_DIMENSIONS:
+        low, high = spec  # type: ignore[misc]
+        return int(low), int(high)
+    if dimension == "protocol":
+        wildcard, value = spec  # type: ignore[misc]
+        return (0, 255) if wildcard else (int(value), int(value))
+    raise KeyError(f"unknown dimension {dimension!r}")
 
 
 def dimension_label_width(dimension: str, ip_bits: int, port_bits: int, protocol_bits: int) -> int:

@@ -1,0 +1,79 @@
+"""Commit blast radius for dependency-aware partial cache invalidation.
+
+The control plane (:mod:`repro.api.control`) computes, for every committed
+delta, exactly which memoized state the commit can have perturbed, and hands
+that description — an :class:`InvalidationScope` — to the caches hanging off
+the classifier (:class:`~repro.perf.fastpath.FastPathAccelerator`,
+:class:`~repro.perf.flowcache.FlowCache`).  The caches then drop only the
+affected entries instead of epoch-flushing wholesale, which is what keeps
+them warm across an update-heavy workload.
+
+The scope has three parts:
+
+* **epoch handoff** — the per-engine and rule-filter
+  :class:`~repro.observers.MutationEpoch` marks immediately before and after
+  the commit.  A cache applies the scoped drops only when its own snapshot
+  equals the *pre* marks (i.e. it was exactly up to date with the pre-commit
+  state) and then adopts the *post* marks; any mismatch means something moved
+  outside the control plane's bookkeeping and the cache falls back to its
+  wholesale epoch-comparison path.
+* **field spans** — per dimension, the merged value intervals on which a
+  single-field engine's lookup result (or its access accounting) may differ
+  after the commit: the structural blast radius reported by
+  :meth:`~repro.fields.base.SingleFieldEngine.invalidation_span` plus the
+  exact spec interval of every label reprioritization.
+* **filter keys** — the label keys whose Rule Filter lookup outcomes the
+  commit's inserts/deletes may have changed (drained from
+  :meth:`~repro.hardware.rule_filter.RuleFilterMemory.drain_dirty`): the
+  inserted/removed keys plus any entry a backward-shift deletion relocated.
+  Probe walks of every *other* key scan the same slots to the same empty
+  terminator as long as the table's occupancy pattern is unchanged, so
+  outcome caches registered by probed key prune exactly.  When occupancy
+  *did* net-change, probe counts moved for an unbounded key set and
+  ``filter_wholesale`` is set instead.
+
+``wholesale=True`` short-circuits everything: the commit's effects cannot be
+bounded (an engine without a local span moved, a reconfiguration swapped the
+datapath, tracking budgets overflowed) and caches must flush as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["InvalidationScope"]
+
+#: Mark key for the Rule Filter in the pre/post mark dictionaries (the other
+#: keys are the dimension names).
+FILTER_MARK = "rule_filter"
+
+
+@dataclass
+class InvalidationScope:
+    """Everything a commit can have invalidated, bounded and itemised."""
+
+    #: ``{dimension | FILTER_MARK: (object identity, mutation epoch)}`` taken
+    #: immediately before the first operation of the commit was applied.
+    pre_marks: Dict[str, Tuple[object, int]] = field(default_factory=dict)
+    #: Same snapshot immediately after the last operation succeeded.
+    post_marks: Dict[str, Tuple[object, int]] = field(default_factory=dict)
+    #: Per dimension: inclusive value intervals whose field lookups may have
+    #: changed.  Dimensions absent from the mapping are untouched.
+    field_spans: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+    #: Label keys whose Rule Filter lookup outcomes may have changed.
+    filter_keys: List[int] = field(default_factory=list)
+    #: True when the filter's occupancy pattern net-changed (or its dirty
+    #: tracking overflowed): every filter-derived cache entry must go.
+    filter_wholesale: bool = False
+    #: True when the commit's effects cannot be bounded at all.
+    wholesale: bool = False
+
+    def add_span(self, dimension: str, span: Tuple[int, int]) -> None:
+        """Record one affected value interval for ``dimension``."""
+        self.field_spans.setdefault(dimension, []).append(span)
+
+    @property
+    def touches_filter(self) -> bool:
+        """True when any Rule Filter lookup may have changed."""
+        return self.filter_wholesale or bool(self.filter_keys)

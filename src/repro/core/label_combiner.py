@@ -89,9 +89,19 @@ class LabelCombiner:
 
     # -- public API ------------------------------------------------------------
     def combine(
-        self, field_matches: Dict[str, Sequence[Tuple[int, int]]]
+        self,
+        field_matches: Dict[str, Sequence[Tuple[int, int]]],
+        probe_log: Optional[list] = None,
     ) -> CombinerOutcome:
-        """Resolve the HPMR from the per-dimension ``(label, priority)`` lists."""
+        """Resolve the HPMR from the per-dimension ``(label, priority)`` lists.
+
+        ``probe_log``, when given, collects every packed key the walk actually
+        consumed a probe for.  The outcome is a pure function of the lookup
+        results of exactly those keys (pruned combinations are decided by the
+        priority bounds of probed entries alone), so a caller memoizing the
+        outcome can invalidate it precisely: it is stale only if the rule
+        filter changed the lookup of a logged key.
+        """
         missing = [name for name in DIMENSIONS if name not in field_matches]
         if missing:
             raise ConfigurationError(f"combiner is missing dimensions: {missing}")
@@ -100,10 +110,12 @@ class LabelCombiner:
             # Some field produced no matching label: no rule can match.
             return CombinerOutcome(entry=None, probes=0, memory_accesses=0, cycles=1)
         if self.mode is CombinerMode.FIRST_LABEL:
-            return self._combine_first_label(lists)
-        return self._combine_cross_product(lists)
+            return self._combine_first_label(lists, probe_log)
+        return self._combine_cross_product(lists, probe_log)
 
-    def combine_with_cache(self, lists, probe_cache, sort_memo) -> CombinerOutcome:
+    def combine_with_cache(
+        self, lists, probe_cache, sort_memo, probe_log: Optional[list] = None
+    ) -> CombinerOutcome:
         """Exact :meth:`combine` over DIMENSIONS-ordered lists through shared caches.
 
         The cold-path entry point of the :mod:`repro.perf` vectorized batch
@@ -133,6 +145,8 @@ class LabelCombiner:
             return CombinerOutcome(entry=None, probes=0, memory_accesses=0, cycles=1)
         if self.mode is CombinerMode.FIRST_LABEL:
             key = self._fast_pack([entries[0][0] for entries in lists])
+            if probe_log is not None:
+                probe_log.append(key)
             hit = probe_cache.data.get(key)
             if hit is None:
                 lookup = self.rule_filter.lookup(key)
@@ -143,7 +157,7 @@ class LabelCombiner:
             return CombinerOutcome(
                 entry=entry, probes=1, memory_accesses=probes, cycles=1 + probes
             )
-        return self._cross_product_cached(lists, probe_cache, sort_memo)
+        return self._cross_product_cached(lists, probe_cache, sort_memo, probe_log)
 
     #: Cross products fully staged as arrays when their size is at most this;
     #: larger ones stream through the block walk (tests may lower it to force
@@ -188,7 +202,9 @@ class LabelCombiner:
             sort_memo.put(memo_key, record)
         return record
 
-    def _cross_product_cached(self, lists, probe_cache, sort_memo) -> CombinerOutcome:
+    def _cross_product_cached(
+        self, lists, probe_cache, sort_memo, probe_log: Optional[list] = None
+    ) -> CombinerOutcome:
         """Cache-backed twin of :meth:`_combine_cross_product`.
 
         Dispatches between the fully-staged array walk (NumPy, product size
@@ -205,10 +221,12 @@ class LabelCombiner:
         if _np is not None and self.layout.total_bits <= 128:
             total = math.prod(len(one) for one in ordered)
             if total <= self.STAGE_CAP:
-                return self._walk_fully_staged(records, ordered, probe_cache)
-        return self._walk_blocks(ordered, probe_cache)
+                return self._walk_fully_staged(records, ordered, probe_cache, probe_log)
+        return self._walk_blocks(ordered, probe_cache, probe_log)
 
-    def _walk_fully_staged(self, records, ordered, probe_cache) -> CombinerOutcome:
+    def _walk_fully_staged(
+        self, records, ordered, probe_cache, probe_log: Optional[list] = None
+    ) -> CombinerOutcome:
         """Array-staged cross-product walk: bounds and key limbs via broadcasting."""
         dims = len(records)
         bounds = low = high = None
@@ -267,6 +285,8 @@ class LabelCombiner:
                 if best is not None and bound_list[index] >= best_priority:
                     continue
                 key = block_keys[offset]
+                if probe_log is not None:
+                    probe_log.append(key)
                 hit = probe_get(key)
                 if hit is None:
                     # Evicted mid-block under a tiny probe-cache limit.
@@ -293,7 +313,9 @@ class LabelCombiner:
             entry=best, probes=probes, memory_accesses=accesses, cycles=1 + probes
         )
 
-    def _walk_blocks(self, ordered, probe_cache) -> CombinerOutcome:
+    def _walk_blocks(
+        self, ordered, probe_cache, probe_log: Optional[list] = None
+    ) -> CombinerOutcome:
         """Streamed block walk (no NumPy, or product beyond :attr:`STAGE_CAP`)."""
         combinations = itertools.product(*ordered)
         s0, s1, s2, s3, s4, s5, s6 = self._key_shifts
@@ -357,6 +379,8 @@ class LabelCombiner:
             for index, (bound, key) in enumerate(staged):
                 if best is not None and bound >= best_priority:
                     continue
+                if probe_log is not None:
+                    probe_log.append(key)
                 hit = probe_get(key)
                 if hit is None:
                     # Evicted mid-block under a tiny probe-cache limit.
@@ -384,10 +408,14 @@ class LabelCombiner:
 
     # -- modes --------------------------------------------------------------------
     def _combine_first_label(
-        self, lists: Sequence[Tuple[Tuple[int, int], ...]]
+        self,
+        lists: Sequence[Tuple[Tuple[int, int], ...]],
+        probe_log: Optional[list] = None,
     ) -> CombinerOutcome:
         labels = [entries[0][0] for entries in lists]
         key = self.layout.pack(labels)
+        if probe_log is not None:
+            probe_log.append(key)
         lookup = self.rule_filter.lookup(key)
         # 1 cycle to merge/hash the 68-bit key + the probe accesses.
         return CombinerOutcome(
@@ -398,7 +426,9 @@ class LabelCombiner:
         )
 
     def _combine_cross_product(
-        self, lists: Sequence[Tuple[Tuple[int, int], ...]]
+        self,
+        lists: Sequence[Tuple[Tuple[int, int], ...]],
+        probe_log: Optional[list] = None,
     ) -> CombinerOutcome:
         # Order the combinations so that those involving the best per-field
         # priorities are probed first; the first hit is *not* necessarily the
@@ -422,6 +452,8 @@ class LabelCombiner:
                 # addresses has priority >= the maximum of them.
                 continue
             key = self.layout.pack([label for label, _ in combination])
+            if probe_log is not None:
+                probe_log.append(key)
             lookup = self.rule_filter.lookup(key)
             probes += 1
             accesses += lookup.memory_accesses

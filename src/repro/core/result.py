@@ -90,6 +90,11 @@ class UpdateResult:
     cycles: CycleReport
     #: Memory accesses (control-plane uploads) per dimension.
     memory_accesses: Dict[str, int]
+    #: Dimensions whose stored label priority was rewritten (the value's best
+    #: rule priority changed without any structural update) — the scoped
+    #: cache-invalidation path treats these as "lookup results changed on the
+    #: spec's own interval".
+    reprioritized_dimensions: Tuple[str, ...] = ()
 
     @property
     def structural(self) -> bool:

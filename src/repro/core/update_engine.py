@@ -96,6 +96,7 @@ class UpdateEngine:
         specs = rule_dimension_specs(rule)
         labels: Dict[str, Tuple[int, bool]] = {}
         structural: List[str] = []
+        reprioritized: List[str] = []
         accesses: Dict[str, int] = {}
         cycles = CycleReport(operation=f"insert_rule_{rule.rule_id}")
         # Every per-dimension mutation is journalled so a failure anywhere in
@@ -127,6 +128,7 @@ class UpdateEngine:
                         # The new rule becomes the HPML owner for this value; the
                         # engine's label list ordering must reflect it.
                         self._reprioritize(engine, spec, outcome.label, rule.priority)
+                        reprioritized.append(dimension)
                 self._value_users[dimension].setdefault(spec, set()).add(rule.rule_id)
 
             key = self._pack_key(labels)
@@ -147,6 +149,7 @@ class UpdateEngine:
             structural_dimensions=tuple(structural),
             cycles=cycles,
             memory_accesses=accesses,
+            reprioritized_dimensions=tuple(reprioritized),
         )
 
     def _rollback_insert(
@@ -190,6 +193,7 @@ class UpdateEngine:
         specs = rule_dimension_specs(rule)
         labels: Dict[str, Tuple[int, bool]] = {}
         structural: List[str] = []
+        reprioritized: List[str] = []
         accesses: Dict[str, int] = {}
         cycles = CycleReport(operation=f"delete_rule_{rule_id}")
         key = self._rule_keys[rule_id]
@@ -206,6 +210,7 @@ class UpdateEngine:
             engine = self.engines[dimension]
             users = self._value_users[dimension].get(spec, set())
             users.discard(rule_id)
+            previous_best = table.best_priority_of(table.label_of(spec))
             outcome = table.remove(spec)
             labels[dimension] = (outcome.label, outcome.deleted)
             if outcome.deleted:
@@ -221,7 +226,14 @@ class UpdateEngine:
                 if surviving:
                     best = min(surviving)
                     table.refresh_best_priority(spec, surviving)
-                    self._reprioritize(engine, spec, outcome.label, best)
+                    if best != previous_best:
+                        # Only touch the engine when the deleted rule really
+                        # was the value's best: the stored priority is
+                        # unchanged otherwise, and skipping the no-op keeps
+                        # the engine's mutation epoch (and the fast-path
+                        # caches hanging off it) stable across the commit.
+                        self._reprioritize(engine, spec, outcome.label, best)
+                        reprioritized.append(dimension)
 
         del self.rules[rule_id]
         del self._rule_keys[rule_id]
@@ -232,6 +244,7 @@ class UpdateEngine:
             structural_dimensions=tuple(structural),
             cycles=cycles,
             memory_accesses=accesses,
+            reprioritized_dimensions=tuple(reprioritized),
         )
 
     # -- helpers --------------------------------------------------------------------------

@@ -14,7 +14,9 @@ Each driver exposes ``run(...)`` returning a structured result object and
 * :mod:`~repro.experiments.fig4_update` — incremental update behaviour (Fig. 4);
 * :mod:`~repro.experiments.fig5_memory_sharing` — memory sharing (Fig. 5);
 * :mod:`~repro.experiments.update_cost` — update cycle cost (section V.A);
-* :mod:`~repro.experiments.lookup_latency` — per-field latencies (section V.B).
+* :mod:`~repro.experiments.lookup_latency` — per-field latencies (section V.B);
+* :mod:`~repro.experiments.update_depth` — commit cost vs dependency depth
+  under scoped cache invalidation.
 """
 
 from repro.experiments import (
@@ -30,6 +32,7 @@ from repro.experiments import (
     table6,
     table7,
     update_cost,
+    update_depth,
 )
 from repro.experiments.common import DEFAULT_SEED, workload_ruleset, workload_trace
 
@@ -45,6 +48,7 @@ __all__ = [
     "fig4_update",
     "fig5_memory_sharing",
     "update_cost",
+    "update_depth",
     "lookup_latency",
     "workload_ruleset",
     "workload_trace",

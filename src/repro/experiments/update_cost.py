@@ -14,7 +14,7 @@ software-computed structural uploads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.analysis.metrics import UpdateMetrics, summarize_updates
 from repro.analysis.reports import format_kv

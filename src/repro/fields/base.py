@@ -140,6 +140,18 @@ class SingleFieldEngine(MutationEpoch, abc.ABC):
     def lookup(self, value: int) -> FieldLookupResult:
         """Return the labels of every stored specification matching ``value``."""
 
+    def invalidation_span(self, spec: Hashable) -> "Tuple[int, int] | None":
+        """Inclusive value interval whose lookup *cost* may change when the
+        stored specification set gains or loses ``spec``.
+
+        Engines whose structural updates can perturb the access counts of
+        lookups outside the spec's own match interval (e.g. a global array
+        rebuild) return ``None``, meaning "the whole dimension" — callers
+        must then invalidate every memoized lookup for this field.  Engines
+        with local structure override this with a tight interval.
+        """
+        return None
+
     @abc.abstractmethod
     def memory_bits(self) -> int:
         """Storage footprint of the engine's memory blocks in bits."""

@@ -17,7 +17,7 @@ engines (high and low segment) giving the 6-cycle latency quoted in V.B.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.exceptions import FieldLookupError
 from repro.fields.base import FieldLookupResult, SingleFieldEngine, UpdateCost
@@ -161,6 +161,23 @@ class MultibitTrie(SingleFieldEngine):
         for node, _ in self._expansion_nodes(value, length, create=False):
             if label in node.labels:
                 node.labels.reprioritize(label, priority)
+
+    def invalidation_span(self, spec: Hashable) -> Tuple[int, int]:
+        """Values whose lookup may change when ``spec`` is added or removed.
+
+        A structural update materialises (or prunes) the ancestor chain of
+        every expansion node, so lookups of values sharing the prefix's
+        *first-level* stride index can gain or lose a level access even when
+        they match none of the prefix's labels.  The affected values are
+        exactly the prefix truncated to the first stride boundary; deeper
+        structure never perturbs lookups outside that subtree.
+        """
+        value, length = self._validate_spec(spec)
+        first_boundary = self._boundaries[0]
+        bits = min(length, first_boundary)
+        mask = ((1 << bits) - 1) << (self.width - bits) if bits else 0
+        low = value & mask
+        return low, low | ((1 << (self.width - bits)) - 1)
 
     # -- lookup ---------------------------------------------------------------------
     def lookup(self, value: int) -> FieldLookupResult:

@@ -114,6 +114,11 @@ class PortRegisterFile(SingleFieldEngine):
             raise FieldLookupError(f"port range {low}:{high} not stored in {self.name}")
         self._registers[(low, high)] = PortRegister(low=low, high=high, label=label, priority=priority)
 
+    def invalidation_span(self, spec: Hashable) -> Tuple[int, int]:
+        """Adding or freeing a register only changes lookups inside its range
+        (every lookup reads the whole bank in one access regardless)."""
+        return self._validate_spec(spec)
+
     # -- lookup ---------------------------------------------------------------------
     def lookup(self, value: int) -> FieldLookupResult:
         """Compare ``value`` against every register in parallel.

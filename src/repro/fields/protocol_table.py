@@ -105,6 +105,11 @@ class ProtocolTable(SingleFieldEngine):
             raise FieldLookupError(f"protocol {value} not stored in {self.name}")
         self._exact[value] = _StoredProtocol(False, value, label, priority)
 
+    def invalidation_span(self, spec: Hashable) -> Tuple[int, int]:
+        """A wildcard spec rewrites every LUT word; an exact spec only its own."""
+        wildcard, value = self._validate_spec(spec)
+        return (0, _PROTOCOL_SPACE - 1) if wildcard else (value, value)
+
     # -- lookup ---------------------------------------------------------------------
     def lookup(self, value: int) -> FieldLookupResult:
         """Read the LUT word addressed by the protocol value."""

@@ -79,6 +79,10 @@ class BatchWalker:
         self.use_numpy = HAVE_NUMPY if use_numpy is None else (use_numpy and HAVE_NUMPY)
         #: Engine epoch the flat view was built at (None: never built).
         self._built_epoch: Optional[int] = None
+        #: Flat-view rebuilds performed so far (the initial build counts).
+        #: Rebuild cost is the vectorized path's share of every commit, so
+        #: the fast path surfaces the sum as ``walker_rebuilds``.
+        self.rebuilds = 0
 
     def detach(self) -> None:
         """Drop the flat view (the next resolve rebuilds from the engine)."""
@@ -92,6 +96,7 @@ class BatchWalker:
         if self._built_epoch != epoch:
             self._rebuild()
             self._built_epoch = epoch
+            self.rebuilds += 1
         return self._resolve(values)
 
     def _rebuild(self) -> None:

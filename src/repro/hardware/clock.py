@@ -13,7 +13,7 @@ throughput given a clock frequency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, Mapping
 
 from repro.exceptions import ConfigurationError
 

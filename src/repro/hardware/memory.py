@@ -16,7 +16,7 @@ explicit object that:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.exceptions import CapacityError, MemoryModelError
 

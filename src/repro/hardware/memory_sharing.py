@@ -20,7 +20,7 @@ would).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.exceptions import ConfigurationError, MemoryModelError
 from repro.hardware.memory import MemoryBlock

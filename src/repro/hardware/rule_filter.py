@@ -71,6 +71,26 @@ class RuleFilterMemory(MutationEpoch):
         self.capacity = capacity
         self.memory = MemoryBlock(name, depth=self.hash_unit.table_size, width=self.WORD_WIDTH)
         self._stored = 0
+        # Scoped-invalidation surface, drained by the control plane once per
+        # commit.  Two effects are tracked separately because they invalidate
+        # differently:
+        #
+        # * ``_dirty_keys`` — label keys whose stored entries changed (were
+        #   inserted, removed, or relocated by a backward-shift).  A lookup
+        #   for any *other* key scans past those entries without caring what
+        #   they hold, so only lookups of the dirty keys themselves change.
+        # * ``_occupancy_origin`` — per touched slot, whether it was occupied
+        #   before its first flip since the last drain.  Probe walks terminate
+        #   at the first empty slot, so a *net* occupancy change moves the
+        #   probe counts of every (missing) key homed in the surrounding run —
+        #   an unbounded key set.  When that happens the drain reports
+        #   "occupancy changed" and callers must treat every filter-derived
+        #   memo as dirty.  A delete immediately followed by a re-insert (the
+        #   dominant update-under-load pattern) refills the freed slot and
+        #   nets out to no occupancy change at all.
+        self._dirty_keys: set = set()
+        self._occupancy_origin: dict = {}
+        self._dirty_overflow = False
 
     # -- capacity -----------------------------------------------------------
     @property
@@ -86,6 +106,51 @@ class RuleFilterMemory(MutationEpoch):
     def reset_counters(self) -> None:
         """Zero the access counters of the underlying memory."""
         self.memory.reset_counters()
+
+    # -- scoped invalidation -------------------------------------------------
+    #: Cap on dirty keys + touched slots tracked between drains; beyond it the
+    #: filter just reports "everything moved" (wholesale), bounding both the
+    #: memory here and the per-commit pruning work of downstream caches.
+    DIRTY_BUDGET = 4096
+
+    def drain_dirty(self) -> Tuple[List[int], bool]:
+        """Return and reset the dirty state recorded since the last drain.
+
+        Returns ``(dirty keys, occupancy changed)``: the label keys whose
+        lookup outcomes may have changed, and whether any slot's occupancy
+        *net*-changed across the recorded mutations (or the tracking budget
+        overflowed) — in which case probe counts shifted for an unbounded set
+        of keys and the caller must treat the whole filter as dirty.
+        """
+        keys, origin = self._dirty_keys, self._occupancy_origin
+        overflow = self._dirty_overflow
+        self._dirty_keys = set()
+        self._occupancy_origin = {}
+        self._dirty_overflow = False
+        peek = self.memory.peek
+        occupancy_changed = overflow or any(
+            (peek(slot) is not None) != occupied for slot, occupied in origin.items()
+        )
+        return sorted(keys), occupancy_changed
+
+    def _note_entry_key(self, label_key: int) -> None:
+        if self._dirty_overflow:
+            return
+        self._dirty_keys.add(label_key)
+        if len(self._dirty_keys) + len(self._occupancy_origin) > self.DIRTY_BUDGET:
+            self._overflow_dirty()
+
+    def _note_occupancy(self, slot: int, was_occupied: bool) -> None:
+        if self._dirty_overflow or slot in self._occupancy_origin:
+            return
+        self._occupancy_origin[slot] = was_occupied
+        if len(self._dirty_keys) + len(self._occupancy_origin) > self.DIRTY_BUDGET:
+            self._overflow_dirty()
+
+    def _overflow_dirty(self) -> None:
+        self._dirty_overflow = True
+        self._dirty_keys.clear()
+        self._occupancy_origin.clear()
 
     # -- update path -----------------------------------------------------------
     def insert(self, label_key: int, rule: Rule) -> Tuple[int, int]:
@@ -114,6 +179,8 @@ class RuleFilterMemory(MutationEpoch):
                 self.memory.write(slot, entry)
                 accesses += 1
                 self._stored += 1
+                self._note_entry_key(label_key)
+                self._note_occupancy(slot, was_occupied=False)
                 self.bump_mutation_epoch()
                 return slot, accesses
         raise CapacityError(f"rule filter probing exhausted all {self.memory.depth} slots")
@@ -139,11 +206,18 @@ class RuleFilterMemory(MutationEpoch):
                 chain.append((slot, occupant))
         if target_slot is None:
             return False, accesses
+        self._note_entry_key(label_key)
+        self._note_occupancy(target_slot, was_occupied=True)
         self.memory.clear(target_slot)
         accesses += 1
         self._stored -= 1
         # Re-insert the tail of the probe chain so no lookup hits the hole.
+        # Each displaced entry's key is dirtied (its entry may land on a new
+        # slot) and each freed/refilled slot's occupancy is tracked; the
+        # re-inserts below record their own effects through insert().
         for slot, occupant in chain:
+            self._note_entry_key(occupant.label_key)
+            self._note_occupancy(slot, was_occupied=True)
             self.memory.clear(slot)
             accesses += 1
             self._stored -= 1

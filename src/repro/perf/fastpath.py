@@ -65,6 +65,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.dimensions import DIMENSIONS, packet_dimension_values
 from repro.core.result import BatchResult, Classification
+from repro.core.invalidation import FILTER_MARK, InvalidationScope
 from repro.perf.lru import BoundedCache, LRUCache
 from repro.rules.packet import PacketHeader
 
@@ -130,6 +131,26 @@ class FastPathAccelerator:
         # if the fresh engine's counter happens to match the old one.
         self._engine_marks: Dict[str, Tuple[object, int]] = {}
         self._filter_mark: Optional[Tuple[object, int]] = None
+        # Scoped-invalidation dependency maps (fed by the probe logs of the
+        # combiner walks): probed rule-filter label key -> combiner-cache keys
+        # whose outcome consumed that probe; combiner key -> result-cache
+        # keys assembled from it; result key -> header-cache packets served
+        # from it.  Evicted cache entries leave garbage references behind
+        # (pruning a garbage key is a no-op, so staleness only ever
+        # over-invalidates); the registration budget below bounds the garbage
+        # and falls back to wholesale flushing when exceeded.
+        self._combos_by_key: Dict[int, set] = {}
+        self._results_by_combo: Dict[tuple, set] = {}
+        self._headers_by_result: Dict[tuple, set] = {}
+        self._dep_registrations = 0
+        self._dep_budget = 4 * header_cache_limit
+        self._deps_overflow = False
+        # Scoped-invalidation outcome counters (benchmark/report fodder).
+        self.scoped_commits = 0
+        self.scoped_entries_dropped = 0
+        #: Wholesale epoch flushes of the derived caches after the initial
+        #: validation — every commit *not* absorbed by a scoped drop lands here.
+        self.epoch_flushes = 0
         # Hit/miss counters per memoization layer (benchmark/report fodder).
         # In vectorized mode field misses are mostly counted by the batch
         # pre-pass; the per-packet walk then counts hits (plus the misses of
@@ -161,6 +182,7 @@ class FastPathAccelerator:
         drops its dimension's field cache and every derived layer; a moved
         Rule Filter drops the derived layers only.
         """
+        had_state = bool(self._engine_marks) or self._filter_mark is not None
         derived_stale = False
         for name in DIMENSIONS:
             engine = self.classifier.engines[name]
@@ -176,6 +198,8 @@ class FastPathAccelerator:
             derived_stale = True
         if derived_stale:
             self._invalidate_outcomes()
+            if had_state:
+                self.epoch_flushes += 1
 
     def detach(self) -> None:
         """Drop all cached state (the accelerator is being discarded)."""
@@ -189,6 +213,11 @@ class FastPathAccelerator:
         self._result_cache.clear()
         self._header_cache.clear()
         self._probe_cache.clear()
+        self._combos_by_key.clear()
+        self._results_by_combo.clear()
+        self._headers_by_result.clear()
+        self._dep_registrations = 0
+        self._deps_overflow = False
 
     def invalidate(self) -> None:
         """Drop every cached lookup (all layers)."""
@@ -198,6 +227,117 @@ class FastPathAccelerator:
         self._engine_marks.clear()
         self._filter_mark = None
         self._invalidate_outcomes()
+
+    # -- scoped invalidation --------------------------------------------------
+    def note_commit(self, scope: Optional[InvalidationScope]) -> None:
+        """Apply a commit's exact blast radius instead of epoch-flushing.
+
+        Called by the control plane after a successful commit.  The scoped
+        drops are only sound if every cache entry was computed against the
+        pre-commit state, so they apply only when the accelerator's epoch
+        snapshots equal the scope's *pre* marks; the snapshots then advance
+        to the *post* marks and the next batch revalidates clean.  On any
+        mismatch (out-of-band mutations, a previous unscoped commit) this
+        does nothing and the ordinary epoch comparison at the next batch
+        flushes wholesale.
+        """
+        if scope is None or scope.wholesale or self._deps_overflow:
+            return
+        for name in DIMENSIONS:
+            if self._engine_marks.get(name) != scope.pre_marks.get(name):
+                return
+        if self._filter_mark != scope.pre_marks.get(FILTER_MARK):
+            return
+        dropped = 0
+        # Field layer: lookups inside a span may have changed; the combiner /
+        # result layers are keyed by the lookup *values* and therefore
+        # self-correct, but the header layer short-circuits the field walk
+        # entirely and must shed every packet whose value lands in a span.
+        for name, spans in scope.field_spans.items():
+            cache = self._field_caches[name]
+            stale = [
+                value
+                for value in cache.data
+                if any(low <= value <= high for low, high in spans)
+            ]
+            for value in stale:
+                cache.discard(value)
+            dropped += len(stale)
+        if scope.field_spans:
+            dropped += self._drop_headers_in_spans(scope.field_spans)
+        # Filter layer: outcomes that consumed a probe of a dirty label key
+        # cascade into their result records and header entries; the key-level
+        # probe cache sheds exactly the dirty keys (including any the walks
+        # resolved but pruned before consuming — those were never registered
+        # but can still be replayed later).
+        if scope.filter_wholesale:
+            self._invalidate_outcomes()
+        elif scope.filter_keys:
+            dropped += self._drop_filter_keys(scope.filter_keys)
+        for name in DIMENSIONS:
+            mark = scope.post_marks.get(name)
+            if mark is not None:
+                self._engine_marks[name] = mark
+        filter_mark = scope.post_marks.get(FILTER_MARK)
+        if filter_mark is not None:
+            self._filter_mark = filter_mark
+        self.scoped_commits += 1
+        self.scoped_entries_dropped += dropped
+
+    def _drop_headers_in_spans(self, field_spans) -> int:
+        """Drop header entries whose packet values fall in any dirty span."""
+        extractors = {
+            "src_ip_hi": lambda p: p.src_ip >> 16,
+            "src_ip_lo": lambda p: p.src_ip & 0xFFFF,
+            "dst_ip_hi": lambda p: p.dst_ip >> 16,
+            "dst_ip_lo": lambda p: p.dst_ip & 0xFFFF,
+            "src_port": lambda p: p.src_port,
+            "dst_port": lambda p: p.dst_port,
+            "protocol": lambda p: p.protocol,
+        }
+        checks = [
+            (extractors[name], spans) for name, spans in field_spans.items()
+        ]
+        header_cache = self._header_cache
+        stale = []
+        for packet in header_cache.data:
+            for extract, spans in checks:
+                value = extract(packet)
+                if any(low <= value <= high for low, high in spans):
+                    stale.append(packet)
+                    break
+        for packet in stale:
+            header_cache.discard(packet)
+        return len(stale)
+
+    def _drop_filter_keys(self, keys) -> int:
+        """Cascade-drop every outcome that consumed a probe of a dirty key."""
+        combos_by_key = self._combos_by_key
+        results_by_combo = self._results_by_combo
+        headers_by_result = self._headers_by_result
+        combiner_cache = self._combiner_cache
+        result_cache = self._result_cache
+        header_cache = self._header_cache
+        probe_cache = self._probe_cache
+        dropped = 0
+        for label_key in keys:
+            probe_cache.discard(label_key)
+            combos = combos_by_key.pop(label_key, None)
+            if not combos:
+                continue
+            for combo_key in combos:
+                dropped += combiner_cache.discard(combo_key)
+                result_keys = results_by_combo.pop(combo_key, None)
+                if not result_keys:
+                    continue
+                for result_key in result_keys:
+                    dropped += result_cache.discard(result_key)
+                    packets = headers_by_result.pop(result_key, None)
+                    if not packets:
+                        continue
+                    for packet in packets:
+                        dropped += header_cache.discard(packet)
+        return dropped
 
     # -- classification -------------------------------------------------------
     def classify_batch(self, packets: Iterable[PacketHeader]) -> BatchResult:
@@ -299,31 +439,64 @@ class FastPathAccelerator:
         # 5-tuple hitting the same values, or distinct values with identical
         # walks) share one assembled Classification.
         result_key = tuple(result_key)
+        track = not self._deps_overflow
         record = self._result_cache.get(result_key)
         if record is not None:
             self.result_hits += 1
+            if track:
+                self._headers_by_result.setdefault(result_key, set()).add(packet)
+                self._note_registrations(1)
             return record
         self.result_misses += 1
         key = tuple(result.matches for result in result_key)
         outcome = self._combiner_cache.get(key)
         if outcome is None:
+            probe_log: Optional[list] = [] if track else None
             if self.vectorized:
                 outcome = classifier.combiner.combine_with_cache(
-                    key, self._probe_cache, self._sort_memo
+                    key, self._probe_cache, self._sort_memo, probe_log
                 )
             else:
                 outcome = classifier.combiner.combine(
-                    {name: result.matches for name, result in field_results.items()}
+                    {name: result.matches for name, result in field_results.items()},
+                    probe_log,
                 )
             self._combiner_cache.put(key, outcome)
             self.combiner_misses += 1
+            if probe_log:
+                combos_by_key = self._combos_by_key
+                for probed in probe_log:
+                    combos_by_key.setdefault(probed, set()).add(key)
+                self._note_registrations(len(probe_log))
         else:
             self.combiner_hits += 1
         record = Classification.from_lookup(
             classifier._assemble_lookup(field_results, outcome)
         )
         self._result_cache.put(result_key, record)
+        if track:
+            self._results_by_combo.setdefault(key, set()).add(result_key)
+            self._headers_by_result.setdefault(result_key, set()).add(packet)
+            self._note_registrations(2)
         return record
+
+    def _note_registrations(self, count: int) -> None:
+        """Account dependency-map growth; fall back to wholesale on overflow.
+
+        Evicted cache entries leave garbage references in the maps, so a
+        never-repeating header stream would grow them without bound.  Once
+        registrations exceed the budget the maps are dropped and the next
+        commit skips its scoped pass (``note_commit`` leaves the marks
+        behind, forcing the ordinary wholesale flush that also resets the
+        overflow flag).
+        """
+        self._dep_registrations += count
+        if self._dep_registrations > self._dep_budget:
+            self._combos_by_key.clear()
+            self._results_by_combo.clear()
+            self._headers_by_result.clear()
+            self._dep_registrations = 0
+            self._deps_overflow = True
 
     # -- introspection --------------------------------------------------------
     @staticmethod
@@ -358,6 +531,14 @@ class FastPathAccelerator:
             "result_evictions": self._result_cache.evictions,
             "probe_entries": len(self._probe_cache),
             "probe_evictions": self._probe_cache.evictions,
+            "scoped_commits": self.scoped_commits,
+            "scoped_entries_dropped": self.scoped_entries_dropped,
+            "epoch_flushes": self.epoch_flushes,
+            "walker_rebuilds": sum(
+                walker.rebuilds for walker in self._walkers.values()
+            ),
+            "dependency_registrations": self._dep_registrations,
+            "dependency_overflow": int(self._deps_overflow),
         }
 
     def __repr__(self) -> str:

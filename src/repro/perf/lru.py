@@ -83,6 +83,13 @@ class LRUCache:
     def __iter__(self) -> Iterator:
         return iter(self.data)
 
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present (scoped invalidation; not an eviction)."""
+        if key in self.data:
+            del self.data[key]
+            return True
+        return False
+
     def clear(self) -> None:
         """Drop every entry (invalidation; not counted as eviction)."""
         self.data.clear()
@@ -147,6 +154,13 @@ class BoundedCache:
 
     def __iter__(self) -> Iterator:
         return iter(self.data)
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present (scoped invalidation; not an eviction)."""
+        if key in self.data:
+            del self.data[key]
+            return True
+        return False
 
     def clear(self) -> None:
         """Drop every entry (invalidation; not counted as eviction)."""

@@ -46,7 +46,12 @@ def parse_classbench_line(line: str, rule_id: int, priority: int) -> Rule:
     """Parse one ClassBench rule line into a :class:`Rule`.
 
     The trailing columns some generators append (flags, extra fields) are kept
-    verbatim in ``rule.metadata['extra']``.
+    verbatim in ``rule.metadata['extra']``, with one exception: a trailing
+    ``action=<name>`` token (the extension :func:`format_classbench` writes
+    with ``include_action=True``) selects the rule action instead of the
+    default ``forward`` — plain ClassBench has no action column, and without
+    it action-sensitive analyses (shadowing / conflict lint) cannot survive a
+    round trip through the file format.
     """
     match = _LINE_RE.match(line.strip())
     if match is None:
@@ -63,7 +68,17 @@ def parse_classbench_line(line: str, rule_id: int, priority: int) -> Rule:
         # (3 unique protocol values) behave.
         protocol = ProtocolMatch.exact(protocol_value & protocol_mask & 0xFF)
     metadata = {}
-    rest = match.group("rest").strip()
+    action = RuleAction.FORWARD
+    rest_tokens = []
+    for token in match.group("rest").split():
+        if token.startswith("action="):
+            try:
+                action = RuleAction(token[len("action="):])
+            except ValueError as exc:
+                raise RuleSetError(f"unknown rule action in {token!r}") from exc
+        else:
+            rest_tokens.append(token)
+    rest = " ".join(rest_tokens)
     if rest:
         metadata["extra"] = rest
     return Rule(
@@ -74,7 +89,7 @@ def parse_classbench_line(line: str, rule_id: int, priority: int) -> Rule:
         src_port=PortRange(int(match.group("splo")), int(match.group("sphi"))),
         dst_port=PortRange(int(match.group("dplo")), int(match.group("dphi"))),
         protocol=protocol,
-        action=RuleAction.FORWARD,
+        action=action,
         metadata=metadata,
     )
 
@@ -103,23 +118,33 @@ def load_classbench_file(path: Union[str, Path], name: Optional[str] = None) -> 
         return parse_classbench(handle, name=name or path.stem)
 
 
-def format_classbench(rule: Rule) -> str:
-    """Serialise one rule back to the ClassBench line format."""
+def format_classbench(rule: Rule, include_action: bool = False) -> str:
+    """Serialise one rule back to the ClassBench line format.
+
+    ``include_action=True`` appends the ``action=<name>`` extension column
+    recognised by :func:`parse_classbench_line`, preserving the rule action
+    across a round trip; the default keeps the plain upstream format.
+    """
     if rule.protocol.wildcard:
         proto = "0x00/0x00"
     else:
         proto = f"0x{rule.protocol.value:02X}/0xFF"
-    return (
+    line = (
         f"@{format_ipv4_prefix(rule.src_prefix.value, rule.src_prefix.length)}\t"
         f"{format_ipv4_prefix(rule.dst_prefix.value, rule.dst_prefix.length)}\t"
         f"{rule.src_port.low} : {rule.src_port.high}\t"
         f"{rule.dst_port.low} : {rule.dst_port.high}\t"
         f"{proto}"
     )
+    if include_action:
+        line += f"\taction={rule.action.value}"
+    return line
 
 
-def dump_classbench_file(ruleset: RuleSet, path: Union[str, Path]) -> List[str]:
+def dump_classbench_file(
+    ruleset: RuleSet, path: Union[str, Path], include_action: bool = False
+) -> List[str]:
     """Write a rule set to disk in ClassBench format; returns the lines written."""
-    lines = [format_classbench(rule) for rule in ruleset.rules()]
+    lines = [format_classbench(rule, include_action=include_action) for rule in ruleset.rules()]
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
     return lines

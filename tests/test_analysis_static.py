@@ -1,0 +1,302 @@
+"""Static ruleset analyzer: dependency index, lint passes, fixtures, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.analysis.depindex as depindex_module
+from repro.analysis.depindex import DependencyIndex, rule_bounds, rule_covers
+from repro.analysis.fixtures import clean_ruleset, seeded_ruleset, write_fixtures
+from repro.analysis.lint import LINT_CATEGORIES, analyze_ruleset
+from repro.cli import main as cli_main
+from repro.exceptions import RuleSetError
+from repro.rules.classbench import FilterFlavor, generate_ruleset
+from repro.rules.parser import (
+    format_classbench,
+    load_classbench_file,
+    parse_classbench_line,
+)
+from repro.rules.rule import Rule, RuleAction
+from repro.rules.ruleset import RuleSet
+
+
+def _ruleset(*rules: Rule) -> RuleSet:
+    return RuleSet(rules, name="unit")
+
+
+# ---------------------------------------------------------------------------
+# DependencyIndex
+# ---------------------------------------------------------------------------
+
+
+class TestDependencyIndex:
+    def test_overlapping_matches_rule_overlaps_oracle(self):
+        ruleset = generate_ruleset(FilterFlavor.FW, 120, seed=7)
+        index = DependencyIndex(ruleset.rules())
+        for rule in ruleset:
+            oracle = {
+                other.rule_id
+                for other in ruleset
+                if other.rule_id != rule.rule_id and rule.overlaps(other)
+            }
+            assert set(index.overlapping(rule)) == oracle
+
+    def test_incremental_maintenance_equals_rebuild(self):
+        ruleset = generate_ruleset(FilterFlavor.ACL, 80, seed=11)
+        rules = ruleset.rules()
+        incremental = DependencyIndex(rules[: len(rules) // 2])
+        for rule in rules[len(rules) // 2 :]:
+            incremental.add_rule(rule)
+        removed = [rule.rule_id for rule in rules[::5]]
+        for rule_id in removed:
+            incremental.remove_rule(rule_id)
+        fresh = DependencyIndex(rule for rule in rules if rule.rule_id not in set(removed))
+        assert len(incremental) == len(fresh)
+        probe = rules[1]
+        assert set(incremental.overlapping(probe)) == set(fresh.overlapping(probe))
+
+    def test_remove_unknown_rule_is_ignored(self):
+        index = DependencyIndex([Rule.build(0, 0)])
+        index.remove_rule(999)
+        assert len(index) == 1
+
+    def test_query_rule_need_not_be_indexed(self):
+        installed = Rule.build(0, 0, src="10.0.0.0/8")
+        index = DependencyIndex([installed])
+        outsider = Rule.build(5, 5, src="10.1.0.0/16")
+        assert index.overlapping(outsider) == [0]
+        disjoint = Rule.build(6, 6, src="11.0.0.0/8")
+        assert index.overlapping(disjoint) == []
+
+    def test_self_excluded_for_members(self):
+        rule = Rule.build(3, 1)
+        index = DependencyIndex([rule])
+        assert index.overlapping(rule) == []
+        assert 3 in index and 4 not in index
+
+    def test_python_fallback_matches_numpy(self, monkeypatch):
+        ruleset = generate_ruleset(FilterFlavor.IPC, 60, seed=3)
+        with_numpy = DependencyIndex(ruleset.rules())
+        monkeypatch.setattr(depindex_module, "_np", None)
+        without_numpy = DependencyIndex(ruleset.rules())
+        assert not without_numpy.uses_numpy
+        for rule in ruleset:
+            assert set(with_numpy.overlapping(rule)) == set(without_numpy.overlapping(rule))
+
+    def test_dependency_depth_counts_higher_priority_overlaps(self):
+        broad = Rule.build(0, 0)  # wildcard, highest priority
+        middle = Rule.build(1, 1, src="10.0.0.0/8")
+        narrow = Rule.build(2, 2, src="10.1.0.0/16")
+        index = DependencyIndex([broad, middle, narrow])
+        assert index.dependency_depth(0) == 0
+        assert index.dependency_depth(1) == 1
+        assert index.dependency_depth(2) == 2
+        assert index.overlap_degrees() == {0: 2, 1: 2, 2: 2}
+
+    def test_rule_covers(self):
+        outer = Rule.build(0, 0, src="10.0.0.0/8")
+        inner = Rule.build(1, 1, src="10.1.0.0/16", protocol=6)
+        assert rule_covers(outer, inner)
+        assert not rule_covers(inner, outer)
+        bounds = rule_bounds(inner)
+        assert bounds[8] == bounds[9] == 6  # exact protocol pins both bounds
+
+
+# ---------------------------------------------------------------------------
+# Lint passes
+# ---------------------------------------------------------------------------
+
+
+class TestLintPasses:
+    def test_shadowed_rule_detected(self):
+        cover = Rule.build(0, 0, src="10.0.0.0/8", action=RuleAction.DROP)
+        victim = Rule.build(1, 1, src="10.1.0.0/16", action=RuleAction.FORWARD)
+        report = analyze_ruleset(_ruleset(cover, victim))
+        (finding,) = report.findings
+        assert finding.category == "shadowed"
+        assert finding.rule_id == 1 and finding.related == (0,)
+
+    def test_redundant_rule_detected(self):
+        cover = Rule.build(0, 0, src="10.0.0.0/8")
+        victim = Rule.build(1, 1, src="10.1.0.0/16")
+        report = analyze_ruleset(_ruleset(cover, victim))
+        (finding,) = report.findings
+        assert finding.category == "redundant"
+        assert finding.rule_id == 1 and finding.related == (0,)
+
+    def test_conflict_detected_on_lower_priority_rule(self):
+        upper = Rule.build(
+            0, 0, src="10.0.0.0/8", dst_port="0:100", action=RuleAction.DROP
+        )
+        lower = Rule.build(
+            1, 1, src="10.1.0.0/16", dst_port="50:200", action=RuleAction.FORWARD
+        )
+        report = analyze_ruleset(_ruleset(upper, lower))
+        (finding,) = report.findings
+        assert finding.category == "conflict"
+        assert finding.rule_id == 1 and finding.related == (0,)
+
+    def test_exception_pattern_is_not_a_conflict(self):
+        # A narrow higher-priority exception inside a broad rule with a
+        # different action is the intended composition idiom, not a defect.
+        exception = Rule.build(0, 0, src="10.1.0.0/16", action=RuleAction.DROP)
+        broad = Rule.build(1, 1, src="10.0.0.0/8", action=RuleAction.FORWARD)
+        report = analyze_ruleset(_ruleset(exception, broad))
+        assert report.findings == []
+
+    def test_unreachable_union_cover_detected(self):
+        left = Rule.build(0, 0, src="10.0.0.0/8", src_port="0:100")
+        right = Rule.build(1, 1, src="10.0.0.0/8", src_port="101:65535")
+        victim = Rule.build(
+            2, 2, src="10.1.0.0/16", action=RuleAction.DROP
+        )
+        report = analyze_ruleset(_ruleset(left, right, victim))
+        categories = {finding.category for finding in report.findings}
+        assert "unreachable" in categories
+        (finding,) = report.findings_by_category("unreachable")
+        assert finding.rule_id == 2 and finding.related == (0, 1)
+
+    def test_partial_union_is_reachable(self):
+        left = Rule.build(0, 0, src="10.0.0.0/8", src_port="0:100")
+        right = Rule.build(1, 1, src="10.0.0.0/8", src_port="102:65535")
+        victim = Rule.build(2, 2, src="10.1.0.0/16")  # port 101 still reaches it
+        report = analyze_ruleset(_ruleset(left, right, victim))
+        assert report.findings_by_category("unreachable") == []
+
+    def test_witness_budget_skips_instead_of_guessing(self):
+        left = Rule.build(0, 0, src_port="0:100")
+        right = Rule.build(1, 1, src_port="101:65535")
+        victim = Rule.build(2, 2, dst="10.0.0.0/8")
+        report = analyze_ruleset(_ruleset(left, right, victim), max_witnesses=1)
+        assert report.findings_by_category("unreachable") == []
+        assert report.unreachable_checks_skipped == 1
+
+    def test_report_serialisation_schema(self):
+        cover = Rule.build(0, 0, action=RuleAction.DROP)
+        victim = Rule.build(1, 1, protocol=6)
+        report = analyze_ruleset(_ruleset(cover, victim))
+        payload = json.loads(report.to_json())
+        assert set(payload) == {
+            "ruleset", "rules", "counts", "findings", "coverage", "overlap",
+            "unreachable_checks_skipped",
+        }
+        assert set(payload["counts"]) == set(LINT_CATEGORIES)
+        assert payload["counts"]["shadowed"] == 1
+        assert payload["findings"][0]["rule_id"] == 1
+        assert set(payload["coverage"]) == {
+            "wildcard_fraction", "space_coverage", "unique_field_counts",
+        }
+        text = report.render_text()
+        assert "shadowed" in text and "Per-dimension coverage" in text
+
+    def test_empty_ruleset_is_clean(self):
+        report = analyze_ruleset(RuleSet(name="empty"))
+        assert report.clean and report.rule_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Fixtures + ClassBench action round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestFixtures:
+    def test_clean_fixture_has_zero_findings(self):
+        clean = clean_ruleset(size=120, seed=5)
+        assert len(clean) > 0
+        assert analyze_ruleset(clean).clean
+
+    def test_seeded_fixture_detects_every_planted_defect(self):
+        clean = clean_ruleset(size=120, seed=5)
+        seeded, manifest = seeded_ruleset(clean, seed=5, per_category=2)
+        report = analyze_ruleset(seeded)
+        for category, planted in manifest.items():
+            assert len(planted) == 2
+            found = {f.rule_id for f in report.findings_by_category(category)}
+            assert set(planted) <= found
+
+    def test_write_fixtures_round_trip(self, tmp_path):
+        summary = write_fixtures(tmp_path, size=120, seed=5, per_category=2)
+        clean = load_classbench_file(summary["clean"])
+        assert analyze_ruleset(clean).clean
+        seeded = load_classbench_file(summary["seeded"])
+        manifest = json.loads((tmp_path / "seeded.manifest.json").read_text())
+        report = analyze_ruleset(seeded)
+        for category, planted in manifest.items():
+            found = {f.rule_id for f in report.findings_by_category(category)}
+            assert set(planted) <= found
+
+    def test_action_token_round_trip(self):
+        rule = Rule.build(0, 0, src="10.0.0.0/8", action=RuleAction.DROP)
+        line = format_classbench(rule, include_action=True)
+        assert line.endswith("action=drop")
+        parsed = parse_classbench_line(line, rule_id=0, priority=0)
+        assert parsed.action is RuleAction.DROP
+        assert "extra" not in parsed.metadata
+        # Plain format stays action-free and defaults to forward on parse.
+        plain = format_classbench(rule)
+        assert "action=" not in plain
+        assert parse_classbench_line(plain, 0, 0).action is RuleAction.FORWARD
+
+    def test_unknown_action_token_rejected(self):
+        line = format_classbench(Rule.build(0, 0)) + "\taction=teleport"
+        with pytest.raises(RuleSetError, match="unknown rule action"):
+            parse_classbench_line(line, 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    @pytest.fixture(scope="class")
+    def fixture_files(self, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("lint-fixtures")
+        return write_fixtures(outdir, size=120, seed=5, per_category=2)
+
+    def test_clean_file_exits_zero(self, fixture_files, capsys):
+        assert cli_main(["lint", "--rules", fixture_files["clean"]]) == 0
+        out = capsys.readouterr().out
+        assert "Findings            : 0" in out
+
+    def test_seeded_file_exits_one_with_json_report(self, fixture_files, capsys):
+        assert cli_main(["lint", "--rules", fixture_files["seeded"], "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        with open(fixture_files["manifest"]) as handle:
+            manifest = json.load(handle)
+        flagged = {f["rule_id"] for f in payload["findings"]}
+        for planted in manifest.values():
+            assert set(planted) <= flagged
+
+    def test_fail_on_filters_exit_code(self, fixture_files, capsys):
+        # The seeded set contains every category; failing only on a category
+        # that is absent from a clean set keeps exit 0.
+        assert (
+            cli_main(["lint", "--rules", fixture_files["clean"], "--fail-on", "shadowed"])
+            == 0
+        )
+        assert (
+            cli_main(["lint", "--rules", fixture_files["seeded"], "--fail-on", "shadowed"])
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_unknown_fail_on_category_is_an_error(self, fixture_files, capsys):
+        code = cli_main(
+            ["lint", "--rules", fixture_files["clean"], "--fail-on", "bogus"]
+        )
+        assert code == 2
+        assert "unknown lint categories" in capsys.readouterr().err
+
+    def test_lint_generated_workload(self, capsys):
+        code = cli_main(["lint", "--size", "200", "--seed", "9", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] > 0
+        assert code in (0, 1)
+
+    def test_update_depth_experiment_registered(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "update-depth" in EXPERIMENTS

@@ -20,7 +20,7 @@ from repro.controller import (
     decode_message,
     encode_message,
 )
-from repro.core.config import ClassifierConfig, CombinerMode, IpAlgorithm
+from repro.core.config import CombinerMode, IpAlgorithm
 from repro.exceptions import ControlPlaneError
 from repro.rules.rule import Rule
 from repro.rules.trace import generate_trace

@@ -268,18 +268,21 @@ def flowcache_mutation_scenario(differential_scenario):
     )
 
 
-@pytest.mark.mutation
-@pytest.mark.parametrize("path", MUTATION_PATHS)
-def test_mutation_interleaved_paths_agree(path, mutation_scenario):
-    """Every path under the same update schedule matches the linear oracle."""
-    initial_set, chunks, schedule, oracle, reference = mutation_scenario
-    if path == "process-packed" and not shared_memory_available():
-        pytest.skip("platform grants no shared memory segments")
+def _replay_schedule(path: str, mutation_workload):
+    """Replay the mutation schedule over one execution path, scoped as shipped.
 
+    Returns ``(observed, classifiers)`` where ``classifiers`` holds the
+    in-process classifier objects whose fast-path counters can be inspected
+    afterwards (empty for process pools, whose replicas live in forked
+    workers).
+    """
+    initial_set, chunks, schedule, _, _ = mutation_workload
     observed = []
+    classifiers = []
     if path in ("per_packet", "fast", "vectorized"):
         options = {"fast": path == "fast", "vectorized": path == "vectorized"}
         classifier = create_classifier("configurable", initial_set, **options)
+        classifiers.append(classifier)
         for index, chunk in enumerate(chunks):
             observed.extend(classifier.classify_batch(chunk).results)
             if index < len(schedule):
@@ -294,6 +297,7 @@ def test_mutation_interleaved_paths_agree(path, mutation_scenario):
                 create_classifier("configurable", initial_set, fast=True),
                 create_classifier("configurable", initial_set, vectorized=True),
             ]
+            classifiers.extend(replicas)
             session = ParallelSession(replicas, chunk_size=8)
         else:
             transport = path.split("-", 1)[1]
@@ -306,12 +310,84 @@ def test_mutation_interleaved_paths_agree(path, mutation_scenario):
                 observed.extend(session.feed(chunk).results)
                 if index < len(schedule):
                     session.apply(_schedule_delta(schedule[index]))
+    return observed, classifiers
 
+
+@pytest.fixture(scope="module")
+def scoped_replays(mutation_scenario):
+    """Each execution path replayed once, shared by the mutation tests."""
+    cache = {}
+
+    def run(path: str):
+        if path not in cache:
+            cache[path] = _replay_schedule(path, mutation_scenario)
+        return cache[path]
+
+    return run
+
+
+@pytest.fixture(scope="module")
+def wholesale_mutation_reference(mutation_scenario):
+    """Fast-path replay with every commit escalated to a full cache flush.
+
+    This is the pre-scoped-invalidation behaviour: after each committed
+    delta, drop *all* memoized fast-path state instead of only the entries
+    inside the delta's blast radius.  Scoped invalidation must be
+    behaviourally invisible, so this replay is the second oracle the scoped
+    replays are diffed against.
+    """
+    initial_set, chunks, schedule, oracle, reference = mutation_scenario
+    classifier = create_classifier("configurable", initial_set, fast=True)
+    fast_path = classifier._fast_path
+    observed = []
+    for index, chunk in enumerate(chunks):
+        observed.extend(classifier.classify_batch(chunk).results)
+        if index < len(schedule):
+            classifier.control.begin().extend(
+                _schedule_delta(schedule[index])
+            ).commit()
+            fast_path.invalidate()  # force the wholesale epoch flush
+    assert [record.rule_id for record in observed] == oracle
+    assert list(observed) == list(reference)
+    return observed
+
+
+@pytest.mark.mutation
+@pytest.mark.parametrize("path", MUTATION_PATHS)
+def test_mutation_interleaved_paths_agree(path, mutation_scenario, scoped_replays):
+    """Every path under the same update schedule matches the linear oracle."""
+    initial_set, chunks, schedule, oracle, reference = mutation_scenario
+    if path == "process-packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+
+    observed, _ = scoped_replays(path)
     assert [record.rule_id for record in observed] == oracle
     # Full-record equivalence with the per-packet reference (equality spans
     # accesses, latency, probes and truncation; `detail` is excluded, which
     # is exactly what the compact process-backend wire form strips).
     assert list(observed) == list(reference)
+
+
+@pytest.mark.mutation
+@pytest.mark.parametrize("path", MUTATION_PATHS)
+def test_mutation_scoped_invalidation_matches_wholesale_flush(
+    path, scoped_replays, wholesale_mutation_reference
+):
+    """Dependency-scoped invalidation is bit-exact against forced full flushes.
+
+    The same schedule replayed with partial (blast-radius) invalidation and
+    with every commit escalated to a wholesale flush must produce identical
+    full records — and the scoped replay must have actually exercised the
+    scoped drop path rather than silently falling back to flushing.
+    """
+    if path == "process-packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+    observed, classifiers = scoped_replays(path)
+    assert list(observed) == list(wholesale_mutation_reference)
+    for classifier in classifiers:
+        fast_path = classifier._fast_path
+        if fast_path is not None:
+            assert fast_path.cache_stats()["scoped_commits"] > 0
 
 
 @pytest.mark.mutation
@@ -512,7 +588,9 @@ def test_flowcache_mutation_interleaved_paths_agree(path, flowcache_mutation_sce
     # surgically-kept entry replays its installation-time access/latency
     # counts, while a fresh classification recounts them against the
     # post-commit engine — the whole point of the cache is not recomputing.
-    semantic = lambda r: (r.rule_id, r.priority, r.action, r.truncated)
+    def semantic(record):
+        return (record.rule_id, record.priority, record.action, record.truncated)
+
     assert [semantic(r) for r in observed] == [semantic(r) for r in reference]
 
 

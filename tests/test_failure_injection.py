@@ -14,7 +14,7 @@ import pytest
 
 from repro.controller import FlowMod, FlowModCommand, SdnController
 from repro.core.classifier import ConfigurableClassifier
-from repro.core.config import ClassifierConfig, IpAlgorithm, MemoryProvisioning
+from repro.core.config import ClassifierConfig, IpAlgorithm
 from repro.exceptions import LabelError, UpdateError
 from repro.hardware.hash_unit import LabelKeyLayout
 from repro.rules.rule import Rule

@@ -101,6 +101,11 @@ class TestWalkerEquivalence:
                 break
         assert installed > 0
         assert walker.resolve(values) == [engine.lookup(v) for v in values]
+        # Exactly two flat-view builds: the initial one and the post-mutation
+        # rebuild — resolving again on an unchanged engine stays at two.
+        assert walker.rebuilds == 2
+        assert walker.resolve(values) == [engine.lookup(v) for v in values]
+        assert walker.rebuilds == 2
         walker.detach()
 
     @pytest.mark.parametrize("use_numpy", IMPLEMENTATIONS)

@@ -24,7 +24,7 @@ from repro.perf.flowcache import (
     resolve_predictor,
 )
 from repro.perf.transport import HEADER_BYTES, pack_header, pack_headers
-from repro.rules.trace import generate_flow_churn_trace, generate_trace, generate_uniform_trace
+from repro.rules.trace import generate_flow_churn_trace
 
 pytestmark = pytest.mark.flowcache
 

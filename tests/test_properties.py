@@ -325,3 +325,87 @@ class TestMemoryImageProperties:
                 copy.address,
                 copy.data,
             )
+
+
+# -- rule overlap / dependency-index properties --------------------------------------
+
+
+class TestRuleOverlapProperties:
+    """Satellite audit of :meth:`Rule.overlaps` and its 5-dimension interval
+    generalisation (:mod:`repro.analysis.depindex`): symmetry, soundness
+    against shared-packet witnesses, and the edge cases of each match syntax
+    (wildcard protocol, port-range boundaries, prefix nesting)."""
+
+    @given(rules(rule_id=0, priority=0), rules(rule_id=1, priority=1))
+    def test_overlaps_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlaps(a)
+
+    @given(rules(rule_id=0, priority=0), rules(rule_id=1, priority=1), packets())
+    def test_shared_match_implies_overlap(self, a, b, packet):
+        if a.matches(packet) and b.matches(packet):
+            assert a.overlaps(b)
+
+    @given(rules(rule_id=0, priority=0), rules(rule_id=1, priority=1))
+    def test_overlaps_equals_interval_intersection(self, a, b):
+        from repro.analysis.depindex import rule_bounds
+
+        bounds_a, bounds_b = rule_bounds(a), rule_bounds(b)
+        boxes_intersect = all(
+            bounds_a[2 * d] <= bounds_b[2 * d + 1] and bounds_b[2 * d] <= bounds_a[2 * d + 1]
+            for d in range(5)
+        )
+        assert a.overlaps(b) == boxes_intersect
+
+    @given(rulesets(max_rules=10))
+    def test_dependency_index_matches_pairwise_oracle(self, ruleset):
+        from repro.analysis.depindex import DependencyIndex
+
+        index = DependencyIndex(ruleset.rules())
+        for rule in ruleset:
+            oracle = {
+                other.rule_id
+                for other in ruleset
+                if other.rule_id != rule.rule_id and rule.overlaps(other)
+            }
+            assert set(index.overlapping(rule)) == oracle
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_protocol_wildcard_and_exact_edges(self, value, probe):
+        wildcard = ProtocolMatch(value=value, wildcard=True)
+        exact = ProtocolMatch.exact(value)
+        assert wildcard.matches(probe)
+        assert exact.matches(probe) == (probe == value)
+        # Canonical key: every wildcard collapses to the same identity
+        # regardless of the (ignored) value payload.
+        assert wildcard.key() == ProtocolMatch.any().key()
+        assert exact.key() == (False, value)
+
+    @given(port_values, port_values)
+    def test_port_boundary_overlap(self, a, b):
+        low, high = min(a, b), max(a, b)
+        window = PortRange(low, high)
+        # A shared endpoint overlaps; the adjacent value does not.
+        assert window.overlaps(PortRange.exact(high))
+        assert window.overlaps(PortRange.exact(low))
+        if high < PORT_MAX:
+            assert not window.overlaps(PortRange(high + 1, PORT_MAX))
+            assert window.overlaps(PortRange(high, PORT_MAX))
+        if low > 0:
+            assert not window.overlaps(PortRange(0, low - 1))
+            assert window.overlaps(PortRange(0, low))
+
+    @given(prefixes32())
+    def test_prefix_nesting_overlap(self, prefix):
+        if prefix.length == 32:
+            assert prefix.overlaps(prefix)
+            return
+        child_length = prefix.length + 1
+        left = Prefix(prefix.value, child_length)
+        right = Prefix(prefix.value | (1 << (32 - child_length)), child_length)
+        # Each half nests in (hence overlaps) the parent; the halves are
+        # disjoint; together they cover the parent exactly.
+        assert prefix.overlaps(left) and prefix.overlaps(right)
+        assert not left.overlaps(right)
+        assert (left.low, right.high) == (prefix.low, prefix.high)
+        assert left.high + 1 == right.low
