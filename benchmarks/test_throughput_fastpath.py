@@ -468,3 +468,120 @@ def test_flowcache_throughput_and_equivalence(acl1k_ruleset):
     }
     artifact["flowcache_sweep"] = sweep_rows
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+
+
+#: Fabric churn geometry: the line-of-4 fabric every fabric battery row uses.
+FABRIC_SWITCHES = 4
+
+
+def test_fabric_churn_throughput(acl1k_ruleset):
+    """Multi-switch fabric under control-plane churn: partitioned placement,
+    per-switch hit accounting, and bit-exactness against a per-segment
+    linear-search oracle while paired remove/reinsert fabric commits land
+    between trace segments.  Recorded as the ``fabric_churn`` artifact row."""
+    from repro.analysis.depindex import DependencyIndex
+    from repro.controller.fabric import FabricController, Topology
+    from repro.rules.trace import generate_fabric_trace
+
+    count = _trace_length()
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    updates = 8 if quick else 32
+
+    topology = Topology.line(FABRIC_SWITCHES)
+    fabric = FabricController(topology, vectorized=True)
+    fabric.install(acl1k_ruleset)
+    plan = fabric.plan
+    # The program is genuinely partitioned along the paths, not replicated.
+    assert plan.k == topology.min_path_length > 1
+    assert plan.max_switch_rules < len(acl1k_ruleset)
+    assert plan.replication_factor < FABRIC_SWITCHES
+
+    trace = generate_fabric_trace(
+        acl1k_ruleset, topology.ingresses(), count, seed=TRACE_SEED,
+        flows=64 if quick else 256, popularity="zipf", churn=0.02,
+    )
+
+    # Churn victims: singleton-overlap rules, so each remove/reinsert pair
+    # moves exactly one rule on its host switches and never reshuffles the
+    # fabric.  A remove and its reinsert are *separate* fabric commits —
+    # folded into one transaction they would diff to a per-switch no-op.
+    overlap_index = DependencyIndex(acl1k_ruleset.rules())
+    by_id = {rule.rule_id: rule for rule in acl1k_ruleset.rules()}
+    singles = [ids[0] for ids in overlap_index.components() if len(ids) == 1]
+    victims = [by_id[rid] for rid in singles] or acl1k_ruleset.rules()
+    victims = [victims[i % len(victims)] for i in range(updates // 2)]
+
+    segment = max(1, count // (updates + 1))
+    observed_matches_oracle = True
+    per_switch_hits = {dpid: 0 for dpid in topology.switches}
+    per_switch_lookups = {dpid: 0 for dpid in topology.switches}
+    position = 0
+    churn_start = time.perf_counter()
+    segment_results = []
+    for index in range(updates + 1):
+        end = position + segment if index < updates else count
+        result = fabric.serve(trace[position:end])
+        segment_results.append((position, end, result))
+        for dpid, stats in result.per_switch.items():
+            per_switch_hits[dpid] += stats.hits
+            per_switch_lookups[dpid] += stats.packets
+        position = end
+        if index < updates:
+            victim = victims[index // 2]
+            if index % 2 == 0:
+                fabric.begin().remove(victim.rule_id).commit()
+            else:
+                fabric.begin().insert(victim).commit()
+    fabric_s = time.perf_counter() - churn_start
+
+    # Per-segment oracle: the linear scan over exactly the rules that were
+    # installed while that segment was served (timed separately — the oracle
+    # is O(rules x packets) and not part of the measured fabric pass).
+    replay = dict(by_id)
+    for index, (position, end, result) in enumerate(segment_results):
+        ordered = sorted(replay.values(), key=lambda rule: (rule.priority, rule.rule_id))
+        for packet, record in zip(trace[position:end], result.results):
+            hit = next((rule for rule in ordered if rule.matches(packet.header)), None)
+            if record.rule_id != (hit.rule_id if hit else None):
+                observed_matches_oracle = False
+        if index < updates:
+            victim = victims[index // 2]
+            if index % 2 == 0:
+                del replay[victim.rule_id]
+            else:
+                replay[victim.rule_id] = victim
+    assert observed_matches_oracle
+    assert fabric.commits == 1 + updates
+    assert fabric.rolled_back_commits == 0
+    assert fabric.partial_commits == 0
+    # Every hop lookup was accounted to exactly one switch.
+    assert sum(per_switch_lookups.values()) == sum(
+        len(topology.route_path(packet.ingress)) for packet in trace
+    )
+    assert all(per_switch_lookups[dpid] > 0 for dpid in topology.switches)
+
+    artifact = (
+        json.loads(ARTIFACT_PATH.read_text(encoding="utf-8"))
+        if ARTIFACT_PATH.exists()
+        else {}
+    )
+    artifact["fabric_churn"] = {
+        "topology": topology.name,
+        "switches": FABRIC_SWITCHES,
+        "k": plan.k,
+        "rules": len(acl1k_ruleset),
+        "placement": {
+            "total_rule_slots": plan.total_rule_slots,
+            "replication_factor": round(plan.replication_factor, 2),
+            "max_switch_rules": plan.max_switch_rules,
+        },
+        "packets": count,
+        "updates": updates,
+        "seconds": round(fabric_s, 4),
+        "packets_per_second": round(count / fabric_s),
+        "per_switch_hits": {str(dpid): hits for dpid, hits in per_switch_hits.items()},
+        "identical_to_linear_search": observed_matches_oracle,
+        "rolled_back_commits": fabric.rolled_back_commits,
+        "partial_commits": fabric.partial_commits,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")

@@ -174,3 +174,33 @@ class DependencyIndex:
     def overlap_degrees(self) -> Dict[int, int]:
         """``{rule_id: overlap degree}`` for every indexed rule."""
         return {rid: self.overlap_degree(rid) for rid in self._rules}
+
+    def components(self) -> List[Tuple[int, ...]]:
+        """Connected components of the overlap graph, as sorted id tuples.
+
+        Every set of rules a single packet can match forms a clique in the
+        overlap graph, so it always lies inside one component — which is why
+        fabric placement (:mod:`repro.controller.fabric`) can ship whole
+        components to switches and still resolve the highest-priority match
+        locally.  Components are returned sorted by their smallest rule id,
+        each component's ids ascending, so the partition is deterministic.
+        """
+        parent: Dict[int, int] = {rid: rid for rid in self._rules}
+
+        def find(rid: int) -> int:
+            root = rid
+            while parent[root] != root:
+                root = parent[root]
+            while parent[rid] != root:  # path compression
+                parent[rid], rid = root, parent[rid]
+            return root
+
+        for rid in sorted(self._rules):
+            for other in self.overlapping(self._rules[rid]):
+                root_a, root_b = find(rid), find(other)
+                if root_a != root_b:
+                    parent[max(root_a, root_b)] = min(root_a, root_b)
+        members: Dict[int, List[int]] = {}
+        for rid in self._rules:
+            members.setdefault(find(rid), []).append(rid)
+        return [tuple(sorted(ids)) for _, ids in sorted(members.items())]

@@ -401,6 +401,30 @@ class ControlPlane(abc.ABC):
             results=tuple(results),
         )
 
+    def rollback(self, commit: CommitResult) -> None:
+        """Undo ``commit`` and restore the pre-commit program version.
+
+        Replays ``commit.inverse`` through :meth:`_apply` (the same
+        all-or-nothing primitive), but instead of stamping a *new* version —
+        which is what ``apply_delta(commit.inverse)`` would do — the version
+        counter is restored to ``commit.version - 1``, so observers that key
+        on ``program_version`` (fabric switches, stats replies) see the
+        device exactly where it was before the failed transaction.  The
+        epoch still advances: the engines were mutated twice, and attached
+        caches must notice.  Only the most recent commit of a plane may be
+        rolled back this way; undoing an empty commit is a no-op.
+        """
+        if not commit.inverse.ops:
+            return
+        if commit.version != self._version:
+            raise UpdateError(
+                f"cannot roll back commit v{commit.version}: the plane is at "
+                f"v{self._version} (only the latest commit is undoable)"
+            )
+        self._apply(commit.inverse)
+        self._version = commit.version - 1
+        self._epoch += 1
+
 
 class ClassifierControl(ControlPlane):
     """Incremental control plane of the configurable architecture.

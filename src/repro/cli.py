@@ -20,7 +20,13 @@ Provides one subcommand per experiment (``table1`` ... ``table7``, ``fig3`` ...
   over a filter file or synthetic workload and report shadowed / redundant /
   conflicting / unreachable rules plus coverage statistics; ``--json`` emits
   the machine-readable report and the exit code is CI-friendly (0 clean,
-  1 findings, 2 error).
+  1 findings, 2 error);
+* ``fabric`` — simulate a multi-switch fabric
+  (:mod:`repro.controller.fabric`): partition the rule set across an N-switch
+  ``line`` or ``fattree`` topology, serve an ingress-tagged flow trace
+  through per-switch parallel sessions and report placement + per-switch hit
+  accounting; ``--churn N`` interleaves N topology-wide transactional
+  commits (paired remove / reinsert) into the run.
 
 Usage::
 
@@ -40,6 +46,9 @@ Usage::
     python -m repro.cli update --size 1000 --delta changes.delta --packets 500
     python -m repro.cli lint --rules acl1k.rules --json
     python -m repro.cli lint --size 1000 --fail-on shadowed,conflict
+    python -m repro.cli fabric --switches 4 --topology line --packets 2000
+    python -m repro.cli fabric --switches 7 --topology fattree --vectorized \\
+        --packets 5000 --churn 8
 """
 
 from __future__ import annotations
@@ -337,6 +346,111 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_churn_victims(ruleset, count: int) -> List:
+    """Rules to churn through the fabric: prefer overlap-free singletons.
+
+    A singleton rule is its own placement component, so removing and
+    reinserting it moves exactly one rule on exactly its host switches —
+    churn measures the fabric update path, not a placement reshuffle.
+    """
+    from repro.analysis.depindex import DependencyIndex
+
+    rules = ruleset.rules()
+    if not rules:
+        raise ConfigurationError("cannot churn an empty rule set")
+    index = DependencyIndex(rules)
+    singles = [rule for rule in rules if not index.overlapping(rule)]
+    pool = singles or rules
+    return [pool[i % len(pool)] for i in range(count)]
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    """Simulate a multi-switch fabric serving an ingress-tagged flow trace."""
+    from dataclasses import replace
+
+    from repro.controller.fabric import FabricController, Topology
+    from repro.core.config import ClassifierConfig
+    from repro.rules.trace import generate_fabric_trace
+
+    if args.churn < 0:
+        raise ConfigurationError(f"churn count must be non-negative, got {args.churn}")
+    ruleset = _load_workload(args)
+    if args.topology == "line":
+        topology = Topology.line(args.switches)
+    else:
+        topology = Topology.fattree(args.switches)
+    config = ClassifierConfig().with_ip_algorithm(IpAlgorithm(args.ip_algorithm))
+    config = replace(config, combiner_mode=CombinerMode(args.combiner))
+    fabric = FabricController(
+        topology, config, fast=args.fast, vectorized=args.vectorized
+    )
+    fabric.install(ruleset)
+    plan = fabric.plan
+    trace = generate_fabric_trace(
+        ruleset,
+        topology.ingresses(),
+        count=args.packets,
+        seed=args.seed + 1,
+        flows=args.flows or 64,
+        popularity=args.flow_popularity,
+        churn=args.flow_churn_rate,
+    )
+    # Fabric churn commits in *pairs* (remove in one commit, reinsert in the
+    # next): a remove+reinsert staged in a single transaction diffs to empty
+    # per-switch deltas, since per-switch programs are content-compared.
+    segments = _split_segments(trace, args.churn + 1) if args.churn else [trace]
+    victims = _fabric_churn_victims(ruleset, (args.churn + 1) // 2)
+    packets = matched = hop_lookups = updates_applied = 0
+    for index, segment in enumerate(segments):
+        result = fabric.serve(segment, chunk_size=args.chunk_size)
+        packets += result.packets
+        matched += result.matched
+        hop_lookups += result.hop_lookups
+        if index < len(segments) - 1:
+            victim = victims[index // 2]
+            txn = fabric.begin()
+            if index % 2 == 0:
+                txn.remove(victim.rule_id)
+            else:
+                txn.insert(victim)
+            txn.commit()
+            updates_applied += 1
+    report = {
+        "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
+        "Topology": f"{topology.name} ({len(topology.switches)} switches, "
+                    f"{len(topology.ingresses())} ingresses)",
+        "Placement buckets (k)": plan.k,
+        "Rule slots installed": f"{plan.total_rule_slots} "
+                                f"(full replication: {len(ruleset) * len(topology.switches)})",
+        "Replication factor": f"{plan.replication_factor:.2f}",
+        "Largest switch program": plan.max_switch_rules,
+        "Packets served": packets,
+        "Hit ratio": f"{matched / packets:.3f}" if packets else "n/a",
+        "Per-hop lookups": hop_lookups,
+        "Fabric commits": fabric.commits,
+        "Rolled-back commits": fabric.rolled_back_commits,
+    }
+    if updates_applied:
+        report["Churn updates applied"] = updates_applied
+    if args.fast or args.vectorized:
+        report["Batch fast path"] = "on (vectorized)" if args.vectorized else "on"
+    print(format_kv(report, title="Fabric simulation"))
+    rows = []
+    for switch in fabric.switches():
+        rows.append(
+            {
+                "Switch": f"dp{switch.datapath_id}",
+                "Rules": switch.classifier.installed_rules,
+                "Lookups": switch.stats.packets_classified,
+                "Hits": switch.stats.packets_matched,
+                "Hit ratio": switch.stats.match_ratio,
+                "Version": switch.classifier.control.version,
+            }
+        )
+    print(format_table(rows, title="Per-switch accounting"))
+    return 0
+
+
 def _cmd_update(args: argparse.Namespace) -> int:
     """Apply a rule-delta file through the transactional control plane."""
     from repro.api.control import load_delta_file
@@ -602,6 +716,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload_arguments(sub_sweep)
     sub_sweep.set_defaults(func=_cmd_sweep)
+
+    sub_fabric = subparsers.add_parser(
+        "fabric",
+        help="simulate a multi-switch fabric: partitioned rule placement, "
+             "topology-wide transactional updates, per-switch serving",
+    )
+    sub_fabric.add_argument(
+        "--switches", type=int, default=4,
+        help="number of switches in the fabric",
+    )
+    sub_fabric.add_argument(
+        "--topology", choices=["line", "fattree"], default="line",
+        help="fabric shape: a linear chain, or a tiny 2-level fat-tree "
+             "(1 core + 2 aggregation + N-3 edge switches, needs N >= 5)",
+    )
+    sub_fabric.add_argument(
+        "--churn", type=int, default=0,
+        help="interleave N topology-wide transactional commits (paired "
+             "remove / reinsert of an installed rule) into the run",
+    )
+    sub_fabric.add_argument(
+        "--flows", type=int, default=0,
+        help="live flows of the ingress-tagged trace (default 64)",
+    )
+    sub_fabric.add_argument(
+        "--flow-popularity", choices=["zipf", "uniform"], default="zipf",
+        help="flow popularity distribution of the fabric trace",
+    )
+    sub_fabric.add_argument(
+        "--flow-churn-rate", type=float, default=0.0,
+        help="per-packet probability that one live flow dies and a fresh "
+             "flow (possibly at a different ingress) replaces it",
+    )
+    add_workload_arguments(sub_fabric)
+    sub_fabric.set_defaults(func=_cmd_fabric)
     return parser
 
 

@@ -12,11 +12,26 @@ software half:
 * :class:`~repro.controller.channel.ControlChannel` — ordered in-process
   message transport with byte accounting;
 * :mod:`~repro.controller.openflow` — the FlowMod/ConfigMod/Barrier/Stats
-  message vocabulary.
+  message vocabulary;
+* :mod:`~repro.controller.fabric` — the multi-switch fabric: topology +
+  shortest-path routing, overlap-component rule placement, topology-wide
+  transactional commits and per-switch parallel serving.
 """
 
 from repro.controller.channel import ChannelStats, ControlChannel
 from repro.controller.controller import ApplicationRequirements, PushReport, SdnController
+from repro.controller.fabric import (
+    FabricCommitError,
+    FabricController,
+    FabricPath,
+    FabricServeResult,
+    PlacementPlan,
+    SwitchCommit,
+    SwitchServeStats,
+    Topology,
+    commit_switch_deltas,
+    plan_placement,
+)
 from repro.controller.openflow import (
     BarrierReply,
     BarrierRequest,
@@ -51,4 +66,14 @@ __all__ = [
     "MessageType",
     "encode_message",
     "decode_message",
+    "Topology",
+    "FabricPath",
+    "PlacementPlan",
+    "plan_placement",
+    "FabricController",
+    "FabricCommitError",
+    "commit_switch_deltas",
+    "SwitchCommit",
+    "SwitchServeStats",
+    "FabricServeResult",
 ]

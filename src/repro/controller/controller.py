@@ -225,49 +225,46 @@ class SdnController:
         return report
 
     def sync_ruleset(self, datapath_id: int, target: RuleSet) -> PushReport:
-        """Converge one switch onto ``target`` with the minimal FlowMod delta.
+        """Converge one switch onto ``target`` with a minimal, *atomic* delta.
 
         Snapshots the device's versioned :class:`~repro.api.control.RuleProgram`,
         diffs it against the target rule set
-        (:meth:`~repro.api.control.RuleProgram.diff`) and pushes only the
-        resulting removals and insertions — the control-plane twin of a full
-        re-push, at incremental-update cost.  Rules already installed and
-        unchanged generate no traffic at all.
+        (:meth:`~repro.api.control.RuleProgram.diff`) and commits the
+        resulting removals and insertions as one transaction through the
+        fabric commit path (:func:`~repro.controller.fabric.commit_switch_deltas`
+        over a 1-switch fabric) — the whole delta lands or none of it does.
+        Rules already installed and unchanged generate no work at all; a
+        rejected delta reports every op as rejected and leaves the switch at
+        its pre-sync program version.
         """
         from repro.api.control import RuleProgram
+        from repro.controller.fabric import FabricCommitError, commit_switch_deltas
 
         switch = self.switch(datapath_id)
-        channel = self._channels[datapath_id]
-        current = switch.classifier.control.program()
+        plane = switch.classifier.control
+        current = plane.program()
         desired = RuleProgram(
             version=current.version,
             rules=tuple(target.rules()),
             config=current.config,  # sync moves rules, not the datapath config
         )
-        report = PushReport(datapath_id=datapath_id)
-        for op in current.diff(desired).ops:
-            if op.kind == "remove":
-                channel.send_to_switch(
-                    FlowMod(command=FlowModCommand.DELETE, rule_id=op.rule_id, xid=self._xid())
-                )
-            elif op.kind == "insert":
-                channel.send_to_switch(
-                    FlowMod(command=FlowModCommand.ADD, rule=op.rule, xid=self._xid())
-                )
-            report.requested += 1
-        switch.process_control_messages()
-        for reply in channel.drain_from_switch():
-            if not isinstance(reply, FlowModReply):
-                raise ControlPlaneError(f"unexpected reply during sync: {reply!r}")
-            if reply.success:
-                report.accepted += 1
-                report.total_update_cycles += reply.cycles
-                if reply.structural:
-                    report.structural_updates += 1
-            else:
-                report.rejected += 1
-                if reply.error:
-                    report.errors.append(reply.error)
+        delta = current.diff(desired)
+        report = PushReport(datapath_id=datapath_id, requested=len(delta.ops))
+        if not delta.ops:
+            return report
+        try:
+            (committed,) = commit_switch_deltas([(datapath_id, plane, delta)])
+        except FabricCommitError as exc:
+            report.rejected = report.requested
+            report.errors.append(str(exc))
+            switch.stats.flow_mods_failed += len(delta.ops)
+            return report
+        report.accepted = report.requested
+        report.total_update_cycles = committed.commit.update_cycles
+        report.structural_updates = sum(
+            1 for result in committed.commit.results if getattr(result, "structural", False)
+        )
+        switch.stats.flow_mods_applied += len(delta.ops)
         return report
 
     def remove_rule(self, datapath_id: int, rule_id: int) -> FlowModReply:

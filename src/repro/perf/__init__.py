@@ -53,7 +53,7 @@ from repro.perf.flowcache import (
     RecencyPredictor,
 )
 from repro.perf.lru import BoundedCache, LRUCache
-from repro.perf.parallel import ParallelSession, ReplicaSpec
+from repro.perf.parallel import ParallelSession, ReplicaSpec, merge_flow_cache_stats
 from repro.perf.transport import (
     ChunkDescriptor,
     SharedChunkRing,
@@ -71,6 +71,7 @@ __all__ = [
     "RecencyPredictor",
     "ParallelSession",
     "ReplicaSpec",
+    "merge_flow_cache_stats",
     "LRUCache",
     "BoundedCache",
     "SharedChunkRing",

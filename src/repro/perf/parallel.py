@@ -115,7 +115,37 @@ from repro.perf.transport import SharedChunkRing, read_chunk, shared_memory_avai
 from repro.rules.packet import PacketHeader
 from repro.rules.ruleset import RuleSet
 
-__all__ = ["ParallelSession", "ReplicaSpec"]
+__all__ = ["ParallelSession", "ReplicaSpec", "merge_flow_cache_stats"]
+
+
+def merge_flow_cache_stats(
+    parts: Sequence[Optional[Dict[str, object]]],
+) -> Optional[Dict[str, object]]:
+    """Merge per-replica (or per-switch) flow-cache stat dicts into one.
+
+    Counters sum, ``hit_rate`` is re-derived from the summed counters,
+    configuration fields come from the first part (pools are homogeneous),
+    and ``replicas`` sums the parts' own replica counts (a raw per-worker
+    dict counts as one) — so merging already-merged dicts nests correctly,
+    which is how the fabric combines per-switch sessions.  Returns ``None``
+    for an empty sequence.
+    """
+    parts = [part for part in parts if part is not None]
+    if not parts:
+        return None
+    merged = dict(parts[0])
+    summed = (
+        "entries", "lookups", "hits", "misses", "insertions",
+        "timeout_evictions", "capacity_evictions", "evictions",
+        "surgical_drops", "invalidations",
+    )
+    for key in summed:
+        merged[key] = sum(part[key] for part in parts)
+    merged["hit_rate"] = (
+        merged["hits"] / merged["lookups"] if merged["lookups"] else 0.0
+    )
+    merged["replicas"] = sum(part.get("replicas", 1) for part in parts)
+    return merged
 
 #: Bound of the parent-side Classification interning memo used to rehydrate
 #: compact process-backend feed() results (see :class:`_CompactChunk`).
@@ -1061,23 +1091,7 @@ class ParallelSession:
         flow cache.
         """
         self._check_open()
-        parts = [worker.flow_stats() for worker in self._workers]
-        parts = [part for part in parts if part is not None]
-        if not parts:
-            return None
-        merged = dict(parts[0])
-        summed = (
-            "entries", "lookups", "hits", "misses", "insertions",
-            "timeout_evictions", "capacity_evictions", "evictions",
-            "surgical_drops", "invalidations",
-        )
-        for key in summed:
-            merged[key] = sum(part[key] for part in parts)
-        merged["hit_rate"] = (
-            merged["hits"] / merged["lookups"] if merged["lookups"] else 0.0
-        )
-        merged["replicas"] = len(parts)
-        return merged
+        return merge_flow_cache_stats([worker.flow_stats() for worker in self._workers])
 
     def replica_details(self) -> Dict[str, object]:
         """Engine-specific details of replica 0 (``ClassifierStats.details``).

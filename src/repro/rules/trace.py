@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence, TypeVar
 
 from repro.exceptions import ExperimentError
 from repro.fields.range_utils import PORT_MAX
@@ -35,6 +35,8 @@ __all__ = [
     "generate_trace",
     "generate_uniform_trace",
     "generate_flow_churn_trace",
+    "generate_fabric_trace",
+    "FabricPacket",
     "TraceStats",
     "trace_stats",
 ]
@@ -132,6 +134,64 @@ def generate_trace(
     return trace
 
 
+class FabricPacket(NamedTuple):
+    """One fabric packet: the header plus the switch it enters the fabric at."""
+
+    ingress: int
+    header: PacketHeader
+
+
+_Flow = TypeVar("_Flow")
+
+
+def _validate_flow_parameters(
+    count: int, flows: int, popularity: str, zipf_exponent: float, churn: float, hit_ratio: float
+) -> None:
+    if count < 0:
+        raise ExperimentError(f"trace length must be non-negative, got {count}")
+    if flows <= 0:
+        raise ExperimentError(f"flow count must be positive, got {flows}")
+    if popularity not in ("zipf", "uniform"):
+        raise ExperimentError(
+            f"unknown flow popularity {popularity!r}; choose 'zipf' or 'uniform'"
+        )
+    if zipf_exponent <= 0.0:
+        raise ExperimentError(f"zipf_exponent must be positive, got {zipf_exponent}")
+    if not 0.0 <= churn < 1.0:
+        raise ExperimentError(f"churn must be in [0, 1), got {churn}")
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ExperimentError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+
+
+def _flow_population(
+    rng: random.Random,
+    count: int,
+    flows: int,
+    popularity: str,
+    zipf_exponent: float,
+    churn: float,
+    fresh_flow: Callable[[], _Flow],
+) -> List[_Flow]:
+    """Draw ``count`` packets from a churning flow population.
+
+    The RNG call order here is the contract: seeded single-switch traces
+    (:func:`generate_flow_churn_trace`) predate this helper and must keep
+    producing byte-identical streams.
+    """
+    live = [fresh_flow() for _ in range(flows)]
+    if popularity == "zipf":
+        weights = [1.0 / (rank ** zipf_exponent) for rank in range(1, flows + 1)]
+    else:
+        weights = [1.0] * flows
+    cum_weights = list(itertools.accumulate(weights))
+    trace: List[_Flow] = []
+    for _ in range(count):
+        if churn and rng.random() < churn:
+            live[rng.randrange(flows)] = fresh_flow()
+        trace.append(rng.choices(live, cum_weights=cum_weights)[0])
+    return trace
+
+
 def generate_flow_churn_trace(
     ruleset: RuleSet,
     count: int,
@@ -161,20 +221,7 @@ def generate_flow_churn_trace(
     hit-biased like :func:`generate_trace` (``hit_ratio``).  Deterministic
     given ``seed``.
     """
-    if count < 0:
-        raise ExperimentError(f"trace length must be non-negative, got {count}")
-    if flows <= 0:
-        raise ExperimentError(f"flow count must be positive, got {flows}")
-    if popularity not in ("zipf", "uniform"):
-        raise ExperimentError(
-            f"unknown flow popularity {popularity!r}; choose 'zipf' or 'uniform'"
-        )
-    if zipf_exponent <= 0.0:
-        raise ExperimentError(f"zipf_exponent must be positive, got {zipf_exponent}")
-    if not 0.0 <= churn < 1.0:
-        raise ExperimentError(f"churn must be in [0, 1), got {churn}")
-    if not 0.0 <= hit_ratio <= 1.0:
-        raise ExperimentError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+    _validate_flow_parameters(count, flows, popularity, zipf_exponent, churn, hit_ratio)
     rules = ruleset.rules()
     if hit_ratio > 0.0 and not rules:
         raise ExperimentError("cannot generate a hit-biased trace from an empty rule set")
@@ -185,18 +232,46 @@ def generate_flow_churn_trace(
             return _random_point_in_rule(rng, rng.choice(rules))
         return _random_header(rng)
 
-    live = [fresh_flow() for _ in range(flows)]
-    if popularity == "zipf":
-        weights = [1.0 / (rank ** zipf_exponent) for rank in range(1, flows + 1)]
-    else:
-        weights = [1.0] * flows
-    cum_weights = list(itertools.accumulate(weights))
-    trace: List[PacketHeader] = []
-    for _ in range(count):
-        if churn and rng.random() < churn:
-            live[rng.randrange(flows)] = fresh_flow()
-        trace.append(rng.choices(live, cum_weights=cum_weights)[0])
-    return trace
+    return _flow_population(rng, count, flows, popularity, zipf_exponent, churn, fresh_flow)
+
+
+def generate_fabric_trace(
+    ruleset: RuleSet,
+    ingresses: Sequence[int],
+    count: int,
+    seed: int = 99,
+    flows: int = 64,
+    popularity: str = "zipf",
+    zipf_exponent: float = 1.2,
+    churn: float = 0.0,
+    hit_ratio: float = 0.9,
+) -> List[FabricPacket]:
+    """Generate an ingress-switch-tagged flow trace for a multi-switch fabric.
+
+    Same churning flow population as :func:`generate_flow_churn_trace`, but
+    each *flow* is pinned to the ingress switch it entered the fabric at —
+    every packet of a flow arrives at the same switch, the way a host's
+    traffic always enters through its edge switch.  ``ingresses`` are the
+    candidate ingress datapath ids (typically
+    :meth:`Topology.ingresses <repro.controller.fabric.Topology.ingresses>`).
+    Deterministic given ``seed``.
+    """
+    if not ingresses:
+        raise ExperimentError("fabric trace needs at least one ingress switch")
+    _validate_flow_parameters(count, flows, popularity, zipf_exponent, churn, hit_ratio)
+    rules = ruleset.rules()
+    if hit_ratio > 0.0 and not rules:
+        raise ExperimentError("cannot generate a hit-biased trace from an empty rule set")
+    rng = random.Random(seed)
+    ingress_pool = list(ingresses)
+
+    def fresh_flow() -> FabricPacket:
+        ingress = rng.choice(ingress_pool)
+        if rules and rng.random() < hit_ratio:
+            return FabricPacket(ingress, _random_point_in_rule(rng, rng.choice(rules)))
+        return FabricPacket(ingress, _random_header(rng))
+
+    return _flow_population(rng, count, flows, popularity, zipf_exponent, churn, fresh_flow)
 
 
 def generate_uniform_trace(count: int, seed: int = 99) -> List[PacketHeader]:

@@ -13,10 +13,13 @@ import os
 import random
 from typing import List, Tuple
 
+from repro.controller.fabric import Topology
 from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.rules.trace import (
+    FabricPacket,
+    generate_fabric_trace,
     generate_flow_churn_trace,
     generate_trace,
     generate_uniform_trace,
@@ -76,6 +79,36 @@ def build_scenario_trace(
             churn=0.05,
         )
     raise ValueError(f"unknown trace shape {shape!r}; choose from {TRACE_SHAPES}")
+
+
+def build_fabric_topology(kind: str, switches: int) -> Topology:
+    """One of the canonical fabric shapes the battery sweeps."""
+    if kind == "line":
+        return Topology.line(switches)
+    if kind == "fattree":
+        return Topology.fattree(switches)
+    raise ValueError(f"unknown topology kind {kind!r}; choose 'line' or 'fattree'")
+
+
+def build_fabric_trace(
+    ruleset: RuleSet, topology: Topology, count: int, seed: int
+) -> List[FabricPacket]:
+    """Deterministic ingress-tagged trace over a fabric's ingress switches.
+
+    Mirrors the ``zipf_churn`` single-switch shape — skewed flow popularity
+    with 5% per-packet churn — so the fabric battery stresses the same
+    flow dynamics the flow-cache battery does, with each flow pinned to one
+    ingress switch for its lifetime.
+    """
+    return generate_fabric_trace(
+        ruleset,
+        topology.ingresses(),
+        count,
+        seed=seed,
+        flows=max(8, count // 10),
+        popularity="zipf",
+        churn=0.05,
+    )
 
 
 def build_mutation_schedule(

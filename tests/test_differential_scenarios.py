@@ -35,6 +35,8 @@ from repro.rules.ruleset import RuleSet
 from diff_scenarios import (
     DIFFERENTIAL_SEED,
     TRACE_SHAPES,
+    build_fabric_topology,
+    build_fabric_trace,
     build_mutation_schedule,
 )
 
@@ -592,6 +594,163 @@ def test_flowcache_mutation_interleaved_paths_agree(path, flowcache_mutation_sce
         return (record.rule_id, record.priority, record.action, record.truncated)
 
     assert [semantic(r) for r in observed] == [semantic(r) for r in reference]
+
+
+# ---------------------------------------------------------------------------
+# Fabric column: the partitioned multi-switch fabric against the single-switch
+# linear oracle, across every in-process backend.  Placement splits the rule
+# program across switches, so the battery's claim is strong: the *distributed*
+# lookup (best per-hop match along each packet's routed path) is semantically
+# identical to one switch holding the whole program.
+# ---------------------------------------------------------------------------
+
+from repro.controller.fabric import FabricController  # noqa: E402
+
+#: flavor x topology shape x switch count; every backend replays each one.
+FABRIC_SCENARIOS = [
+    ("acl", "line", 4),
+    ("fw", "line", 6),
+    ("ipc", "fattree", 7),
+]
+
+FABRIC_BACKENDS = ("per_packet", "fast", "vectorized")
+
+FABRIC_PACKETS = 240
+
+
+def _fabric_id(scenario) -> str:
+    flavor, kind, switches = scenario
+    return f"{flavor}-{kind}{switches}"
+
+
+def _fabric_backend_options(backend: str) -> dict:
+    return {"fast": backend == "fast", "vectorized": backend == "vectorized"}
+
+
+def _fabric_semantic(record):
+    """The fabric-wide decision: cost counters are per-hop and excluded."""
+    return (record.rule_id, record.priority, record.action, record.truncated)
+
+
+@pytest.fixture(scope="module")
+def fabric_reference(differential_scenario):
+    """Per-scenario fabric workload + single-switch oracle, built once."""
+    cache = {}
+
+    def build(flavor: str, kind: str, switches: int):
+        key = (flavor, kind, switches)
+        if key not in cache:
+            ruleset, _ = differential_scenario(flavor, "mixed")
+            topology = build_fabric_topology(kind, switches)
+            trace = build_fabric_trace(
+                ruleset, topology, FABRIC_PACKETS, DIFFERENTIAL_SEED + 17
+            )
+            truth = [
+                match.rule_id
+                if (match := ruleset.highest_priority_match(p.header))
+                else None
+                for p in trace
+            ]
+            oracle = create_classifier("configurable", ruleset)
+            reference = [
+                _fabric_semantic(oracle.classify(packet.header)) for packet in trace
+            ]
+            cache[key] = (ruleset, topology, trace, truth, reference)
+        return cache[key]
+
+    return build
+
+
+@pytest.mark.fabric
+@pytest.mark.parametrize("backend", FABRIC_BACKENDS)
+@pytest.mark.parametrize("scenario", FABRIC_SCENARIOS, ids=_fabric_id)
+def test_fabric_matches_single_switch_oracle(scenario, backend, fabric_reference):
+    """Placed fabric == full-program single switch, on every backend."""
+    flavor, kind, switches = scenario
+    ruleset, topology, trace, truth, reference = fabric_reference(flavor, kind, switches)
+    fabric = FabricController(topology, **_fabric_backend_options(backend))
+    fabric.install(ruleset)
+
+    # The program really is partitioned, not replicated per switch.
+    if topology.min_path_length > 1:
+        assert fabric.plan.max_switch_rules < len(ruleset)
+        assert fabric.plan.replication_factor < len(topology.switches)
+
+    result = fabric.serve(trace)
+    assert [r.rule_id for r in result.results] == truth
+    assert [_fabric_semantic(r) for r in result.results] == reference
+
+    # Per-switch accounting adds up to exactly one lookup per path hop.
+    assert result.hop_lookups == sum(
+        len(topology.route_path(p.ingress)) for p in trace
+    )
+    assert result.hop_lookups == sum(s.packets for s in result.per_switch.values())
+    assert result.session.packets == result.hop_lookups
+    assert result.matched == sum(1 for rid in truth if rid is not None)
+    assert fabric.partial_commits == 0
+
+
+@pytest.mark.fabric
+@pytest.mark.parametrize("scenario", FABRIC_SCENARIOS, ids=_fabric_id)
+def test_fabric_backends_agree(scenario, fabric_reference):
+    """All three fabric backends produce identical fabric-wide decisions."""
+    flavor, kind, switches = scenario
+    ruleset, topology, trace, _, _ = fabric_reference(flavor, kind, switches)
+    decisions = []
+    for backend in FABRIC_BACKENDS:
+        fabric = FabricController(topology, **_fabric_backend_options(backend))
+        fabric.install(ruleset)
+        result = fabric.serve(trace)
+        decisions.append([_fabric_semantic(r) for r in result.results])
+    assert decisions[0] == decisions[1] == decisions[2]
+
+
+@pytest.mark.fabric
+@pytest.mark.mutation
+def test_fabric_mutation_interleaved_matches_oracle(differential_scenario):
+    """The mutation schedule replayed fabric-wide stays on the linear oracle.
+
+    Every commit re-plans placement and converges the switches
+    transactionally; between commits the fabric must serve exactly what a
+    single switch replaying the same schedule would.
+    """
+    ruleset, _ = differential_scenario("acl", "mixed")
+    topology = build_fabric_topology("line", 4)
+    trace = build_fabric_trace(ruleset, topology, FABRIC_PACKETS, DIFFERENTIAL_SEED + 23)
+    chunks = [
+        trace[i : i + MUTATION_CHUNK] for i in range(0, len(trace), MUTATION_CHUNK)
+    ]
+    initial, schedule = build_mutation_schedule(
+        ruleset, boundaries=len(chunks) - 1, seed=DIFFERENTIAL_SEED + 29
+    )
+
+    # Linear-search oracle over the identical schedule.
+    current = {rule.rule_id: rule for rule in initial}
+    oracle: List[Optional[int]] = []
+    for index, chunk in enumerate(chunks):
+        ordered = sorted(current.values(), key=lambda rule: rule.priority)
+        for packet in chunk:
+            hit = next((rule for rule in ordered if rule.matches(packet.header)), None)
+            oracle.append(hit.rule_id if hit else None)
+        if index < len(schedule):
+            for kind, payload in schedule[index]:
+                if kind == "insert":
+                    current[payload.rule_id] = payload
+                elif kind == "remove":
+                    del current[payload]
+
+    fabric = FabricController(topology, fast=True)
+    fabric.install(RuleSet(initial, name="fabric-mutation-initial"))
+    observed: List[Optional[int]] = []
+    for index, chunk in enumerate(chunks):
+        result = fabric.serve(chunk)
+        observed.extend(record.rule_id for record in result.results)
+        if index < len(schedule):
+            fabric.begin().extend(_schedule_delta(schedule[index])).commit()
+    assert observed == oracle
+    assert fabric.commits == 1 + len(schedule)
+    assert fabric.rolled_back_commits == 0
+    assert fabric.partial_commits == 0
 
 
 @pytest.mark.parametrize("scenario", ASYNC_SCENARIOS, ids=_scenario_id)

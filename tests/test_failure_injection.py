@@ -120,3 +120,149 @@ class TestSwitchErrorHandling:
         controller.push_ruleset(1, handcrafted_ruleset)  # all rejected as duplicates
         result = switch.classify(web_packet)
         assert result.rule_id == 0
+
+
+# ---------------------------------------------------------------------------
+# Fabric fault injection: mid-commit switch failures and poisoned replicas.
+# ---------------------------------------------------------------------------
+
+
+def _fabric_disjoint_rule(rule_id: int) -> Rule:
+    low = rule_id * 100
+    return Rule.build(rule_id=rule_id, priority=rule_id, dst_port=f"{low}:{low + 99}")
+
+
+@pytest.mark.fabric
+class TestFabricCommitFailure:
+    """A switch rejecting its delta mid-commit must leave *every* switch at
+    its pre-commit ``program_version`` — the all-or-nothing guarantee."""
+
+    def _poisoned_fabric(self):
+        """A line(3) fabric where switch 2 rejects inserts of rule 7.
+
+        With six disjoint rules installed, placement is two singleton
+        buckets — ids (0, 2, 4) hosted on switches 0 and 1, ids (1, 3, 5)
+        on switch 2 — so one transaction inserting rules 6 and 7 commits
+        switches 0 and 1 first (ascending dpid order) before switch 2
+        rejects rule 7: the rollback path genuinely has work to undo.
+        """
+        from repro.controller.fabric import FabricController, Topology
+
+        fabric = FabricController(Topology.line(3))
+        fabric.install(RuleSet([_fabric_disjoint_rule(i) for i in range(6)], name="seed"))
+        assert fabric.plan.groups == ((0, 2, 4), (1, 3, 5))
+        assert fabric.plan.hosts == ((0, 1), (2,))
+        victim = fabric.switch(2).classifier
+        real_insert = victim.update_engine.insert_rule
+
+        def poisoned(rule, *args, **kwargs):
+            if rule.rule_id == 7:
+                raise UpdateError("injected: switch 2 refuses rule 7")
+            return real_insert(rule, *args, **kwargs)
+
+        victim.update_engine.insert_rule = poisoned
+        return fabric, victim, real_insert
+
+    def test_mid_commit_failure_restores_every_switch(self):
+        from repro.controller.fabric import FabricCommitError
+
+        fabric, victim, real_insert = self._poisoned_fabric()
+        versions = {
+            s.datapath_id: s.classifier.control.version for s in fabric.switches()
+        }
+        programs = {
+            s.datapath_id: s.classifier.control.program().rules
+            for s in fabric.switches()
+        }
+        fabric_version = fabric.version
+
+        with pytest.raises(FabricCommitError) as excinfo:
+            fabric.begin().insert(_fabric_disjoint_rule(6)).insert(
+                _fabric_disjoint_rule(7)
+            ).commit()
+
+        error = excinfo.value
+        assert error.failed_switch == 2
+        assert error.rolled_back == (1, 0)  # undone in reverse commit order
+        assert error.rollback_failures == ()
+        # Every switch is back at its pre-commit program version and content.
+        for switch in fabric.switches():
+            dpid = switch.datapath_id
+            assert switch.classifier.control.version == versions[dpid]
+            assert switch.classifier.control.program().rules == programs[dpid]
+        assert fabric.version == fabric_version
+        assert 6 not in {r.rule_id for r in fabric.program().rules}
+        assert fabric.rolled_back_commits == 1
+        assert fabric.partial_commits == 0
+
+        # The fabric is not wedged: unpoison and the same transaction lands.
+        victim.update_engine.insert_rule = real_insert
+        fabric.begin().insert(_fabric_disjoint_rule(6)).insert(
+            _fabric_disjoint_rule(7)
+        ).commit()
+        assert {6, 7} <= {r.rule_id for r in fabric.program().rules}
+        assert fabric.rolled_back_commits == 1  # unchanged
+
+    def test_first_switch_failure_rolls_back_nothing(self):
+        from repro.controller.fabric import FabricCommitError, FabricController, Topology
+
+        fabric = FabricController(Topology.line(3))
+        fabric.install(RuleSet([_fabric_disjoint_rule(i) for i in range(6)], name="seed"))
+        first = fabric.switch(0).classifier
+
+        def always_fails(rule, *args, **kwargs):
+            raise UpdateError("injected: switch 0 is down")
+
+        first.update_engine.insert_rule = always_fails
+        with pytest.raises(FabricCommitError) as excinfo:
+            fabric.begin().insert(_fabric_disjoint_rule(6)).commit()
+        assert excinfo.value.failed_switch == 0
+        assert excinfo.value.rolled_back == ()
+        assert fabric.rolled_back_commits == 1
+        assert fabric.partial_commits == 0
+
+
+@pytest.mark.fabric
+class TestFabricServeFailure:
+    """A switch failing mid-serve cancels the whole serve with no partial
+    statistics — the data-plane analogue of the commit guarantee."""
+
+    def _served_fabric(self):
+        from repro.controller.fabric import FabricController, Topology
+        from repro.rules.classbench import ClassBenchGenerator, FilterFlavor
+        from repro.rules.trace import generate_fabric_trace
+
+        ruleset = ClassBenchGenerator(FilterFlavor.ACL, seed=11).generate(60)
+        topology = Topology.line(3)
+        fabric = FabricController(topology)
+        fabric.install(ruleset)
+        trace = generate_fabric_trace(ruleset, topology.ingresses(), 90, seed=12)
+        return fabric, trace
+
+    def test_poisoned_switch_aborts_serve_without_partial_stats(self):
+        fabric, trace = self._served_fabric()
+
+        poisoned = fabric.switch(2).classifier
+
+        def explode(chunk, *args, **kwargs):
+            raise RuntimeError("injected: switch 2 lost its datapath")
+
+        original = poisoned.classify_batch
+        poisoned.classify_batch = explode
+        with pytest.raises(RuntimeError, match="injected"):
+            fabric.serve(trace)
+        # No switch recorded any share of the cancelled serve.
+        for switch in fabric.switches():
+            assert switch.stats.packets_classified == 0
+            assert switch.stats.packets_matched == 0
+
+        # Un-poison: the identical trace then serves fully and consistently.
+        poisoned.classify_batch = original
+        result = fabric.serve(trace)
+        assert result.packets == len(trace)
+        total_lookups = sum(s.packets for s in result.per_switch.values())
+        assert total_lookups == result.hop_lookups
+        for switch in fabric.switches():
+            expected = result.per_switch[switch.datapath_id]
+            assert switch.stats.packets_classified == expected.packets
+            assert switch.stats.packets_matched == expected.hits

@@ -16,9 +16,11 @@ These tests target the invariants the architecture's correctness rests on:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.controller.fabric import Topology, plan_placement
 from repro.core.classifier import ConfigurableClassifier
 from repro.core.config import ClassifierConfig, IpAlgorithm
 from repro.fields.binary_search_tree import BinarySearchTree
@@ -409,3 +411,94 @@ class TestRuleOverlapProperties:
         assert not left.overlaps(right)
         assert (left.low, right.high) == (prefix.low, prefix.high)
         assert left.high + 1 == right.low
+
+
+# -- fabric placement properties --------------------------------------------------
+
+
+@st.composite
+def topologies(draw):
+    kind = draw(st.sampled_from(["line", "fattree"]))
+    if kind == "line":
+        return Topology.line(draw(st.integers(min_value=1, max_value=6)))
+    return Topology.fattree(draw(st.integers(min_value=5, max_value=9)))
+
+
+@pytest.mark.fabric
+class TestFabricPlacementProperties:
+    """The invariants the fabric's exactness proof rests on: every served
+    path covers the whole program, overlapping rules are always co-located
+    (same host switches, original priorities), and per-switch subsets are
+    the original rules — never renumbered copies."""
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(), topologies())
+    def test_every_path_union_covers_the_program(self, ruleset, topology):
+        plan = plan_placement(tuple(ruleset.rules()), topology)
+        everything = {rule.rule_id for rule in ruleset.rules()}
+        for path in topology.served_paths():
+            covered = set()
+            for dpid in path.hops:
+                covered.update(rule.rule_id for rule in plan.rules_for(dpid))
+            assert covered == everything
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(), topologies(), st.lists(packets(), min_size=1, max_size=6))
+    def test_best_match_along_any_path_is_exact(self, ruleset, topology, packet_list):
+        """min-priority match over the per-hop subsets == global HPMR."""
+        plan = plan_placement(tuple(ruleset.rules()), topology)
+        for packet in packet_list:
+            truth = ruleset.highest_priority_match(packet)
+            for path in topology.served_paths():
+                hits = [
+                    rule
+                    for dpid in path.hops
+                    for rule in plan.rules_for(dpid)
+                    if rule.matches(packet)
+                ]
+                best = min(hits, key=lambda r: (r.priority, r.rule_id), default=None)
+                if truth is None:
+                    assert best is None
+                else:
+                    assert best is not None
+                    assert best.rule_id == truth.rule_id
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(), topologies())
+    def test_overlapping_rules_are_colocated_priority_intact(self, ruleset, topology):
+        """No switch ever holds one half of an overlap without the other,
+        and no switch holds two overlapping rules with their relative
+        priority inverted (subsets preserve the original priorities)."""
+        rules_tuple = tuple(ruleset.rules())
+        plan = plan_placement(rules_tuple, topology)
+        for a in rules_tuple:
+            for b in rules_tuple:
+                if a.rule_id >= b.rule_id or not a.overlaps(b):
+                    continue
+                assert plan.switches_for_rule(a.rule_id) == plan.switches_for_rule(
+                    b.rule_id
+                )
+        global_priority = {rule.rule_id: rule.priority for rule in rules_tuple}
+        for subset in plan.switch_rules.values():
+            for i, first in enumerate(subset):
+                for second in subset[i + 1 :]:
+                    if not first.overlaps(second):
+                        continue
+                    assert (first.priority < second.priority) == (
+                        global_priority[first.rule_id]
+                        < global_priority[second.rule_id]
+                    )
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(rulesets(), topologies())
+    def test_subsets_are_the_original_rules(self, ruleset, topology):
+        by_id = {rule.rule_id: rule for rule in ruleset.rules()}
+        plan = plan_placement(tuple(ruleset.rules()), topology)
+        placed_slots = 0
+        for subset in plan.switch_rules.values():
+            for rule in subset:
+                assert rule == by_id[rule.rule_id]
+                placed_slots += 1
+        assert placed_slots == plan.total_rule_slots
+        for rule_id in by_id:
+            assert plan.switches_for_rule(rule_id)  # every rule is hosted somewhere
