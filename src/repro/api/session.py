@@ -38,11 +38,10 @@ def iter_chunks(
 ) -> Iterator[List[PacketHeader]]:
     """Lazily batch an iterable into ``size``-packet chunks (tail included).
 
-    The chunker behind every synchronous streaming runner
-    (:class:`ClassificationSession` and
-    :class:`~repro.perf.parallel.ParallelSession`).  The async dispatch path
-    mirrors this flush rule in ``_aiter_chunks``
-    (:mod:`repro.perf.parallel`) for async iterables — change the two in
+    The chunker behind the synchronous streaming runner
+    (:class:`ClassificationSession`).  The dispatch chunkers of
+    :mod:`repro.perf.parallel` (``_iter_dispatch_chunks`` and its async
+    twin) mirror this flush rule for header streams — change them in
     lock-step.
     """
     chunk: List[PacketHeader] = []

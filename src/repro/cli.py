@@ -26,7 +26,17 @@ Provides one subcommand per experiment (``table1`` ... ``table7``, ``fig3`` ...
   ``line`` or ``fattree`` topology, serve an ingress-tagged flow trace
   through per-switch parallel sessions and report placement + per-switch hit
   accounting; ``--churn N`` interleaves N topology-wide transactional
-  commits (paired remove / reinsert) into the run.
+  commits (paired remove / reinsert) into the run;
+* ``import`` — translate an iptables-save dump (:mod:`repro.io.iptables`)
+  into a ClassBench filter file usable by every other subcommand;
+* ``export`` — render any filter file or synthetic workload as a loadable
+  iptables-save dump, reporting every rewrite the format forces;
+* ``replay`` — stream a pcap capture file (:mod:`repro.io.pcap`) through a
+  classifier on the zero-allocation packed-chunk path and report session
+  statistics plus frame accounting.
+
+``classify`` and ``fabric`` also accept ``--trace capture.pcap`` to serve a
+real capture instead of a generated trace.
 
 Usage::
 
@@ -49,6 +59,12 @@ Usage::
     python -m repro.cli fabric --switches 4 --topology line --packets 2000
     python -m repro.cli fabric --switches 7 --topology fattree --vectorized \\
         --packets 5000 --churn 8
+    python -m repro.cli import firewall.rules --output fw.rules
+    python -m repro.cli export --rules acl1k.rules --output acl1k.iptables
+    python -m repro.cli replay capture.pcap --rules acl1k.rules --fast \\
+        --workers 4
+    python -m repro.cli classify --size 1000 --trace capture.pcap
+    python -m repro.cli fabric --switches 4 --trace capture.pcap
 """
 
 from __future__ import annotations
@@ -148,6 +164,37 @@ def _load_workload(args: argparse.Namespace):
     return generate_ruleset(FilterFlavor(args.flavor), args.size, seed=args.seed)
 
 
+def _load_trace_file(args: argparse.Namespace):
+    """Materialise ``--trace`` as headers; returns (trace, PcapStats).
+
+    Used where the run needs a random-access trace (churn segmentation,
+    ingress tagging).  ``replay`` streams packed chunks instead and never
+    materialises anything.
+    """
+    from repro.io.pcap import PcapStats, read_pcap
+
+    if getattr(args, "flows", 0):
+        raise ConfigurationError(
+            "--flows synthesises a flow-structured trace; it cannot be "
+            "combined with --trace (the capture already fixes the flows)"
+        )
+    stats = PcapStats()
+    trace = read_pcap(args.trace, ports=args.trace_ports, stats=stats)
+    if not trace:
+        raise ConfigurationError(
+            f"{args.trace}: capture contains no classifiable IPv4 packets "
+            f"({stats.skipped} non-IP frames skipped, {stats.truncated} truncated)"
+        )
+    return trace, stats
+
+
+def _describe_trace(path: str, stats) -> str:
+    return (
+        f"{path} ({stats.packets} packets, {stats.skipped} non-IP skipped, "
+        f"{stats.truncated} truncated)"
+    )
+
+
 def _classifier_options(name: str, args: argparse.Namespace, strict_fast: bool) -> dict:
     """Factory options for ``name``, policing the perf flags for baselines.
 
@@ -240,7 +287,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     if args.churn < 0:
         raise ConfigurationError(f"churn count must be non-negative, got {args.churn}")
     ruleset = _load_workload(args)
-    if args.flows:
+    trace_stats = None
+    if args.trace:
+        trace, trace_stats = _load_trace_file(args)
+    elif args.flows:
         # A flow-structured trace (repeating 5-tuples, Zipf or uniform
         # popularity with flow churn) — the workload the exact-match flow
         # cache serves.
@@ -310,6 +360,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         "Avg memory accesses / packet": f"{stats.average_memory_accesses:.1f}",
         "Structure memory": f"{stats.memory_megabits:.2f} Mbit",
     }
+    if trace_stats is not None:
+        report["Trace file"] = _describe_trace(args.trace, trace_stats)
     if parallel:
         report["Worker replicas"] = args.workers
         report["Worker backend"] = args.backend
@@ -386,15 +438,21 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     )
     fabric.install(ruleset)
     plan = fabric.plan
-    trace = generate_fabric_trace(
-        ruleset,
-        topology.ingresses(),
-        count=args.packets,
-        seed=args.seed + 1,
-        flows=args.flows or 64,
-        popularity=args.flow_popularity,
-        churn=args.flow_churn_rate,
-    )
+    trace_stats = None
+    if args.trace:
+        # Real captures carry no ingress tags; serve() assigns each header a
+        # deterministic, flow-affine ingress (assign_ingresses).
+        trace, trace_stats = _load_trace_file(args)
+    else:
+        trace = generate_fabric_trace(
+            ruleset,
+            topology.ingresses(),
+            count=args.packets,
+            seed=args.seed + 1,
+            flows=args.flows or 64,
+            popularity=args.flow_popularity,
+            churn=args.flow_churn_rate,
+        )
     # Fabric churn commits in *pairs* (remove in one commit, reinsert in the
     # next): a remove+reinsert staged in a single transaction diffs to empty
     # per-switch deltas, since per-switch programs are content-compared.
@@ -430,6 +488,8 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         "Fabric commits": fabric.commits,
         "Rolled-back commits": fabric.rolled_back_commits,
     }
+    if trace_stats is not None:
+        report["Trace file"] = _describe_trace(args.trace, trace_stats)
     if updates_applied:
         report["Churn updates applied"] = updates_applied
     if args.fast or args.vectorized:
@@ -547,6 +607,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    """Translate an iptables-save dump into a ClassBench filter file."""
+    from repro.io.iptables import load_iptables_file
+
+    ruleset = load_iptables_file(args.input)
+    lines = dump_classbench_file(ruleset, args.output, include_action=True)
+    tagged = sum(
+        1 for rule in ruleset.rules() if "source_rule_id" in rule.metadata
+    )
+    report = {
+        "Input": args.input,
+        "Rules imported": len(ruleset),
+        "Lines written": f"{len(lines)} -> {args.output}",
+        "rid-tagged rules": tagged,
+    }
+    print(format_kv(report, title="iptables import"))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Render a filter file / synthetic workload as loadable iptables-save."""
+    from repro.io.iptables import dump_iptables_file
+
+    ruleset = _load_workload(args)
+    export = dump_iptables_file(
+        ruleset, args.output, chain=args.chain, mode=args.mode
+    )
+    report = {
+        "Rule set": f"{ruleset.name} ({export.rules_in} rules)",
+        "Output": f"{args.output} (chain {args.chain})",
+        "iptables rules written": export.lines_out,
+        "Expanded rules": len(export.expanded),
+        "Fidelity": (
+            "exact over realizable packets"
+            if export.exact
+            else f"{len(export.notes)} semantic note(s) below"
+        ),
+    }
+    print(format_kv(report, title="iptables export"))
+    for note in export.notes:
+        print(f"  * rule {note.rule_id} [{note.category}]: {note.detail}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Stream a pcap capture through a classifier on the packed-chunk path."""
+    from repro.io.pcap import PcapStats, read_pcap_packed
+    from repro.perf import ParallelSession, ReplicaSpec
+
+    if args.workers < 1:
+        raise ConfigurationError(f"worker count must be positive, got {args.workers}")
+    ruleset = _load_workload(args)
+    spec = ReplicaSpec(
+        args.classifier, ruleset, _classifier_options(args.classifier, args, True)
+    )
+    trace_stats = PcapStats()
+    # The zero-allocation path: 5-tuples pack straight into 104-bit chunk
+    # words; workers are the first place a PacketHeader exists.
+    chunks = read_pcap_packed(
+        args.trace,
+        chunk_size=args.chunk_size,
+        ports=args.trace_ports,
+        stats=trace_stats,
+    )
+    with ParallelSession.from_factory(
+        spec,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        backend=args.backend,
+        transport=args.transport,
+    ) as session:
+        stats = session.run(chunks)
+        transport = session.transport
+    report = {
+        "Rule set": f"{ruleset.name} ({len(ruleset)} rules)",
+        "Trace file": _describe_trace(args.trace, trace_stats),
+        "Port extraction": args.trace_ports,
+        "Classifier": stats.classifier,
+        "Packets classified": stats.packets,
+        "Chunks streamed": stats.chunks,
+        "Hit ratio": f"{stats.hit_ratio:.3f}",
+        "Avg memory accesses / packet": f"{stats.average_memory_accesses:.1f}",
+        "Worker replicas": args.workers,
+        "Worker backend": args.backend,
+        "Chunk transport": transport,
+    }
+    print(format_kv(report, title="Capture replay"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -570,12 +720,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub_generate.add_argument("--output", required=True)
     sub_generate.set_defaults(func=_cmd_generate)
 
-    def add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+    def add_workload_arguments(
+        sub: argparse.ArgumentParser, packets: bool = True
+    ) -> None:
         sub.add_argument("--rules", default=None, help="ClassBench filter file (optional)")
         sub.add_argument("--flavor", choices=[f.value for f in FilterFlavor], default="acl")
         sub.add_argument("--size", type=int, default=1000)
         sub.add_argument("--seed", type=int, default=2014)
-        sub.add_argument("--packets", type=int, default=200)
+        if packets:
+            sub.add_argument("--packets", type=int, default=200)
         sub.add_argument("--chunk-size", type=int, default=256,
                          help="streaming session chunk size")
         sub.add_argument(
@@ -595,6 +748,25 @@ def build_parser() -> argparse.ArgumentParser:
             "--combiner", choices=[m.value for m in CombinerMode], default="cross_product",
             help="label combination mode (configurable classifier only)",
         )
+
+    def add_trace_port_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-ports", choices=["transport", "word"], default="transport",
+            dest="trace_ports",
+            help="pcap port extraction: real L4 ports for port-bearing "
+                 "protocols (transport) or the first 4 bytes after the IP "
+                 "header unconditionally (word, hardware-extractor "
+                 "semantics)",
+        )
+
+    def add_trace_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace", default=None,
+            help="serve a pcap capture file instead of a generated trace "
+                 "(--packets and --flows do not apply; the capture fixes "
+                 "the workload)",
+        )
+        add_trace_port_argument(sub)
 
     sub_classify = subparsers.add_parser(
         "classify", help="classify a trace with any registered classifier"
@@ -663,6 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
              "trace dies and a fresh flow replaces it",
     )
     add_workload_arguments(sub_classify)
+    add_trace_arguments(sub_classify)
     sub_classify.set_defaults(func=_cmd_classify)
 
     sub_update = subparsers.add_parser(
@@ -750,7 +923,71 @@ def build_parser() -> argparse.ArgumentParser:
              "flow (possibly at a different ingress) replaces it",
     )
     add_workload_arguments(sub_fabric)
+    add_trace_arguments(sub_fabric)
     sub_fabric.set_defaults(func=_cmd_fabric)
+
+    sub_import = subparsers.add_parser(
+        "import",
+        help="translate an iptables-save dump into a ClassBench filter file",
+    )
+    sub_import.add_argument(
+        "input",
+        help="iptables-save dump (the output of `iptables-save`); only the "
+             "filter table is supported, unsupported matches are "
+             "line-numbered errors",
+    )
+    sub_import.add_argument(
+        "--output", required=True,
+        help="ClassBench filter file to write (action=<name> columns "
+             "preserve the iptables targets)",
+    )
+    sub_import.set_defaults(func=_cmd_import)
+
+    sub_export = subparsers.add_parser(
+        "export",
+        help="render a filter file or synthetic workload as a loadable "
+             "iptables-save dump",
+    )
+    sub_export.add_argument("--output", required=True, help="iptables-save file to write")
+    sub_export.add_argument(
+        "--chain", default="FORWARD",
+        help="chain the exported rules append to (default FORWARD)",
+    )
+    sub_export.add_argument(
+        "--mode", choices=["expand", "strict"], default="expand",
+        help="what to do with rules iptables cannot express 1:1: rewrite "
+             "them exactly over realizable packets and report (expand), or "
+             "fail (strict)",
+    )
+    add_workload_arguments(sub_export, packets=False)
+    sub_export.set_defaults(func=_cmd_export)
+
+    sub_replay = subparsers.add_parser(
+        "replay",
+        help="stream a pcap capture through a classifier on the "
+             "zero-allocation packed-chunk path",
+    )
+    sub_replay.add_argument("trace", help="classic pcap capture file to replay")
+    add_trace_port_argument(sub_replay)
+    sub_replay.add_argument(
+        "--classifier", choices=available_classifiers(), default="configurable",
+        help="registered classification engine",
+    )
+    sub_replay.add_argument(
+        "--workers", type=int, default=1,
+        help="classifier replicas to shard the capture across (ParallelSession)",
+    )
+    sub_replay.add_argument(
+        "--backend", choices=["thread", "process"], default="thread",
+        help="ParallelSession worker backend",
+    )
+    sub_replay.add_argument(
+        "--transport", choices=["auto", "packed", "pickle"], default="auto",
+        help="process-backend chunk transport; packed ships the capture's "
+             "chunk words through shared memory verbatim",
+    )
+    add_workload_arguments(sub_replay, packets=False)
+    sub_replay.set_defaults(func=_cmd_replay)
     return parser
 
 

@@ -40,8 +40,9 @@ of the ROADMAP made concrete:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.depindex import DependencyIndex
 from repro.api.control import CommitResult, ControlPlane, Delta, RuleProgram, TxnOp
@@ -52,6 +53,8 @@ from repro.core.config import ClassifierConfig
 from repro.core.result import Classification
 from repro.exceptions import ControlPlaneError, UpdateError
 from repro.perf.parallel import ParallelSession, merge_flow_cache_stats
+from repro.perf.transport import pack_header
+from repro.rules.packet import PacketHeader
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.rules.trace import FabricPacket
@@ -67,6 +70,7 @@ __all__ = [
     "SwitchServeStats",
     "FabricServeResult",
     "FabricController",
+    "assign_ingresses",
 ]
 
 
@@ -491,6 +495,34 @@ def _better(a: Classification, b: Classification) -> Classification:
 # ---------------------------------------------------------------------------
 
 
+def assign_ingresses(
+    packets: Iterable, ingresses: Sequence[int]
+) -> Iterator[FabricPacket]:
+    """Deterministically pin untagged headers to ingress switches.
+
+    The externally-supplied-trace policy: a pcap capture (or any plain
+    header stream) carries no ingress tags, so each header hashes to an
+    ingress by CRC-32 of its packed 104-bit wire word modulo the ingress
+    count.  The hash is over the canonical wire bytes, so the assignment is
+    stable across processes and platforms (unlike ``hash()``), and every
+    packet of a 5-tuple flow enters at the same switch — the way a host's
+    traffic always enters through its edge switch.  Already-tagged
+    :class:`~repro.rules.trace.FabricPacket` items pass through untouched;
+    plain 5-tuples are promoted to headers.
+    """
+    pool = tuple(ingresses)
+    if not pool:
+        raise ControlPlaneError("ingress assignment needs at least one ingress switch")
+    for packet in packets:
+        if isinstance(packet, FabricPacket):
+            yield packet
+            continue
+        if not isinstance(packet, PacketHeader):
+            packet = PacketHeader(*packet)
+        ingress = pool[zlib.crc32(pack_header(packet)) % len(pool)]
+        yield FabricPacket(ingress, packet)
+
+
 class FabricController(ControlPlane):
     """Transactional control plane over a whole switch fabric.
 
@@ -636,9 +668,9 @@ class FabricController(ControlPlane):
         return best
 
     def serve(
-        self, packets: Sequence[FabricPacket], chunk_size: int = 256
+        self, packets: Sequence, chunk_size: int = 256
     ) -> FabricServeResult:
-        """Serve an ingress-tagged trace through the fabric.
+        """Serve a trace through the fabric (ingress-tagged or plain).
 
         Packets are grouped by ingress, looked up on every hop of their
         routed path through a per-switch
@@ -649,8 +681,14 @@ class FabricController(ControlPlane):
         record.  Per-switch and fabric-wide statistics update only after
         **every** switch finished — a failing switch aborts the serve with
         all counters untouched.
+
+        ``packets`` may mix ingress-tagged
+        :class:`~repro.rules.trace.FabricPacket` items with plain headers or
+        5-tuples — an external trace (a pcap capture via
+        :func:`repro.io.pcap.read_pcap`) carries no tags, so untagged
+        packets are pinned deterministically by :func:`assign_ingresses`.
         """
-        packets = list(packets)
+        packets = list(assign_ingresses(packets, self.topology.ingresses()))
         if not packets:
             raise ControlPlaneError("cannot serve an empty fabric trace")
         paths = {packet.ingress: self.topology.route_path(packet.ingress) for packet in packets}

@@ -61,3 +61,13 @@ class ControlPlaneError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was given parameters it cannot honour."""
+
+
+class TraceIOError(ReproError):
+    """A trace or ruleset interchange file could not be read or written.
+
+    Raised by the :mod:`repro.io` front-ends — a malformed or truncated pcap
+    capture, an iptables-save line using an unsupported match, a rule that
+    cannot be expressed in the target format.  Messages carry the offending
+    file offset or line number so real-world inputs fail precisely.
+    """

@@ -1,0 +1,57 @@
+"""repro.io — real-workload interchange: pcap traces and iptables rulesets.
+
+Everything upstream of this package is synthetic (ClassBench rulesets,
+generated traces); this package is the interop layer with the real world:
+
+* :mod:`repro.io.pcap` — a stdlib-only streaming reader/writer for classic
+  pcap capture files.  The read path yields plain 5-tuples packed straight
+  into the 104-bit header codec (:func:`~repro.io.pcap.read_pcap_packed`
+  yields :class:`~repro.perf.transport.PackedChunk` words ready for
+  descriptor dispatch) — no :class:`~repro.rules.packet.PacketHeader` is
+  ever materialised; :func:`~repro.io.pcap.write_pcap` renders any 5-tuple
+  stream (synthetic traces included) as a deterministic capture file.
+* :mod:`repro.io.iptables` — bidirectional iptables-save ↔
+  :class:`~repro.rules.ruleset.RuleSet` translation with precise
+  line-numbered rejection of the unsupported surface and an
+  :class:`~repro.io.iptables.ExportReport` accounting for every rewrite
+  the format forces.
+
+CLI: ``repro import`` / ``repro export`` / ``repro replay``, plus
+``--trace capture.pcap`` on ``repro classify`` and ``repro fabric``.
+"""
+
+from repro.io.iptables import (
+    ExportNote,
+    ExportReport,
+    dump_iptables_file,
+    format_iptables_save,
+    load_iptables_file,
+    parse_iptables_save,
+)
+from repro.io.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW_IP,
+    PORT_PROTOCOLS,
+    PcapStats,
+    read_pcap,
+    read_pcap_packed,
+    scan_pcap,
+    write_pcap,
+)
+
+__all__ = [
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW_IP",
+    "PORT_PROTOCOLS",
+    "PcapStats",
+    "scan_pcap",
+    "read_pcap",
+    "read_pcap_packed",
+    "write_pcap",
+    "ExportNote",
+    "ExportReport",
+    "parse_iptables_save",
+    "load_iptables_file",
+    "format_iptables_save",
+    "dump_iptables_file",
+]

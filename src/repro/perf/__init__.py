@@ -56,7 +56,9 @@ from repro.perf.lru import BoundedCache, LRUCache
 from repro.perf.parallel import ParallelSession, ReplicaSpec, merge_flow_cache_stats
 from repro.perf.transport import (
     ChunkDescriptor,
+    PackedChunk,
     SharedChunkRing,
+    iter_packed_chunks,
     pack_header,
     pack_headers,
     shared_memory_available,
@@ -76,6 +78,8 @@ __all__ = [
     "BoundedCache",
     "SharedChunkRing",
     "ChunkDescriptor",
+    "PackedChunk",
+    "iter_packed_chunks",
     "pack_header",
     "pack_headers",
     "unpack_headers",

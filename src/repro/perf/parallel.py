@@ -105,13 +105,18 @@ from repro.api.session import (
     BatchCounters,
     RunningCounters,
     SessionStats,
-    iter_chunks,
     measure_results,
 )
 from repro.core.result import BatchResult, Classification
 from repro.exceptions import ConfigurationError, UpdateError
 from repro.perf.lru import BoundedCache
-from repro.perf.transport import SharedChunkRing, read_chunk, shared_memory_available
+from repro.perf.transport import (
+    HEADER_BYTES,
+    PackedChunk,
+    SharedChunkRing,
+    read_chunk,
+    shared_memory_available,
+)
 from repro.rules.packet import PacketHeader
 from repro.rules.ruleset import RuleSet
 
@@ -253,15 +258,78 @@ async def _as_async_iterable(packets) -> AsyncIterator[PacketHeader]:
             yield packet
 
 
-async def _aiter_chunks(packets, size: int):
-    """Async twin of :func:`~repro.api.session.iter_chunks` (plain iterables
-    adapted too) — keep its flush rule in lock-step with the sync chunker."""
+def _split_packed(chunk: PackedChunk, size: int):
+    """Re-slice an oversized pre-packed chunk to the dispatch chunk size.
+
+    Packed words are fixed-width, so slicing is pure byte arithmetic — the
+    headers are never decoded.
+    """
+    if chunk.count <= size:
+        yield chunk
+        return
+    for start in range(0, chunk.count, size):
+        count = min(size, chunk.count - start)
+        yield PackedChunk(
+            chunk.data[start * HEADER_BYTES: (start + count) * HEADER_BYTES], count
+        )
+
+
+def _mixed_stream_error() -> ConfigurationError:
+    return ConfigurationError(
+        "mixed input stream: feed either packet headers or PackedChunk "
+        "words, not both in one run"
+    )
+
+
+def _iter_dispatch_chunks(packets, size: int):
+    """Chunk an input stream for dispatch, whichever shape it arrives in.
+
+    A stream of packet headers chunks exactly like
+    :func:`~repro.api.session.iter_chunks`; a stream of pre-packed
+    :class:`~repro.perf.transport.PackedChunk` words (the pcap front-end,
+    :func:`~repro.perf.transport.iter_packed_chunks`) passes through without
+    decoding — re-sliced by byte arithmetic when a chunk exceeds the
+    dispatch size.  The first item fixes the shape; mixing is an error.
+    """
+    packed: Optional[bool] = None
     chunk: List[PacketHeader] = []
-    async for packet in _as_async_iterable(packets):
-        chunk.append(packet)
-        if len(chunk) >= size:
-            yield chunk
-            chunk = []
+    for item in packets:
+        if packed is None:
+            packed = isinstance(item, PackedChunk)
+        if packed:
+            if not isinstance(item, PackedChunk):
+                raise _mixed_stream_error()
+            yield from _split_packed(item, size)
+        else:
+            if isinstance(item, PackedChunk):
+                raise _mixed_stream_error()
+            chunk.append(item)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
+
+
+async def _aiter_dispatch_chunks(packets, size: int):
+    """Async twin of :func:`_iter_dispatch_chunks` (same shapes, same rules)."""
+    packed: Optional[bool] = None
+    chunk: List[PacketHeader] = []
+    async for item in _as_async_iterable(packets):
+        if packed is None:
+            packed = isinstance(item, PackedChunk)
+        if packed:
+            if not isinstance(item, PackedChunk):
+                raise _mixed_stream_error()
+            for piece in _split_packed(item, size):
+                yield piece
+        else:
+            if isinstance(item, PackedChunk):
+                raise _mixed_stream_error()
+            chunk.append(item)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = []
     if chunk:
         yield chunk
 
@@ -287,7 +355,9 @@ def _process_worker_details() -> Dict[str, object]:
     return dict(_WORKER_REPLICA.stats().details)
 
 
-def _process_worker_classify(chunk: List[PacketHeader], retain: bool) -> _ChunkOutcome:
+def _process_worker_classify(chunk, retain: bool) -> _ChunkOutcome:
+    if isinstance(chunk, PackedChunk):  # pre-packed input on the pickle transport
+        chunk = chunk.headers()
     return _measure_chunk(_WORKER_REPLICA.classify_batch(chunk), retain, compact=True)
 
 
@@ -357,6 +427,8 @@ class _ThreadWorker:
         return self.replica.control.program()
 
     def _classify(self, chunk, retain) -> _ChunkOutcome:
+        if isinstance(chunk, PackedChunk):  # pre-packed input, decoded in-lane
+            chunk = chunk.headers()
         return _measure_chunk(self.replica.classify_batch(chunk), retain)
 
     def shutdown(self) -> None:
@@ -656,8 +728,14 @@ class ParallelSession:
         """Shard one trace across the worker pool and return the merged stats.
 
         Consumes the trace incrementally (constant memory, any iterable) and
-        retains nothing per packet.  On a replica failure, cancels the
-        outstanding chunks, re-raises the replica's error and leaves the
+        retains nothing per packet.  The trace may also arrive *pre-packed*
+        — an iterable of :class:`~repro.perf.transport.PackedChunk` words
+        (the pcap front-end's native output,
+        :func:`~repro.io.pcap.read_pcap_packed`) — in which case the packed
+        transport copies each chunk's bytes straight into the ring, no
+        header ever decoded parent-side.  Holds for :meth:`feed`,
+        :meth:`arun` and :meth:`afeed` too.  On a replica failure, cancels
+        the outstanding chunks, re-raises the replica's error and leaves the
         committed counters untouched (see the module failure contract).
         """
         self._execute(packets, retain=False)
@@ -804,7 +882,7 @@ class ParallelSession:
         ring = self._acquire_ring()
         try:
             for chunk_index, chunk in enumerate(
-                iter_chunks(packets, self.chunk_size)
+                _iter_dispatch_chunks(packets, self.chunk_size)
             ):
                 if len(inflight) >= max_inflight:
                     self._absorb_one(inflight, pending, retained, ring)
@@ -872,7 +950,7 @@ class ParallelSession:
         ring = self._acquire_ring()
         try:
             chunk_index = 0
-            async for chunk in _aiter_chunks(packets, self.chunk_size):
+            async for chunk in _aiter_dispatch_chunks(packets, self.chunk_size):
                 if len(inflight) >= max_inflight:
                     yield await self._aabsorb_one(inflight, pending, retain, ring)
                 inflight.append(self._submit(chunk, chunk_index, retain, ring))

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import struct
 from collections import deque
-from typing import Deque, Iterable, List, NamedTuple, Optional, Sequence
+from typing import Deque, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
 from repro.rules.packet import FIVE_TUPLE_WIDTHS, HEADER_BITS, PacketHeader
@@ -45,7 +45,9 @@ from repro.rules.packet import FIVE_TUPLE_WIDTHS, HEADER_BITS, PacketHeader
 __all__ = [
     "HEADER_BYTES",
     "ChunkDescriptor",
+    "PackedChunk",
     "SharedChunkRing",
+    "iter_packed_chunks",
     "pack_header",
     "pack_headers",
     "pack_into",
@@ -77,43 +79,88 @@ if _HEADER_STRUCT.size != HEADER_BYTES or tuple(FIVE_TUPLE_WIDTHS.values()) != (
 # Codec
 # ---------------------------------------------------------------------------
 
+#: Anything the codec packs: a :class:`PacketHeader` or a plain
+#: ``(src_ip, dst_ip, src_port, dst_port, protocol)`` tuple.  Both iterate to
+#: the canonical 5-tuple order, so the packers star-unpack them identically —
+#: the pcap front-end (:mod:`repro.io.pcap`) feeds plain tuples through here
+#: without ever materialising header objects.
+FiveTuple = Union[PacketHeader, Sequence[int]]
 
-def pack_header(header: PacketHeader) -> bytes:
-    """Pack one header into its ``HEADER_BYTES`` wire word.
+
+def pack_header(header: FiveTuple) -> bytes:
+    """Pack one header (object or plain 5-tuple) into its wire word.
 
     The single-header form of :func:`pack_headers`; the flow cache uses it
     as the exact-match key so a cache entry and a wire word are the same
     13 bytes.
     """
-    return _HEADER_STRUCT.pack(
-        header.src_ip, header.dst_ip, header.src_port, header.dst_port, header.protocol
-    )
+    return _HEADER_STRUCT.pack(*header)
 
 
-def pack_headers(headers: Iterable[PacketHeader]) -> bytes:
+def pack_headers(headers: Iterable[FiveTuple]) -> bytes:
     """Pack headers into a contiguous ``HEADER_BYTES``-per-header buffer."""
     pack = _HEADER_STRUCT.pack
-    return b"".join(
-        pack(h.src_ip, h.dst_ip, h.src_port, h.dst_port, h.protocol)
-        for h in headers
-    )
+    return b"".join(pack(*h) for h in headers)
 
 
-def pack_into(buffer, offset: int, headers: Sequence[PacketHeader]) -> int:
+def pack_into(buffer, offset: int, headers: Sequence[FiveTuple]) -> int:
     """Pack ``headers`` into ``buffer`` at ``offset``; returns bytes written.
 
     ``buffer`` is any writable buffer-protocol object (``bytearray``,
-    ``memoryview``, ``array.array``, a NumPy array, shared memory...).
+    ``memoryview``, ``array.array``, a NumPy array, shared memory...);
+    ``headers`` are header objects or plain 5-tuples.
     """
     pack_one = _HEADER_STRUCT.pack_into
     for header in headers:
-        pack_one(
-            buffer, offset,
-            header.src_ip, header.dst_ip,
-            header.src_port, header.dst_port, header.protocol,
-        )
+        pack_one(buffer, offset, *header)
         offset += HEADER_BYTES
     return len(headers) * HEADER_BYTES
+
+
+class PackedChunk(NamedTuple):
+    """A bounded chunk of packed header words, ready for descriptor dispatch.
+
+    ``data`` holds exactly ``count * HEADER_BYTES`` bytes of consecutive
+    104-bit words.  This is the native output of the streaming chunk packer
+    (:func:`iter_packed_chunks`) and of the pcap front-end
+    (:func:`repro.io.pcap.read_pcap_packed`), and the native *input* of
+    :class:`~repro.perf.parallel.ParallelSession` — on the packed transport a
+    chunk's bytes copy straight into a shared-memory ring slot, no
+    per-header re-encoding.
+    """
+
+    data: bytes
+    count: int
+
+    def headers(self) -> List[PacketHeader]:
+        """Decode the chunk into header objects (the convenience path)."""
+        return unpack_headers(self.data, self.count)
+
+
+def iter_packed_chunks(
+    headers: Iterable[FiveTuple], chunk_size: int
+) -> Iterator[PackedChunk]:
+    """Pack a 5-tuple stream into fixed-size chunks, without materialising it.
+
+    The streaming twin of :func:`pack_headers`: accepts any iterator of
+    header objects or plain 5-tuples and yields ``chunk_size``-header
+    :class:`PackedChunk` words (tail chunk shorter), holding at most one
+    chunk's bytes at a time — an arbitrarily long trace (or live capture)
+    packs in constant memory.
+    """
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+    pack_one = _HEADER_STRUCT.pack_into
+    buffer = bytearray(chunk_size * HEADER_BYTES)
+    fill = 0
+    for header in headers:
+        pack_one(buffer, fill * HEADER_BYTES, *header)
+        fill += 1
+        if fill == chunk_size:
+            yield PackedChunk(bytes(buffer), fill)
+            fill = 0
+    if fill:
+        yield PackedChunk(bytes(buffer[: fill * HEADER_BYTES]), fill)
 
 
 def unpack_headers(buffer, count: Optional[int] = None, offset: int = 0) -> List[PacketHeader]:
@@ -232,14 +279,33 @@ class SharedChunkRing:
         """Return a slot to the free list (its chunk has been absorbed)."""
         self._free.append(slot)
 
-    def write(self, slot: int, headers: Sequence[PacketHeader]) -> ChunkDescriptor:
-        """Pack one chunk into ``slot`` and return its wire descriptor."""
+    def write(
+        self, slot: int, headers: Union[Sequence[FiveTuple], PackedChunk]
+    ) -> ChunkDescriptor:
+        """Pack one chunk into ``slot`` and return its wire descriptor.
+
+        A :class:`PackedChunk` copies its bytes into the slot verbatim —
+        the zero-re-encode path for pre-packed traces (pcap front-end,
+        :func:`iter_packed_chunks`); anything else is packed header by
+        header via :func:`pack_into`.
+        """
+        offset = slot * self.slot_bytes
+        if isinstance(headers, PackedChunk):
+            if headers.count > self.headers_per_slot:
+                raise ConfigurationError(
+                    f"packed chunk of {headers.count} headers exceeds the ring "
+                    f"slot capacity of {self.headers_per_slot}"
+                )
+            end = offset + headers.count * HEADER_BYTES
+            self._shm.buf[offset:end] = headers.data
+            return ChunkDescriptor(
+                segment=self._shm.name, offset=offset, count=headers.count
+            )
         if len(headers) > self.headers_per_slot:
             raise ConfigurationError(
                 f"chunk of {len(headers)} headers exceeds the ring slot "
                 f"capacity of {self.headers_per_slot}"
             )
-        offset = slot * self.slot_bytes
         pack_into(self._shm.buf, offset, headers)
         return ChunkDescriptor(segment=self._shm.name, offset=offset, count=len(headers))
 

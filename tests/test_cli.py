@@ -201,3 +201,90 @@ class TestWorkloadCommands:
         assert "Classifier sweep" in out
         for name in ("linear_search", "hypercuts", "configurable"):
             assert name in out
+
+
+class TestIngestCommands:
+    """The real-workload interchange subcommands (repro.io)."""
+
+    @pytest.fixture()
+    def workload_files(self, tmp_path):
+        """A generated filter file plus a capture of its synthetic trace."""
+        from repro.io.pcap import write_pcap
+        from repro.rules.parser import load_classbench_file
+        from repro.rules.trace import generate_trace
+
+        rules_file = tmp_path / "acl.rules"
+        assert main(["generate", "--size", "150", "--seed", "7",
+                     "--output", str(rules_file)]) == 0
+        ruleset = load_classbench_file(rules_file)
+        capture = tmp_path / "trace.pcap"
+        write_pcap(str(capture), generate_trace(ruleset, count=300, seed=8), seed=9)
+        return rules_file, capture
+
+    def test_export_then_import_round_trip(self, tmp_path, workload_files, capsys):
+        rules_file, _ = workload_files
+        dump = tmp_path / "acl.iptables"
+        capsys.readouterr()
+        assert main(["export", "--rules", str(rules_file),
+                     "--output", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "iptables export" in out and "Fidelity" in out
+        assert dump.read_text().startswith("*filter\n")
+
+        back = tmp_path / "back.rules"
+        assert main(["import", str(dump), "--output", str(back)]) == 0
+        out = capsys.readouterr().out
+        assert "iptables import" in out
+        assert main(["classify", "--rules", str(back), "--packets", "20"]) == 0
+
+    def test_export_strict_mode_fails_on_inexpressible_rules(self, capsys):
+        # Synthetic ACLs carry wildcard-protocol rules with port constraints,
+        # which strict mode refuses to rewrite.
+        assert main(["export", "--size", "200", "--seed", "1",
+                     "--mode", "strict", "--output", "/dev/null"]) == 2
+        assert "strict mode" in capsys.readouterr().err
+
+    def test_import_reports_line_numbered_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.iptables"
+        bad.write_text("-A FORWARD -i eth0 -j ACCEPT\n")
+        assert main(["import", str(bad), "--output", str(tmp_path / "o")]) == 2
+        assert "line 1:" in capsys.readouterr().err
+
+    def test_replay_reports_capture_accounting(self, workload_files, capsys):
+        rules_file, capture = workload_files
+        capsys.readouterr()
+        assert main(["replay", str(capture), "--rules", str(rules_file),
+                     "--trace-ports", "word", "--fast", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Capture replay" in out
+        assert "300 packets, 0 non-IP skipped, 0 truncated" in out
+        assert "configurablex2" in out
+
+    def test_replay_missing_capture_clean_error(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "no.pcap"), "--size", "100"]) == 2
+        assert "no.pcap" in capsys.readouterr().err
+
+    def test_classify_trace_matches_replay(self, workload_files, capsys):
+        rules_file, capture = workload_files
+        capsys.readouterr()
+        assert main(["classify", "--rules", str(rules_file), "--trace",
+                     str(capture), "--trace-ports", "word"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace file" in out and "Packets classified" in out
+        assert "300 packets" in out
+
+    def test_classify_trace_conflicts_with_flows(self, workload_files, capsys):
+        rules_file, capture = workload_files
+        capsys.readouterr()
+        assert main(["classify", "--rules", str(rules_file), "--trace",
+                     str(capture), "--flows", "8"]) == 2
+        assert "--flows" in capsys.readouterr().err
+
+    def test_fabric_serves_a_capture(self, workload_files, capsys):
+        rules_file, capture = workload_files
+        capsys.readouterr()
+        assert main(["fabric", "--switches", "4", "--rules", str(rules_file),
+                     "--trace", str(capture), "--trace-ports", "word"]) == 0
+        out = capsys.readouterr().out
+        assert "Fabric simulation" in out and "Trace file" in out
+        assert "Per-switch accounting" in out

@@ -753,6 +753,107 @@ def test_fabric_mutation_interleaved_matches_oracle(differential_scenario):
     assert fabric.partial_commits == 0
 
 
+# ---------------------------------------------------------------------------
+# Ingest column: the pcap interchange inside the differential loop.  Each
+# scenario's seeded synthetic trace is rendered to a capture file, re-read
+# through the streaming front-end, and the replayed workload must classify
+# bit-exactly on every execution path — so the interchange layer provably
+# neither drops, reorders nor perturbs a single header bit.
+# ---------------------------------------------------------------------------
+
+from repro.io.pcap import (  # noqa: E402
+    PcapStats,
+    read_pcap,
+    read_pcap_packed,
+    write_pcap,
+)
+
+INGEST_SCENARIOS = [
+    ("acl", "cross_product", "mixed"),
+    ("fw", "cross_product", "heavy_duplicate"),
+    ("ipc", "first_label", "all_unique"),
+]
+
+
+@pytest.fixture(scope="module")
+def ingest_capture(scenario_reference, tmp_path_factory):
+    """Per-scenario capture file written once from the scenario trace."""
+    directory = tmp_path_factory.mktemp("ingest")
+    cache = {}
+
+    def build(flavor: str, combiner: str, shape: str):
+        key = (flavor, combiner, shape)
+        if key not in cache:
+            ref = scenario_reference(flavor, combiner, shape)
+            path = directory / f"{flavor}-{combiner}-{shape}.pcap"
+            write_pcap(str(path), ref.trace, seed=DIFFERENTIAL_SEED)
+            cache[key] = (ref, str(path))
+        return cache[key]
+
+    return build
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize("scenario", INGEST_SCENARIOS, ids=_scenario_id)
+def test_ingest_roundtrip_inprocess_paths_agree(scenario, ingest_capture):
+    """capture-replayed trace == source trace, on every in-process path."""
+    ref, path = ingest_capture(*scenario)
+    stats = PcapStats()
+    replayed = read_pcap(path, ports="word", stats=stats)
+    # Bit-exact round trip: the capture is the trace.
+    assert replayed == ref.trace
+    assert (stats.packets, stats.skipped, stats.truncated) == (len(ref.trace), 0, 0)
+
+    per_packet = create_classifier("configurable", ref.ruleset, **ref.options)
+    assert [per_packet.classify(p) for p in replayed] == ref.per_packet
+    for options in ({"fast": True}, {"vectorized": True}):
+        classifier = create_classifier(
+            "configurable", ref.ruleset, **options, **ref.options
+        )
+        assert list(classifier.classify_batch(replayed).results) == ref.per_packet
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize("scenario", INGEST_SCENARIOS, ids=_scenario_id)
+def test_ingest_packed_chunks_feed_thread_pool(scenario, ingest_capture):
+    """PackedChunk streams off the capture dispatch bit-exactly to a pool."""
+    ref, path = ingest_capture(*scenario)
+    replicas = [
+        create_classifier("configurable", ref.ruleset, fast=True, **ref.options),
+        create_classifier("configurable", ref.ruleset, vectorized=True, **ref.options),
+    ]
+    with ParallelSession(replicas, chunk_size=32) as pool:
+        fed = pool.feed(read_pcap_packed(path, chunk_size=32, ports="word"))
+    assert list(fed.results) == ref.per_packet
+
+
+@pytest.mark.ingest
+@pytest.mark.parametrize("transport", ["pickle", "packed"])
+def test_ingest_packed_chunks_cross_process(transport, ingest_capture):
+    """The capture's packed words survive both process transports verbatim."""
+    if transport == "packed" and not shared_memory_available():
+        pytest.skip("platform grants no shared memory segments")
+    ref, path = ingest_capture("acl", "cross_product", "mixed")
+    spec = ReplicaSpec("configurable", ref.ruleset, {"fast": True, **ref.options})
+    with ParallelSession.from_factory(
+        spec, workers=2, chunk_size=32, backend="process", transport=transport
+    ) as pool:
+        stats = pool.run(read_pcap_packed(path, chunk_size=32, ports="word"))
+    assert stats.packets == len(ref.trace)
+    assert stats.matched == sum(1 for r in ref.per_packet if r.matched)
+
+
+@pytest.mark.ingest
+def test_ingest_fabric_serves_capture_on_oracle(ingest_capture):
+    """An untagged capture served fabric-wide stays on the linear oracle."""
+    ref, path = ingest_capture("acl", "cross_product", "mixed")
+    topology = build_fabric_topology("line", 4)
+    fabric = FabricController(topology, fast=True)
+    fabric.install(ref.ruleset)
+    result = fabric.serve(read_pcap(path, ports="word"))
+    assert [r.rule_id for r in result.results] == ref.truth
+
+
 @pytest.mark.parametrize("scenario", ASYNC_SCENARIOS, ids=_scenario_id)
 def test_async_feed_agrees(scenario, scenario_reference):
     """The asyncio front-end yields the same classifications, in input order."""

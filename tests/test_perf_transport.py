@@ -474,3 +474,114 @@ class TestZeroCopyDispatch:
             ParallelSession.from_factory(
                 transport_spec, workers=1, backend="thread", transport="packed"
             )
+
+
+class TestPackedChunkStreaming:
+    """The bounded chunk packer and PackedChunk acceptance end to end."""
+
+    def test_iter_packed_chunks_bounds_and_tail(self):
+        from repro.perf.transport import PackedChunk, iter_packed_chunks
+
+        rng = random.Random(5)
+        headers = [random_header(rng) for _ in range(10)]
+        chunks = list(iter_packed_chunks(iter(headers), 4))
+        assert [chunk.count for chunk in chunks] == [4, 4, 2]
+        assert all(isinstance(chunk, PackedChunk) for chunk in chunks)
+        assert all(len(c.data) == c.count * HEADER_BYTES for c in chunks)
+        assert b"".join(c.data for c in chunks) == pack_headers(headers)
+        # Decode helper restores the original headers chunk-locally.
+        assert [h for c in chunks for h in c.headers()] == headers
+
+    def test_iter_packed_chunks_accepts_plain_tuples(self):
+        from repro.perf.transport import iter_packed_chunks
+
+        five = (167772161, 3232235777, 1234, 80, 6)
+        (chunk,) = iter_packed_chunks([five], 8)
+        assert chunk.headers() == [PacketHeader(*five)]
+
+    def test_iter_packed_chunks_rejects_bad_chunk_size(self):
+        from repro.perf.transport import iter_packed_chunks
+
+        with pytest.raises(ConfigurationError):
+            list(iter_packed_chunks([], 0))
+
+    @needs_shared_memory
+    def test_ring_write_accepts_packed_chunk_verbatim(self):
+        from repro.perf.transport import PackedChunk, iter_packed_chunks
+
+        rng = random.Random(6)
+        headers = [random_header(rng) for _ in range(7)]
+        (chunk,) = iter_packed_chunks(headers, 16)
+        ring = SharedChunkRing(slots=2, headers_per_slot=16)
+        try:
+            descriptor = ring.write(0, chunk)
+            assert descriptor.count == 7
+            assert read_chunk(*descriptor) == headers
+            # Byte-identical to the sequence write of the same headers.
+            other = ring.write(1, headers)
+            span = descriptor.count * HEADER_BYTES
+            assert (
+                bytes(ring._shm.buf[descriptor.offset:descriptor.offset + span])
+                == bytes(ring._shm.buf[other.offset:other.offset + span])
+            )
+            with pytest.raises(ConfigurationError, match="exceeds the ring slot"):
+                ring.write(0, PackedChunk(chunk.data * 4, chunk.count * 4))
+        finally:
+            ring.close()
+
+    def test_thread_pool_accepts_packed_chunk_stream(self, small_acl_ruleset):
+        from repro.api import create_classifier
+        from repro.perf.transport import iter_packed_chunks
+
+        trace = generate_trace(small_acl_ruleset, count=90, seed=21)
+        replica = create_classifier("configurable", small_acl_ruleset, fast=True)
+        reference = list(replica.classify_batch(trace).results)
+        with ParallelSession([replica], chunk_size=16) as pool:
+            fed = pool.feed(iter_packed_chunks(trace, 16))
+        assert list(fed.results) == reference
+
+    def test_oversized_packed_chunks_are_resliced(self, small_acl_ruleset):
+        from repro.api import create_classifier
+        from repro.perf.transport import iter_packed_chunks
+
+        trace = generate_trace(small_acl_ruleset, count=64, seed=22)
+        replica = create_classifier("configurable", small_acl_ruleset, fast=True)
+        reference = list(replica.classify_batch(trace).results)
+        with ParallelSession([replica], chunk_size=8) as pool:
+            # One 64-header chunk into an 8-header session: re-sliced, not
+            # rejected, and still bit-exact in order.
+            fed = pool.feed(iter_packed_chunks(trace, 64))
+            assert list(fed.results) == reference
+            assert pool.stats().chunks == 8
+
+    def test_mixed_header_and_packed_stream_rejected(self, small_acl_ruleset):
+        from repro.api import create_classifier
+        from repro.perf.transport import iter_packed_chunks
+
+        trace = generate_trace(small_acl_ruleset, count=16, seed=23)
+        (chunk,) = iter_packed_chunks(trace, 16)
+        replica = create_classifier("configurable", small_acl_ruleset, fast=True)
+        with ParallelSession([replica], chunk_size=8) as pool:
+            with pytest.raises(ConfigurationError, match="mix"):
+                pool.feed([trace[0], chunk])
+            with pytest.raises(ConfigurationError, match="mix"):
+                pool.feed([chunk, trace[0]])
+
+    @needs_shared_memory
+    def test_process_packed_transport_ships_chunks_unpickled(
+        self, small_acl_ruleset, monkeypatch
+    ):
+        from repro.perf.transport import iter_packed_chunks
+
+        trace = generate_trace(small_acl_ruleset, count=60, seed=24)
+        chunks = list(iter_packed_chunks(trace, 16))
+        spec = ReplicaSpec("configurable", small_acl_ruleset, {"fast": True})
+        with ParallelSession.from_factory(
+            spec, workers=2, chunk_size=16, backend="process", transport="packed"
+        ) as pool:
+            # Headers cross the boundary as ring bytes; pickling one anywhere
+            # on the dispatch path would raise.
+            monkeypatch.setattr(PacketHeader, "__reduce__", _poisoned_reduce)
+            stats = pool.run(iter(chunks))
+        monkeypatch.undo()
+        assert stats.packets == len(trace)
